@@ -1,0 +1,53 @@
+//! The evaluation applications of the ST-TCP paper (§6).
+//!
+//! Three "simulations of applications representing different
+//! communication characteristics":
+//!
+//! * **Echo** — 150-byte request, identical 150-byte response, 100
+//!   exchanges; "similar to telnet";
+//! * **Interactive** — 150-byte request, 10 KB response, 100 exchanges;
+//!   "similar to http";
+//! * **Bulk transfer** — 150-byte request, then 1/5/20/100 MB of data;
+//!   "similar to ftp".
+//!
+//! Server applications here are **deterministic functions of the
+//! received byte stream** — the paper's §3 assumption that lets an
+//! active backup stay consistent by consuming the tapped stream. Every
+//! response byte is drawn from a position-indexed [`pattern`], so the
+//! client can verify *exactly-once, in-order* delivery across a
+//! failover, not just byte counts.
+//!
+//! Applications are sans-io: they react to [`Application`] callbacks and
+//! act through an [`Api`] handle, so the same instances run on the
+//! primary, the backup (where their output is suppressed), and in unit
+//! tests against a mock.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod bulk;
+pub mod client;
+pub mod echo;
+pub mod interactive;
+pub mod metrics;
+pub mod pattern;
+pub mod upload;
+
+pub use api::{Api, Application, MockApi, StackApi};
+pub use bulk::BulkServer;
+pub use client::{Workload, WorkloadClient};
+pub use echo::EchoServer;
+pub use interactive::InteractiveServer;
+pub use upload::UploadServer;
+pub use metrics::RunMetrics;
+
+/// Request size used by all three applications ("about 150 bytes").
+pub const REQUEST_SIZE: usize = 150;
+
+/// Interactive response size ("moderate size data (10 KB)").
+pub const INTERACTIVE_REPLY: usize = 10 * 1024;
+
+/// Exchanges per run for Echo and Interactive ("100 such message
+/// exchanges").
+pub const DEFAULT_REQUESTS: usize = 100;

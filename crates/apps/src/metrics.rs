@@ -1,0 +1,75 @@
+//! Run metrics captured by the workload client.
+
+use netsim::{SimDuration, SimTime};
+
+/// What one workload run measured — the numbers behind Tables 1–2 and
+/// Figures 5–6 of the paper.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// When the first request was issued.
+    pub started: Option<SimTime>,
+    /// When the final response byte arrived.
+    pub finished: Option<SimTime>,
+    /// Per-request completion latency, in order.
+    pub latencies: Vec<SimDuration>,
+    /// Total response bytes received.
+    pub bytes_received: u64,
+    /// Response bytes that failed content verification (any nonzero
+    /// value means the byte stream was corrupted, duplicated, or
+    /// spliced — e.g. by a broken failover).
+    pub content_errors: u64,
+    /// Stream position of the first content error.
+    pub first_error_pos: Option<u64>,
+}
+
+impl RunMetrics {
+    /// Total run time ("Average Total Time" of Table 1), if finished.
+    pub fn total_time(&self) -> Option<SimDuration> {
+        Some(self.finished?.duration_since(self.started?))
+    }
+
+    /// The largest single-request latency — during a failover run this
+    /// is the request that straddled the crash.
+    pub fn max_latency(&self) -> Option<SimDuration> {
+        self.latencies.iter().copied().max()
+    }
+
+    /// Mean request latency.
+    pub fn mean_latency(&self) -> Option<SimDuration> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let total: u64 = self.latencies.iter().map(|d| d.as_nanos()).sum();
+        Some(SimDuration::from_nanos(total / self.latencies.len() as u64))
+    }
+
+    /// True when the byte stream verified clean end to end.
+    pub fn verified_clean(&self) -> bool {
+        self.content_errors == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let mut m = RunMetrics::default();
+        assert_eq!(m.total_time(), None);
+        assert_eq!(m.mean_latency(), None);
+        m.started = Some(SimTime::from_nanos(1_000));
+        m.finished = Some(SimTime::from_nanos(11_000));
+        m.latencies = vec![
+            SimDuration::from_nanos(2_000),
+            SimDuration::from_nanos(4_000),
+            SimDuration::from_nanos(3_000),
+        ];
+        assert_eq!(m.total_time(), Some(SimDuration::from_nanos(10_000)));
+        assert_eq!(m.max_latency(), Some(SimDuration::from_nanos(4_000)));
+        assert_eq!(m.mean_latency(), Some(SimDuration::from_nanos(3_000)));
+        assert!(m.verified_clean());
+        m.content_errors = 1;
+        assert!(!m.verified_clean());
+    }
+}

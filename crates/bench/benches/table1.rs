@@ -1,0 +1,49 @@
+//! **Table 1** — "Comparison of standard TCP with ST-TCP during failure
+//! free period": average total time (s) per workload for standard TCP
+//! and ST-TCP at heartbeat intervals of 5 s, 1 s, 200 ms, 50 ms.
+//!
+//! Paper values for reference (Echo / Interactive / Bulk 1–100 MB):
+//! standard TCP 0.892 / 2.000 / 0.640 / 3.199 / 12.788 / 63.952, with
+//! every ST-TCP row within noise of it. The reproduced claim is the
+//! *absence of overhead*: every ST-TCP cell equals the standard-TCP
+//! cell of its column (the simulator is deterministic, so equality here
+//! is exact unless the protocol actually perturbs the data path).
+
+use sttcp_bench::{fmt_s, st_tcp_time, standard_tcp_time, workload_grid_env, Table, HB_GRID};
+
+fn main() {
+    let workloads = workload_grid_env();
+    let mut header = vec!["config"];
+    header.extend(workloads.iter().map(|(name, _)| *name));
+    let mut table = Table::new(
+        "Table 1: failure-free total time (s), standard TCP vs ST-TCP",
+        &header,
+    );
+
+    let mut row = vec!["Standard TCP".to_string()];
+    let mut baseline = Vec::new();
+    for &(_, w) in &workloads {
+        let t = standard_tcp_time(w);
+        baseline.push(t);
+        row.push(fmt_s(t));
+    }
+    table.row(row);
+
+    for (hb_name, hb) in HB_GRID {
+        let mut row = vec![format!("ST-TCP {hb_name} HB")];
+        for (i, &(_, w)) in workloads.iter().enumerate() {
+            let t = st_tcp_time(w, hb);
+            row.push(fmt_s(t));
+            let overhead = (t - baseline[i]) / baseline[i];
+            assert!(
+                overhead.abs() < 0.02,
+                "ST-TCP overhead {:.2}% exceeds the paper's 'insignificant' claim",
+                overhead * 100.0
+            );
+        }
+        table.row(row);
+    }
+
+    table.emit("table1");
+    println!("All ST-TCP cells within 2% of standard TCP — the paper's no-overhead claim holds.");
+}

@@ -1,0 +1,170 @@
+//! The simulator's event queue.
+//!
+//! Events are ordered by `(time, sequence)`, where the sequence number is
+//! assigned at insertion. Ties in virtual time therefore process in
+//! insertion order, which — together with the buffered-effects node API —
+//! makes every simulation run bit-reproducible.
+
+use crate::node::{ControlAction, NodeId, PortId};
+use crate::time::SimTime;
+use bytes::Bytes;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub enum EventKind {
+    /// Deliver a frame to `node` on `port`.
+    Frame {
+        /// Receiving node.
+        node: NodeId,
+        /// Receiving port.
+        port: PortId,
+        /// Frame contents.
+        frame: Bytes,
+    },
+    /// Wake `node`'s `on_timer` with `token`.
+    Timer {
+        /// Node to wake.
+        node: NodeId,
+        /// Caller-chosen token.
+        token: u64,
+    },
+    /// Call `on_start` on `node` (simulation start or power-on).
+    Start {
+        /// Node to start.
+        node: NodeId,
+    },
+    /// Apply a control action (fencing etc.).
+    Control(ControlAction),
+}
+
+#[derive(Debug)]
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The node an event is addressed to, if any (control events act on
+/// the simulator itself).
+pub fn event_target(kind: &EventKind) -> Option<NodeId> {
+    match kind {
+        EventKind::Frame { node, .. } | EventKind::Timer { node, .. } | EventKind::Start { node } => {
+            Some(*node)
+        }
+        EventKind::Control(_) => None,
+    }
+}
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` to fire at `at`.
+    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, kind });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        self.heap.pop().map(|e| (e.at, e.kind))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: usize, token: u64) -> EventKind {
+        EventKind::Timer { node: NodeId(node), token }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), timer(0, 3));
+        q.push(SimTime::from_nanos(10), timer(0, 1));
+        q.push(SimTime::from_nanos(20), timer(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| match k {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for token in 0..100 {
+            q.push(t, timer(0, token));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| match k {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(7), timer(0, 0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,140 @@
+//! Fault injection: targeted ingress drops.
+//!
+//! Crash failures are scheduled directly on the [`crate::Simulator`]
+//! (`schedule_crash`); this module provides *omission* failures — frames
+//! silently lost on their way into a node, modelling the "IP stack on the
+//! backup server drops IP packets because of an IP-buffer overflow"
+//! scenario of paper §4.2 that motivates the second receive buffer and
+//! the missing-segment protocol.
+
+use crate::rng::SplitMix64;
+use bytes::Bytes;
+
+/// Predicate selecting which frames a rule applies to.
+pub type FrameMatcher = Box<dyn FnMut(&Bytes) -> bool>;
+
+/// A rule dropping some frames on their way into a node.
+///
+/// A frame is first tested against the matcher; among *matching* frames,
+/// the first `skip` pass through, then up to `count` are dropped (all of
+/// them if `count` is `None`), each with probability `prob`.
+pub struct DropRule {
+    matcher: FrameMatcher,
+    skip: u64,
+    count: Option<u64>,
+    prob: f64,
+    matched: u64,
+    dropped: u64,
+}
+
+impl std::fmt::Debug for DropRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DropRule")
+            .field("skip", &self.skip)
+            .field("count", &self.count)
+            .field("prob", &self.prob)
+            .field("matched", &self.matched)
+            .field("dropped", &self.dropped)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DropRule {
+    /// Drops every matching frame.
+    pub fn all(matcher: impl FnMut(&Bytes) -> bool + 'static) -> Self {
+        DropRule { matcher: Box::new(matcher), skip: 0, count: None, prob: 1.0, matched: 0, dropped: 0 }
+    }
+
+    /// Drops each matching frame independently with probability `prob`.
+    pub fn rate(prob: f64, matcher: impl FnMut(&Bytes) -> bool + 'static) -> Self {
+        DropRule { matcher: Box::new(matcher), skip: 0, count: None, prob, matched: 0, dropped: 0 }
+    }
+
+    /// After letting `skip` matching frames through, drops the next
+    /// `count` matching frames. This is the precise "lose exactly the
+    /// n-th segment of the tap" tool the omission experiments use.
+    pub fn window(skip: u64, count: u64, matcher: impl FnMut(&Bytes) -> bool + 'static) -> Self {
+        DropRule { matcher: Box::new(matcher), skip, count: Some(count), prob: 1.0, matched: 0, dropped: 0 }
+    }
+
+    /// Decides the fate of one incoming frame; `true` means drop.
+    pub fn should_drop(&mut self, frame: &Bytes, rng: &mut SplitMix64) -> bool {
+        if !(self.matcher)(frame) {
+            return false;
+        }
+        self.matched += 1;
+        if self.matched <= self.skip {
+            return false;
+        }
+        if let Some(count) = self.count {
+            if self.matched - self.skip > count {
+                return false;
+            }
+        }
+        let drop = self.prob >= 1.0 || rng.chance(self.prob);
+        if drop {
+            self.dropped += 1;
+        }
+        drop
+    }
+
+    /// Number of frames this rule has dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of frames that matched the predicate so far.
+    pub fn matched(&self) -> u64 {
+        self.matched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn any() -> impl FnMut(&Bytes) -> bool + 'static {
+        |_| true
+    }
+
+    #[test]
+    fn all_drops_everything_matching() {
+        let mut rule = DropRule::all(|f: &Bytes| f.len() > 2);
+        let mut rng = SplitMix64::new(1);
+        assert!(!rule.should_drop(&Bytes::from_static(b"ab"), &mut rng));
+        assert!(rule.should_drop(&Bytes::from_static(b"abc"), &mut rng));
+        assert_eq!(rule.dropped(), 1);
+        assert_eq!(rule.matched(), 1);
+    }
+
+    #[test]
+    fn window_skips_then_drops_then_stops() {
+        let mut rule = DropRule::window(2, 3, any());
+        let mut rng = SplitMix64::new(1);
+        let f = Bytes::from_static(b"x");
+        let fates: Vec<bool> = (0..8).map(|_| rule.should_drop(&f, &mut rng)).collect();
+        assert_eq!(fates, vec![false, false, true, true, true, false, false, false]);
+        assert_eq!(rule.dropped(), 3);
+    }
+
+    #[test]
+    fn rate_is_deterministic_given_seed() {
+        let run = || {
+            let mut rule = DropRule::rate(0.5, any());
+            let mut rng = SplitMix64::new(42);
+            let f = Bytes::from_static(b"x");
+            (0..100).map(|_| rule.should_drop(&f, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+        let drops = run().iter().filter(|&&d| d).count();
+        assert!((30..70).contains(&drops), "rate 0.5 produced {drops}/100 drops");
+    }
+
+    #[test]
+    fn zero_rate_never_drops() {
+        let mut rule = DropRule::rate(0.0, any());
+        let mut rng = SplitMix64::new(3);
+        let f = Bytes::from_static(b"x");
+        assert!((0..50).all(|_| !rule.should_drop(&f, &mut rng)));
+    }
+}

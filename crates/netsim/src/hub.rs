@@ -1,0 +1,100 @@
+//! A broadcast Ethernet hub.
+//!
+//! The paper's testbed is "a 10/100 Mbit Ethernet hub. Since the hub
+//! broadcasts all traffic on all ports, the backup can tap into all of
+//! the primary's network traffic" (§6). A hub repeats every frame out of
+//! every port except the one it arrived on. Collisions are not modelled;
+//! contention appears as serialization delay on the individual links.
+
+use crate::node::{Context, Node, PortId};
+use bytes::Bytes;
+
+/// A repeating hub with a fixed number of ports.
+#[derive(Debug, Clone)]
+pub struct Hub {
+    ports: usize,
+    /// Frames repeated so far (for diagnostics).
+    pub frames_repeated: u64,
+}
+
+impl Hub {
+    /// Creates a hub with `ports` ports (0..ports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports < 2` — a hub with fewer ports repeats nothing.
+    pub fn new(ports: usize) -> Self {
+        assert!(ports >= 2, "a hub needs at least 2 ports");
+        Hub { ports, frames_repeated: 0 }
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+}
+
+impl Node for Hub {
+    fn on_frame(&mut self, port: PortId, frame: Bytes, ctx: &mut Context) {
+        for p in 0..self.ports {
+            if p != port.0 {
+                ctx.send_frame(PortId(p), frame.clone());
+            }
+        }
+        self.frames_repeated += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+    use crate::sim::Simulator;
+    use crate::time::SimDuration;
+
+    struct Talker {
+        say: Option<Bytes>,
+        heard: Vec<Bytes>,
+    }
+
+    impl Node for Talker {
+        fn on_start(&mut self, ctx: &mut Context) {
+            if let Some(msg) = self.say.take() {
+                ctx.send_frame(PortId(0), msg);
+            }
+        }
+        fn on_frame(&mut self, _port: PortId, frame: Bytes, _ctx: &mut Context) {
+            self.heard.push(frame);
+        }
+    }
+
+    #[test]
+    fn hub_floods_to_all_other_ports() {
+        let mut sim = Simulator::new();
+        let hub = sim.add_node("hub", Hub::new(4));
+        let talker = sim.add_node(
+            "talker",
+            Talker { say: Some(Bytes::from_static(b"hello")), heard: vec![] },
+        );
+        let listeners: Vec<_> = (0..3)
+            .map(|i| sim.add_node(format!("l{i}"), Talker { say: None, heard: vec![] }))
+            .collect();
+        sim.connect(talker, PortId(0), hub, PortId(0), LinkSpec::ideal());
+        for (i, &l) in listeners.iter().enumerate() {
+            sim.connect(l, PortId(0), hub, PortId(i + 1), LinkSpec::ideal());
+        }
+        sim.run_for(SimDuration::from_secs(1));
+        for &l in &listeners {
+            assert_eq!(sim.node_ref::<Talker>(l).heard, vec![Bytes::from_static(b"hello")]);
+        }
+        // The sender must NOT hear its own frame back.
+        assert!(sim.node_ref::<Talker>(talker).heard.is_empty());
+        assert_eq!(sim.node_ref::<Hub>(hub).frames_repeated, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 ports")]
+    fn tiny_hub_rejected() {
+        let _ = Hub::new(1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Point-to-point links: latency, bandwidth serialization, and loss.
+//!
+//! A link connects two node ports. Each direction has an independent
+//! transmit queue: a frame departs when the transmitter is free (FIFO,
+//! modelling the NIC serializing bits at line rate) and arrives one
+//! propagation delay later. This reproduces the window-limited TCP
+//! throughput regime the paper's testbed operated in (see DESIGN.md §2).
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a link within a simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+/// How a link loses frames.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossModel {
+    /// Deliver everything.
+    None,
+    /// Drop each frame independently with this probability, using the
+    /// simulator's deterministic RNG.
+    Rate(f64),
+}
+
+impl Default for LossModel {
+    fn default() -> Self {
+        LossModel::None
+    }
+}
+
+/// Configuration for one link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// One-way propagation delay.
+    pub latency: SimDuration,
+    /// Line rate in bits per second; `None` = infinitely fast
+    /// (zero serialization time).
+    pub bandwidth_bps: Option<u64>,
+    /// Loss model applied per frame per direction.
+    pub loss: LossModel,
+    /// Maximum queueing delay the transmitter may accumulate before
+    /// tail-dropping (the buffer depth of the NIC/switch port, expressed
+    /// in time). `None` = unbounded queue — no congestion loss ever.
+    /// A finite value makes TCP's loss-driven congestion control real.
+    pub max_queue: Option<SimDuration>,
+    /// Extra per-frame delivery jitter, uniform in `[0, jitter]`:
+    /// models cross-traffic variance and produces genuine reordering.
+    pub jitter: SimDuration,
+}
+
+impl LinkSpec {
+    /// The calibrated LAN defaults used throughout the experiments:
+    /// 100 Mbit/s, 2.5 ms one-way per hop (client–hub–server gives the
+    /// ≈10 ms RTT that reproduces the paper's absolute timings), no loss.
+    pub fn lan() -> Self {
+        LinkSpec {
+            latency: SimDuration::from_micros(2_500),
+            bandwidth_bps: Some(100_000_000),
+            loss: LossModel::None,
+            max_queue: None,
+            jitter: SimDuration::ZERO,
+        }
+    }
+
+    /// An ideal link: zero latency, infinite bandwidth, no loss. Useful
+    /// in unit tests that assert pure protocol behaviour.
+    pub fn ideal() -> Self {
+        LinkSpec {
+            latency: SimDuration::ZERO,
+            bandwidth_bps: None,
+            loss: LossModel::None,
+            max_queue: None,
+            jitter: SimDuration::ZERO,
+        }
+    }
+
+    /// Sets the one-way latency (builder style).
+    pub fn with_latency(mut self, latency: SimDuration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the line rate in bits/s (builder style).
+    pub fn with_bandwidth_bps(mut self, bps: u64) -> Self {
+        self.bandwidth_bps = Some(bps);
+        self
+    }
+
+    /// Sets the loss model (builder style).
+    pub fn with_loss(mut self, loss: LossModel) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Bounds the transmit queue to `depth` of serialization backlog
+    /// (builder style): frames arriving when the queue is deeper are
+    /// tail-dropped, giving TCP real congestion signals.
+    pub fn with_max_queue(mut self, depth: SimDuration) -> Self {
+        self.max_queue = Some(depth);
+        self
+    }
+
+    /// Adds uniform per-frame delivery jitter in `[0, jitter]`
+    /// (builder style); produces genuine frame reordering.
+    pub fn with_jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Time to clock `bytes` onto the wire at this link's rate.
+    ///
+    /// Ethernet overheads (preamble, inter-frame gap, minimum frame size)
+    /// are folded in: frames shorter than 64 bytes are padded, and 20
+    /// bytes of preamble+IFG are added, as on real Ethernet.
+    pub fn serialization_time(&self, bytes: usize) -> SimDuration {
+        match self.bandwidth_bps {
+            None => SimDuration::ZERO,
+            Some(bps) => {
+                let on_wire = bytes.max(64) + 20;
+                let bits = (on_wire as u64) * 8;
+                // ns = bits / (bits/s) * 1e9, computed without overflow
+                // for any realistic frame size.
+                SimDuration::from_nanos(bits.saturating_mul(1_000_000_000) / bps)
+            }
+        }
+    }
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        Self::lan()
+    }
+}
+
+/// Per-direction transmitter state and statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Direction {
+    /// The instant the transmitter becomes free.
+    pub busy_until: SimTime,
+    /// Frames accepted for transmission.
+    pub frames: u64,
+    /// Bytes accepted for transmission (payload sizes as given).
+    pub bytes: u64,
+    /// Frames dropped by the loss model.
+    pub dropped: u64,
+    /// Frames tail-dropped by the bounded transmit queue.
+    pub queue_drops: u64,
+}
+
+/// Statistics for one link, both directions.
+#[derive(Debug, Clone, Default)]
+pub struct LinkStats {
+    /// Direction A→B (A is the first endpoint passed to `connect`).
+    pub a_to_b: Direction,
+    /// Direction B→A.
+    pub b_to_a: Direction,
+}
+
+impl LinkStats {
+    /// Total frames delivered in both directions.
+    pub fn total_frames(&self) -> u64 {
+        self.a_to_b.frames + self.b_to_a.frames
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.a_to_b.bytes + self.b_to_a.bytes
+    }
+
+    /// Total drops in both directions.
+    pub fn total_dropped(&self) -> u64 {
+        self.a_to_b.dropped + self.b_to_a.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_time_at_100mbit() {
+        let spec = LinkSpec::lan();
+        // 1500-byte frame + 20B overhead = 1520B = 12160 bits @ 100Mb/s = 121.6us
+        assert_eq!(spec.serialization_time(1500), SimDuration::from_nanos(121_600));
+    }
+
+    #[test]
+    fn minimum_frame_size_enforced() {
+        let spec = LinkSpec::lan();
+        // Anything under 64B costs the same as 64B (+20B overhead).
+        assert_eq!(spec.serialization_time(1), spec.serialization_time(64));
+        assert_eq!(spec.serialization_time(64), SimDuration::from_nanos(6_720));
+    }
+
+    #[test]
+    fn ideal_link_serializes_instantly() {
+        assert_eq!(LinkSpec::ideal().serialization_time(100_000), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let spec = LinkSpec::ideal()
+            .with_latency(SimDuration::from_millis(1))
+            .with_bandwidth_bps(10_000_000)
+            .with_loss(LossModel::Rate(0.25));
+        assert_eq!(spec.latency, SimDuration::from_millis(1));
+        assert_eq!(spec.bandwidth_bps, Some(10_000_000));
+        assert_eq!(spec.loss, LossModel::Rate(0.25));
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let mut s = LinkStats::default();
+        s.a_to_b.frames = 3;
+        s.a_to_b.bytes = 300;
+        s.b_to_a.frames = 2;
+        s.b_to_a.bytes = 150;
+        s.b_to_a.dropped = 1;
+        assert_eq!(s.total_frames(), 5);
+        assert_eq!(s.total_bytes(), 450);
+        assert_eq!(s.total_dropped(), 1);
+    }
+}

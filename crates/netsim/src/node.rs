@@ -1,0 +1,184 @@
+//! The [`Node`] trait and the [`Context`] through which nodes act.
+//!
+//! Nodes are sans-io state machines: the simulator calls them with frames
+//! and timer wake-ups, and they respond by buffering effects (frames to
+//! emit, timers to arm, control actions) into the [`Context`]. The
+//! simulator applies the effects after the callback returns, which keeps
+//! event ordering deterministic and sidesteps aliasing between nodes.
+
+use crate::rng::SplitMix64;
+use crate::time::SimTime;
+use bytes::Bytes;
+use std::any::Any;
+use std::fmt;
+
+/// Identifies a node within a [`crate::Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Identifies a port (NIC) on a node. Ports are node-local and dense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A privileged action a node asks the simulator to perform.
+///
+/// Only "hardware" nodes should use these: the paper's power switch cuts
+/// another machine's power (fencing), which no amount of packet exchange
+/// can express.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlAction {
+    /// Immediately crash `node`: it stops emitting, and all frames and
+    /// timers addressed to it are discarded from now on.
+    PowerOff(NodeId),
+    /// Restore a powered-off node. Its in-memory state is NOT restored to
+    /// anything meaningful (a rebooted machine loses TCP state) — the node
+    /// simply starts receiving events again and gets an `on_start` call.
+    PowerOn(NodeId),
+    /// Stall `node` until the given instant (performance failure): its
+    /// events are deferred, not lost, and its state is preserved.
+    Pause(NodeId, crate::time::SimTime),
+}
+
+/// Buffered effects and environment for one node callback.
+///
+/// Everything a node does during `on_start`/`on_frame`/`on_timer` goes
+/// through this context. Frames are transmitted in the order queued.
+#[derive(Debug)]
+pub struct Context {
+    now: SimTime,
+    node: NodeId,
+    pub(crate) frames: Vec<(PortId, Bytes)>,
+    pub(crate) timers: Vec<(SimTime, u64)>,
+    pub(crate) control: Vec<ControlAction>,
+    pub(crate) rng: SplitMix64,
+}
+
+impl Context {
+    pub(crate) fn new(now: SimTime, node: NodeId, rng: SplitMix64) -> Self {
+        Context { now, node, frames: Vec::new(), timers: Vec::new(), control: Vec::new(), rng }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node being called.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Queues `frame` for transmission out of `port`.
+    ///
+    /// If the port is not wired to a link the frame is silently dropped
+    /// (like a cable that isn't plugged in) and counted in the trace.
+    pub fn send_frame(&mut self, port: PortId, frame: Bytes) {
+        self.frames.push((port, frame));
+    }
+
+    /// Arms a timer that fires `on_timer(token)` at absolute time `at`.
+    ///
+    /// Timers cannot be cancelled; nodes ignore stale wake-ups by tracking
+    /// their own generation counters (see the host adapters in `sttcp`).
+    /// `at` values in the past fire immediately after the current event.
+    pub fn set_timer_at(&mut self, at: SimTime, token: u64) {
+        self.timers.push((at.max(self.now), token));
+    }
+
+    /// Arms a timer `after` from now. Convenience over [`Self::set_timer_at`].
+    pub fn set_timer_after(&mut self, after: crate::time::SimDuration, token: u64) {
+        self.set_timer_at(self.now + after, token);
+    }
+
+    /// Requests a privileged control action (see [`ControlAction`]).
+    pub fn control(&mut self, action: ControlAction) {
+        self.control.push(action);
+    }
+
+    /// Deterministic per-simulation randomness.
+    pub fn rng(&mut self) -> &mut SplitMix64 {
+        &mut self.rng
+    }
+}
+
+/// A device attached to the simulated network.
+///
+/// Implementors must also be `Any` (automatic for `'static` types) so the
+/// simulator can hand back concrete references after a run via
+/// [`crate::Simulator::node_ref`].
+pub trait Node: Any {
+    /// Called once when the simulation starts (or when the node is
+    /// powered back on). Default: do nothing.
+    fn on_start(&mut self, ctx: &mut Context) {
+        let _ = ctx;
+    }
+
+    /// Called when a frame arrives on `port`.
+    fn on_frame(&mut self, port: PortId, frame: Bytes, ctx: &mut Context);
+
+    /// Called when a timer armed via [`Context::set_timer_at`] fires.
+    /// Default: do nothing.
+    fn on_timer(&mut self, token: u64, ctx: &mut Context) {
+        let _ = (token, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    struct Null;
+    impl Node for Null {
+        fn on_frame(&mut self, _port: PortId, _frame: Bytes, _ctx: &mut Context) {}
+    }
+
+    #[test]
+    fn context_buffers_effects_in_order() {
+        let mut ctx = Context::new(SimTime::from_nanos(100), NodeId(3), SplitMix64::new(1));
+        ctx.send_frame(PortId(0), Bytes::from_static(b"a"));
+        ctx.send_frame(PortId(1), Bytes::from_static(b"b"));
+        ctx.set_timer_after(SimDuration::from_nanos(50), 7);
+        ctx.control(ControlAction::PowerOff(NodeId(9)));
+        assert_eq!(ctx.frames.len(), 2);
+        assert_eq!(ctx.frames[0].0, PortId(0));
+        assert_eq!(ctx.timers, vec![(SimTime::from_nanos(150), 7)]);
+        assert_eq!(ctx.control, vec![ControlAction::PowerOff(NodeId(9))]);
+        assert_eq!(ctx.node_id(), NodeId(3));
+        assert_eq!(ctx.now(), SimTime::from_nanos(100));
+    }
+
+    #[test]
+    fn past_timers_clamp_to_now() {
+        let mut ctx = Context::new(SimTime::from_nanos(100), NodeId(0), SplitMix64::new(1));
+        ctx.set_timer_at(SimTime::from_nanos(10), 1);
+        assert_eq!(ctx.timers[0].0, SimTime::from_nanos(100));
+    }
+
+    #[test]
+    fn default_trait_methods_are_noops() {
+        let mut n = Null;
+        let mut ctx = Context::new(SimTime::ZERO, NodeId(0), SplitMix64::new(1));
+        n.on_start(&mut ctx);
+        n.on_timer(0, &mut ctx);
+        assert!(ctx.frames.is_empty() && ctx.timers.is_empty());
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(NodeId(4).to_string(), "n4");
+        assert_eq!(PortId(2).to_string(), "p2");
+    }
+}

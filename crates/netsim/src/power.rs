@@ -1,0 +1,177 @@
+//! A controllable power switch for fencing (STONITH).
+//!
+//! Paper §3.2/§4.4: "If the backup suspects the primary, it switches off
+//! the power of the primary. This makes sure that the primary is crashed
+//! before the backup takes over the IP address of the service" — i.e.
+//! wrong suspicions are *converted into correct ones*, which is what
+//! makes the timeout-based failure detector behave like a perfect one.
+//!
+//! The power switch hangs off a management segment and obeys a trivial
+//! layer-2 protocol (EtherType `0x88B5`): a one-byte opcode followed by a
+//! little-endian `u32` outlet number. Outlets are bound to simulator
+//! nodes at construction time.
+
+use crate::node::{Context, ControlAction, Node, NodeId, PortId};
+use bytes::{BufMut, Bytes, BytesMut};
+use wire::{EtherType, EthernetFrame, MacAddr};
+
+/// EtherType of power-switch command frames.
+pub const POWER_ETHERTYPE: u16 = 0x88B5;
+
+const OP_OFF: u8 = 0xF0;
+const OP_ON: u8 = 0xF1;
+
+/// Builds the command frame that switches outlet `outlet` off.
+pub fn power_off_frame(src: MacAddr, outlet: u32) -> Bytes {
+    command_frame(src, OP_OFF, outlet)
+}
+
+/// Builds the command frame that switches outlet `outlet` on.
+pub fn power_on_frame(src: MacAddr, outlet: u32) -> Bytes {
+    command_frame(src, OP_ON, outlet)
+}
+
+fn command_frame(src: MacAddr, op: u8, outlet: u32) -> Bytes {
+    let mut payload = BytesMut::with_capacity(5);
+    payload.put_u8(op);
+    payload.put_u32_le(outlet);
+    EthernetFrame::new(MacAddr::BROADCAST, src, EtherType::Other(POWER_ETHERTYPE), payload.freeze())
+        .encode()
+}
+
+/// A remotely controllable power switch.
+///
+/// Receives command frames on any port and cuts (or restores) power to
+/// the node plugged into the named outlet. Cutting power is the
+/// simulator-level [`ControlAction::PowerOff`], the only way one node can
+/// affect another outside the network.
+#[derive(Debug, Clone)]
+pub struct PowerSwitch {
+    outlets: Vec<NodeId>,
+    /// Successful off commands executed.
+    pub offs: u64,
+    /// Successful on commands executed.
+    pub ons: u64,
+}
+
+impl PowerSwitch {
+    /// Creates a power switch; `outlets[i]` is the node powered by
+    /// outlet `i`.
+    pub fn new(outlets: Vec<NodeId>) -> Self {
+        PowerSwitch { outlets, offs: 0, ons: 0 }
+    }
+}
+
+impl Node for PowerSwitch {
+    fn on_frame(&mut self, _port: PortId, frame: Bytes, ctx: &mut Context) {
+        let Ok(eth) = EthernetFrame::parse(frame) else {
+            return;
+        };
+        if eth.ethertype != EtherType::Other(POWER_ETHERTYPE) || eth.payload.len() < 5 {
+            return;
+        }
+        let op = eth.payload[0];
+        let outlet =
+            u32::from_le_bytes([eth.payload[1], eth.payload[2], eth.payload[3], eth.payload[4]]);
+        let Some(&node) = self.outlets.get(outlet as usize) else {
+            return;
+        };
+        match op {
+            OP_OFF => {
+                ctx.control(ControlAction::PowerOff(node));
+                self.offs += 1;
+            }
+            OP_ON => {
+                ctx.control(ControlAction::PowerOn(node));
+                self.ons += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+    use crate::sim::Simulator;
+    use crate::time::SimDuration;
+
+    struct Victim;
+    impl Node for Victim {
+        fn on_frame(&mut self, _p: PortId, _f: Bytes, _c: &mut Context) {}
+    }
+
+    /// Sends a power-off for outlet 0 at start.
+    struct Fencer;
+    impl Node for Fencer {
+        fn on_start(&mut self, ctx: &mut Context) {
+            ctx.send_frame(PortId(0), power_off_frame(MacAddr::local(1), 0));
+        }
+        fn on_frame(&mut self, _p: PortId, _f: Bytes, _c: &mut Context) {}
+    }
+
+    #[test]
+    fn fencing_kills_the_victim() {
+        let mut sim = Simulator::new();
+        let victim = sim.add_node("victim", Victim);
+        let psw = sim.add_node("power", PowerSwitch::new(vec![victim]));
+        let fencer = sim.add_node("fencer", Fencer);
+        sim.connect(fencer, PortId(0), psw, PortId(0), LinkSpec::lan());
+        assert!(sim.is_alive(victim));
+        sim.run_for(SimDuration::from_secs(1));
+        assert!(!sim.is_alive(victim), "power switch must cut the victim's power");
+        assert_eq!(sim.node_ref::<PowerSwitch>(psw).offs, 1);
+    }
+
+    #[test]
+    fn power_on_restores() {
+        let mut sim = Simulator::new();
+        let victim = sim.add_node("victim", Victim);
+        let psw = sim.add_node("power", PowerSwitch::new(vec![victim]));
+        struct Cycler;
+        impl Node for Cycler {
+            fn on_start(&mut self, ctx: &mut Context) {
+                ctx.send_frame(PortId(0), power_off_frame(MacAddr::local(1), 0));
+                ctx.set_timer_after(SimDuration::from_millis(100), 0);
+            }
+            fn on_timer(&mut self, _t: u64, ctx: &mut Context) {
+                ctx.send_frame(PortId(0), power_on_frame(MacAddr::local(1), 0));
+            }
+            fn on_frame(&mut self, _p: PortId, _f: Bytes, _c: &mut Context) {}
+        }
+        let cycler = sim.add_node("cycler", Cycler);
+        sim.connect(cycler, PortId(0), psw, PortId(0), LinkSpec::lan());
+        sim.run_for(SimDuration::from_millis(50));
+        assert!(!sim.is_alive(victim));
+        sim.run_for(SimDuration::from_secs(1));
+        assert!(sim.is_alive(victim));
+    }
+
+    #[test]
+    fn unknown_outlet_and_garbage_ignored() {
+        let mut sim = Simulator::new();
+        let victim = sim.add_node("victim", Victim);
+        let psw = sim.add_node("power", PowerSwitch::new(vec![victim]));
+        struct Noise;
+        impl Node for Noise {
+            fn on_start(&mut self, ctx: &mut Context) {
+                ctx.send_frame(PortId(0), power_off_frame(MacAddr::local(1), 42)); // bad outlet
+                ctx.send_frame(PortId(0), Bytes::from_static(b"runt"));
+                let bogus = EthernetFrame::new(
+                    MacAddr::BROADCAST,
+                    MacAddr::local(1),
+                    EtherType::Other(POWER_ETHERTYPE),
+                    Bytes::from_static(&[0x99, 0, 0, 0, 0]), // bad opcode
+                );
+                ctx.send_frame(PortId(0), bogus.encode());
+            }
+            fn on_frame(&mut self, _p: PortId, _f: Bytes, _c: &mut Context) {}
+        }
+        let noise = sim.add_node("noise", Noise);
+        sim.connect(noise, PortId(0), psw, PortId(0), LinkSpec::lan());
+        sim.run_for(SimDuration::from_secs(1));
+        assert!(sim.is_alive(victim));
+        assert_eq!(sim.node_ref::<PowerSwitch>(psw).offs, 0);
+    }
+}

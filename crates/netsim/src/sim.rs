@@ -1,0 +1,707 @@
+//! The [`Simulator`]: event loop, wiring, fault scheduling, inspection.
+
+use crate::event::{event_target, EventKind, EventQueue};
+use crate::fault::DropRule;
+use crate::link::{LinkId, LinkSpec, LinkStats, LossModel};
+use crate::node::{Context, ControlAction, Node, NodeId, PortId};
+use crate::rng::SplitMix64;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{FrameRecord, ProbeEvent, Trace};
+use bytes::Bytes;
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Callback observing every frame accepted for transmission.
+pub type Probe = Box<dyn FnMut(ProbeEvent<'_>)>;
+
+struct NodeSlot {
+    node: Option<Box<dyn Node>>,
+    name: String,
+    alive: bool,
+    paused_until: SimTime,
+    ports: HashMap<PortId, (LinkId, usize)>,
+    drops: Vec<DropRule>,
+}
+
+struct LinkState {
+    spec: LinkSpec,
+    ends: [(NodeId, PortId); 2],
+    stats: LinkStats,
+    busy_until: [SimTime; 2],
+}
+
+/// A deterministic discrete-event network simulator.
+///
+/// See the crate-level docs for an end-to-end example. All mutation of
+/// simulated state happens inside [`Simulator::step`]; the various `run_*`
+/// methods just loop over it.
+pub struct Simulator {
+    nodes: Vec<NodeSlot>,
+    links: Vec<LinkState>,
+    queue: EventQueue,
+    now: SimTime,
+    rng: SplitMix64,
+    trace: Trace,
+    probe: Option<Probe>,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("pending_events", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator with the default RNG seed.
+    pub fn new() -> Self {
+        Self::with_seed(0xD15C_0B01)
+    }
+
+    /// Creates a simulator whose loss models draw from a generator seeded
+    /// with `seed`. Equal seeds (and equal scenarios) replay identically.
+    pub fn with_seed(seed: u64) -> Self {
+        Simulator {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng: SplitMix64::new(seed),
+            trace: Trace::default(),
+            probe: None,
+        }
+    }
+
+    /// Adds a node and returns its id. `on_start` fires when the
+    /// simulation first runs.
+    pub fn add_node(&mut self, name: impl Into<String>, node: impl Node) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(NodeSlot {
+            node: Some(Box::new(node)),
+            name: name.into(),
+            alive: true,
+            paused_until: SimTime::ZERO,
+            ports: HashMap::new(),
+            drops: Vec::new(),
+        });
+        self.queue.push(SimTime::ZERO, EventKind::Start { node: id });
+        id
+    }
+
+    /// Wires port `pa` of node `a` to port `pb` of node `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port is already wired or a node id is invalid.
+    pub fn connect(&mut self, a: NodeId, pa: PortId, b: NodeId, pb: PortId, spec: LinkSpec) -> LinkId {
+        let id = LinkId(self.links.len());
+        for (end, (node, port)) in [(a, pa), (b, pb)].into_iter().enumerate() {
+            let slot = &mut self.nodes[node.0];
+            let prev = slot.ports.insert(port, (id, end));
+            assert!(prev.is_none(), "port {port} of node {node} already wired");
+        }
+        self.links.push(LinkState { spec, ends: [(a, pa), (b, pb)], stats: LinkStats::default(), busy_until: [SimTime::ZERO; 2] });
+        id
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The display name given to `id` at [`Simulator::add_node`] time.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0].name
+    }
+
+    /// Whether `id` is powered on.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.nodes[id.0].alive
+    }
+
+    /// Borrow a node as its concrete type (after or between runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a `T`.
+    pub fn node_ref<T: Node>(&self, id: NodeId) -> &T {
+        let any: &dyn Any = self.nodes[id.0]
+            .node
+            .as_deref()
+            .expect("node is currently being dispatched");
+        any.downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("node {id} ({}) is not a {}", self.nodes[id.0].name, std::any::type_name::<T>()))
+    }
+
+    /// Mutable variant of [`Simulator::node_ref`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a `T`.
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
+        let name = self.nodes[id.0].name.clone();
+        let any: &mut dyn Any = self.nodes[id.0]
+            .node
+            .as_deref_mut()
+            .expect("node is currently being dispatched");
+        any.downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("node {id} ({name}) is not a {}", std::any::type_name::<T>()))
+    }
+
+    /// Schedules a crash (power-off) of `node` at absolute time `at`.
+    ///
+    /// From that instant the node receives no frames or timers and emits
+    /// nothing — fail-stop semantics, the paper's §4.4 failure model.
+    pub fn schedule_crash(&mut self, node: NodeId, at: SimTime) {
+        self.queue.push(at, EventKind::Control(ControlAction::PowerOff(node)));
+    }
+
+    /// Schedules powering `node` back on at `at`; it gets a fresh
+    /// `on_start` call (its Rust state is whatever it was — nodes that
+    /// model reboots must reset themselves in `on_start`).
+    pub fn schedule_power_on(&mut self, node: NodeId, at: SimTime) {
+        self.queue.push(at, EventKind::Control(ControlAction::PowerOn(node)));
+    }
+
+    /// Pauses `node` from `from` until `from + duration` — a
+    /// *performance failure* (paper §4.4's failure model includes them):
+    /// the machine is alive but makes no progress; its frames and timers
+    /// are delivered late rather than lost. This is exactly the failure
+    /// mode that makes timeout-based detection "wrong" and fencing
+    /// necessary: the paused primary will resume and keep acting as the
+    /// service unless its power is cut.
+    ///
+    /// ```
+    /// use netsim::{Simulator, SimTime, SimDuration};
+    /// # struct N;
+    /// # impl netsim::Node for N {
+    /// #   fn on_frame(&mut self, _p: netsim::PortId, _f: bytes::Bytes, _c: &mut netsim::Context) {}
+    /// # }
+    /// let mut sim = Simulator::new();
+    /// let node = sim.add_node("stalls", N);
+    /// sim.schedule_pause(node, SimTime::ZERO + SimDuration::from_millis(100),
+    ///                    SimDuration::from_secs(1));
+    /// ```
+    pub fn schedule_pause(&mut self, node: NodeId, from: SimTime, duration: SimDuration) {
+        self.queue.push(from, EventKind::Control(ControlAction::Pause(node, from + duration)));
+    }
+
+    /// Installs an ingress [`DropRule`] on `node` (tap-omission faults).
+    pub fn add_ingress_drop(&mut self, node: NodeId, rule: DropRule) {
+        self.nodes[node.0].drops.push(rule);
+    }
+
+    /// Total frames dropped so far by `node`'s ingress rules.
+    pub fn ingress_dropped(&self, node: NodeId) -> u64 {
+        self.nodes[node.0].drops.iter().map(|r| r.dropped()).sum()
+    }
+
+    /// Statistics for a link.
+    pub fn link_stats(&self, link: LinkId) -> &LinkStats {
+        &self.links[link.0].stats
+    }
+
+    /// Replaces the link spec (e.g. to degrade a link mid-run).
+    pub fn set_link_spec(&mut self, link: LinkId, spec: LinkSpec) {
+        self.links[link.0].spec = spec;
+    }
+
+    /// Installs a probe observing every frame accepted for transmission.
+    pub fn set_probe(&mut self, probe: impl FnMut(ProbeEvent<'_>) + 'static) {
+        self.probe = Some(Box::new(probe));
+    }
+
+    /// Counters and (optionally) the frame log.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable access to the trace (to enable frame recording).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// Runs a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((at, kind)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
+        self.trace.events_processed += 1;
+        // A paused node (performance failure) neither processes nor
+        // loses its events: they are deferred until the pause ends, like
+        // a machine stalled in a long GC pause or an SMI. Control events
+        // (power) act on the hardware and are never deferred.
+        if let Some(node) = event_target(&kind) {
+            let until = self.nodes[node.0].paused_until;
+            if until > self.now {
+                self.queue.push(until, kind);
+                return true;
+            }
+        }
+        match kind {
+            EventKind::Start { node } => {
+                if self.nodes[node.0].alive {
+                    self.dispatch(node, |n, ctx| n.on_start(ctx));
+                }
+            }
+            EventKind::Timer { node, token } => {
+                if self.nodes[node.0].alive {
+                    self.dispatch(node, |n, ctx| n.on_timer(token, ctx));
+                }
+            }
+            EventKind::Frame { node, port, frame } => {
+                if !self.nodes[node.0].alive {
+                    self.trace.frames_to_dead_node += 1;
+                } else if self.ingress_should_drop(node, &frame) {
+                    self.trace.frames_dropped_ingress += 1;
+                } else {
+                    self.trace.frames_delivered += 1;
+                    self.dispatch(node, |n, ctx| n.on_frame(port, frame, ctx));
+                }
+            }
+            EventKind::Control(action) => self.apply_control(action),
+        }
+        true
+    }
+
+    /// Runs until the queue is exhausted or `max_events` have fired.
+    /// Returns the number of events processed.
+    pub fn run_until_idle(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Processes every event scheduled at or before `deadline`, then sets
+    /// the clock to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs for `d` of virtual time from the current instant.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    fn ingress_should_drop(&mut self, node: NodeId, frame: &Bytes) -> bool {
+        let slot = &mut self.nodes[node.0];
+        if slot.drops.is_empty() {
+            return false;
+        }
+        let mut drop = false;
+        for rule in &mut slot.drops {
+            if rule.should_drop(frame, &mut self.rng) {
+                drop = true;
+            }
+        }
+        drop
+    }
+
+    fn dispatch(&mut self, id: NodeId, call: impl FnOnce(&mut dyn Node, &mut Context)) {
+        let mut node = self.nodes[id.0].node.take().expect("re-entrant dispatch");
+        let mut ctx = Context::new(self.now, id, self.rng);
+        call(node.as_mut(), &mut ctx);
+        self.rng = ctx.rng;
+        self.nodes[id.0].node = Some(node);
+        self.apply_effects(id, ctx);
+    }
+
+    fn apply_effects(&mut self, id: NodeId, ctx: Context) {
+        for (port, frame) in ctx.frames {
+            self.transmit(id, port, frame);
+        }
+        for (at, token) in ctx.timers {
+            self.queue.push(at, EventKind::Timer { node: id, token });
+        }
+        for action in ctx.control {
+            self.queue.push(self.now, EventKind::Control(action));
+        }
+    }
+
+    fn apply_control(&mut self, action: ControlAction) {
+        match action {
+            ControlAction::PowerOff(node) => {
+                self.nodes[node.0].alive = false;
+            }
+            ControlAction::Pause(node, until) => {
+                self.nodes[node.0].paused_until = until;
+            }
+            ControlAction::PowerOn(node) => {
+                if !self.nodes[node.0].alive {
+                    self.nodes[node.0].alive = true;
+                    self.queue.push(self.now, EventKind::Start { node });
+                }
+            }
+        }
+    }
+
+    fn transmit(&mut self, from: NodeId, port: PortId, frame: Bytes) {
+        let Some(&(link_id, end)) = self.nodes[from.0].ports.get(&port) else {
+            self.trace.frames_unwired += 1;
+            return;
+        };
+        let link = &mut self.links[link_id.0];
+        let (to, to_port) = link.ends[1 - end];
+        let dir = if end == 0 { &mut link.stats.a_to_b } else { &mut link.stats.b_to_a };
+
+        // Loss model decides before the frame occupies the wire (a frame
+        // corrupted on the wire still consumed air time; modelling it as
+        // pre-drop keeps throughput slightly optimistic but simple).
+        let lost = match link.spec.loss {
+            LossModel::None => false,
+            LossModel::Rate(p) => self.rng.chance(p),
+        };
+        if lost {
+            dir.dropped += 1;
+            self.trace.frames_lost_on_link += 1;
+            return;
+        }
+
+        // Bounded transmit queue: if the serialization backlog already
+        // exceeds the configured depth, tail-drop (congestion loss).
+        if let Some(depth) = link.spec.max_queue {
+            let backlog = link.busy_until[end]
+                .checked_duration_since(self.now)
+                .unwrap_or(SimDuration::ZERO);
+            if backlog > depth {
+                dir.queue_drops += 1;
+                self.trace.frames_lost_on_link += 1;
+                return;
+            }
+        }
+        let start = self.now.max(link.busy_until[end]);
+        let departure = start + link.spec.serialization_time(frame.len());
+        link.busy_until[end] = departure;
+        let mut arrival = departure + link.spec.latency;
+        if !link.spec.jitter.is_zero() {
+            arrival = arrival
+                + SimDuration::from_nanos(self.rng.next_below(link.spec.jitter.as_nanos() + 1));
+        }
+        dir.frames += 1;
+        dir.bytes += frame.len() as u64;
+
+        if let Some(probe) = self.probe.as_mut() {
+            probe(ProbeEvent { time: departure, link: link_id, from, to, frame: &frame });
+        }
+        self.trace.record_frame(FrameRecord {
+            time: departure,
+            link: link_id,
+            from,
+            to,
+            len: frame.len(),
+        });
+        self.queue.push(arrival, EventKind::Frame { node: to, port: to_port, frame });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sends `count` frames of `len` bytes on start, counts what it gets.
+    struct Blaster {
+        count: usize,
+        len: usize,
+        received: Vec<(SimTime, usize)>,
+    }
+
+    impl Blaster {
+        fn new(count: usize, len: usize) -> Self {
+            Blaster { count, len, received: Vec::new() }
+        }
+    }
+
+    impl Node for Blaster {
+        fn on_start(&mut self, ctx: &mut Context) {
+            for _ in 0..self.count {
+                ctx.send_frame(PortId(0), Bytes::from(vec![0u8; self.len]));
+            }
+        }
+        fn on_frame(&mut self, _port: PortId, frame: Bytes, ctx: &mut Context) {
+            self.received.push((ctx.now(), frame.len()));
+        }
+    }
+
+    struct Sink {
+        received: Vec<(SimTime, usize)>,
+    }
+
+    impl Node for Sink {
+        fn on_frame(&mut self, _port: PortId, frame: Bytes, ctx: &mut Context) {
+            self.received.push((ctx.now(), frame.len()));
+        }
+    }
+
+    fn pair(spec: LinkSpec) -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new();
+        let a = sim.add_node("a", Blaster::new(0, 0));
+        let b = sim.add_node("b", Sink { received: Vec::new() });
+        sim.connect(a, PortId(0), b, PortId(0), spec);
+        (sim, a, b)
+    }
+
+    #[test]
+    fn latency_only_delivery() {
+        let (mut sim, a, b) = pair(LinkSpec::ideal().with_latency(SimDuration::from_millis(3)));
+        sim.node_mut::<Blaster>(a).count = 1;
+        sim.node_mut::<Blaster>(a).len = 100;
+        sim.run_until_idle(1000);
+        let rx = &sim.node_ref::<Sink>(b).received;
+        assert_eq!(rx.len(), 1);
+        assert_eq!(rx[0].0, SimTime::ZERO + SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn bandwidth_serializes_fifo() {
+        // 2 frames of 1230B (+20B overhead = 1250B = 10_000 bits) at
+        // 1 Mbit/s: 10ms each, so arrivals at 10ms and 20ms (zero latency).
+        let spec = LinkSpec::ideal().with_bandwidth_bps(1_000_000);
+        let (mut sim, a, b) = pair(spec);
+        sim.node_mut::<Blaster>(a).count = 2;
+        sim.node_mut::<Blaster>(a).len = 1230;
+        sim.run_until_idle(1000);
+        let rx = &sim.node_ref::<Sink>(b).received;
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx[0].0, SimTime::ZERO + SimDuration::from_millis(10));
+        assert_eq!(rx[1].0, SimTime::ZERO + SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn directions_do_not_contend() {
+        // Full-duplex: a->b and b->a transmissions at the same instant
+        // each take their own serialization slot.
+        struct PingPong {
+            got: Vec<SimTime>,
+        }
+        impl Node for PingPong {
+            fn on_start(&mut self, ctx: &mut Context) {
+                ctx.send_frame(PortId(0), Bytes::from(vec![0; 1230]));
+            }
+            fn on_frame(&mut self, _p: PortId, _f: Bytes, ctx: &mut Context) {
+                self.got.push(ctx.now());
+            }
+        }
+        let mut sim = Simulator::new();
+        let a = sim.add_node("a", PingPong { got: vec![] });
+        let b = sim.add_node("b", PingPong { got: vec![] });
+        sim.connect(a, PortId(0), b, PortId(0), LinkSpec::ideal().with_bandwidth_bps(1_000_000));
+        sim.run_until_idle(100);
+        assert_eq!(sim.node_ref::<PingPong>(a).got, vec![SimTime::ZERO + SimDuration::from_millis(10)]);
+        assert_eq!(sim.node_ref::<PingPong>(b).got, vec![SimTime::ZERO + SimDuration::from_millis(10)]);
+    }
+
+    #[test]
+    fn crash_stops_delivery_and_timers() {
+        struct Ticker {
+            ticks: u32,
+        }
+        impl Node for Ticker {
+            fn on_start(&mut self, ctx: &mut Context) {
+                ctx.set_timer_after(SimDuration::from_millis(10), 0);
+            }
+            fn on_frame(&mut self, _p: PortId, _f: Bytes, _ctx: &mut Context) {}
+            fn on_timer(&mut self, _t: u64, ctx: &mut Context) {
+                self.ticks += 1;
+                ctx.set_timer_after(SimDuration::from_millis(10), 0);
+            }
+        }
+        let mut sim = Simulator::new();
+        let t = sim.add_node("ticker", Ticker { ticks: 0 });
+        sim.schedule_crash(t, SimTime::ZERO + SimDuration::from_millis(55));
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.node_ref::<Ticker>(t).ticks, 5);
+        assert!(!sim.is_alive(t));
+    }
+
+    #[test]
+    fn power_on_restarts_node() {
+        struct Boots {
+            boots: u32,
+        }
+        impl Node for Boots {
+            fn on_start(&mut self, _ctx: &mut Context) {
+                self.boots += 1;
+            }
+            fn on_frame(&mut self, _p: PortId, _f: Bytes, _ctx: &mut Context) {}
+        }
+        let mut sim = Simulator::new();
+        let n = sim.add_node("boots", Boots { boots: 0 });
+        sim.schedule_crash(n, SimTime::ZERO + SimDuration::from_millis(10));
+        sim.schedule_power_on(n, SimTime::ZERO + SimDuration::from_millis(20));
+        sim.run_for(SimDuration::from_millis(30));
+        assert_eq!(sim.node_ref::<Boots>(n).boots, 2);
+        assert!(sim.is_alive(n));
+    }
+
+    #[test]
+    fn frames_to_dead_node_counted() {
+        let (mut sim, a, b) = pair(LinkSpec::ideal().with_latency(SimDuration::from_millis(5)));
+        sim.node_mut::<Blaster>(a).count = 3;
+        sim.node_mut::<Blaster>(a).len = 64;
+        sim.schedule_crash(b, SimTime::ZERO + SimDuration::from_millis(1));
+        sim.run_until_idle(100);
+        assert_eq!(sim.node_ref::<Sink>(b).received.len(), 0);
+        assert_eq!(sim.trace().frames_to_dead_node, 3);
+    }
+
+    #[test]
+    fn loss_rate_drops_deterministically() {
+        let run = |seed| {
+            let mut sim = Simulator::with_seed(seed);
+            let a = sim.add_node("a", Blaster::new(1000, 64));
+            let b = sim.add_node("b", Sink { received: vec![] });
+            let l = sim.connect(
+                a,
+                PortId(0),
+                b,
+                PortId(0),
+                LinkSpec::ideal().with_loss(LossModel::Rate(0.3)),
+            );
+            sim.run_until_idle(10_000);
+            (sim.node_ref::<Sink>(b).received.len(), sim.link_stats(l).a_to_b.dropped)
+        };
+        let (rx1, drop1) = run(7);
+        let (rx2, drop2) = run(7);
+        assert_eq!((rx1, drop1), (rx2, drop2));
+        assert_eq!(rx1 as u64 + drop1, 1000);
+        assert!((200..400).contains(&drop1), "30% loss dropped {drop1}/1000");
+    }
+
+    #[test]
+    fn ingress_drop_rule_applies() {
+        let (mut sim, a, b) = pair(LinkSpec::ideal());
+        sim.node_mut::<Blaster>(a).count = 10;
+        sim.node_mut::<Blaster>(a).len = 64;
+        sim.add_ingress_drop(b, DropRule::window(3, 2, |_| true));
+        sim.run_until_idle(100);
+        assert_eq!(sim.node_ref::<Sink>(b).received.len(), 8);
+        assert_eq!(sim.ingress_dropped(b), 2);
+        assert_eq!(sim.trace().frames_dropped_ingress, 2);
+    }
+
+    #[test]
+    fn unwired_port_counted() {
+        let mut sim = Simulator::new();
+        let a = sim.add_node("a", Blaster::new(1, 64));
+        sim.run_until_idle(10);
+        assert_eq!(sim.trace().frames_unwired, 1);
+        let _ = a;
+    }
+
+    #[test]
+    fn probe_sees_frames() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let count = Arc::new(AtomicU64::new(0));
+        let c2 = count.clone();
+        let (mut sim, a, _b) = pair(LinkSpec::ideal());
+        sim.node_mut::<Blaster>(a).count = 4;
+        sim.node_mut::<Blaster>(a).len = 64;
+        sim.set_probe(move |ev| {
+            assert_eq!(ev.frame.len(), 64);
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        sim.run_until_idle(100);
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn frame_recording() {
+        let (mut sim, a, _b) = pair(LinkSpec::ideal());
+        sim.node_mut::<Blaster>(a).count = 2;
+        sim.node_mut::<Blaster>(a).len = 70;
+        sim.trace_mut().set_recording(true);
+        sim.run_until_idle(100);
+        assert_eq!(sim.trace().frames.len(), 2);
+        assert!(sim.trace().frames.iter().all(|r| r.len == 70));
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim = Simulator::new();
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn pause_defers_but_never_loses_events() {
+        struct Ticker {
+            ticks: Vec<SimTime>,
+            frames: Vec<SimTime>,
+        }
+        impl Node for Ticker {
+            fn on_start(&mut self, ctx: &mut Context) {
+                ctx.set_timer_after(SimDuration::from_millis(10), 0);
+            }
+            fn on_frame(&mut self, _p: PortId, _f: Bytes, ctx: &mut Context) {
+                self.frames.push(ctx.now());
+            }
+            fn on_timer(&mut self, _t: u64, ctx: &mut Context) {
+                self.ticks.push(ctx.now());
+                ctx.set_timer_after(SimDuration::from_millis(10), 0);
+            }
+        }
+        let mut sim = Simulator::new();
+        let t = sim.add_node("ticker", Ticker { ticks: vec![], frames: vec![] });
+        let b = sim.add_node("blaster", Blaster::new(0, 0));
+        sim.connect(b, PortId(0), t, PortId(0), LinkSpec::ideal().with_latency(SimDuration::from_millis(1)));
+        // Pause [25ms, 60ms): ticks at 30,40,50 defer to 60.
+        sim.schedule_pause(t, SimTime::ZERO + SimDuration::from_millis(25), SimDuration::from_millis(35));
+        sim.run_for(SimDuration::from_millis(100));
+        let ticks: Vec<u64> = sim.node_ref::<Ticker>(t).ticks.iter().map(|x| x.as_nanos() / 1_000_000).collect();
+        // 10, 20, then the 30ms tick deferred to 60, then 70, 80, 90, 100.
+        assert_eq!(ticks, vec![10, 20, 60, 70, 80, 90, 100]);
+    }
+
+    #[test]
+    fn paused_node_receives_frames_late_not_never() {
+        let mut sim = Simulator::new();
+        let a = sim.add_node("a", Blaster::new(3, 64));
+        let b = sim.add_node("b", Sink { received: vec![] });
+        sim.connect(a, PortId(0), b, PortId(0), LinkSpec::ideal().with_latency(SimDuration::from_millis(1)));
+        sim.schedule_pause(b, SimTime::ZERO, SimDuration::from_millis(50));
+        sim.run_for(SimDuration::from_millis(100));
+        let rx = &sim.node_ref::<Sink>(b).received;
+        assert_eq!(rx.len(), 3, "no frame may be lost by a pause");
+        assert!(rx.iter().all(|(t, _)| *t >= SimTime::ZERO + SimDuration::from_millis(50)));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a")]
+    fn node_ref_wrong_type_panics() {
+        let (sim, a, _) = pair(LinkSpec::ideal());
+        let _ = sim.node_ref::<Sink>(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "already wired")]
+    fn double_wiring_panics() {
+        let mut sim = Simulator::new();
+        let a = sim.add_node("a", Blaster::new(0, 0));
+        let b = sim.add_node("b", Blaster::new(0, 0));
+        let c = sim.add_node("c", Blaster::new(0, 0));
+        sim.connect(a, PortId(0), b, PortId(0), LinkSpec::ideal());
+        sim.connect(a, PortId(0), c, PortId(0), LinkSpec::ideal());
+    }
+}

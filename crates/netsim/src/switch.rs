@@ -1,0 +1,252 @@
+//! A learning Ethernet switch with the two tapping mechanisms of §3.1.
+//!
+//! "Logically, an Ethernet switch replaces the broadcast medium by a
+//! crossbar. This prevents a backup node from tapping the traffic of the
+//! primary node" — unless one of two mechanisms is used:
+//!
+//! 1. **Port mirroring** ([`Switch::add_mirror`]): "some managed Ethernet
+//!    switches provide an option to forward traffic flowing from/to a
+//!    port to some other port."
+//! 2. **Multicast flooding**: frames addressed to a *group* (multicast)
+//!    MAC are never learned and always flooded, which is why mapping the
+//!    service IP to a multicast MAC (see
+//!    [`wire::MacAddr::multicast_for_ip`]) lets the backup tap a switched
+//!    network without management support.
+
+use crate::node::{Context, Node, PortId};
+use bytes::Bytes;
+use std::collections::HashMap;
+use wire::{EthernetFrame, MacAddr};
+
+/// A learning switch.
+#[derive(Debug, Clone, Default)]
+pub struct Switch {
+    ports: usize,
+    table: HashMap<MacAddr, PortId>,
+    mirrors: Vec<(PortId, PortId)>,
+    /// Frames flooded because the destination was unknown or a group MAC.
+    pub floods: u64,
+    /// Frames forwarded to a single learned port.
+    pub unicast_forwards: u64,
+    /// Copies produced by mirroring.
+    pub mirrored: u64,
+}
+
+impl Switch {
+    /// Creates a switch with `ports` ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports < 2`.
+    pub fn new(ports: usize) -> Self {
+        assert!(ports >= 2, "a switch needs at least 2 ports");
+        Switch { ports, ..Self::default() }
+    }
+
+    /// Mirrors all traffic ingressing or egressing `monitored` to
+    /// `mirror_to` (a SPAN/monitor port).
+    pub fn add_mirror(&mut self, monitored: PortId, mirror_to: PortId) {
+        self.mirrors.push((monitored, mirror_to));
+    }
+
+    /// The learned MAC table (for assertions in tests).
+    pub fn table(&self) -> &HashMap<MacAddr, PortId> {
+        &self.table
+    }
+
+    fn out_ports(&mut self, ingress: PortId, dst: MacAddr) -> Vec<PortId> {
+        if dst.is_multicast() {
+            // Broadcast and multicast: flood. Group MACs are never learned.
+            self.floods += 1;
+            return (0..self.ports).map(PortId).filter(|&p| p != ingress).collect();
+        }
+        match self.table.get(&dst) {
+            Some(&p) if p != ingress => {
+                self.unicast_forwards += 1;
+                vec![p]
+            }
+            Some(_) => Vec::new(), // destination is on the ingress segment
+            None => {
+                self.floods += 1;
+                (0..self.ports).map(PortId).filter(|&p| p != ingress).collect()
+            }
+        }
+    }
+}
+
+impl Node for Switch {
+    fn on_frame(&mut self, port: PortId, frame: Bytes, ctx: &mut Context) {
+        let Ok(eth) = EthernetFrame::parse(frame.clone()) else {
+            return; // runt frame: drop silently
+        };
+        // Learn the source unless it is a group address (the multicast
+        // SME must stay unlearned or flooding — the tap — would stop).
+        if !eth.src.is_multicast() {
+            self.table.insert(eth.src, port);
+        }
+        let outs = self.out_ports(port, eth.dst);
+        let mut delivered: Vec<PortId> = Vec::with_capacity(outs.len() + 1);
+        for p in outs {
+            ctx.send_frame(p, frame.clone());
+            delivered.push(p);
+        }
+        // Mirroring: copy frames touching a monitored port to its monitor
+        // port, unless the frame already reaches that port normally.
+        let mirrors = self.mirrors.clone();
+        for (monitored, to) in mirrors {
+            let touches = port == monitored || delivered.contains(&monitored);
+            if touches && to != port && !delivered.contains(&to) {
+                ctx.send_frame(to, frame.clone());
+                delivered.push(to);
+                self.mirrored += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+    use crate::sim::Simulator;
+    use crate::time::SimDuration;
+    use wire::EtherType;
+
+    struct Host {
+        mac: MacAddr,
+        outbox: Vec<(MacAddr, Bytes)>,
+        heard: Vec<EthernetFrame>,
+    }
+
+    impl Host {
+        fn new(mac: MacAddr) -> Self {
+            Host { mac, outbox: vec![], heard: vec![] }
+        }
+    }
+
+    impl Node for Host {
+        fn on_start(&mut self, ctx: &mut Context) {
+            for (dst, payload) in self.outbox.drain(..) {
+                let f = EthernetFrame::new(dst, self.mac, EtherType::Other(0x1234), payload);
+                ctx.send_frame(PortId(0), f.encode());
+            }
+        }
+        fn on_frame(&mut self, _port: PortId, frame: Bytes, _ctx: &mut Context) {
+            if let Ok(eth) = EthernetFrame::parse(frame) {
+                self.heard.push(eth);
+            }
+        }
+    }
+
+    /// Builds sw with hosts a,b,c on ports 0,1,2.
+    fn three_hosts() -> (Simulator, crate::node::NodeId, Vec<crate::node::NodeId>) {
+        let mut sim = Simulator::new();
+        let sw = sim.add_node("switch", Switch::new(3));
+        let hosts: Vec<_> = (0..3u32)
+            .map(|i| sim.add_node(format!("h{i}"), Host::new(MacAddr::local(i))))
+            .collect();
+        for (i, &h) in hosts.iter().enumerate() {
+            sim.connect(h, PortId(0), sw, PortId(i), LinkSpec::ideal());
+        }
+        (sim, sw, hosts)
+    }
+
+    #[test]
+    fn unknown_unicast_floods_then_learned_unicast_does_not() {
+        let (mut sim, sw, hosts) = three_hosts();
+        // a -> b with b's MAC unknown: floods to b and c.
+        sim.node_mut::<Host>(hosts[0]).outbox.push((MacAddr::local(1), Bytes::from_static(b"1st")));
+        sim.run_for(SimDuration::from_millis(1));
+        assert_eq!(sim.node_ref::<Host>(hosts[1]).heard.len(), 1);
+        assert_eq!(sim.node_ref::<Host>(hosts[2]).heard.len(), 1, "unknown dst must flood");
+        // b replies to a: a's MAC was learned, goes only to a. And now the
+        // switch knows b too.
+        sim.node_mut::<Host>(hosts[1]).outbox.push((MacAddr::local(0), Bytes::from_static(b"2nd")));
+        let b = hosts[1];
+        {
+            // re-trigger on_start manually through a timer-less hack:
+            // just call the drain logic by sending from b on next start.
+        }
+        // Simpler: directly emit from b using the simulator clock: power-cycle b.
+        sim.schedule_crash(b, sim.now());
+        sim.schedule_power_on(b, sim.now() + SimDuration::from_millis(1));
+        sim.run_for(SimDuration::from_millis(5));
+        assert!(sim
+            .node_ref::<Host>(hosts[0])
+            .heard
+            .iter()
+            .any(|f| f.payload.as_ref() == b"2nd"));
+        assert!(
+            !sim.node_ref::<Host>(hosts[2]).heard.iter().any(|f| f.payload.as_ref() == b"2nd"),
+            "learned unicast must not reach third port — this is why a plain switch defeats tapping"
+        );
+        assert_eq!(sim.node_ref::<Switch>(sw).table().len(), 2);
+    }
+
+    #[test]
+    fn multicast_always_floods() {
+        let (mut sim, _sw, hosts) = three_hosts();
+        let sme = MacAddr::multicast_for_ip(std::net::Ipv4Addr::new(10, 0, 0, 100));
+        sim.node_mut::<Host>(hosts[0]).outbox.push((sme, Bytes::from_static(b"svc")));
+        sim.node_mut::<Host>(hosts[0]).outbox.push((sme, Bytes::from_static(b"svc2")));
+        sim.run_for(SimDuration::from_millis(5));
+        // Both frames reach both other hosts — the multicast-MAC tap works
+        // even though the switch had a chance to "learn".
+        assert_eq!(sim.node_ref::<Host>(hosts[1]).heard.len(), 2);
+        assert_eq!(sim.node_ref::<Host>(hosts[2]).heard.len(), 2);
+    }
+
+    #[test]
+    fn broadcast_floods() {
+        let (mut sim, _sw, hosts) = three_hosts();
+        sim.node_mut::<Host>(hosts[0]).outbox.push((MacAddr::BROADCAST, Bytes::from_static(b"arp")));
+        sim.run_for(SimDuration::from_millis(5));
+        assert_eq!(sim.node_ref::<Host>(hosts[1]).heard.len(), 1);
+        assert_eq!(sim.node_ref::<Host>(hosts[2]).heard.len(), 1);
+    }
+
+    #[test]
+    fn group_source_is_not_learned() {
+        let (mut sim, sw, hosts) = three_hosts();
+        let sme = MacAddr::multicast_for_ip(std::net::Ipv4Addr::new(10, 0, 0, 100));
+        // A frame *from* the multicast MAC (primary sends with VNIC source).
+        let f = EthernetFrame::new(MacAddr::local(1), sme, EtherType::Other(0x1), Bytes::new());
+        sim.node_mut::<Host>(hosts[0]).outbox.push((MacAddr::local(1), f.encode()));
+        // outbox wraps payload in another frame; instead inject directly:
+        sim.node_mut::<Host>(hosts[0]).outbox.clear();
+        sim.run_for(SimDuration::from_millis(1));
+        // Direct unit-level check of learning behaviour:
+        let now = sim.now();
+        let mut ctx = crate::node::Context::new(now, sw, crate::rng::SplitMix64::new(0));
+        sim.node_mut::<Switch>(sw).on_frame(PortId(0), f.encode(), &mut ctx);
+        assert!(!sim.node_ref::<Switch>(sw).table().contains_key(&sme));
+    }
+
+    #[test]
+    fn port_mirroring_copies_both_directions() {
+        let (mut sim, sw, hosts) = three_hosts();
+        // Mirror port 0 (host a, "the primary") to port 2 ("the backup").
+        sim.node_mut::<Switch>(sw).add_mirror(PortId(0), PortId(2));
+        // Teach the switch a and b first via a broadcast each... instead
+        // seed the table directly for a focused test.
+        sim.node_mut::<Switch>(sw).table.insert(MacAddr::local(0), PortId(0));
+        sim.node_mut::<Switch>(sw).table.insert(MacAddr::local(1), PortId(1));
+        // a -> b unicast (egress of port 0): backup must get a copy.
+        sim.node_mut::<Host>(hosts[0]).outbox.push((MacAddr::local(1), Bytes::from_static(b"a2b")));
+        sim.run_for(SimDuration::from_millis(2));
+        assert!(sim.node_ref::<Host>(hosts[2]).heard.iter().any(|f| f.payload.as_ref() == b"a2b"));
+        // b -> a unicast (ingress toward port 0): backup must get a copy.
+        sim.node_mut::<Host>(hosts[1]).outbox.push((MacAddr::local(0), Bytes::from_static(b"b2a")));
+        sim.schedule_crash(hosts[1], sim.now());
+        sim.schedule_power_on(hosts[1], sim.now() + SimDuration::from_millis(1));
+        sim.run_for(SimDuration::from_millis(5));
+        assert!(sim.node_ref::<Host>(hosts[2]).heard.iter().any(|f| f.payload.as_ref() == b"b2a"));
+        assert!(sim.node_ref::<Switch>(sw).mirrored >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 ports")]
+    fn tiny_switch_rejected() {
+        let _ = Switch::new(0);
+    }
+}

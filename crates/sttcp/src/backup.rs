@@ -1,0 +1,521 @@
+//! The backup-side ST-TCP engine.
+//!
+//! The backup shadows every service connection through the tap (handled
+//! by the shadow-mode TCP stack) and this engine adds the protocol
+//! machinery of §4.2–§4.4:
+//!
+//! * the **acknowledgment strategy**: ack when ≥ X in-order bytes
+//!   arrived since the last ack, or when `SyncTime` elapsed;
+//! * **missing-segment detection**: tapped primary→client segments
+//!   reveal the primary's cumulative ACK; anything the primary has
+//!   acknowledged that the shadow lacks was lost on the tap and is
+//!   requested over the side channel;
+//! * **failure detection**: the primary is suspected after
+//!   `missed_hb_threshold` heartbeat intervals of side-channel silence;
+//! * **takeover**: optional fencing via the power switch, lifting the
+//!   egress suppression of the VIP, and (optionally) asking the packet
+//!   logger to replay client segments that a tap omission plus the
+//!   crash made otherwise unrecoverable (double failures, §3.2).
+
+use crate::config::{Fencing, SttcpConfig, TakeoverPolicy};
+use crate::messages::{ConnKey, SideMsg};
+use netsim::logger::ReplayQuery;
+use netsim::{SimDuration, SimTime};
+use tcpstack::{NetStack, SeqNum};
+
+/// Backup-side counters and timeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BackupStats {
+    /// Backup acks sent.
+    pub acks_sent: u64,
+    /// Acks triggered by the X-byte threshold (vs. the SyncTime timer).
+    pub acks_threshold_triggered: u64,
+    /// Missing-segment requests sent.
+    pub missing_reqs: u64,
+    /// Bytes recovered over the side channel.
+    pub missing_bytes_recovered: u64,
+    /// Heartbeats received from the primary.
+    pub hbs_received: u64,
+    /// Logger replay queries issued at takeover.
+    pub logger_queries: u64,
+    /// Full-history logger queries issued to bootstrap a shadow whose
+    /// SYN was missed on the tap (late-join extension).
+    pub bootstrap_queries: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ConnTrack {
+    last_acked_next: SeqNum,
+    highest_primary_ack: Option<SeqNum>,
+    outstanding_req: Option<(SeqNum, SimTime)>,
+}
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct BackupEngine {
+    cfg: SttcpConfig,
+    x_threshold: usize,
+    conns: std::collections::HashMap<ConnKey, ConnTrack>,
+    last_primary_heard: Option<SimTime>,
+    suspected_at: Option<SimTime>,
+    /// Cold-replay policy: when state reconstruction completes.
+    replay_ready_at: Option<SimTime>,
+    takeover_at: Option<SimTime>,
+    hb_seq: u64,
+    outbox: Vec<SideMsg>,
+    fence_request: Option<u32>,
+    logger_queries: Vec<ReplayQuery>,
+    last_logger_query: Option<SimTime>,
+    bootstrap_attempts: std::collections::HashMap<ConnKey, SimTime>,
+    /// Counters.
+    pub stats: BackupStats,
+}
+
+impl BackupEngine {
+    /// Creates the engine. `x_threshold` is the ack byte threshold `X`
+    /// (typically ¾ of the primary's second buffer); `now` starts the
+    /// primary-liveness clock.
+    pub fn new(cfg: SttcpConfig, x_threshold: usize, now: SimTime) -> Self {
+        BackupEngine {
+            cfg,
+            x_threshold,
+            conns: std::collections::HashMap::new(),
+            last_primary_heard: Some(now),
+            suspected_at: None,
+            replay_ready_at: None,
+            takeover_at: None,
+            hb_seq: 0,
+            outbox: Vec::new(),
+            fence_request: None,
+            logger_queries: Vec::new(),
+            last_logger_query: None,
+            bootstrap_attempts: std::collections::HashMap::new(),
+            stats: BackupStats::default(),
+        }
+    }
+
+    /// Whether this backup has taken over as primary.
+    pub fn has_taken_over(&self) -> bool {
+        self.takeover_at.is_some()
+    }
+
+    /// When the primary was first suspected.
+    pub fn suspected_at(&self) -> Option<SimTime> {
+        self.suspected_at
+    }
+
+    /// When the takeover completed (suppression lifted).
+    pub fn takeover_at(&self) -> Option<SimTime> {
+        self.takeover_at
+    }
+
+    /// Registers a newly shadowed connection (the node adapter calls
+    /// this when the shadow listener produces a socket).
+    pub fn register_conn(&mut self, key: ConnKey, initial_next: SeqNum) {
+        self.conns.entry(key).or_insert(ConnTrack {
+            last_acked_next: initial_next,
+            highest_primary_ack: None,
+            outstanding_req: None,
+        });
+    }
+
+    /// Handles one side-channel message from the primary.
+    pub fn on_side_msg(&mut self, now: SimTime, msg: SideMsg, stack: &mut NetStack) {
+        self.last_primary_heard = Some(now);
+        match msg {
+            SideMsg::Heartbeat { .. } => {
+                self.stats.hbs_received += 1;
+            }
+            SideMsg::MissingData { conn, seq, data } => {
+                if let Some(sock) = stack.sock_by_quad(conn.server_quad()) {
+                    if let Some(tcb) = stack.tcb_mut(sock) {
+                        tcb.inject_rx(now, SeqNum(seq), &data);
+                        self.stats.missing_bytes_recovered += data.len() as u64;
+                    }
+                }
+                if let Some(track) = self.conns.get_mut(&conn) {
+                    track.outstanding_req = None;
+                }
+            }
+            SideMsg::MissingNack { conn, .. } => {
+                if let Some(track) = self.conns.get_mut(&conn) {
+                    track.outstanding_req = None;
+                }
+            }
+            // Backup-bound only; a backup never receives these.
+            SideMsg::BackupAck { .. } | SideMsg::MissingReq { .. } => {}
+        }
+    }
+
+    /// Inspects a tapped primary→client TCP segment.
+    ///
+    /// * A SYN/ACK reveals the primary's ISN — the authoritative source
+    ///   for the shadow's sequence-space resynchronization (robust
+    ///   against the client piggybacking its handshake ACK onto data).
+    /// * The cumulative ACK (`primary_ack`, the primary's
+    ///   `NextByteExpected`) exposes tap omissions (§4.2).
+    pub fn on_tapped_primary_segment(
+        &mut self,
+        now: SimTime,
+        key: ConnKey,
+        primary_seq: SeqNum,
+        primary_ack: SeqNum,
+        is_syn: bool,
+        stack: &mut NetStack,
+    ) {
+        if is_syn {
+            if let Some(sock) = stack.sock_by_quad(key.server_quad()) {
+                if let Some(tcb) = stack.tcb_mut(sock) {
+                    tcb.shadow_resync_iss(primary_seq);
+                }
+            }
+            return; // a SYN/ACK's ack field is the handshake, not data
+        }
+        if stack.sock_by_quad(key.server_quad()).is_none() {
+            // The primary is serving a connection we have no shadow for:
+            // its SYN was lost on the tap. Late-join extension (beyond
+            // the paper): ask the logger to replay the connection's
+            // entire client-side history — the replayed SYN builds the
+            // shadow, the replayed handshake ACK resynchronizes its ISN,
+            // and the replayed data catches the application up.
+            self.maybe_bootstrap(now, key, primary_ack);
+            return;
+        }
+        let Some(track) = self.conns.get_mut(&key) else {
+            return;
+        };
+        track.highest_primary_ack = Some(match track.highest_primary_ack {
+            Some(prev) => prev.max(primary_ack),
+            None => primary_ack,
+        });
+        self.maybe_request_missing(now, key, stack);
+    }
+
+    /// Fires a full-history replay query for a connection with no
+    /// shadow (rate-limited per connection).
+    fn maybe_bootstrap(&mut self, now: SimTime, key: ConnKey, primary_ack: SeqNum) {
+        if !self.cfg.use_logger {
+            return; // without a logger the history is unrecoverable
+        }
+        let retry = self.cfg.effective_sync_time().saturating_mul(2);
+        if let Some(&last) = self.bootstrap_attempts.get(&key) {
+            let due = now.checked_duration_since(last).map(|d| d >= retry).unwrap_or(false);
+            if !due {
+                return;
+            }
+        }
+        self.bootstrap_attempts.insert(key, now);
+        self.stats.bootstrap_queries += 1;
+        // The client's sequence space is anchored by the primary's
+        // cumulative ACK; a half-space window backwards covers the whole
+        // connection history including the SYN.
+        self.logger_queries.push(ReplayQuery {
+            src_ip: key.client_ip,
+            dst_ip: key.server_ip,
+            src_port: key.client_port,
+            dst_port: key.server_port,
+            seq_from: primary_ack.sub(1 << 30).raw(),
+            seq_to: primary_ack.add(1 << 20).raw(),
+        });
+    }
+
+    fn maybe_request_missing(&mut self, now: SimTime, key: ConnKey, stack: &mut NetStack) {
+        let Some(track) = self.conns.get_mut(&key) else {
+            return;
+        };
+        let Some(primary_ack) = track.highest_primary_ack else {
+            return;
+        };
+        let Some(sock) = stack.sock_by_quad(key.server_quad()) else {
+            return;
+        };
+        let Some(tcb) = stack.tcb(sock) else {
+            return;
+        };
+        // Compare against ack_seq (payload + consumed FIN) so a consumed
+        // FIN does not read as one missing byte forever.
+        let have = tcb.ack_seq();
+        let gap = primary_ack.distance(have);
+        if gap <= 0 {
+            track.outstanding_req = None;
+            return;
+        }
+        // One request in flight per connection; retried by the tick.
+        if track.outstanding_req.is_some() {
+            return;
+        }
+        let from = tcb.rcv_nxt();
+        let len = (gap as usize).min(self.cfg.missing_req_chunk) as u32;
+        track.outstanding_req = Some((from, now));
+        self.stats.missing_reqs += 1;
+        self.outbox.push(SideMsg::MissingReq { conn: key, from: from.raw(), len });
+    }
+
+    /// The backup's acknowledgment strategy (§4.3). Called after every
+    /// batch of tapped input with `force = false` (X-threshold rule) and
+    /// from the SyncTime tick with `force = true`.
+    pub fn maybe_send_acks(&mut self, stack: &mut NetStack, force: bool) {
+        let keys: Vec<ConnKey> = self.conns.keys().copied().collect();
+        for key in keys {
+            let Some(sock) = stack.sock_by_quad(key.server_quad()) else {
+                continue;
+            };
+            let Some(tcb) = stack.tcb(sock) else {
+                continue;
+            };
+            let next = tcb.rcv_nxt();
+            let track = self.conns.get_mut(&key).expect("key from map");
+            let progress = next.distance(track.last_acked_next);
+            // Careful with the comparison: `usize::MAX as i64` is -1, so
+            // cast the (known-positive) progress up instead.
+            let threshold_hit = progress > 0 && progress as u128 >= self.x_threshold as u128;
+            if threshold_hit || (force && progress > 0) {
+                self.outbox.push(SideMsg::BackupAck { conn: key, acked_next: next.raw() });
+                track.last_acked_next = next;
+                self.stats.acks_sent += 1;
+                if threshold_hit && !force {
+                    self.stats.acks_threshold_triggered += 1;
+                }
+            }
+        }
+    }
+
+    /// Periodic tick (every `SyncTime`): acknowledgments, heartbeat,
+    /// missing-request retry, failure detection.
+    pub fn on_tick(&mut self, now: SimTime, stack: &mut NetStack) {
+        self.maybe_send_acks(stack, true);
+        self.hb_seq += 1;
+        self.outbox.push(SideMsg::Heartbeat { seq: self.hb_seq });
+        // Retry stale missing-segment requests.
+        let stale: Vec<ConnKey> = self
+            .conns
+            .iter()
+            .filter_map(|(k, t)| {
+                t.outstanding_req
+                    .filter(|&(_, at)| {
+                        now.checked_duration_since(at)
+                            .map(|d| d > self.cfg.effective_sync_time().saturating_mul(2))
+                            .unwrap_or(false)
+                    })
+                    .map(|_| *k)
+            })
+            .collect();
+        for key in stale {
+            if let Some(track) = self.conns.get_mut(&key) {
+                track.outstanding_req = None;
+            }
+            self.maybe_request_missing(now, key, stack);
+        }
+        self.check_detection(now, stack);
+        // After a takeover, re-ask the logger while gaps remain: the
+        // replayed frames themselves ride the lossy tap path.
+        if self.takeover_at.is_some() && self.cfg.use_logger {
+            let due = self
+                .last_logger_query
+                .map(|t| {
+                    now.checked_duration_since(t)
+                        .map(|d| d >= self.cfg.effective_sync_time().saturating_mul(2))
+                        .unwrap_or(false)
+                })
+                .unwrap_or(true);
+            if due {
+                self.queue_logger_queries(now, stack);
+            }
+        }
+    }
+
+    fn check_detection(&mut self, now: SimTime, stack: &mut NetStack) {
+        if self.takeover_at.is_some() {
+            return;
+        }
+        // Cold-replay in progress? Promote once reconstruction is done.
+        if let Some(ready_at) = self.replay_ready_at {
+            if now >= ready_at {
+                self.take_over(now, stack);
+            }
+            return;
+        }
+        let deadline: SimDuration =
+            self.cfg.hb_interval.saturating_mul(u64::from(self.cfg.missed_hb_threshold));
+        let silent = self
+            .last_primary_heard
+            .and_then(|t| now.checked_duration_since(t))
+            .map(|d| d > deadline)
+            .unwrap_or(false);
+        if !silent {
+            return;
+        }
+        // Suspect → fence → take over (§4.4).
+        self.suspected_at = Some(now);
+        if let Fencing::PowerSwitch { outlet } = self.cfg.fencing {
+            self.fence_request = Some(outlet);
+        }
+        match self.cfg.takeover_policy {
+            TakeoverPolicy::Active => self.take_over(now, stack),
+            TakeoverPolicy::ColdReplay { restart_delay, replay_rate_bps } => {
+                // FT-TCP-style recovery (paper §2): start a replacement
+                // process and replay the connection history through the
+                // application before serving. The history is the input
+                // stream plus the output the app must regenerate (and
+                // discard) to reach the crash-point state. We model the
+                // cost; the shadow state itself is already correct.
+                let total_bytes: u64 = self
+                    .conns
+                    .keys()
+                    .filter_map(|k| stack.sock_by_quad(k.server_quad()))
+                    .filter_map(|s| stack.tcb(s))
+                    .map(|t| t.stats.bytes_in + t.stats.bytes_out)
+                    .sum();
+                let replay = SimDuration::from_nanos(
+                    total_bytes.saturating_mul(1_000_000_000) / replay_rate_bps.max(1),
+                );
+                self.replay_ready_at = Some(now + restart_delay + replay);
+            }
+        }
+    }
+
+    fn take_over(&mut self, now: SimTime, stack: &mut NetStack) {
+        stack.unsuppress(self.cfg.vip);
+        self.takeover_at = Some(now);
+        if self.cfg.use_logger {
+            self.queue_logger_queries(now, stack);
+        }
+    }
+
+    /// Double-failure masking: any gap between what the primary
+    /// acknowledged and what we hold can only be healed by the
+    /// in-network logger once the primary is gone.
+    fn queue_logger_queries(&mut self, now: SimTime, stack: &mut NetStack) {
+        self.last_logger_query = Some(now);
+        for (key, track) in &self.conns {
+            let Some(primary_ack) = track.highest_primary_ack else {
+                continue;
+            };
+            let Some(sock) = stack.sock_by_quad(key.server_quad()) else {
+                continue;
+            };
+            let Some(tcb) = stack.tcb(sock) else {
+                continue;
+            };
+            if primary_ack.gt(tcb.ack_seq()) {
+                self.logger_queries.push(ReplayQuery {
+                    src_ip: key.client_ip,
+                    dst_ip: key.server_ip,
+                    src_port: key.client_port,
+                    dst_port: key.server_port,
+                    seq_from: tcb.rcv_nxt().raw(),
+                    seq_to: primary_ack.raw(),
+                });
+                self.stats.logger_queries += 1;
+            }
+        }
+    }
+
+    /// Drains queued side-channel messages.
+    pub fn take_outbox(&mut self) -> Vec<SideMsg> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Takes a pending fencing request (power-switch outlet), if any.
+    pub fn take_fence_request(&mut self) -> Option<u32> {
+        self.fence_request.take()
+    }
+
+    /// Drains pending logger replay queries.
+    pub fn take_logger_queries(&mut self) -> Vec<ReplayQuery> {
+        std::mem::take(&mut self.logger_queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SimDuration;
+    use std::net::Ipv4Addr;
+    use tcpstack::{StackConfig, TcpConfig};
+    use wire::MacAddr;
+
+    const VIP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 100);
+
+    fn cfg() -> SttcpConfig {
+        SttcpConfig::new(VIP, 80)
+    }
+
+    fn backup_stack() -> NetStack {
+        let mut c = StackConfig::host(MacAddr::local(3), Ipv4Addr::new(10, 0, 0, 3));
+        c.extra_ips = vec![VIP];
+        c.suppressed_ips = vec![VIP];
+        c.tcp = TcpConfig::st_tcp_backup();
+        NetStack::new(c)
+    }
+
+    fn key() -> ConnKey {
+        ConnKey {
+            client_ip: Ipv4Addr::new(10, 0, 0, 1),
+            client_port: 40000,
+            server_ip: VIP,
+            server_port: 80,
+        }
+    }
+
+    #[test]
+    fn detection_fires_after_three_silent_intervals() {
+        let mut e = BackupEngine::new(cfg(), 12 * 1024, SimTime::ZERO);
+        let mut s = backup_stack();
+        let hb = SimDuration::from_millis(50);
+        e.on_side_msg(SimTime::ZERO, SideMsg::Heartbeat { seq: 1 }, &mut s);
+        // Tick just inside the window: no suspicion.
+        e.on_tick(SimTime::ZERO + hb * 3, &mut s);
+        assert!(!e.has_taken_over());
+        assert!(s.is_suppressed(VIP));
+        // One more silent tick: takeover.
+        e.on_tick(SimTime::ZERO + hb * 4, &mut s);
+        assert!(e.has_taken_over());
+        assert!(!s.is_suppressed(VIP), "takeover lifts the suppression");
+        assert_eq!(e.suspected_at(), Some(SimTime::ZERO + hb * 4));
+        assert_eq!(e.takeover_at(), e.suspected_at());
+    }
+
+    #[test]
+    fn heartbeats_defer_detection() {
+        let mut e = BackupEngine::new(cfg(), 12 * 1024, SimTime::ZERO);
+        let mut s = backup_stack();
+        let hb = SimDuration::from_millis(50);
+        for i in 1..100u64 {
+            let t = SimTime::ZERO + hb * i;
+            e.on_side_msg(t, SideMsg::Heartbeat { seq: i }, &mut s);
+            e.on_tick(t, &mut s);
+        }
+        assert!(!e.has_taken_over());
+        assert_eq!(e.stats.hbs_received, 99);
+    }
+
+    #[test]
+    fn fencing_requested_when_configured() {
+        let mut e = BackupEngine::new(cfg().with_fencing(7), 12 * 1024, SimTime::ZERO);
+        let mut s = backup_stack();
+        e.on_tick(SimTime::ZERO + SimDuration::from_secs(1), &mut s);
+        assert!(e.has_taken_over());
+        assert_eq!(e.take_fence_request(), Some(7));
+        assert_eq!(e.take_fence_request(), None, "fence request is one-shot");
+    }
+
+    #[test]
+    fn tick_sends_heartbeat() {
+        let mut e = BackupEngine::new(cfg(), 12 * 1024, SimTime::ZERO);
+        let mut s = backup_stack();
+        e.on_side_msg(SimTime::ZERO, SideMsg::Heartbeat { seq: 1 }, &mut s);
+        e.on_tick(SimTime::ZERO + SimDuration::from_millis(50), &mut s);
+        let out = e.take_outbox();
+        assert!(out.iter().any(|m| matches!(m, SideMsg::Heartbeat { .. })));
+    }
+
+    #[test]
+    fn unknown_conn_tapped_ack_is_ignored() {
+        let mut e = BackupEngine::new(cfg(), 12 * 1024, SimTime::ZERO);
+        let mut s = backup_stack();
+        e.on_tapped_primary_segment(SimTime::ZERO, key(), SeqNum(0), SeqNum(1000), false, &mut s);
+        assert!(e.take_outbox().is_empty());
+        assert_eq!(e.stats.missing_reqs, 0);
+    }
+}

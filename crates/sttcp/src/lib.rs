@@ -1,0 +1,64 @@
+//! # ST-TCP — Server fault-Tolerant TCP
+//!
+//! Reproduction of *"TCP Server Fault Tolerance Using Connection
+//! Migration to a Backup Server"* (Marwah, Mishra, Fetzer — DSN 2003).
+//!
+//! ST-TCP keeps an **active backup server** in lock-step with a primary
+//! by *tapping* the Ethernet carrying the client↔primary TCP stream.
+//! The backup runs the same deterministic application over a shadow TCP
+//! connection that uses the **same sequence numbers** as the primary's
+//! (resynchronized from the client's handshake ACK), with all of its
+//! output suppressed. When the primary crashes, the backup stops
+//! suppressing and *is* the server — no reconnect, no client
+//! modification, no visible disruption beyond one retransmission
+//! timeout's worth of delay.
+//!
+//! # Crate layout
+//!
+//! * [`config`] — protocol tunables (heartbeat interval, `SyncTime`,
+//!   ack threshold `X`, fencing, logger use);
+//! * [`messages`] — the UDP side-channel protocol (backup acks,
+//!   missing-segment recovery, heartbeats — paper §4.2–§4.3);
+//! * [`primary`] — retention management, missing-segment server, backup
+//!   failure detection (→ non-fault-tolerant mode);
+//! * [`backup`] — acknowledgment strategy, tap-omission detection and
+//!   recovery, primary failure detection, fencing, takeover, and
+//!   logger-assisted double-failure recovery;
+//! * [`node`] — simulation hosts ([`node::ServerNode`],
+//!   [`node::ClientNode`], [`node::GatewayNode`]);
+//! * [`scenario`] — prebuilt experiment topologies (the paper's hub
+//!   testbed plus the three switched tapping architectures of §3.1).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sttcp::scenario::{build, ScenarioSpec};
+//! use sttcp::SttcpConfig;
+//! use apps::Workload;
+//! use netsim::{SimDuration, SimTime};
+//!
+//! // Echo workload over ST-TCP; crash the primary mid-run.
+//! let spec = ScenarioSpec::new(Workload::Echo { requests: 10 })
+//!     .st_tcp(SttcpConfig::new(sttcp::scenario::addrs::VIP, 80))
+//!     .crash_at(SimTime::ZERO + SimDuration::from_millis(40));
+//! let mut scenario = build(&spec);
+//! let metrics = scenario.run_to_completion(SimDuration::from_secs(60));
+//! assert!(metrics.verified_clean()); // byte stream intact across failover
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backup;
+pub mod config;
+pub mod messages;
+pub mod node;
+pub mod primary;
+pub mod scenario;
+
+pub use backup::{BackupEngine, BackupStats};
+pub use config::{Fencing, SttcpConfig};
+pub use messages::{ConnKey, SideMsg};
+pub use node::{ClientNode, GatewayNode, ServerNode};
+pub use primary::{PrimaryEngine, PrimaryStats};
+pub use scenario::{build, Scenario, ScenarioSpec, Topology};

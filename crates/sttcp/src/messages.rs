@@ -1,0 +1,277 @@
+//! The UDP side-channel wire protocol between primary and backup
+//! (paper §4.2–§4.3).
+//!
+//! Four message kinds flow on the channel:
+//!
+//! * [`SideMsg::Heartbeat`] — periodic liveness, both directions;
+//! * [`SideMsg::BackupAck`] — the backup's cumulative acknowledgment of
+//!   tapped client bytes ("a sequence number that is one less than its
+//!   NextByteExpected value"; we carry `NextByteExpected` itself and
+//!   call it `acked_next`), doubling as the backup's heartbeat;
+//! * [`SideMsg::MissingReq`]/[`SideMsg::MissingData`]/[`SideMsg::MissingNack`]
+//!   — recovery of client bytes the backup's tap missed, served from the
+//!   primary's retention buffer.
+//!
+//! The paper estimates a 128-byte ack per 3 KB of client data ≈ 4.17 %
+//! extra LAN traffic; the ablation bench re-measures this with the real
+//! encoded sizes below.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::net::Ipv4Addr;
+use tcpstack::Quad;
+
+/// Identifies one shadowed connection on the side channel.
+///
+/// Server-side view: `server_ip` is the service VIP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnKey {
+    /// Client address.
+    pub client_ip: Ipv4Addr,
+    /// Client port.
+    pub client_port: u16,
+    /// Service (virtual) IP.
+    pub server_ip: Ipv4Addr,
+    /// Service port.
+    pub server_port: u16,
+}
+
+impl ConnKey {
+    /// Builds the key from a server-side [`Quad`] (local = service).
+    pub fn from_server_quad(q: Quad) -> Self {
+        ConnKey {
+            client_ip: q.remote_ip,
+            client_port: q.remote_port,
+            server_ip: q.local_ip,
+            server_port: q.local_port,
+        }
+    }
+
+    /// The server-side [`Quad`] for stack lookups.
+    pub fn server_quad(&self) -> Quad {
+        Quad::new(self.server_ip, self.server_port, self.client_ip, self.client_port)
+    }
+}
+
+impl fmt::Display for ConnKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}->{}:{}", self.client_ip, self.client_port, self.server_ip, self.server_port)
+    }
+}
+
+/// A side-channel message.
+///
+/// ```
+/// use sttcp::SideMsg;
+///
+/// let hb = SideMsg::Heartbeat { seq: 42 };
+/// assert_eq!(SideMsg::decode(hb.encode()), Some(hb));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SideMsg {
+    /// Periodic liveness beacon.
+    Heartbeat {
+        /// Monotonic sender sequence (diagnostics; detection only uses
+        /// arrival times).
+        seq: u64,
+    },
+    /// Backup → primary: "I have every client byte below `acked_next`."
+    BackupAck {
+        /// Connection the ack applies to.
+        conn: ConnKey,
+        /// The backup's `NextByteExpected`.
+        acked_next: u32,
+    },
+    /// Backup → primary: "resend client bytes `[from, from+len)`."
+    MissingReq {
+        /// Connection.
+        conn: ConnKey,
+        /// First missing sequence number.
+        from: u32,
+        /// Bytes requested.
+        len: u32,
+    },
+    /// Primary → backup: retained client bytes.
+    MissingData {
+        /// Connection.
+        conn: ConnKey,
+        /// Sequence number of `data[0]`.
+        seq: u32,
+        /// The bytes.
+        data: Bytes,
+    },
+    /// Primary → backup: the requested range is not (fully) available.
+    MissingNack {
+        /// Connection.
+        conn: ConnKey,
+        /// The `from` of the request being refused.
+        from: u32,
+    },
+}
+
+const TAG_HEARTBEAT: u8 = 1;
+const TAG_BACKUP_ACK: u8 = 2;
+const TAG_MISSING_REQ: u8 = 3;
+const TAG_MISSING_DATA: u8 = 4;
+const TAG_MISSING_NACK: u8 = 5;
+
+fn put_key(buf: &mut BytesMut, key: &ConnKey) {
+    buf.put_slice(&key.client_ip.octets());
+    buf.put_u16(key.client_port);
+    buf.put_slice(&key.server_ip.octets());
+    buf.put_u16(key.server_port);
+}
+
+fn get_key(buf: &mut Bytes) -> Option<ConnKey> {
+    if buf.len() < 12 {
+        return None;
+    }
+    let client_ip = Ipv4Addr::new(buf.get_u8(), buf.get_u8(), buf.get_u8(), buf.get_u8());
+    let client_port = buf.get_u16();
+    let server_ip = Ipv4Addr::new(buf.get_u8(), buf.get_u8(), buf.get_u8(), buf.get_u8());
+    let server_port = buf.get_u16();
+    Some(ConnKey { client_ip, client_port, server_ip, server_port })
+}
+
+impl SideMsg {
+    /// Serializes for the UDP channel.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(32);
+        match self {
+            SideMsg::Heartbeat { seq } => {
+                buf.put_u8(TAG_HEARTBEAT);
+                buf.put_u64(*seq);
+            }
+            SideMsg::BackupAck { conn, acked_next } => {
+                buf.put_u8(TAG_BACKUP_ACK);
+                put_key(&mut buf, conn);
+                buf.put_u32(*acked_next);
+            }
+            SideMsg::MissingReq { conn, from, len } => {
+                buf.put_u8(TAG_MISSING_REQ);
+                put_key(&mut buf, conn);
+                buf.put_u32(*from);
+                buf.put_u32(*len);
+            }
+            SideMsg::MissingData { conn, seq, data } => {
+                buf.put_u8(TAG_MISSING_DATA);
+                put_key(&mut buf, conn);
+                buf.put_u32(*seq);
+                buf.put_slice(data);
+            }
+            SideMsg::MissingNack { conn, from } => {
+                buf.put_u8(TAG_MISSING_NACK);
+                put_key(&mut buf, conn);
+                buf.put_u32(*from);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Parses a datagram payload; `None` on malformed input (the channel
+    /// simply drops garbage — it is an optimization path, never a
+    /// correctness dependency during failure-free operation).
+    pub fn decode(mut raw: Bytes) -> Option<SideMsg> {
+        if raw.is_empty() {
+            return None;
+        }
+        let tag = raw.get_u8();
+        match tag {
+            TAG_HEARTBEAT => {
+                if raw.len() < 8 {
+                    return None;
+                }
+                Some(SideMsg::Heartbeat { seq: raw.get_u64() })
+            }
+            TAG_BACKUP_ACK => {
+                let conn = get_key(&mut raw)?;
+                if raw.len() < 4 {
+                    return None;
+                }
+                Some(SideMsg::BackupAck { conn, acked_next: raw.get_u32() })
+            }
+            TAG_MISSING_REQ => {
+                let conn = get_key(&mut raw)?;
+                if raw.len() < 8 {
+                    return None;
+                }
+                Some(SideMsg::MissingReq { conn, from: raw.get_u32(), len: raw.get_u32() })
+            }
+            TAG_MISSING_DATA => {
+                let conn = get_key(&mut raw)?;
+                if raw.len() < 4 {
+                    return None;
+                }
+                let seq = raw.get_u32();
+                Some(SideMsg::MissingData { conn, seq, data: raw })
+            }
+            TAG_MISSING_NACK => {
+                let conn = get_key(&mut raw)?;
+                if raw.len() < 4 {
+                    return None;
+                }
+                Some(SideMsg::MissingNack { conn, from: raw.get_u32() })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> ConnKey {
+        ConnKey {
+            client_ip: Ipv4Addr::new(10, 0, 0, 1),
+            client_port: 43210,
+            server_ip: Ipv4Addr::new(10, 0, 0, 100),
+            server_port: 80,
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let msgs = vec![
+            SideMsg::Heartbeat { seq: 42 },
+            SideMsg::BackupAck { conn: key(), acked_next: 0xDEADBEEF },
+            SideMsg::MissingReq { conn: key(), from: 100, len: 4096 },
+            SideMsg::MissingData { conn: key(), seq: 100, data: Bytes::from_static(b"payload") },
+            SideMsg::MissingNack { conn: key(), from: 100 },
+        ];
+        for msg in msgs {
+            assert_eq!(SideMsg::decode(msg.encode()), Some(msg));
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert_eq!(SideMsg::decode(Bytes::new()), None);
+        assert_eq!(SideMsg::decode(Bytes::from_static(&[99, 1, 2, 3])), None);
+        assert_eq!(SideMsg::decode(Bytes::from_static(&[TAG_BACKUP_ACK, 1])), None);
+        // Truncated heartbeat.
+        assert_eq!(SideMsg::decode(Bytes::from_static(&[TAG_HEARTBEAT, 0, 0])), None);
+    }
+
+    #[test]
+    fn conn_key_quad_roundtrip() {
+        let q = key().server_quad();
+        assert_eq!(ConnKey::from_server_quad(q), key());
+        assert_eq!(q.local_ip, Ipv4Addr::new(10, 0, 0, 100));
+        assert_eq!(q.remote_port, 43210);
+    }
+
+    #[test]
+    fn ack_message_is_small() {
+        // The paper budgets 128 bytes for a full ack packet including
+        // all headers; our payload is a fraction of that.
+        let ack = SideMsg::BackupAck { conn: key(), acked_next: 1 };
+        assert!(ack.encode().len() <= 32, "ack payload stays tiny: {}", ack.encode().len());
+    }
+
+    #[test]
+    fn empty_missing_data_roundtrips() {
+        let msg = SideMsg::MissingData { conn: key(), seq: 5, data: Bytes::new() };
+        assert_eq!(SideMsg::decode(msg.encode()), Some(msg));
+    }
+}

@@ -1,0 +1,616 @@
+//! Simulation-node adapters: hosts that plug the sans-io stacks,
+//! engines, and applications into the `netsim` event loop.
+//!
+//! * [`ServerNode`] — a service host in one of three roles:
+//!   standard-TCP solo server (the paper's baseline), ST-TCP primary,
+//!   or ST-TCP backup.
+//! * [`ClientNode`] — an *unmodified* TCP client driving a workload;
+//!   deliberately built from the plain [`NetStack`] with no ST-TCP
+//!   code, because client transparency is the paper's core claim.
+//! * [`GatewayNode`] — the two-interface IP gateway of the tapping
+//!   architecture.
+//!
+//! Port conventions: port 0 is the LAN NIC; port 1 (servers only) is
+//! the management segment holding the power switch.
+
+use crate::backup::BackupEngine;
+use crate::config::SttcpConfig;
+use crate::messages::{ConnKey, SideMsg};
+use crate::primary::PrimaryEngine;
+use apps::{Application, StackApi};
+use bytes::Bytes;
+use netsim::node::{Context, Node, PortId};
+use netsim::power::power_off_frame;
+use netsim::{SimDuration, SimTime};
+use std::any::Any;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use tcpstack::{Gateway, NetStack, SeqNum, Side, SockId, StackConfig, UdpId};
+use wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, TcpFlags, TcpSegment};
+
+/// LAN-facing port of every host node.
+pub const LAN: PortId = PortId(0);
+/// Management port (servers): power switch segment.
+pub const MGMT: PortId = PortId(1);
+
+const TOK_STACK: u64 = 1;
+const TOK_TICK: u64 = 2;
+const TOK_CONNECT: u64 = 3;
+/// Application wake tokens: `TOK_APP_BASE + SockId.0`. Wakes may be
+/// spurious (timers cannot be cancelled); applications guard.
+const TOK_APP_BASE: u64 = 1000;
+
+/// Creates fresh application instances, one per accepted connection.
+pub type AppFactory = Box<dyn FnMut() -> Box<dyn Application> + Send>;
+
+/// The ST-TCP role a [`ServerNode`] plays.
+enum Role {
+    Solo,
+    Primary(PrimaryEngine),
+    Backup(BackupEngine),
+}
+
+struct ConnState {
+    app: Box<dyn Application>,
+    connected: bool,
+    peer_closed: bool,
+}
+
+/// Tracks the single timer the node keeps armed for stack deadlines,
+/// ignoring stale wake-ups.
+#[derive(Debug, Default)]
+struct StackTimer {
+    armed: Option<SimTime>,
+}
+
+impl StackTimer {
+    fn rearm(&mut self, ctx: &mut Context, deadline: Option<SimTime>) {
+        if let Some(d) = deadline {
+            if self.armed.map_or(true, |a| d < a) {
+                ctx.set_timer_at(d, TOK_STACK);
+                self.armed = Some(d);
+            }
+        }
+    }
+
+    fn fired(&mut self) {
+        self.armed = None;
+    }
+}
+
+/// A service host (solo / primary / backup). See the module docs.
+pub struct ServerNode {
+    stack: NetStack,
+    stack_cfg: StackConfig,
+    role: Role,
+    cfg: Option<SttcpConfig>,
+    peer_side_addr: Option<(Ipv4Addr, u16)>,
+    side_udp: Option<UdpId>,
+    listen_port: u16,
+    factory: AppFactory,
+    conns: HashMap<SockId, ConnState>,
+    timer: StackTimer,
+    booted: bool,
+    /// Times this node has booted (1 after a normal start).
+    pub boot_count: u32,
+    /// Accepted connections in order (diagnostics / tests).
+    pub accepted: Vec<SockId>,
+}
+
+impl ServerNode {
+    /// A standard-TCP server: the paper's baseline.
+    pub fn solo(stack_cfg: StackConfig, listen_port: u16, factory: AppFactory) -> Self {
+        ServerNode {
+            stack: NetStack::new(stack_cfg.clone()),
+            stack_cfg,
+            role: Role::Solo,
+            cfg: None,
+            peer_side_addr: None,
+            side_udp: None,
+            listen_port,
+            factory,
+            conns: HashMap::new(),
+            timer: StackTimer::default(),
+            booted: false,
+            boot_count: 0,
+            accepted: Vec::new(),
+        }
+    }
+
+    /// An ST-TCP primary; `backup_addr` is the backup's own (non-VIP)
+    /// address for the side channel.
+    pub fn primary(
+        stack_cfg: StackConfig,
+        cfg: SttcpConfig,
+        backup_addr: Ipv4Addr,
+        factory: AppFactory,
+    ) -> Self {
+        let engine = PrimaryEngine::new(cfg.clone(), SimTime::ZERO);
+        let peer = (backup_addr, cfg.side_channel_port);
+        ServerNode {
+            stack: NetStack::new(stack_cfg.clone()),
+            stack_cfg,
+            role: Role::Primary(engine),
+            peer_side_addr: Some(peer),
+            side_udp: None,
+            listen_port: cfg.service_port,
+            factory,
+            conns: HashMap::new(),
+            timer: StackTimer::default(),
+            booted: false,
+            boot_count: 0,
+            accepted: Vec::new(),
+            cfg: Some(cfg),
+        }
+    }
+
+    /// An ST-TCP backup; `primary_addr` is the primary's own (non-VIP)
+    /// address for the side channel.
+    pub fn backup(
+        stack_cfg: StackConfig,
+        cfg: SttcpConfig,
+        primary_addr: Ipv4Addr,
+        factory: AppFactory,
+    ) -> Self {
+        let x = cfg.effective_ack_threshold(stack_cfg.tcp.recv_buf);
+        let engine = BackupEngine::new(cfg.clone(), x, SimTime::ZERO);
+        let peer = (primary_addr, cfg.side_channel_port);
+        ServerNode {
+            stack: NetStack::new(stack_cfg.clone()),
+            stack_cfg,
+            role: Role::Backup(engine),
+            peer_side_addr: Some(peer),
+            side_udp: None,
+            listen_port: cfg.service_port,
+            factory,
+            conns: HashMap::new(),
+            timer: StackTimer::default(),
+            booted: false,
+            boot_count: 0,
+            accepted: Vec::new(),
+            cfg: Some(cfg),
+        }
+    }
+
+    /// The node's network stack (inspection).
+    pub fn stack(&self) -> &NetStack {
+        &self.stack
+    }
+
+    /// The primary engine, if this node is a primary.
+    pub fn primary_engine(&self) -> Option<&PrimaryEngine> {
+        match &self.role {
+            Role::Primary(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The backup engine, if this node is a backup.
+    pub fn backup_engine(&self) -> Option<&BackupEngine> {
+        match &self.role {
+            Role::Backup(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Concrete application instance attached to `sock`.
+    pub fn app<T: Application>(&self, sock: SockId) -> Option<&T> {
+        let app: &dyn Any = self.conns.get(&sock)?.app.as_ref();
+        app.downcast_ref::<T>()
+    }
+
+    fn tick_interval(&self) -> Option<SimDuration> {
+        match &self.role {
+            Role::Solo => None,
+            Role::Primary(_) => self.cfg.as_ref().map(|c| c.hb_interval),
+            Role::Backup(_) => self.cfg.as_ref().map(|c| c.effective_sync_time()),
+        }
+    }
+
+    /// Backup pre-inspection of raw frames: tapped primary→client
+    /// segments carry the primary's cumulative ACK.
+    fn inspect_tapped(&mut self, now: SimTime, frame: &Bytes) {
+        let Role::Backup(engine) = &mut self.role else {
+            return;
+        };
+        let Some(cfg) = &self.cfg else {
+            return;
+        };
+        let Ok(eth) = EthernetFrame::parse(frame.clone()) else {
+            return;
+        };
+        if eth.ethertype != EtherType::Ipv4 {
+            return;
+        }
+        let Ok(ip) = Ipv4Packet::parse(eth.payload) else {
+            return;
+        };
+        if ip.src != cfg.vip || ip.protocol != IpProtocol::Tcp {
+            return;
+        }
+        let Ok(seg) = TcpSegment::parse(ip.payload.clone(), ip.src, ip.dst) else {
+            return;
+        };
+        if !seg.flags.contains(TcpFlags::ACK) {
+            return;
+        }
+        let key = ConnKey {
+            client_ip: ip.dst,
+            client_port: seg.dst_port,
+            server_ip: ip.src,
+            server_port: seg.src_port,
+        };
+        engine.on_tapped_primary_segment(
+            now,
+            key,
+            SeqNum(seg.seq),
+            SeqNum(seg.ack),
+            seg.flags.contains(TcpFlags::SYN),
+            &mut self.stack,
+        );
+    }
+
+    fn pump(&mut self, ctx: &mut Context) {
+        let now = ctx.now();
+        // 1. Adopt newly established (or shadowed) connections.
+        while let Some(sock) = self.stack.accept(self.listen_port) {
+            let app = (self.factory)();
+            self.conns.insert(sock, ConnState { app, connected: false, peer_closed: false });
+            self.accepted.push(sock);
+            if let Role::Backup(engine) = &mut self.role {
+                if let Some(tcb) = self.stack.tcb(sock) {
+                    // Baseline at the start of the client's stream, NOT
+                    // the current rcv_nxt: when the client piggybacks
+                    // its handshake ACK on the first request, the shadow
+                    // establishes on a data-carrying frame and rcv_nxt
+                    // already covers bytes the primary must not discard
+                    // before we acknowledge them.
+                    engine.register_conn(ConnKey::from_server_quad(tcb.quad()), tcb.irs().add(1));
+                }
+            }
+        }
+        // 2. Drain the side channel.
+        if let Some(side) = self.side_udp {
+            while let Some(dgram) = self.stack.udp_recv(side) {
+                let Some(msg) = SideMsg::decode(dgram.payload) else {
+                    continue;
+                };
+                match &mut self.role {
+                    Role::Primary(e) => e.on_side_msg(now, msg, &mut self.stack),
+                    Role::Backup(e) => e.on_side_msg(now, msg, &mut self.stack),
+                    Role::Solo => {}
+                }
+            }
+        }
+        // 3. Pump applications.
+        let mut buf = [0u8; 4096];
+        for (&sock, conn) in self.conns.iter_mut() {
+            let Some(state) = self.stack.state(sock) else {
+                continue;
+            };
+            if !conn.connected && state.is_synchronized() {
+                conn.connected = true;
+                let mut api = StackApi::new(&mut self.stack, sock, now);
+                conn.app.on_connected(&mut api);
+                if let Some(after) = api.take_wake() {
+                    ctx.set_timer_after(after, TOK_APP_BASE + sock.0 as u64);
+                }
+            }
+            loop {
+                let n = self.stack.read(sock, &mut buf).unwrap_or(0);
+                if n == 0 {
+                    break;
+                }
+                let mut api = StackApi::new(&mut self.stack, sock, now);
+                conn.app.on_data(&buf[..n], &mut api);
+                if let Some(after) = api.take_wake() {
+                    ctx.set_timer_after(after, TOK_APP_BASE + sock.0 as u64);
+                }
+            }
+            if self.stack.tcb(sock).map(|t| t.writable() > 0).unwrap_or(false) {
+                let mut api = StackApi::new(&mut self.stack, sock, now);
+                conn.app.on_writable(&mut api);
+                if let Some(after) = api.take_wake() {
+                    ctx.set_timer_after(after, TOK_APP_BASE + sock.0 as u64);
+                }
+            }
+            if !conn.peer_closed && self.stack.tcb(sock).map(|t| t.peer_closed()).unwrap_or(false) {
+                conn.peer_closed = true;
+                let mut api = StackApi::new(&mut self.stack, sock, now);
+                conn.app.on_peer_closed(&mut api);
+                if let Some(after) = api.take_wake() {
+                    ctx.set_timer_after(after, TOK_APP_BASE + sock.0 as u64);
+                }
+            }
+        }
+        // 3b. Reap connections that have fully closed: drop the app and
+        // release the TCB slot (long-running servers must not grow
+        // without bound). `accepted` keeps the historical handle.
+        let dead: Vec<SockId> = self
+            .conns
+            .iter()
+            .filter(|(&sock, _)| {
+                matches!(self.stack.state(sock), None | Some(tcpstack::TcpState::Closed))
+            })
+            .map(|(&sock, _)| sock)
+            .collect();
+        for sock in dead {
+            self.conns.remove(&sock);
+            self.stack.release(sock);
+        }
+        // 4. Event-driven backup acks (the X-threshold rule).
+        if let Role::Backup(engine) = &mut self.role {
+            engine.maybe_send_acks(&mut self.stack, false);
+        }
+        // 5. Flush engine messages / fencing / logger queries.
+        self.flush_engine(now, ctx);
+        // 6. Transmit stack output and rearm the stack timer.
+        for frame in self.stack.poll(now) {
+            ctx.send_frame(LAN, frame);
+        }
+        self.timer.rearm(ctx, self.stack.next_deadline());
+    }
+
+    fn flush_engine(&mut self, now: SimTime, ctx: &mut Context) {
+        let Some((peer_ip, peer_port)) = self.peer_side_addr else {
+            return;
+        };
+        let Some(side) = self.side_udp else {
+            return;
+        };
+        let msgs = match &mut self.role {
+            Role::Primary(e) => e.take_outbox(),
+            Role::Backup(e) => e.take_outbox(),
+            Role::Solo => Vec::new(),
+        };
+        for msg in msgs {
+            self.stack.udp_send(now, side, peer_ip, peer_port, msg.encode());
+        }
+        if let Role::Backup(engine) = &mut self.role {
+            if let Some(outlet) = engine.take_fence_request() {
+                let mac = self.stack.config().mac;
+                ctx.send_frame(MGMT, power_off_frame(mac, outlet));
+            }
+            let mac = self.stack.config().mac;
+            for query in engine.take_logger_queries() {
+                ctx.send_frame(LAN, query.to_frame(mac));
+            }
+        }
+    }
+}
+
+impl Node for ServerNode {
+    fn on_start(&mut self, ctx: &mut Context) {
+        if self.booted {
+            // Power-on after a crash: a rebooted machine has lost every
+            // TCB, every application, and every engine state — model the
+            // amnesia faithfully. (Note the hazard this implies: a
+            // rebooted ex-primary knows nothing of connections that
+            // migrated away and will RST clients that still address it;
+            // see tests/primary_reboot.rs.)
+            self.stack = NetStack::new(self.stack_cfg.clone());
+            self.conns.clear();
+            self.accepted.clear();
+            self.timer = StackTimer::default();
+            let now = ctx.now();
+            self.role = match (&self.role, &self.cfg, self.peer_side_addr) {
+                (Role::Primary(_), Some(cfg), Some(_)) => {
+                    Role::Primary(PrimaryEngine::new(cfg.clone(), now))
+                }
+                (Role::Backup(_), Some(cfg), Some(_)) => {
+                    let x = cfg.effective_ack_threshold(self.stack_cfg.tcp.recv_buf);
+                    Role::Backup(BackupEngine::new(cfg.clone(), x, now))
+                }
+                _ => Role::Solo,
+            };
+        }
+        self.booted = true;
+        self.boot_count += 1;
+        self.stack.listen(self.listen_port);
+        if let Some(cfg) = &self.cfg {
+            self.side_udp = Some(self.stack.udp_bind(cfg.side_channel_port));
+        }
+        if let Some(tick) = self.tick_interval() {
+            ctx.set_timer_after(tick, TOK_TICK);
+        }
+        self.pump(ctx);
+    }
+
+    fn on_frame(&mut self, port: PortId, frame: Bytes, ctx: &mut Context) {
+        if port != LAN {
+            return; // nothing listens on the management port
+        }
+        self.inspect_tapped(ctx.now(), &frame);
+        self.stack.handle_frame(ctx.now(), frame);
+        self.pump(ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context) {
+        match token {
+            TOK_TICK => {
+                let now = ctx.now();
+                match &mut self.role {
+                    Role::Primary(e) => e.on_tick(now, &mut self.stack),
+                    Role::Backup(e) => e.on_tick(now, &mut self.stack),
+                    Role::Solo => {}
+                }
+                if let Some(tick) = self.tick_interval() {
+                    ctx.set_timer_after(tick, TOK_TICK);
+                }
+            }
+            TOK_STACK => self.timer.fired(),
+            t if t >= TOK_APP_BASE => {
+                let sock = SockId((t - TOK_APP_BASE) as usize);
+                let now = ctx.now();
+                if let Some(conn) = self.conns.get_mut(&sock) {
+                    let mut api = StackApi::new(&mut self.stack, sock, now);
+                    conn.app.on_wake(&mut api);
+                    if let Some(after) = api.take_wake() {
+                        ctx.set_timer_after(after, TOK_APP_BASE + sock.0 as u64);
+                    }
+                }
+            }
+            _ => {}
+        }
+        self.pump(ctx);
+    }
+}
+
+/// An unmodified TCP client driving one application over one connection.
+pub struct ClientNode {
+    stack: NetStack,
+    target: (Ipv4Addr, u16),
+    connect_delay: SimDuration,
+    app: Box<dyn Application>,
+    sock: Option<SockId>,
+    connected: bool,
+    peer_closed: bool,
+    timer: StackTimer,
+}
+
+impl ClientNode {
+    /// A client that connects to `target` `connect_delay` after start.
+    pub fn new(
+        stack_cfg: StackConfig,
+        target: (Ipv4Addr, u16),
+        connect_delay: SimDuration,
+        app: impl Application,
+    ) -> Self {
+        ClientNode {
+            stack: NetStack::new(stack_cfg),
+            target,
+            connect_delay,
+            app: Box::new(app),
+            sock: None,
+            connected: false,
+            peer_closed: false,
+            timer: StackTimer::default(),
+        }
+    }
+
+    /// The client's stack (inspection).
+    pub fn stack(&self) -> &NetStack {
+        &self.stack
+    }
+
+    /// The client's socket handle once connected.
+    pub fn sock(&self) -> Option<SockId> {
+        self.sock
+    }
+
+    /// The application, downcast to its concrete type.
+    pub fn app<T: Application>(&self) -> Option<&T> {
+        let app: &dyn Any = self.app.as_ref();
+        app.downcast_ref::<T>()
+    }
+
+    fn pump(&mut self, ctx: &mut Context) {
+        let now = ctx.now();
+        if let Some(sock) = self.sock {
+            if let Some(state) = self.stack.state(sock) {
+                if !self.connected && state.is_synchronized() {
+                    self.connected = true;
+                    let mut api = StackApi::new(&mut self.stack, sock, now);
+                    self.app.on_connected(&mut api);
+                    if let Some(after) = api.take_wake() {
+                        ctx.set_timer_after(after, TOK_APP_BASE);
+                    }
+                }
+            }
+            let mut buf = [0u8; 4096];
+            loop {
+                let n = self.stack.read(sock, &mut buf).unwrap_or(0);
+                if n == 0 {
+                    break;
+                }
+                let mut api = StackApi::new(&mut self.stack, sock, now);
+                self.app.on_data(&buf[..n], &mut api);
+                if let Some(after) = api.take_wake() {
+                    ctx.set_timer_after(after, TOK_APP_BASE);
+                }
+            }
+            if self.stack.tcb(sock).map(|t| t.writable() > 0).unwrap_or(false) {
+                let mut api = StackApi::new(&mut self.stack, sock, now);
+                self.app.on_writable(&mut api);
+                if let Some(after) = api.take_wake() {
+                    ctx.set_timer_after(after, TOK_APP_BASE);
+                }
+            }
+            if !self.peer_closed && self.stack.tcb(sock).map(|t| t.peer_closed()).unwrap_or(false) {
+                self.peer_closed = true;
+                let mut api = StackApi::new(&mut self.stack, sock, now);
+                self.app.on_peer_closed(&mut api);
+                if let Some(after) = api.take_wake() {
+                    ctx.set_timer_after(after, TOK_APP_BASE);
+                }
+            }
+        }
+        for frame in self.stack.poll(now) {
+            ctx.send_frame(LAN, frame);
+        }
+        self.timer.rearm(ctx, self.stack.next_deadline());
+    }
+}
+
+impl Node for ClientNode {
+    fn on_start(&mut self, ctx: &mut Context) {
+        ctx.set_timer_after(self.connect_delay, TOK_CONNECT);
+    }
+
+    fn on_frame(&mut self, _port: PortId, frame: Bytes, ctx: &mut Context) {
+        self.stack.handle_frame(ctx.now(), frame);
+        self.pump(ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context) {
+        match token {
+            TOK_CONNECT => {
+                if self.sock.is_none() {
+                    self.sock = self.stack.connect(ctx.now(), self.target.0, self.target.1).ok();
+                }
+            }
+            TOK_STACK => self.timer.fired(),
+            t if t >= TOK_APP_BASE => {
+                if let Some(sock) = self.sock {
+                    let now = ctx.now();
+                    let mut api = StackApi::new(&mut self.stack, sock, now);
+                    self.app.on_wake(&mut api);
+                    if let Some(after) = api.take_wake() {
+                        ctx.set_timer_after(after, TOK_APP_BASE);
+                    }
+                }
+            }
+            _ => {}
+        }
+        self.pump(ctx);
+    }
+}
+
+/// The two-interface gateway as a simulation node: port 0 = side A
+/// (clients), port 1 = side B (server LAN).
+pub struct GatewayNode {
+    gw: Gateway,
+}
+
+impl GatewayNode {
+    /// Wraps a configured [`Gateway`].
+    pub fn new(gw: Gateway) -> Self {
+        GatewayNode { gw }
+    }
+
+    /// The inner gateway (inspection).
+    pub fn gateway(&self) -> &Gateway {
+        &self.gw
+    }
+}
+
+impl Node for GatewayNode {
+    fn on_frame(&mut self, port: PortId, frame: Bytes, ctx: &mut Context) {
+        let side = if port == PortId(0) { Side::A } else { Side::B };
+        self.gw.handle_frame(side, frame);
+        for (out_side, out_frame) in self.gw.poll() {
+            let out_port = PortId(out_side.index());
+            ctx.send_frame(out_port, out_frame);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! The primary-side ST-TCP engine.
+//!
+//! Beyond running an unmodified service over the (retention-extended)
+//! TCP stack, the primary:
+//!
+//! * applies the backup's cumulative acknowledgments to each
+//!   connection's retention buffer (`LastByteAcked`, §4.2);
+//! * serves missing-segment requests from retained bytes;
+//! * emits periodic heartbeats and monitors the backup, transitioning
+//!   to **non-fault-tolerant mode** (retention off) when the backup
+//!   misses its heartbeat deadline (§4.4).
+
+use crate::config::SttcpConfig;
+use crate::messages::{ConnKey, SideMsg};
+use bytes::Bytes;
+use netsim::SimTime;
+use tcpstack::{NetStack, SeqNum};
+
+/// Primary-side counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrimaryStats {
+    /// Backup acks applied.
+    pub backup_acks: u64,
+    /// Missing-segment requests served (fully or partially).
+    pub missing_served: u64,
+    /// Missing-segment requests refused.
+    pub missing_nacked: u64,
+    /// Heartbeats sent.
+    pub hbs_sent: u64,
+    /// Bytes re-sent over the side channel.
+    pub missing_bytes_sent: u64,
+    /// Times a silent backup came back (reintegration, an extension —
+    /// the paper stops at the transition to non-fault-tolerant mode).
+    pub reintegrations: u64,
+}
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct PrimaryEngine {
+    cfg: SttcpConfig,
+    backup_alive: bool,
+    last_backup_heard: Option<SimTime>,
+    backup_dead_at: Option<SimTime>,
+    hb_seq: u64,
+    outbox: Vec<SideMsg>,
+    /// Counters.
+    pub stats: PrimaryStats,
+}
+
+/// Side-channel datagrams are kept under this payload size.
+pub const SIDE_CHUNK: usize = 1024;
+
+impl PrimaryEngine {
+    /// Creates the engine; `now` starts the backup-liveness clock (the
+    /// backup gets a full detection window to say hello).
+    pub fn new(cfg: SttcpConfig, now: SimTime) -> Self {
+        PrimaryEngine {
+            cfg,
+            backup_alive: true,
+            last_backup_heard: Some(now),
+            backup_dead_at: None,
+            hb_seq: 0,
+            outbox: Vec::new(),
+            stats: PrimaryStats::default(),
+        }
+    }
+
+    /// Whether the backup is considered alive (fault-tolerant mode).
+    pub fn backup_alive(&self) -> bool {
+        self.backup_alive
+    }
+
+    /// When the backup was declared dead, if it was.
+    pub fn backup_dead_at(&self) -> Option<SimTime> {
+        self.backup_dead_at
+    }
+
+    /// Handles one side-channel message from the backup.
+    pub fn on_side_msg(&mut self, now: SimTime, msg: SideMsg, stack: &mut NetStack) {
+        self.last_backup_heard = Some(now);
+        if !self.backup_alive {
+            // Reintegration (extension beyond the paper): a backup that
+            // returns — typically rebooted — resumes protecting *new*
+            // connections. Existing connections stay unprotected: their
+            // retention was released when the backup was declared dead,
+            // so their history is unrecoverable (short of the logger).
+            self.backup_alive = true;
+            self.backup_dead_at = None;
+            self.stats.reintegrations += 1;
+        }
+        match msg {
+            SideMsg::Heartbeat { .. } => {}
+            SideMsg::BackupAck { conn, acked_next } => {
+                self.stats.backup_acks += 1;
+                if let Some(sock) = stack.sock_by_quad(conn.server_quad()) {
+                    if let Some(tcb) = stack.tcb_mut(sock) {
+                        tcb.set_backup_acked(SeqNum(acked_next));
+                    }
+                }
+            }
+            SideMsg::MissingReq { conn, from, len } => {
+                self.serve_missing(conn, SeqNum(from), len as usize, stack);
+            }
+            // Primary-bound only; a primary never receives these.
+            SideMsg::MissingData { .. } | SideMsg::MissingNack { .. } => {}
+        }
+    }
+
+    fn serve_missing(&mut self, conn: ConnKey, from: SeqNum, len: usize, stack: &mut NetStack) {
+        let Some(sock) = stack.sock_by_quad(conn.server_quad()) else {
+            self.stats.missing_nacked += 1;
+            self.outbox.push(SideMsg::MissingNack { conn, from: from.raw() });
+            return;
+        };
+        let Some(tcb) = stack.tcb(sock) else {
+            self.stats.missing_nacked += 1;
+            self.outbox.push(SideMsg::MissingNack { conn, from: from.raw() });
+            return;
+        };
+        // Clamp the request to what we actually hold: [floor, rcv_nxt).
+        let rcv_nxt = tcb.rcv_nxt();
+        let want_end = from.add(len as u32).min(rcv_nxt);
+        let avail = want_end.distance(from);
+        if avail <= 0 {
+            self.stats.missing_nacked += 1;
+            self.outbox.push(SideMsg::MissingNack { conn, from: from.raw() });
+            return;
+        }
+        match tcb.fetch_rx(from, avail as usize) {
+            Some(bytes) => {
+                self.stats.missing_served += 1;
+                self.stats.missing_bytes_sent += bytes.len() as u64;
+                for (i, chunk) in bytes.chunks(SIDE_CHUNK).enumerate() {
+                    let seq = from.add((i * SIDE_CHUNK) as u32);
+                    self.outbox.push(SideMsg::MissingData {
+                        conn,
+                        seq: seq.raw(),
+                        data: Bytes::copy_from_slice(chunk),
+                    });
+                }
+            }
+            None => {
+                // The range fell below the retention floor — should not
+                // happen while retention is on (that is the §4.2
+                // guarantee), but can after a transition to
+                // non-fault-tolerant mode.
+                self.stats.missing_nacked += 1;
+                self.outbox.push(SideMsg::MissingNack { conn, from: from.raw() });
+            }
+        }
+    }
+
+    /// Periodic tick (every `hb_interval`): emit a heartbeat, check the
+    /// backup's liveness.
+    pub fn on_tick(&mut self, now: SimTime, stack: &mut NetStack) {
+        self.hb_seq += 1;
+        self.stats.hbs_sent += 1;
+        self.outbox.push(SideMsg::Heartbeat { seq: self.hb_seq });
+        if self.backup_alive {
+            let deadline =
+                self.cfg.hb_interval.saturating_mul(u64::from(self.cfg.missed_hb_threshold));
+            let silent = self
+                .last_backup_heard
+                .and_then(|t| now.checked_duration_since(t))
+                .map(|d| d > deadline)
+                .unwrap_or(false);
+            if silent {
+                // §4.4: "On detecting failure of the backup, the primary
+                // transitions to non-fault-tolerant mode."
+                self.backup_alive = false;
+                self.backup_dead_at = Some(now);
+                let socks: Vec<_> = stack.socks().collect();
+                for sock in socks {
+                    if let Some(tcb) = stack.tcb_mut(sock) {
+                        tcb.disable_retention();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains queued side-channel messages.
+    pub fn take_outbox(&mut self) -> Vec<SideMsg> {
+        std::mem::take(&mut self.outbox)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SimDuration;
+    use std::net::Ipv4Addr;
+    use tcpstack::StackConfig;
+    use wire::MacAddr;
+
+    const VIP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 100);
+
+    fn cfg() -> SttcpConfig {
+        SttcpConfig::new(VIP, 80)
+    }
+
+    fn stack() -> NetStack {
+        let mut c = StackConfig::host(MacAddr::local(2), Ipv4Addr::new(10, 0, 0, 2));
+        c.extra_ips = vec![VIP];
+        NetStack::new(c)
+    }
+
+    fn key() -> ConnKey {
+        ConnKey {
+            client_ip: Ipv4Addr::new(10, 0, 0, 1),
+            client_port: 40000,
+            server_ip: VIP,
+            server_port: 80,
+        }
+    }
+
+    #[test]
+    fn heartbeats_flow_every_tick() {
+        let mut e = PrimaryEngine::new(cfg(), SimTime::ZERO);
+        let mut s = stack();
+        e.on_tick(SimTime::ZERO + SimDuration::from_millis(50), &mut s);
+        e.on_tick(SimTime::ZERO + SimDuration::from_millis(100), &mut s);
+        let out = e.take_outbox();
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out[0], SideMsg::Heartbeat { seq: 1 }));
+        assert!(matches!(out[1], SideMsg::Heartbeat { seq: 2 }));
+        assert_eq!(e.stats.hbs_sent, 2);
+    }
+
+    #[test]
+    fn backup_declared_dead_after_threshold() {
+        let mut e = PrimaryEngine::new(cfg(), SimTime::ZERO);
+        let mut s = stack();
+        // Backup says hello at t=0 (constructor). Threshold = 3 * 50ms.
+        let t1 = SimTime::ZERO + SimDuration::from_millis(100);
+        e.on_side_msg(t1, SideMsg::Heartbeat { seq: 1 }, &mut s);
+        // Still fine at t1 + 150ms.
+        e.on_tick(t1 + SimDuration::from_millis(150), &mut s);
+        assert!(e.backup_alive());
+        // Dead after more than 150ms of silence.
+        e.on_tick(t1 + SimDuration::from_millis(151), &mut s);
+        assert!(!e.backup_alive());
+        assert_eq!(e.backup_dead_at(), Some(t1 + SimDuration::from_millis(151)));
+    }
+
+    #[test]
+    fn missing_req_for_unknown_conn_nacks() {
+        let mut e = PrimaryEngine::new(cfg(), SimTime::ZERO);
+        let mut s = stack();
+        e.on_side_msg(
+            SimTime::ZERO,
+            SideMsg::MissingReq { conn: key(), from: 0, len: 100 },
+            &mut s,
+        );
+        let out = e.take_outbox();
+        assert_eq!(out, vec![SideMsg::MissingNack { conn: key(), from: 0 }]);
+        assert_eq!(e.stats.missing_nacked, 1);
+    }
+
+    #[test]
+    fn any_side_message_counts_as_liveness() {
+        let mut e = PrimaryEngine::new(cfg(), SimTime::ZERO);
+        let mut s = stack();
+        let late = SimTime::ZERO + SimDuration::from_secs(10);
+        // Without this message the backup would be long dead.
+        e.on_side_msg(late, SideMsg::BackupAck { conn: key(), acked_next: 0 }, &mut s);
+        e.on_tick(late + SimDuration::from_millis(100), &mut s);
+        assert!(e.backup_alive());
+    }
+}

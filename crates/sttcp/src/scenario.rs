@@ -1,0 +1,461 @@
+//! Ready-made experiment topologies.
+//!
+//! Builds the paper's testbed (§6: client, primary, backup on a
+//! 10/100 Mbit hub) and the switched-Ethernet tapping architectures of
+//! §3.1, wiring [`crate::node`] adapters into a [`netsim::Simulator`].
+//!
+//! Calibration: 100 Mbit links with 2.5 ms one-way latency per hop give
+//! a ≈10 ms client↔server RTT; with the 12×MSS (17 520 B) receive window this
+//! reproduces the paper's measured bulk throughput (≈1.56 MB/s — 100 MB
+//! in ≈64 s) and echo exchange time (≈9–10 ms), so Tables 1–2 can be
+//! compared in absolute terms. See DESIGN.md §2.
+
+use crate::config::SttcpConfig;
+use crate::node::{ClientNode, GatewayNode, ServerNode, LAN, MGMT};
+use apps::{Application, BulkServer, EchoServer, InteractiveServer, RunMetrics, UploadServer, Workload, WorkloadClient};
+use netsim::node::{NodeId, PortId};
+use netsim::{Hub, LinkSpec, PacketLogger, PowerSwitch, SharedHub, SimDuration, SimTime, Simulator, Switch};
+use tcpstack::{Gateway, GatewayIface, StackConfig, TcpConfig};
+use wire::MacAddr;
+
+/// Standard experiment addresses.
+pub mod addrs {
+    use std::net::Ipv4Addr;
+
+    /// The client's address (hub/switch topologies).
+    pub const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    /// The primary's own (non-service) address.
+    pub const PRIMARY: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+    /// The backup's own address.
+    pub const BACKUP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
+    /// The virtual service IP (`SVI`).
+    pub const VIP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 100);
+    /// Client address in the gateway topology (remote subnet).
+    pub const REMOTE_CLIENT: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 10);
+    /// Gateway address on the client subnet.
+    pub const GW_CLIENT_SIDE: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 1);
+    /// Gateway address on the server LAN (`GVI`).
+    pub const GW_LAN_SIDE: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 254);
+}
+
+/// How the backup taps the service traffic (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Broadcast hub — the paper's actual testbed (§6). Idealized: each
+    /// port serializes independently (no shared-medium contention).
+    Hub,
+    /// A half-duplex shared-medium hub at the given line rate: one
+    /// frame on the wire at a time, so data, ACKs and the side channel
+    /// contend — the device the paper actually measured on, and the
+    /// reason §6 notes "using an Ethernet switch will lead to a higher
+    /// throughput".
+    SharedMediumHub {
+        /// Medium line rate in bits/s (the paper's hub: 10/100 Mbit).
+        medium_bps: u64,
+    },
+    /// Managed switch with port mirroring of the primary's port.
+    SwitchMirror,
+    /// Switch + unicast-IP→multicast-MAC mapping (`SVI→SME`,
+    /// client→`CME`), no management features needed.
+    SwitchMulticast,
+    /// The full §3.1 architecture: remote client behind a gateway whose
+    /// static ARP maps `SVI→SME`; the server LAN switch floods the
+    /// multicast tap; server→client traffic rides `GVI→GME`.
+    GatewaySwitch,
+}
+
+/// What kind of server deployment to build.
+#[derive(Debug, Clone)]
+pub enum Deployment {
+    /// A single standard-TCP server — the paper's baseline rows.
+    StandardTcp,
+    /// Primary + active backup running ST-TCP.
+    StTcp(SttcpConfig),
+}
+
+/// Everything needed to build one experiment run.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Tapping architecture.
+    pub topology: Topology,
+    /// Baseline or ST-TCP.
+    pub deployment: Deployment,
+    /// Client workload.
+    pub workload: Workload,
+    /// Per-hop link characteristics.
+    pub link: LinkSpec,
+    /// Crash the primary at this instant (virtual time).
+    pub crash_primary_at: Option<SimTime>,
+    /// Insert the in-network packet logger (§3.2).
+    pub with_logger: bool,
+    /// Attach a power switch on the management segment.
+    pub with_power_switch: bool,
+    /// TCP tuning template for all hosts (retention/shadow flags are set
+    /// per role automatically).
+    pub tcp: TcpConfig,
+    /// Have the client close the connection after its final response
+    /// (exercises FIN choreography, §4-adjacent).
+    pub close_when_done: bool,
+    /// Per-request server compute ("think") time for the Interactive
+    /// workload. The paper's measured 20 ms/exchange implies ≈9 ms of
+    /// server-side work its text does not model; this knob reproduces
+    /// their absolute numbers when desired.
+    pub interactive_think: SimDuration,
+    /// Simulator RNG seed.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// The paper's testbed defaults: hub topology, calibrated LAN links,
+    /// standard TCP, no faults.
+    pub fn new(workload: Workload) -> Self {
+        ScenarioSpec {
+            topology: Topology::Hub,
+            deployment: Deployment::StandardTcp,
+            workload,
+            link: LinkSpec::lan(),
+            crash_primary_at: None,
+            with_logger: false,
+            with_power_switch: false,
+            tcp: TcpConfig::default(),
+            close_when_done: false,
+            interactive_think: SimDuration::ZERO,
+            seed: 0xE4A1,
+        }
+    }
+
+    /// Switches to an ST-TCP deployment (builder style).
+    #[must_use]
+    pub fn st_tcp(mut self, cfg: SttcpConfig) -> Self {
+        self.deployment = Deployment::StTcp(cfg);
+        self
+    }
+
+    /// Schedules a primary crash (builder style).
+    #[must_use]
+    pub fn crash_at(mut self, at: SimTime) -> Self {
+        self.crash_primary_at = Some(at);
+        self
+    }
+
+    /// Selects the tapping topology (builder style).
+    #[must_use]
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Adds the packet logger (builder style).
+    #[must_use]
+    pub fn with_logger(mut self) -> Self {
+        self.with_logger = true;
+        self
+    }
+
+    /// Adds the power switch (builder style).
+    #[must_use]
+    pub fn with_power_switch(mut self) -> Self {
+        self.with_power_switch = true;
+        self
+    }
+
+    /// The client closes after its final response (builder style).
+    #[must_use]
+    pub fn closing(mut self) -> Self {
+        self.close_when_done = true;
+        self
+    }
+}
+
+/// A built scenario: the simulator plus the ids of every node of
+/// interest.
+pub struct Scenario {
+    /// The simulator, ready to run.
+    pub sim: Simulator,
+    /// The workload client.
+    pub client: NodeId,
+    /// The primary (or the solo standard-TCP server).
+    pub primary: NodeId,
+    /// The backup, when deployed.
+    pub backup: Option<NodeId>,
+    /// The hub or switch at the LAN core.
+    pub fabric: NodeId,
+    /// The in-network logger, when present.
+    pub logger: Option<NodeId>,
+    /// The power switch, when present.
+    pub power: Option<NodeId>,
+    /// The gateway, in the gateway topology.
+    pub gateway: Option<NodeId>,
+}
+
+fn make_server_app(workload: Workload, think: SimDuration) -> Box<dyn Application> {
+    match workload {
+        Workload::Echo { .. } => Box::new(EchoServer::new()),
+        Workload::Interactive { requests: _, reply_size } => Box::new(
+            InteractiveServer::with_sizes(apps::REQUEST_SIZE, reply_size).with_think_time(think),
+        ),
+        Workload::Bulk { file_size } => Box::new(BulkServer::new(file_size)),
+        Workload::Upload { file_size } => Box::new(UploadServer::new(file_size)),
+    }
+}
+
+/// Builds the simulator for `spec`.
+pub fn build(spec: &ScenarioSpec) -> Scenario {
+    let sme = MacAddr::multicast_for_ip(addrs::VIP);
+    let cme = MacAddr::multicast_for_ip(addrs::CLIENT);
+    let gme = MacAddr::multicast_for_ip(addrs::GW_LAN_SIDE);
+    let mut sim = Simulator::with_seed(spec.seed);
+    let workload = spec.workload;
+
+    // --- client -----------------------------------------------------
+    let gateway_topology = spec.topology == Topology::GatewaySwitch;
+    let client_ip = if gateway_topology { addrs::REMOTE_CLIENT } else { addrs::CLIENT };
+    let mut client_cfg = StackConfig::host(MacAddr::local(1), client_ip);
+    client_cfg.isn_seed = spec.seed ^ 0x1111;
+    client_cfg.tcp = spec.tcp.clone();
+    match spec.topology {
+        Topology::Hub | Topology::SharedMediumHub { .. } | Topology::SwitchMirror => {}
+        Topology::SwitchMulticast => {
+            // The client plays the gateway's role: static SVI→SME entry,
+            // and it accepts the multicast MAC the servers use to reach it.
+            client_cfg.static_arp.push((addrs::VIP, sme));
+            client_cfg.accept_macs.push(cme);
+        }
+        Topology::GatewaySwitch => {
+            client_cfg.gateway = Some(addrs::GW_CLIENT_SIDE);
+        }
+    }
+    let client_app = if spec.close_when_done {
+        WorkloadClient::new(workload).closing()
+    } else {
+        WorkloadClient::new(workload)
+    };
+    let client =
+        sim.add_node("client", ClientNode::new(client_cfg, (addrs::VIP, 80), SimDuration::from_millis(1), client_app));
+
+    // --- servers ----------------------------------------------------
+    let think = spec.interactive_think;
+    let mk_factory = move || -> crate::node::AppFactory {
+        Box::new(move || make_server_app(workload, think))
+    };
+
+    let mut primary_cfg = StackConfig::host(MacAddr::local(2), addrs::PRIMARY);
+    primary_cfg.extra_ips = vec![addrs::VIP];
+    primary_cfg.isn_seed = spec.seed ^ 0x2222;
+    primary_cfg.learn_from_ip = true;
+    primary_cfg.tcp = spec.tcp.clone();
+    match spec.topology {
+        Topology::Hub | Topology::SharedMediumHub { .. } | Topology::SwitchMirror => {}
+        Topology::SwitchMulticast => {
+            primary_cfg.accept_macs.push(sme);
+            primary_cfg.static_arp.push((addrs::CLIENT, cme));
+        }
+        Topology::GatewaySwitch => {
+            primary_cfg.accept_macs.push(sme);
+            primary_cfg.gateway = Some(addrs::GW_LAN_SIDE);
+            primary_cfg.static_arp.push((addrs::GW_LAN_SIDE, gme));
+        }
+    }
+
+    let (primary, backup) = match &spec.deployment {
+        Deployment::StandardTcp => {
+            let node = ServerNode::solo(primary_cfg, 80, mk_factory());
+            (sim.add_node("server", node), None)
+        }
+        Deployment::StTcp(sttcp_cfg) => {
+            let mut p_tcp = spec.tcp.clone();
+            p_tcp.retention_buf = p_tcp.recv_buf; // "double the space" (§4.2)
+            let mut p_cfg = primary_cfg.clone();
+            p_cfg.tcp = p_tcp;
+            let p_node = ServerNode::primary(p_cfg, sttcp_cfg.clone(), addrs::BACKUP, mk_factory());
+            let primary = sim.add_node("primary", p_node);
+
+            let mut b_cfg = StackConfig::host(MacAddr::local(3), addrs::BACKUP);
+            b_cfg.extra_ips = vec![addrs::VIP];
+            b_cfg.isn_seed = spec.seed ^ 0x3333;
+            b_cfg.learn_from_ip = true;
+            b_cfg.suppressed_ips = vec![addrs::VIP];
+            let mut b_tcp = spec.tcp.clone();
+            b_tcp.shadow = true;
+            b_cfg.tcp = b_tcp;
+            match spec.topology {
+                Topology::Hub | Topology::SharedMediumHub { .. } | Topology::SwitchMirror => {
+                    b_cfg.promiscuous = true;
+                }
+                Topology::SwitchMulticast => {
+                    b_cfg.accept_macs.extend([sme, cme]);
+                    b_cfg.static_arp.push((addrs::CLIENT, cme));
+                }
+                Topology::GatewaySwitch => {
+                    b_cfg.accept_macs.extend([sme, gme]);
+                    b_cfg.gateway = Some(addrs::GW_LAN_SIDE);
+                    b_cfg.static_arp.push((addrs::GW_LAN_SIDE, gme));
+                }
+            }
+            let b_node = ServerNode::backup(b_cfg, sttcp_cfg.clone(), addrs::PRIMARY, mk_factory());
+            (primary, Some(sim.add_node("backup", b_node)))
+        }
+    };
+
+    // --- fabric and wiring -------------------------------------------
+    let mut logger = None;
+    let mut gateway = None;
+    let fabric = match spec.topology {
+        Topology::SharedMediumHub { medium_bps } => {
+            // The medium does the serialization; port cables carry
+            // latency only (no double-counted bandwidth).
+            let cable = LinkSpec {
+                latency: spec.link.latency,
+                bandwidth_bps: None,
+                loss: spec.link.loss,
+                max_queue: None,
+                jitter: spec.link.jitter,
+            };
+            let fabric = sim.add_node("shared-hub", SharedHub::new(4, medium_bps));
+            if spec.with_logger {
+                let half = cable.with_latency(spec.link.latency / 2);
+                let lg = sim.add_node("logger", PacketLogger::with_defaults());
+                sim.connect(client, LAN, lg, PortId(0), half);
+                sim.connect(lg, PortId(1), fabric, PortId(0), half);
+                logger = Some(lg);
+            } else {
+                sim.connect(client, LAN, fabric, PortId(0), cable);
+            }
+            sim.connect(primary, LAN, fabric, PortId(1), cable);
+            if let Some(b) = backup {
+                sim.connect(b, LAN, fabric, PortId(2), cable);
+            }
+            fabric
+        }
+        Topology::Hub => {
+            let fabric = sim.add_node("hub", Hub::new(4));
+            if spec.with_logger {
+                // Inline on the client's path, splitting the hop latency
+                // so the end-to-end RTT is unchanged ("the logger
+                // introduces a very small delay", §3.2).
+                let half = spec.link.with_latency(spec.link.latency / 2);
+                let lg = sim.add_node("logger", PacketLogger::with_defaults());
+                sim.connect(client, LAN, lg, PortId(0), half);
+                sim.connect(lg, PortId(1), fabric, PortId(0), half);
+                logger = Some(lg);
+            } else {
+                sim.connect(client, LAN, fabric, PortId(0), spec.link);
+            }
+            sim.connect(primary, LAN, fabric, PortId(1), spec.link);
+            if let Some(b) = backup {
+                sim.connect(b, LAN, fabric, PortId(2), spec.link);
+            }
+            fabric
+        }
+        Topology::SwitchMirror | Topology::SwitchMulticast => {
+            let mut sw = Switch::new(4);
+            if spec.topology == Topology::SwitchMirror {
+                sw.add_mirror(PortId(1), PortId(2)); // primary's port → backup
+            }
+            let fabric = sim.add_node("switch", sw);
+            sim.connect(client, LAN, fabric, PortId(0), spec.link);
+            sim.connect(primary, LAN, fabric, PortId(1), spec.link);
+            if let Some(b) = backup {
+                sim.connect(b, LAN, fabric, PortId(2), spec.link);
+            }
+            fabric
+        }
+        Topology::GatewaySwitch => {
+            let fabric = sim.add_node("switch", Switch::new(4));
+            // Gateway between the client subnet and the LAN, static
+            // SVI→SME on the LAN side (the paper's key entry).
+            let gw = Gateway::new(
+                GatewayIface { mac: MacAddr::local(10), ip: addrs::GW_CLIENT_SIDE, netmask_bits: 24 },
+                GatewayIface { mac: MacAddr::local(11), ip: addrs::GW_LAN_SIDE, netmask_bits: 24 },
+                [],
+                [(addrs::VIP, sme)],
+            );
+            let gw_id = sim.add_node("gateway", GatewayNode::new(gw));
+            gateway = Some(gw_id);
+            sim.connect(client, LAN, gw_id, PortId(0), spec.link);
+            if spec.with_logger {
+                let lg = sim.add_node("logger", PacketLogger::with_defaults());
+                sim.connect(gw_id, PortId(1), lg, PortId(0), spec.link);
+                sim.connect(lg, PortId(1), fabric, PortId(0), spec.link);
+                logger = Some(lg);
+            } else {
+                sim.connect(gw_id, PortId(1), fabric, PortId(0), spec.link);
+            }
+            sim.connect(primary, LAN, fabric, PortId(1), spec.link);
+            if let Some(b) = backup {
+                sim.connect(b, LAN, fabric, PortId(2), spec.link);
+            }
+            fabric
+        }
+    };
+    // --- power switch -------------------------------------------------
+    let mut power = None;
+    if spec.with_power_switch {
+        if let Some(b) = backup {
+            let psw = sim.add_node("power-switch", PowerSwitch::new(vec![primary]));
+            sim.connect(b, MGMT, psw, PortId(0), LinkSpec::lan());
+            power = Some(psw);
+        }
+    }
+
+    // --- faults -------------------------------------------------------
+    if let Some(at) = spec.crash_primary_at {
+        sim.schedule_crash(primary, at);
+    }
+
+    Scenario { sim, client, primary, backup, fabric, logger, power, gateway }
+}
+
+impl Scenario {
+    /// Runs until the client workload completes (or `limit` virtual
+    /// time passes) and returns the client's metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload does not finish within `limit` — a hung
+    /// experiment is a bug worth failing loudly on. Use
+    /// [`Scenario::try_run_to_completion`] for experiments where a hang
+    /// is an expected outcome (e.g. unmasked double failures).
+    pub fn run_to_completion(&mut self, limit: SimDuration) -> RunMetrics {
+        match self.try_run_to_completion(limit) {
+            Some(metrics) => metrics,
+            None => panic!(
+                "workload did not complete within {limit} (received {} bytes)",
+                self.client_app().metrics.bytes_received
+            ),
+        }
+    }
+
+    /// Like [`Scenario::run_to_completion`], but returns `None` instead
+    /// of panicking when the workload does not finish within `limit`.
+    pub fn try_run_to_completion(&mut self, limit: SimDuration) -> Option<RunMetrics> {
+        let deadline = self.sim.now() + limit;
+        let chunk = SimDuration::from_millis(50);
+        while self.sim.now() < deadline {
+            self.sim.run_for(chunk);
+            if self.client_app().is_done() {
+                return Some(self.client_app().metrics.clone());
+            }
+        }
+        None
+    }
+
+    /// The client's workload driver.
+    pub fn client_app(&self) -> &WorkloadClient {
+        self.sim
+            .node_ref::<ClientNode>(self.client)
+            .app::<WorkloadClient>()
+            .expect("client runs a WorkloadClient")
+    }
+
+    /// The backup's engine, when deployed.
+    pub fn backup_engine(&self) -> Option<&crate::backup::BackupEngine> {
+        let b = self.backup?;
+        self.sim.node_ref::<ServerNode>(b).backup_engine()
+    }
+
+    /// The primary's engine, when deployed as ST-TCP.
+    pub fn primary_engine(&self) -> Option<&crate::primary::PrimaryEngine> {
+        self.sim.node_ref::<ServerNode>(self.primary).primary_engine()
+    }
+}

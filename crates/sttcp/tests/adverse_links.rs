@@ -1,0 +1,83 @@
+//! ST-TCP over adverse links: a congested bottleneck (bounded queue →
+//! real tail-drop loss → Reno fast retransmit) and heavy jitter (frame
+//! reordering). Neither fault class appears in the paper's clean-LAN
+//! evaluation, but a production deployment sees both daily.
+
+use apps::Workload;
+use netsim::{LinkSpec, SimDuration, SimTime};
+use sttcp::scenario::{addrs, build, ScenarioSpec};
+use sttcp::{ServerNode, SttcpConfig};
+
+fn secs(s: f64) -> SimDuration {
+    SimDuration::from_secs_f64(s)
+}
+
+#[test]
+fn congested_bottleneck_drives_fast_retransmit_and_still_completes() {
+    // 10 Mbit links with a shallow (5 ms ≈ 4-frame) queue: the sender's
+    // slow-start burst overruns it, real congestion loss follows, Reno
+    // recovers. End-to-end through the full simulator + both servers.
+    let mut spec = ScenarioSpec::new(Workload::bulk_mb(2)).st_tcp(SttcpConfig::new(addrs::VIP, 80));
+    spec.link = LinkSpec::lan()
+        .with_bandwidth_bps(10_000_000)
+        .with_max_queue(SimDuration::from_millis(5));
+    let mut s = build(&spec);
+    let m = s.run_to_completion(secs(120.0));
+    assert!(m.verified_clean());
+    assert_eq!(m.bytes_received, 2 << 20);
+    let p = s.sim.node_ref::<ServerNode>(s.primary);
+    let tcb = p.stack().tcb(p.accepted[0]).unwrap();
+    let recoveries = tcb.stats.fast_retransmits + tcb.stats.rto_retransmits;
+    assert!(recoveries > 0, "a shallow queue must produce congestion losses");
+}
+
+#[test]
+fn congested_bottleneck_failover() {
+    // Same congested path, plus a mid-transfer crash: loss recovery and
+    // connection migration interleave.
+    let mut spec = ScenarioSpec::new(Workload::bulk_mb(2))
+        .st_tcp(SttcpConfig::new(addrs::VIP, 80))
+        .crash_at(SimTime::ZERO + secs(1.0));
+    spec.link = LinkSpec::lan()
+        .with_bandwidth_bps(10_000_000)
+        .with_max_queue(SimDuration::from_millis(5));
+    let mut s = build(&spec);
+    let m = s.run_to_completion(secs(180.0));
+    assert!(m.verified_clean(), "congestion + failover must still be exactly-once");
+    assert_eq!(m.bytes_received, 2 << 20);
+    assert!(s.backup_engine().unwrap().has_taken_over());
+}
+
+#[test]
+fn jitter_reorders_frames_and_the_shadow_stays_consistent() {
+    // 2 ms of uniform jitter on 2.5 ms links reorders aggressively; the
+    // client's dup-ACKs may trigger spurious fast retransmits, and the
+    // backup's tap sees a *different* reordering than the primary —
+    // reassembly must converge identically on both.
+    let mut spec = ScenarioSpec::new(Workload::bulk_mb(1)).st_tcp(SttcpConfig::new(addrs::VIP, 80));
+    spec.link = LinkSpec::lan().with_jitter(SimDuration::from_millis(2));
+    let mut s = build(&spec);
+    let m = s.run_to_completion(secs(120.0));
+    assert!(m.verified_clean());
+    assert_eq!(m.bytes_received, 1 << 20);
+    // Both servers hold identical receive state despite differing
+    // arrival orders.
+    let p = s.sim.node_ref::<ServerNode>(s.primary);
+    let b = s.sim.node_ref::<ServerNode>(s.backup.unwrap());
+    let ptcb = p.stack().tcb(p.accepted[0]).unwrap();
+    let btcb = b.stack().tcb(b.accepted[0]).unwrap();
+    assert_eq!(ptcb.rcv_nxt(), btcb.rcv_nxt());
+}
+
+#[test]
+fn jitter_plus_crash() {
+    let mut spec = ScenarioSpec::new(Workload::Echo { requests: 100 })
+        .st_tcp(SttcpConfig::new(addrs::VIP, 80))
+        .crash_at(SimTime::ZERO + secs(0.6));
+    spec.link = LinkSpec::lan().with_jitter(SimDuration::from_millis(2));
+    let mut s = build(&spec);
+    let m = s.run_to_completion(secs(120.0));
+    assert!(m.verified_clean());
+    assert_eq!(m.latencies.len(), 100);
+    assert!(s.backup_engine().unwrap().has_taken_over());
+}

@@ -1,0 +1,109 @@
+//! Connection-teardown choreography interacting with the tap and with
+//! failovers: the trickiest window is a FIN in flight when the primary
+//! dies. The shadow tracks the client's FIN like any other
+//! sequence-space event, so the close must complete against the backup.
+
+use apps::Workload;
+use netsim::{SimDuration, SimTime};
+use sttcp::scenario::{addrs, build, ScenarioSpec};
+use sttcp::{ClientNode, ServerNode, SttcpConfig};
+use tcpstack::TcpState;
+
+fn secs(s: f64) -> SimDuration {
+    SimDuration::from_secs_f64(s)
+}
+
+fn closing_spec() -> ScenarioSpec {
+    ScenarioSpec::new(Workload::Echo { requests: 30 })
+        .st_tcp(SttcpConfig::new(addrs::VIP, 80))
+        .closing()
+}
+
+#[test]
+fn orderly_close_shadows_cleanly() {
+    // Failure-free: the client closes after its last response. The
+    // primary answers the FIN; the backup shadows the whole teardown
+    // with its own (suppressed) copy.
+    let mut s = build(&closing_spec());
+    let m = s.run_to_completion(secs(30.0));
+    assert!(m.verified_clean());
+    // Give the FIN exchange time to complete.
+    s.sim.run_for(secs(2.0));
+    let sock = s.sim.node_ref::<ClientNode>(s.client).sock().unwrap();
+    let state = s.sim.node_ref::<ClientNode>(s.client).stack().state(sock);
+    assert!(
+        matches!(state, Some(TcpState::TimeWait) | Some(TcpState::Closed)),
+        "client close must complete: {state:?}"
+    );
+    for id in [s.primary, s.backup.unwrap()] {
+        let node = s.sim.node_ref::<ServerNode>(id);
+        let tcb = node.stack().tcb(node.accepted[0]);
+        // The echo app closes back on peer-close; the server side ends
+        // in Closed (or its TCB was already reaped from the quad map).
+        if let Some(tcb) = tcb {
+            assert!(
+                tcb.peer_closed() || tcb.state() == TcpState::Closed,
+                "{}: FIN must be consumed, state={:?}",
+                s.sim.node_name(id),
+                tcb.state()
+            );
+        }
+    }
+}
+
+#[test]
+fn close_races_the_crash() {
+    // Crash the primary around the instant the client's FIN goes out.
+    // Whatever the interleaving, the teardown must complete against the
+    // backup with no RST and no corruption.
+    let total = {
+        let mut s = build(&closing_spec());
+        s.run_to_completion(secs(30.0)).total_time().unwrap().as_secs_f64()
+    };
+    for crash_offset in [-0.02f64, -0.005, 0.0, 0.005, 0.02] {
+        let crash_at = (total + crash_offset).max(0.05);
+        let spec = closing_spec().crash_at(SimTime::ZERO + secs(crash_at));
+        let mut s = build(&spec);
+        let m = s.run_to_completion(secs(60.0));
+        assert!(m.verified_clean(), "crash_offset={crash_offset}");
+        let sock = s.sim.node_ref::<ClientNode>(s.client).sock().unwrap();
+        let deadline = s.sim.now() + secs(30.0);
+        let mut final_state = None;
+        while s.sim.now() < deadline {
+            s.sim.run_for(secs(0.1));
+            let state = s.sim.node_ref::<ClientNode>(s.client).stack().state(sock);
+            final_state = state;
+            if matches!(state, Some(TcpState::TimeWait) | Some(TcpState::Closed)) {
+                break;
+            }
+        }
+        assert!(
+            matches!(final_state, Some(TcpState::TimeWait) | Some(TcpState::Closed)),
+            "close must complete across the failover (crash_offset={crash_offset}, state={final_state:?})"
+        );
+    }
+}
+
+#[test]
+fn bulk_with_close_after_transfer_survives_mid_stream_crash() {
+    // A full download, a crash in the middle, then the client closes:
+    // the complete lifecycle against two different servers.
+    let spec = ScenarioSpec::new(Workload::bulk_mb(1))
+        .st_tcp(SttcpConfig::new(addrs::VIP, 80))
+        .closing()
+        .crash_at(SimTime::ZERO + secs(0.3));
+    let mut s = build(&spec);
+    let m = s.run_to_completion(secs(60.0));
+    assert!(m.verified_clean());
+    assert_eq!(m.bytes_received, 1 << 20);
+    let sock = s.sim.node_ref::<ClientNode>(s.client).sock().unwrap();
+    let deadline = s.sim.now() + secs(30.0);
+    loop {
+        s.sim.run_for(secs(0.1));
+        let state = s.sim.node_ref::<ClientNode>(s.client).stack().state(sock);
+        if matches!(state, Some(TcpState::TimeWait) | Some(TcpState::Closed)) {
+            break;
+        }
+        assert!(s.sim.now() < deadline, "teardown did not finish, state={state:?}");
+    }
+}

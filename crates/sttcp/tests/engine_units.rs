@@ -1,0 +1,215 @@
+//! Focused engine-level tests exercising paths the end-to-end scenarios
+//! cross only incidentally: missing-data chunking, request retry,
+//! retention release ordering, and takeover idempotence.
+
+use bytes::Bytes;
+use netsim::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+use sttcp::{BackupEngine, ConnKey, PrimaryEngine, SideMsg, SttcpConfig};
+use tcpstack::{NetStack, SeqNum, StackConfig, TcpConfig};
+use wire::{MacAddr, TcpFlags, TcpSegment};
+
+const VIP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 100);
+const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+
+fn cfg() -> SttcpConfig {
+    SttcpConfig::new(VIP, 80)
+}
+
+fn key() -> ConnKey {
+    ConnKey { client_ip: CLIENT, client_port: 40000, server_ip: VIP, server_port: 80 }
+}
+
+/// A primary stack with one established service connection carrying
+/// `payload` already received from the client (and read by the "app" so
+/// it lives in the retention buffer).
+fn primary_with_data(payload: &[u8]) -> (NetStack, SeqNum) {
+    let mut scfg = StackConfig::host(MacAddr::local(2), Ipv4Addr::new(10, 0, 0, 2));
+    scfg.extra_ips = vec![VIP];
+    scfg.learn_from_ip = true; // client MAC learned from the frames below
+    scfg.tcp = TcpConfig::st_tcp_primary();
+    let mut stack = NetStack::new(scfg);
+    stack.listen(80);
+    let now = SimTime::ZERO;
+    // Hand-deliver a SYN then data.
+    let client_iss = 5000u32;
+    let mut syn = TcpSegment::bare(40000, 80, client_iss, 0, TcpFlags::SYN, 17520);
+    syn.options = vec![wire::TcpOption::Mss(1460)];
+    deliver(&mut stack, now, &syn);
+    let synack = stack.poll(now);
+    assert_eq!(synack.len(), 1);
+    let tcb_iss = parse_tcp(&synack[0]).seq;
+    let mut ack = TcpSegment::bare(40000, 80, client_iss + 1, tcb_iss.wrapping_add(1), TcpFlags::ACK, 17520);
+    ack.payload = Bytes::copy_from_slice(payload);
+    deliver(&mut stack, now, &ack);
+    let sock = stack.accept(80).expect("established");
+    // The app reads everything: bytes move to the retention buffer.
+    let mut buf = vec![0u8; payload.len()];
+    assert_eq!(stack.read(sock, &mut buf).unwrap(), payload.len());
+    (stack, SeqNum(client_iss + 1))
+}
+
+fn deliver(stack: &mut NetStack, now: SimTime, seg: &TcpSegment) {
+    use wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet};
+    let ip = Ipv4Packet::new(CLIENT, VIP, IpProtocol::Tcp, seg.encode(CLIENT, VIP));
+    let eth = EthernetFrame::new(MacAddr::local(2), MacAddr::local(1), EtherType::Ipv4, ip.encode());
+    stack.handle_frame(now, eth.encode());
+}
+
+fn parse_tcp(frame: &Bytes) -> TcpSegment {
+    use wire::{EthernetFrame, Ipv4Packet};
+    let eth = EthernetFrame::parse(frame.clone()).unwrap();
+    let ip = Ipv4Packet::parse(eth.payload).unwrap();
+    TcpSegment::parse(ip.payload.clone(), ip.src, ip.dst).unwrap()
+}
+
+#[test]
+fn primary_serves_missing_range_in_chunks() {
+    // 3000 retained bytes; SIDE_CHUNK is 1024 so a full-range request
+    // yields ceil(3000/1024) = 3 MissingData messages with contiguous
+    // coverage and no overlap.
+    let payload: Vec<u8> = (0..3000u32).map(|i| (i % 251) as u8).collect();
+    let (mut stack, data_start) = primary_with_data(&payload);
+    let mut engine = PrimaryEngine::new(cfg(), SimTime::ZERO);
+    engine.on_side_msg(
+        SimTime::ZERO,
+        SideMsg::MissingReq { conn: key(), from: data_start.raw(), len: 3000 },
+        &mut stack,
+    );
+    let out = engine.take_outbox();
+    let chunks: Vec<(u32, Vec<u8>)> = out
+        .iter()
+        .filter_map(|m| match m {
+            SideMsg::MissingData { seq, data, .. } => Some((*seq, data.to_vec())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(chunks.len(), 3);
+    let mut reassembled = Vec::new();
+    let mut expect = data_start.raw();
+    for (seq, data) in &chunks {
+        assert_eq!(*seq, expect, "chunks must be contiguous");
+        expect = expect.wrapping_add(data.len() as u32);
+        reassembled.extend_from_slice(data);
+    }
+    assert_eq!(reassembled, payload);
+    assert_eq!(engine.stats.missing_served, 1);
+}
+
+#[test]
+fn primary_clamps_overlong_requests_to_what_it_holds() {
+    let payload = vec![7u8; 500];
+    let (mut stack, data_start) = primary_with_data(&payload);
+    let mut engine = PrimaryEngine::new(cfg(), SimTime::ZERO);
+    engine.on_side_msg(
+        SimTime::ZERO,
+        SideMsg::MissingReq { conn: key(), from: data_start.raw(), len: 1_000_000 },
+        &mut stack,
+    );
+    let out = engine.take_outbox();
+    let total: usize = out
+        .iter()
+        .map(|m| match m {
+            SideMsg::MissingData { data, .. } => data.len(),
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(total, 500, "serve what is held, not what was asked");
+}
+
+#[test]
+fn primary_nacks_ranges_below_the_floor() {
+    let payload = vec![9u8; 100];
+    let (mut stack, data_start) = primary_with_data(&payload);
+    // Backup acks everything: retention releases.
+    {
+        let sock = stack.sock_by_quad(key().server_quad()).unwrap();
+        stack.tcb_mut(sock).unwrap().set_backup_acked(data_start.add(100));
+    }
+    let mut engine = PrimaryEngine::new(cfg(), SimTime::ZERO);
+    engine.on_side_msg(
+        SimTime::ZERO,
+        SideMsg::MissingReq { conn: key(), from: data_start.raw(), len: 100 },
+        &mut stack,
+    );
+    let out = engine.take_outbox();
+    assert!(
+        matches!(out.as_slice(), [SideMsg::MissingNack { .. }]),
+        "released bytes are gone: {out:?}"
+    );
+}
+
+#[test]
+fn backup_retries_stale_missing_requests() {
+    let mut bcfg = StackConfig::host(MacAddr::local(3), Ipv4Addr::new(10, 0, 0, 3));
+    bcfg.extra_ips = vec![VIP];
+    bcfg.learn_from_ip = true;
+    bcfg.promiscuous = true; // the deliver() helper addresses the primary's MAC
+    bcfg.tcp = TcpConfig::st_tcp_backup();
+    let mut stack = NetStack::new(bcfg);
+    stack.listen(80);
+    let now = SimTime::ZERO;
+    // Shadow sees the SYN, resyncs, establishes (hand-rolled).
+    let mut syn = TcpSegment::bare(40000, 80, 5000, 0, TcpFlags::SYN, 17520);
+    syn.options = vec![wire::TcpOption::Mss(1460)];
+    deliver(&mut stack, now, &syn);
+    let _ = stack.poll(now); // suppressed SYN/ACK (not actually suppressed here; fine)
+    let ack = TcpSegment::bare(40000, 80, 5001, 999_001, TcpFlags::ACK, 17520);
+    deliver(&mut stack, now, &ack);
+    let sock = stack.accept(80).expect("shadow established");
+    let rcv_nxt = stack.tcb(sock).unwrap().rcv_nxt();
+
+    let mut engine = BackupEngine::new(cfg(), 12 * 1024, now);
+    engine.register_conn(key(), rcv_nxt);
+    // A tapped primary ACK reveals a 400-byte gap.
+    engine.on_tapped_primary_segment(now, key(), SeqNum(0), rcv_nxt.add(400), false, &mut stack);
+    let first: Vec<_> = engine.take_outbox();
+    assert!(first.iter().any(|m| matches!(m, SideMsg::MissingReq { len: 400, .. })), "{first:?}");
+    // No reply arrives; ticks past 2×SyncTime re-issue the request.
+    engine.on_side_msg(now, SideMsg::Heartbeat { seq: 1 }, &mut stack); // keep the primary "alive"
+    let later = now + SimDuration::from_millis(150);
+    engine.on_side_msg(later, SideMsg::Heartbeat { seq: 2 }, &mut stack);
+    engine.on_tick(later, &mut stack);
+    let retried: Vec<_> = engine.take_outbox();
+    assert!(
+        retried.iter().any(|m| matches!(m, SideMsg::MissingReq { .. })),
+        "stale request must be retried: {retried:?}"
+    );
+    assert_eq!(engine.stats.missing_reqs, 2);
+    // Recovery data clears the gap; no further requests.
+    let missing = vec![3u8; 400];
+    engine.on_side_msg(
+        later,
+        SideMsg::MissingData { conn: key(), seq: rcv_nxt.raw(), data: Bytes::from(missing) },
+        &mut stack,
+    );
+    assert_eq!(stack.tcb(sock).unwrap().rcv_nxt(), rcv_nxt.add(400));
+    let after = later + SimDuration::from_millis(150);
+    engine.on_side_msg(after, SideMsg::Heartbeat { seq: 3 }, &mut stack);
+    engine.on_tick(after, &mut stack);
+    let quiet: Vec<_> = engine.take_outbox();
+    assert!(
+        !quiet.iter().any(|m| matches!(m, SideMsg::MissingReq { .. })),
+        "healed gap must not be re-requested: {quiet:?}"
+    );
+}
+
+#[test]
+fn takeover_is_idempotent_under_continued_silence() {
+    let mut bcfg = StackConfig::host(MacAddr::local(3), Ipv4Addr::new(10, 0, 0, 3));
+    bcfg.extra_ips = vec![VIP];
+    bcfg.suppressed_ips = vec![VIP];
+    let mut stack = NetStack::new(bcfg);
+    let mut engine = BackupEngine::new(cfg(), 12 * 1024, SimTime::ZERO);
+    let t1 = SimTime::ZERO + SimDuration::from_secs(1);
+    engine.on_tick(t1, &mut stack);
+    assert!(engine.has_taken_over());
+    let first_takeover = engine.takeover_at();
+    // More silent ticks must not move the takeover timestamp or
+    // re-suppress anything.
+    for i in 2..10u64 {
+        engine.on_tick(SimTime::ZERO + SimDuration::from_secs(i), &mut stack);
+    }
+    assert_eq!(engine.takeover_at(), first_takeover);
+    assert!(!stack.is_suppressed(VIP));
+}

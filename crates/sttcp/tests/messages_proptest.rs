@@ -1,0 +1,62 @@
+//! Property tests for the side-channel wire protocol: every message
+//! round-trips, and arbitrary bytes never panic the decoder (the UDP
+//! channel is untrusted input like any other network surface).
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use sttcp::{ConnKey, SideMsg};
+
+fn arb_key() -> impl Strategy<Value = ConnKey> {
+    (any::<[u8; 4]>(), any::<u16>(), any::<[u8; 4]>(), any::<u16>()).prop_map(
+        |(cip, cport, sip, sport)| ConnKey {
+            client_ip: Ipv4Addr::from(cip),
+            client_port: cport,
+            server_ip: Ipv4Addr::from(sip),
+            server_port: sport,
+        },
+    )
+}
+
+fn arb_msg() -> impl Strategy<Value = SideMsg> {
+    prop_oneof![
+        any::<u64>().prop_map(|seq| SideMsg::Heartbeat { seq }),
+        (arb_key(), any::<u32>()).prop_map(|(conn, acked_next)| SideMsg::BackupAck { conn, acked_next }),
+        (arb_key(), any::<u32>(), any::<u32>())
+            .prop_map(|(conn, from, len)| SideMsg::MissingReq { conn, from, len }),
+        (arb_key(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..1200))
+            .prop_map(|(conn, seq, data)| SideMsg::MissingData { conn, seq, data: Bytes::from(data) }),
+        (arb_key(), any::<u32>()).prop_map(|(conn, from)| SideMsg::MissingNack { conn, from }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn roundtrip(msg in arb_msg()) {
+        prop_assert_eq!(SideMsg::decode(msg.encode()), Some(msg));
+    }
+
+    #[test]
+    fn decode_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = SideMsg::decode(Bytes::from(raw));
+    }
+
+    #[test]
+    fn truncation_never_panics(msg in arb_msg(), cut_frac in 0.0f64..1.0) {
+        let full = msg.encode();
+        let cut = ((full.len() as f64) * cut_frac) as usize;
+        let _ = SideMsg::decode(full.slice(..cut));
+    }
+
+    #[test]
+    fn single_byte_corruption_never_misroutes_to_panic(
+        msg in arb_msg(), pos_frac in 0.0f64..1.0, flip in 1u8..=255,
+    ) {
+        let mut raw = msg.encode().to_vec();
+        let pos = ((raw.len() - 1) as f64 * pos_frac) as usize;
+        raw[pos] ^= flip;
+        // May decode to a different (valid) message or None — both fine;
+        // the engines treat the channel as best-effort. It must not panic.
+        let _ = SideMsg::decode(Bytes::from(raw));
+    }
+}

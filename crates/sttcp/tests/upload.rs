@@ -1,0 +1,157 @@
+//! Upload-direction tests: large client→server transfers are what load
+//! the primary's retention buffer (§4.2) and the backup ack strategy
+//! (§4.3). Exactly-once delivery must hold at the *server application*
+//! across a failover — the backup's app, fed purely by the tap and the
+//! recovery machinery, must consume the identical stream.
+
+use apps::{UploadServer, Workload};
+use netsim::{DropRule, SimDuration, SimTime};
+use sttcp::scenario::{addrs, build, ScenarioSpec};
+use sttcp::{ServerNode, SttcpConfig};
+
+fn st_cfg() -> SttcpConfig {
+    SttcpConfig::new(addrs::VIP, 80)
+}
+
+#[test]
+fn upload_failure_free_and_servers_agree() {
+    let spec = ScenarioSpec::new(Workload::upload_mb(2)).st_tcp(st_cfg());
+    let mut s = build(&spec);
+    let m = s.run_to_completion(SimDuration::from_secs(60));
+    assert!(m.verified_clean(), "confirmation must verify");
+    // Both server applications consumed and verified the whole upload.
+    for id in [s.primary, s.backup.unwrap()] {
+        let node = s.sim.node_ref::<ServerNode>(id);
+        let sock = node.accepted[0];
+        let app = node.app::<UploadServer>(sock).expect("upload server app");
+        assert_eq!(app.received(), 2 << 20, "{}", s.sim.node_name(id));
+        assert_eq!(app.content_errors, 0, "{}", s.sim.node_name(id));
+    }
+    // The upload volume forced threshold-triggered backup acks.
+    let eng = s.backup_engine().unwrap();
+    assert!(
+        eng.stats.acks_threshold_triggered > 0,
+        "2 MB of client data must trip the X-byte ack rule"
+    );
+}
+
+#[test]
+fn upload_throughput_and_the_x_threshold_tradeoff() {
+    // §4.2/§4.3 in action. With the paper's default X = ¾ of the second
+    // buffer, the retained bytes peak near X plus one side-channel RTT
+    // of data — at LAN bandwidth-delay that transiently spills past the
+    // second buffer and shaves the advertised window (mild throttle).
+    // A smaller X keeps retention under the buffer and restores full
+    // download-equal throughput, at the price of more frequent acks.
+    let down = {
+        let spec = ScenarioSpec::new(Workload::bulk_mb(2)).st_tcp(st_cfg());
+        build(&spec).run_to_completion(SimDuration::from_secs(60)).total_time().unwrap()
+    };
+    let up_default = {
+        let spec = ScenarioSpec::new(Workload::upload_mb(2)).st_tcp(st_cfg());
+        build(&spec).run_to_completion(SimDuration::from_secs(60)).total_time().unwrap()
+    };
+    let up_small_x = {
+        let mut cfg = st_cfg();
+        cfg.ack_threshold = Some(4096);
+        let spec = ScenarioSpec::new(Workload::upload_mb(2)).st_tcp(cfg);
+        build(&spec).run_to_completion(SimDuration::from_secs(60)).total_time().unwrap()
+    };
+    let ratio_default = up_default.as_secs_f64() / down.as_secs_f64();
+    let ratio_small = up_small_x.as_secs_f64() / down.as_secs_f64();
+    assert!(
+        (1.0..1.3).contains(&ratio_default),
+        "default X mildly throttles the upload: ratio {ratio_default:.3}"
+    );
+    assert!(
+        (0.9..1.08).contains(&ratio_small),
+        "small X must restore download-equal throughput: ratio {ratio_small:.3}"
+    );
+    assert!(ratio_small < ratio_default, "smaller X must be at least as fast");
+}
+
+#[test]
+fn upload_failover_server_side_exactly_once() {
+    let crash = SimTime::ZERO + SimDuration::from_millis(600);
+    let spec = ScenarioSpec::new(Workload::upload_mb(2)).st_tcp(st_cfg()).crash_at(crash);
+    let mut s = build(&spec);
+    let m = s.run_to_completion(SimDuration::from_secs(120));
+    assert!(m.verified_clean());
+    let backup_id = s.backup.unwrap();
+    let node = s.sim.node_ref::<ServerNode>(backup_id);
+    let app = node.app::<UploadServer>(node.accepted[0]).unwrap();
+    assert_eq!(app.received(), 2 << 20, "backup app must see every byte exactly once");
+    assert_eq!(app.content_errors, 0, "backup app stream must be bit-identical");
+    assert!(node.backup_engine().unwrap().has_taken_over());
+}
+
+#[test]
+fn upload_failover_with_tap_loss_and_logger() {
+    // Omissions on a loaded upload stream + crash: recovery must stitch
+    // the backup's stream from side channel (pre-crash) and logger
+    // (post-crash) without duplicating a single byte.
+    let crash = SimTime::ZERO + SimDuration::from_millis(700);
+    let mut cfg = st_cfg().with_logger();
+    cfg.missing_req_chunk = 8 * 1024;
+    let mut spec = ScenarioSpec::new(Workload::upload_mb(1)).st_tcp(cfg).crash_at(crash);
+    spec.with_logger = true;
+    let mut s = build(&spec);
+    let backup = s.backup.unwrap();
+    s.sim.add_ingress_drop(
+        backup,
+        DropRule::rate(0.15, |frame: &bytes::Bytes| {
+            use wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet};
+            (|| {
+                let eth = EthernetFrame::parse(frame.clone()).ok()?;
+                if eth.ethertype != EtherType::Ipv4 {
+                    return None;
+                }
+                let ip = Ipv4Packet::parse(eth.payload).ok()?;
+                Some(ip.protocol == IpProtocol::Tcp)
+            })()
+            .unwrap_or(false)
+        }),
+    );
+    let m = s.run_to_completion(SimDuration::from_secs(120));
+    assert!(m.verified_clean());
+    let node = s.sim.node_ref::<ServerNode>(backup);
+    let app = node.app::<UploadServer>(node.accepted[0]).unwrap();
+    assert_eq!(app.received(), 1 << 20);
+    assert_eq!(app.content_errors, 0);
+    let eng = node.backup_engine().unwrap();
+    assert!(eng.stats.missing_bytes_recovered > 0, "side channel must have recovered bytes");
+}
+
+#[test]
+fn slow_backup_acks_shrink_the_window_but_nothing_breaks() {
+    // §4.2: "The behavior of ST-TCP will differ from that of standard
+    // TCP if the second buffer fills up." Force that: SyncTime of 2 s,
+    // X larger than the whole buffer — the backup acks only on the slow
+    // timer, the retention spill shrinks the advertised window, and the
+    // upload completes anyway (slower).
+    // SyncTime is coupled to the heartbeat interval (the paper uses the
+    // acks AS heartbeats), so starving the acks means slowing the whole
+    // side channel — otherwise the primary would declare the quiet
+    // backup dead after 3 missed heartbeats and rightly disable
+    // retention (non-fault-tolerant mode).
+    let mut cfg = st_cfg().with_hb_interval(SimDuration::from_secs(2));
+    cfg.ack_threshold = Some(usize::MAX);
+    let spec = ScenarioSpec::new(Workload::upload_mb(1)).st_tcp(cfg);
+    let mut slow = build(&spec);
+    let slow_time = slow.run_to_completion(SimDuration::from_secs(300)).total_time().unwrap();
+
+    let fast_spec = ScenarioSpec::new(Workload::upload_mb(1)).st_tcp(st_cfg());
+    let fast_time = build(&fast_spec)
+        .run_to_completion(SimDuration::from_secs(60))
+        .total_time()
+        .unwrap();
+    assert!(
+        slow_time > fast_time.saturating_mul(2),
+        "starved backup acks must throttle the upload: slow={slow_time} fast={fast_time}"
+    );
+    // And the server apps still verified the stream.
+    let node = slow.sim.node_ref::<ServerNode>(slow.primary);
+    let app = node.app::<UploadServer>(node.accepted[0]).unwrap();
+    assert_eq!(app.content_errors, 0);
+    assert_eq!(app.received(), 1 << 20);
+}

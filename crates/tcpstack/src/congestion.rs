@@ -1,0 +1,242 @@
+//! TCP Reno congestion control (RFC 2581/5681).
+//!
+//! Slow start, congestion avoidance, fast retransmit / fast recovery,
+//! and restart-after-idle. The evaluation LAN is never congestion-limited
+//! (the ≈17 KB receive window binds first), but congestion control still
+//! shapes the Interactive application's response latency: each burst
+//! after an idle period restarts from the initial window, which is why a
+//! 10 KB reply costs ≈2 round trips rather than one.
+
+use netsim::SimDuration;
+
+/// Why the sender entered recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Open,
+    FastRecovery,
+}
+
+/// Reno congestion state for one connection.
+#[derive(Debug, Clone)]
+pub struct Congestion {
+    mss: u32,
+    cwnd: u32,
+    ssthresh: u32,
+    phase: Phase,
+    dup_acks: u32,
+    initial_cwnd: u32,
+    /// Retransmissions triggered by three duplicate ACKs.
+    pub fast_retransmits: u64,
+    /// Retransmissions triggered by the RTO timer.
+    pub timeout_retransmits: u64,
+}
+
+impl Congestion {
+    /// Creates Reno state: initial window of 2 MSS; ssthresh starts
+    /// "arbitrarily high" (RFC 5681 §3.1) so slow start runs until the
+    /// first loss or the flow-control window binds.
+    pub fn new(mss: u32) -> Self {
+        let initial_cwnd = 2 * mss;
+        Congestion {
+            mss,
+            cwnd: initial_cwnd,
+            ssthresh: u32::MAX,
+            phase: Phase::Open,
+            dup_acks: 0,
+            initial_cwnd,
+            fast_retransmits: 0,
+            timeout_retransmits: 0,
+        }
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> u32 {
+        self.cwnd
+    }
+
+    /// Current slow-start threshold in bytes.
+    pub fn ssthresh(&self) -> u32 {
+        self.ssthresh
+    }
+
+    /// Consecutive duplicate ACKs seen.
+    pub fn dup_acks(&self) -> u32 {
+        self.dup_acks
+    }
+
+    /// True while in fast recovery.
+    pub fn in_fast_recovery(&self) -> bool {
+        self.phase == Phase::FastRecovery
+    }
+
+    /// An ACK advanced `snd_una` (`flight` = bytes in flight before it).
+    pub fn on_new_ack(&mut self, flight: u32) {
+        self.dup_acks = 0;
+        match self.phase {
+            Phase::FastRecovery => {
+                // Deflate back to ssthresh.
+                self.cwnd = self.ssthresh;
+                self.phase = Phase::Open;
+            }
+            Phase::Open => {
+                if self.cwnd < self.ssthresh {
+                    self.cwnd = self.cwnd.saturating_add(self.mss); // slow start
+                } else {
+                    // Congestion avoidance: ~1 MSS per RTT.
+                    let inc = (u64::from(self.mss) * u64::from(self.mss) / u64::from(self.cwnd.max(1))).max(1);
+                    self.cwnd = self.cwnd.saturating_add(inc as u32);
+                }
+            }
+        }
+        let _ = flight;
+    }
+
+    /// A duplicate ACK arrived. Returns `true` when the third duplicate
+    /// triggers a fast retransmit.
+    pub fn on_dup_ack(&mut self, flight: u32) -> bool {
+        self.dup_acks += 1;
+        match self.phase {
+            Phase::Open if self.dup_acks == 3 => {
+                self.ssthresh = (flight / 2).max(2 * self.mss);
+                self.cwnd = self.ssthresh + 3 * self.mss;
+                self.phase = Phase::FastRecovery;
+                self.fast_retransmits += 1;
+                true
+            }
+            Phase::FastRecovery => {
+                // Window inflation: each dup ACK signals a departed segment.
+                self.cwnd = self.cwnd.saturating_add(self.mss);
+                false
+            }
+            _ => false,
+        }
+    }
+
+    /// The retransmission timer fired.
+    pub fn on_timeout(&mut self, flight: u32) {
+        self.ssthresh = (flight / 2).max(2 * self.mss);
+        self.cwnd = self.mss; // loss window (RFC 5681 §3.1)
+        self.phase = Phase::Open;
+        self.dup_acks = 0;
+        self.timeout_retransmits += 1;
+    }
+
+    /// The connection was idle longer than one RTO: restart from the
+    /// initial window (RFC 2581 §4.1) — Linux behaviour the Interactive
+    /// workload timing depends on.
+    pub fn on_idle_restart(&mut self) {
+        self.cwnd = self.initial_cwnd;
+        self.phase = Phase::Open;
+        self.dup_acks = 0;
+    }
+
+    /// Whether `idle` (time since last send) warrants a restart given
+    /// the current RTO.
+    pub fn idle_restart_due(idle: SimDuration, rto: SimDuration) -> bool {
+        idle > rto
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u32 = 1460;
+
+    #[test]
+    fn starts_with_two_segments() {
+        let c = Congestion::new(MSS);
+        assert_eq!(c.cwnd(), 2 * MSS);
+        assert!(!c.in_fast_recovery());
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut c = Congestion::new(MSS);
+        // One RTT's worth of ACKs: 2 ACKs (one per segment) -> cwnd 4 MSS.
+        c.on_new_ack(2 * MSS);
+        c.on_new_ack(2 * MSS);
+        assert_eq!(c.cwnd(), 4 * MSS);
+    }
+
+    #[test]
+    fn congestion_avoidance_grows_linearly() {
+        let mut c = Congestion::new(MSS);
+        // A timeout sets a finite ssthresh; grow back into avoidance.
+        c.on_timeout(64 * 1024);
+        while c.cwnd() < c.ssthresh() {
+            c.on_new_ack(c.cwnd());
+        }
+        let w = c.cwnd();
+        // cwnd/MSS ACKs ≈ one RTT ≈ +1 MSS.
+        let acks = w / MSS;
+        for _ in 0..acks {
+            c.on_new_ack(w);
+        }
+        let grown = c.cwnd() - w;
+        assert!((MSS - 100..=MSS + 100).contains(&grown), "grew {grown}, expected ≈MSS");
+    }
+
+    #[test]
+    fn triple_dup_ack_enters_fast_recovery() {
+        let mut c = Congestion::new(MSS);
+        let flight = 10 * MSS;
+        assert!(!c.on_dup_ack(flight));
+        assert!(!c.on_dup_ack(flight));
+        assert!(c.on_dup_ack(flight), "third dup ACK must trigger fast retransmit");
+        assert!(c.in_fast_recovery());
+        assert_eq!(c.ssthresh(), 5 * MSS);
+        assert_eq!(c.cwnd(), 5 * MSS + 3 * MSS);
+        assert_eq!(c.fast_retransmits, 1);
+        // Additional dup ACKs inflate.
+        c.on_dup_ack(flight);
+        assert_eq!(c.cwnd(), 9 * MSS);
+        // New ACK deflates to ssthresh.
+        c.on_new_ack(flight);
+        assert_eq!(c.cwnd(), 5 * MSS);
+        assert!(!c.in_fast_recovery());
+    }
+
+    #[test]
+    fn timeout_collapses_to_one_segment() {
+        let mut c = Congestion::new(MSS);
+        for _ in 0..20 {
+            c.on_new_ack(4 * MSS);
+        }
+        c.on_timeout(8 * MSS);
+        assert_eq!(c.cwnd(), MSS);
+        assert_eq!(c.ssthresh(), 4 * MSS);
+        assert_eq!(c.timeout_retransmits, 1);
+    }
+
+    #[test]
+    fn idle_restart_returns_to_initial() {
+        let mut c = Congestion::new(MSS);
+        for _ in 0..10 {
+            c.on_new_ack(4 * MSS);
+        }
+        assert!(c.cwnd() > 2 * MSS);
+        c.on_idle_restart();
+        assert_eq!(c.cwnd(), 2 * MSS);
+    }
+
+    #[test]
+    fn idle_restart_predicate() {
+        let rto = SimDuration::from_millis(200);
+        assert!(!Congestion::idle_restart_due(SimDuration::from_millis(100), rto));
+        assert!(!Congestion::idle_restart_due(SimDuration::from_millis(200), rto));
+        assert!(Congestion::idle_restart_due(SimDuration::from_millis(201), rto));
+    }
+
+    #[test]
+    fn dup_acks_below_three_do_nothing() {
+        let mut c = Congestion::new(MSS);
+        let before = c.cwnd();
+        c.on_dup_ack(5 * MSS);
+        c.on_dup_ack(5 * MSS);
+        assert_eq!(c.cwnd(), before);
+        assert_eq!(c.dup_acks(), 2);
+        c.on_new_ack(5 * MSS);
+        assert_eq!(c.dup_acks(), 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Retransmission-timeout estimation (RFC 6298) with Linux bounds.
+//!
+//! The paper's failover analysis (§6.2) hinges on this machinery: "In
+//! Linux, the RTO is computed using the round trip time (RTT) and is
+//! increased by a factor of two with every retransmission. The lower and
+//! upper bound for the RTO in Linux are 200 ms and 2 min respectively."
+//! The Table 2 failover times are largely *where the exponential backoff
+//! schedule happens to land* relative to the failure-detection delay, so
+//! this estimator reproduces those bounds exactly.
+
+use netsim::SimDuration;
+
+/// SRTT/RTTVAR smoothing and exponential backoff.
+///
+/// ```
+/// use tcpstack::rto::RtoEstimator;
+/// use netsim::SimDuration;
+///
+/// let mut rto = RtoEstimator::new();
+/// rto.on_sample(SimDuration::from_millis(10)); // LAN round trip
+/// assert_eq!(rto.rto(), SimDuration::from_millis(200)); // Linux floor
+/// rto.backoff();
+/// rto.backoff();
+/// assert_eq!(rto.rto(), SimDuration::from_millis(800)); // x2 per loss
+/// ```
+#[derive(Debug, Clone)]
+pub struct RtoEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    base_rto: SimDuration,
+    backoff_shift: u32,
+    min: SimDuration,
+    max: SimDuration,
+}
+
+impl RtoEstimator {
+    /// Linux lower bound: 200 ms.
+    pub const LINUX_MIN: SimDuration = SimDuration::from_millis(200);
+    /// Linux upper bound: 2 minutes.
+    pub const LINUX_MAX: SimDuration = SimDuration::from_secs(120);
+    /// Initial RTO before any sample (RFC 6298: 1 s).
+    pub const INITIAL: SimDuration = SimDuration::from_secs(1);
+
+    /// Creates an estimator with the Linux bounds.
+    pub fn new() -> Self {
+        Self::with_bounds(Self::LINUX_MIN, Self::LINUX_MAX)
+    }
+
+    /// Creates an estimator with custom bounds (tests use tighter ones).
+    pub fn with_bounds(min: SimDuration, max: SimDuration) -> Self {
+        RtoEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            base_rto: Self::INITIAL.max(min),
+            backoff_shift: 0,
+            min,
+            max,
+        }
+    }
+
+    /// Feeds one RTT sample (never from a retransmitted segment — Karn's
+    /// algorithm — the TCB enforces that).
+    pub fn on_sample(&mut self, rtt: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - RTT|
+                let err = if srtt >= rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = self.rttvar * 3 / 4 + err / 4;
+                // SRTT = 7/8 SRTT + 1/8 RTT
+                self.srtt = Some(srtt * 7 / 8 + rtt / 8);
+            }
+        }
+        let srtt = self.srtt.expect("just set");
+        // RTO = SRTT + max(G, 4*RTTVAR); clock granularity G folded into min.
+        self.base_rto = (srtt + self.rttvar * 4).max(self.min).min(self.max);
+    }
+
+    /// The current timeout: base RTO with the backoff applied, clamped.
+    pub fn rto(&self) -> SimDuration {
+        self.base_rto
+            .saturating_mul(1u64 << self.backoff_shift.min(32))
+            .max(self.min)
+            .min(self.max)
+    }
+
+    /// Doubles the timeout (a retransmission fired).
+    pub fn backoff(&mut self) {
+        if self.backoff_shift < 32 {
+            self.backoff_shift += 1;
+        }
+    }
+
+    /// Clears the backoff after an ACK of new data.
+    pub fn reset_backoff(&mut self) {
+        self.backoff_shift = 0;
+    }
+
+    /// The smoothed RTT, if any sample has arrived.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// Number of consecutive backoffs applied.
+    pub fn backoff_count(&self) -> u32 {
+        self.backoff_shift
+    }
+}
+
+impl Default for RtoEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_rto_is_one_second() {
+        let e = RtoEstimator::new();
+        assert_eq!(e.rto(), SimDuration::from_secs(1));
+        assert_eq!(e.srtt(), None);
+    }
+
+    #[test]
+    fn lan_rtt_clamps_to_linux_floor() {
+        // A 10 ms LAN RTT computes RTO ≈ 10 + 4*5 = 30 ms, below the
+        // 200 ms Linux floor — the floor is what the client actually
+        // waits during failover.
+        let mut e = RtoEstimator::new();
+        for _ in 0..10 {
+            e.on_sample(SimDuration::from_millis(10));
+        }
+        assert_eq!(e.rto(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn backoff_schedule_matches_linux() {
+        // 200ms, 400, 800, 1.6s, 3.2, 6.4, 12.8, 25.6, 51.2, 102.4, 120 (cap)
+        let mut e = RtoEstimator::new();
+        e.on_sample(SimDuration::from_millis(10));
+        let mut schedule = Vec::new();
+        for _ in 0..11 {
+            schedule.push(e.rto().as_millis());
+            e.backoff();
+        }
+        assert_eq!(
+            schedule,
+            vec![200, 400, 800, 1600, 3200, 6400, 12800, 25600, 51200, 102400, 120000]
+        );
+    }
+
+    #[test]
+    fn reset_backoff_restores_base() {
+        let mut e = RtoEstimator::new();
+        e.on_sample(SimDuration::from_millis(10));
+        for _ in 0..5 {
+            e.backoff();
+        }
+        assert!(e.rto() > SimDuration::from_secs(1));
+        e.reset_backoff();
+        assert_eq!(e.rto(), SimDuration::from_millis(200));
+        assert_eq!(e.backoff_count(), 0);
+    }
+
+    #[test]
+    fn variance_raises_rto() {
+        let mut e = RtoEstimator::with_bounds(SimDuration::from_millis(1), SimDuration::from_secs(120));
+        e.on_sample(SimDuration::from_millis(100));
+        let stable = e.rto();
+        // A wildly different sample inflates RTTVAR.
+        e.on_sample(SimDuration::from_millis(500));
+        assert!(e.rto() > stable);
+    }
+
+    #[test]
+    fn smoothing_converges() {
+        let mut e = RtoEstimator::with_bounds(SimDuration::from_millis(1), SimDuration::from_secs(120));
+        for _ in 0..100 {
+            e.on_sample(SimDuration::from_millis(50));
+        }
+        let srtt = e.srtt().unwrap().as_millis();
+        assert!((48..=52).contains(&srtt), "srtt {srtt}ms should converge to 50ms");
+        // With zero variance, RTO converges toward SRTT.
+        assert!(e.rto().as_millis() <= 60);
+    }
+
+    #[test]
+    fn backoff_saturates_at_cap() {
+        let mut e = RtoEstimator::new();
+        e.on_sample(SimDuration::from_millis(10));
+        for _ in 0..100 {
+            e.backoff();
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(120));
+    }
+}

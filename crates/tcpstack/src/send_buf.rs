@@ -1,0 +1,163 @@
+//! The send buffer: unacknowledged + unsent outbound bytes.
+
+use crate::seq::SeqNum;
+use std::collections::VecDeque;
+
+/// A contiguous outbound byte queue anchored at `snd_una`.
+///
+/// Bytes enter via [`SendBuffer::write`] and leave when the peer's
+/// cumulative ACK advances past them ([`SendBuffer::ack_to`]). The TCB
+/// reads transmission windows out of the middle with
+/// [`SendBuffer::copy_range`]; nothing is removed until acknowledged, so
+/// retransmission is always possible.
+#[derive(Debug, Clone)]
+pub struct SendBuffer {
+    base: SeqNum,
+    data: VecDeque<u8>,
+    capacity: usize,
+}
+
+impl SendBuffer {
+    /// Creates an empty buffer whose first byte will carry seq `base`.
+    pub fn new(base: SeqNum, capacity: usize) -> Self {
+        SendBuffer { base, data: VecDeque::new(), capacity }
+    }
+
+    /// Sequence number of the first unacknowledged byte.
+    pub fn base(&self) -> SeqNum {
+        self.base
+    }
+
+    /// Sequence number one past the last buffered byte.
+    pub fn end(&self) -> SeqNum {
+        self.base.add(self.data.len() as u32)
+    }
+
+    /// Bytes currently buffered (sent-unacked plus unsent).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Space left for the application.
+    pub fn free_space(&self) -> usize {
+        self.capacity - self.data.len()
+    }
+
+    /// Rebases the sequence space (ST-TCP backup ISN resynchronization,
+    /// paper §4.1 step 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if data is already buffered — resync happens during the
+    /// handshake, before any payload exists.
+    pub fn rebase(&mut self, base: SeqNum) {
+        assert!(self.data.is_empty(), "cannot rebase a non-empty send buffer");
+        self.base = base;
+    }
+
+    /// Appends as much of `data` as fits; returns the number accepted.
+    pub fn write(&mut self, data: &[u8]) -> usize {
+        let n = data.len().min(self.free_space());
+        self.data.extend(&data[..n]);
+        n
+    }
+
+    /// Copies up to `len` bytes starting at `seq` into a fresh vector.
+    /// Returns `None` if `seq` is outside the buffered range.
+    pub fn copy_range(&self, seq: SeqNum, len: usize) -> Option<Vec<u8>> {
+        if !seq.ge(self.base) || !seq.le(self.end()) {
+            return None;
+        }
+        let off = seq.distance(self.base) as usize;
+        let avail = self.data.len() - off;
+        let n = len.min(avail);
+        Some(self.data.iter().skip(off).take(n).copied().collect())
+    }
+
+    /// Advances `snd_una` to `new_base`, discarding acknowledged bytes.
+    /// Returns how many bytes were released. ACKs below the current base
+    /// or beyond buffered data release nothing beyond the valid range.
+    pub fn ack_to(&mut self, new_base: SeqNum) -> usize {
+        let target = new_base.min(self.end());
+        if !target.gt(self.base) {
+            return 0;
+        }
+        let n = target.distance(self.base) as usize;
+        self.data.drain(..n);
+        self.base = target;
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_and_ack_cycle() {
+        let mut b = SendBuffer::new(SeqNum(1000), 10);
+        assert_eq!(b.write(b"hello"), 5);
+        assert_eq!(b.write(b"world!"), 5, "only capacity remains");
+        assert_eq!(b.len(), 10);
+        assert_eq!(b.free_space(), 0);
+        assert_eq!(b.end(), SeqNum(1010));
+        assert_eq!(b.ack_to(SeqNum(1003)), 3);
+        assert_eq!(b.base(), SeqNum(1003));
+        assert_eq!(b.free_space(), 3);
+        assert_eq!(b.copy_range(SeqNum(1003), 7).unwrap(), b"loworld");
+    }
+
+    #[test]
+    fn copy_range_mid_buffer() {
+        let mut b = SendBuffer::new(SeqNum(0), 100);
+        b.write(b"abcdefghij");
+        assert_eq!(b.copy_range(SeqNum(3), 4).unwrap(), b"defg");
+        assert_eq!(b.copy_range(SeqNum(8), 100).unwrap(), b"ij");
+        assert_eq!(b.copy_range(SeqNum(10), 5).unwrap(), b"", "end is valid, empty");
+        assert_eq!(b.copy_range(SeqNum(11), 1), None);
+    }
+
+    #[test]
+    fn stale_and_overshooting_acks() {
+        let mut b = SendBuffer::new(SeqNum(100), 50);
+        b.write(b"0123456789");
+        assert_eq!(b.ack_to(SeqNum(95)), 0, "stale ack ignored");
+        assert_eq!(b.ack_to(SeqNum(200)), 10, "overshoot clamps to end");
+        assert_eq!(b.base(), SeqNum(110));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn rebase_shifts_sequence_space() {
+        let mut b = SendBuffer::new(SeqNum(5), 10);
+        b.rebase(SeqNum(99999));
+        b.write(b"x");
+        assert_eq!(b.base(), SeqNum(99999));
+        assert_eq!(b.end(), SeqNum(100000));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot rebase")]
+    fn rebase_with_data_panics() {
+        let mut b = SendBuffer::new(SeqNum(5), 10);
+        b.write(b"x");
+        b.rebase(SeqNum(0));
+    }
+
+    #[test]
+    fn wraparound_sequence_space() {
+        let mut b = SendBuffer::new(SeqNum(u32::MAX - 2), 100);
+        b.write(b"abcdef");
+        assert_eq!(b.end(), SeqNum(3));
+        assert_eq!(b.copy_range(SeqNum(u32::MAX), 3).unwrap(), b"cde");
+        // Acking up to seq 1 covers MAX-2, MAX-1, MAX, 0 — four bytes.
+        assert_eq!(b.ack_to(SeqNum(1)), 4, "ack across the wrap");
+        assert_eq!(b.base(), SeqNum(1));
+        assert_eq!(b.len(), 2);
+    }
+}

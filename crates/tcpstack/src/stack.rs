@@ -1,0 +1,880 @@
+//! [`NetStack`]: one host's network stack (Ethernet/ARP/IPv4/TCP/UDP).
+//!
+//! Sans-io: raw frames go in through [`NetStack::handle_frame`], raw
+//! frames come out of [`NetStack::poll`], and [`NetStack::next_deadline`]
+//! tells the embedding when to call back. The `sttcp` crate builds the
+//! primary/backup/client simulation nodes on top of this.
+//!
+//! ST-TCP specifics handled at this layer:
+//!
+//! * **NIC filtering for tapping** — accepts frames for the configured
+//!   multicast MACs (`SME`/`GME`) or everything in promiscuous mode;
+//! * **egress suppression** — frames sourced from a suppressed IP (the
+//!   backup's copy of the service VIP) are generated and then dropped,
+//!   which is precisely the paper's "replies from the backup server to
+//!   the client are dropped" (§4.2), and ARP replies for a suppressed
+//!   IP are never sent;
+//! * **MAC learning from tapped IP traffic** — so the backup can address
+//!   the client the instant it takes over.
+
+use crate::arp_cache::ArpCache;
+use crate::config::{Quad, StackConfig};
+use crate::seq::SeqNum;
+use crate::tcb::{Tcb, TcpState};
+use crate::udp_socket::{UdpRecv, UdpSocket};
+use bytes::Bytes;
+use netsim::{SimDuration, SimTime, SplitMix64};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::net::Ipv4Addr;
+use wire::{
+    ArpOp, ArpPacket, EtherType, EthernetFrame, IpProtocol, Ipv4Packet, MacAddr, TcpFlags,
+    TcpSegment, UdpDatagram,
+};
+
+/// Handle to a TCP connection owned by a [`NetStack`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SockId(pub usize);
+
+/// Handle to a UDP socket owned by a [`NetStack`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UdpId(pub usize);
+
+/// Errors returned by socket operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackError {
+    /// The handle does not refer to a live socket.
+    BadSocket,
+    /// The operation is invalid in the connection's current state.
+    BadState,
+    /// No ephemeral port was available.
+    NoPorts,
+}
+
+impl fmt::Display for StackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StackError::BadSocket => write!(f, "no such socket"),
+            StackError::BadState => write!(f, "operation invalid in current state"),
+            StackError::NoPorts => write!(f, "ephemeral ports exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for StackError {}
+
+/// Stack-level counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StackStats {
+    /// Frames handed to the stack.
+    pub frames_in: u64,
+    /// Frames that passed the NIC filter.
+    pub frames_accepted: u64,
+    /// Frames rejected by the NIC filter.
+    pub frames_filtered: u64,
+    /// Frames/packets that failed to parse or checksum.
+    pub parse_errors: u64,
+    /// Frames emitted.
+    pub frames_out: u64,
+    /// TCP segments suppressed by egress suppression.
+    pub segs_suppressed: u64,
+    /// ARP replies withheld because the IP is suppressed.
+    pub arps_suppressed: u64,
+    /// RSTs sent for segments with no matching connection.
+    pub rsts_sent: u64,
+    /// IP packets dropped awaiting ARP resolution that never completed.
+    pub arp_queue_drops: u64,
+}
+
+const ARP_RETRY: SimDuration = SimDuration::from_secs(1);
+const ARP_MAX_TRIES: u32 = 3;
+const EPHEMERAL_BASE: u16 = 40000;
+
+struct ArpPending {
+    last_request: SimTime,
+    tries: u32,
+    queued: Vec<Ipv4Packet>,
+}
+
+/// One host's network stack. See the module docs.
+pub struct NetStack {
+    cfg: StackConfig,
+    arp: ArpCache,
+    tcbs: Vec<Option<Tcb>>,
+    by_quad: HashMap<Quad, usize>,
+    listeners: HashMap<u16, Vec<SockId>>,
+    udps: Vec<UdpSocket>,
+    out: VecDeque<Bytes>,
+    pending_arp: HashMap<Ipv4Addr, ArpPending>,
+    suppressed: HashSet<Ipv4Addr>,
+    isn_rng: SplitMix64,
+    ip_ident: u16,
+    next_ephemeral: u16,
+    /// Counters.
+    pub stats: StackStats,
+}
+
+impl fmt::Debug for NetStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetStack")
+            .field("ip", &self.cfg.ip)
+            .field("tcbs", &self.tcbs.iter().filter(|t| t.is_some()).count())
+            .field("listeners", &self.listeners.keys().collect::<Vec<_>>())
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetStack {
+    /// Builds a stack from its configuration.
+    pub fn new(cfg: StackConfig) -> Self {
+        let arp = ArpCache::new(cfg.static_arp.iter().copied());
+        let suppressed = cfg.suppressed_ips.iter().copied().collect();
+        let isn_rng = SplitMix64::new(cfg.isn_seed);
+        NetStack {
+            arp,
+            suppressed,
+            isn_rng,
+            tcbs: Vec::new(),
+            by_quad: HashMap::new(),
+            listeners: HashMap::new(),
+            udps: Vec::new(),
+            out: VecDeque::new(),
+            pending_arp: HashMap::new(),
+            ip_ident: 0,
+            next_ephemeral: EPHEMERAL_BASE,
+            stats: StackStats::default(),
+            cfg,
+        }
+    }
+
+    /// The stack's configuration.
+    pub fn config(&self) -> &StackConfig {
+        &self.cfg
+    }
+
+    // ------------------------------------------------------ TCP sockets
+
+    /// Starts listening on `port` (on every accepted IP).
+    pub fn listen(&mut self, port: u16) {
+        self.listeners.entry(port).or_default();
+    }
+
+    /// Returns the next fully established connection accepted on `port`.
+    pub fn accept(&mut self, port: u16) -> Option<SockId> {
+        let queue = self.listeners.get_mut(&port)?;
+        let pos = queue.iter().position(|&sid| {
+            matches!(
+                self.tcbs.get(sid.0).and_then(|t| t.as_ref()).map(|t| t.state()),
+                Some(s) if s.is_synchronized() && s != TcpState::Closed
+            )
+        })?;
+        Some(queue.remove(pos))
+    }
+
+    /// Opens a connection from `local_ip` (must be one of ours) to the
+    /// remote endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StackError::NoPorts`] if no ephemeral port is free.
+    pub fn connect(
+        &mut self,
+        now: SimTime,
+        remote_ip: Ipv4Addr,
+        remote_port: u16,
+    ) -> Result<SockId, StackError> {
+        let local_port = self.alloc_ephemeral(remote_ip, remote_port)?;
+        let quad = Quad::new(self.cfg.ip, local_port, remote_ip, remote_port);
+        let iss = SeqNum(self.isn_rng.next_u64() as u32);
+        let tcb = Tcb::connect(now, quad, iss, self.cfg.tcp.clone());
+        Ok(self.insert_tcb(quad, tcb))
+    }
+
+    fn alloc_ephemeral(&mut self, remote_ip: Ipv4Addr, remote_port: u16) -> Result<u16, StackError> {
+        for _ in 0..20000 {
+            let port = self.next_ephemeral;
+            self.next_ephemeral = if self.next_ephemeral >= 60000 { EPHEMERAL_BASE } else { self.next_ephemeral + 1 };
+            let quad = Quad::new(self.cfg.ip, port, remote_ip, remote_port);
+            if !self.by_quad.contains_key(&quad) {
+                return Ok(port);
+            }
+        }
+        Err(StackError::NoPorts)
+    }
+
+    fn insert_tcb(&mut self, quad: Quad, tcb: Tcb) -> SockId {
+        let idx = self.tcbs.iter().position(Option::is_none).unwrap_or_else(|| {
+            self.tcbs.push(None);
+            self.tcbs.len() - 1
+        });
+        self.tcbs[idx] = Some(tcb);
+        self.by_quad.insert(quad, idx);
+        SockId(idx)
+    }
+
+    /// Queues application data; returns bytes accepted.
+    ///
+    /// # Errors
+    ///
+    /// [`StackError::BadSocket`] for a dead handle.
+    pub fn write(&mut self, sock: SockId, data: &[u8]) -> Result<usize, StackError> {
+        Ok(self.tcb_mut(sock).ok_or(StackError::BadSocket)?.write(data))
+    }
+
+    /// Reads received data into `buf`; returns bytes copied.
+    ///
+    /// # Errors
+    ///
+    /// [`StackError::BadSocket`] for a dead handle.
+    pub fn read(&mut self, sock: SockId, buf: &mut [u8]) -> Result<usize, StackError> {
+        Ok(self.tcb_mut(sock).ok_or(StackError::BadSocket)?.read(buf))
+    }
+
+    /// Begins an orderly close.
+    pub fn close(&mut self, sock: SockId) {
+        if let Some(tcb) = self.tcb_mut(sock) {
+            tcb.close();
+        }
+    }
+
+    /// Aborts with a RST.
+    pub fn abort(&mut self, sock: SockId) {
+        if let Some(tcb) = self.tcb_mut(sock) {
+            tcb.abort();
+        }
+    }
+
+    /// The connection's state, if the handle is live.
+    pub fn state(&self, sock: SockId) -> Option<TcpState> {
+        self.tcb(sock).map(|t| t.state())
+    }
+
+    /// Read access to a connection's full TCB (ST-TCP engines use this
+    /// for `NextByteExpected`, retention introspection, etc.).
+    pub fn tcb(&self, sock: SockId) -> Option<&Tcb> {
+        self.tcbs.get(sock.0).and_then(|t| t.as_ref())
+    }
+
+    /// Mutable access to a connection's TCB (side-channel injection).
+    pub fn tcb_mut(&mut self, sock: SockId) -> Option<&mut Tcb> {
+        self.tcbs.get_mut(sock.0).and_then(|t| t.as_mut())
+    }
+
+    /// Releases a closed connection's slot so long-running servers do
+    /// not accumulate dead TCBs. The handle becomes invalid and its
+    /// index may be reused by a future connection.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if the connection is not `Closed` —
+    /// release is a cleanup step, not a close operation.
+    pub fn release(&mut self, sock: SockId) {
+        if let Some(tcb) = self.tcbs.get_mut(sock.0).and_then(Option::take) {
+            debug_assert_eq!(tcb.state(), TcpState::Closed, "release() requires a closed TCB");
+            self.by_quad.remove(&tcb.quad());
+            // Listener queues may still reference the socket.
+            for queue in self.listeners.values_mut() {
+                queue.retain(|&sid| sid != sock);
+            }
+        }
+    }
+
+    /// Finds the connection with this exact four-tuple.
+    pub fn sock_by_quad(&self, quad: Quad) -> Option<SockId> {
+        self.by_quad.get(&quad).copied().map(SockId)
+    }
+
+    /// All live connections.
+    pub fn socks(&self) -> impl Iterator<Item = SockId> + '_ {
+        self.tcbs.iter().enumerate().filter_map(|(i, t)| t.as_ref().map(|_| SockId(i)))
+    }
+
+    // ------------------------------------------------------ UDP sockets
+
+    /// Binds a UDP socket.
+    pub fn udp_bind(&mut self, port: u16) -> UdpId {
+        self.udps.push(UdpSocket::new(port, 256));
+        UdpId(self.udps.len() - 1)
+    }
+
+    /// Sends a datagram from our primary IP.
+    pub fn udp_send(&mut self, now: SimTime, udp: UdpId, dst_ip: Ipv4Addr, dst_port: u16, payload: Bytes) {
+        let Some(sock) = self.udps.get(udp.0) else {
+            return;
+        };
+        let src_port = sock.port();
+        let dgram = UdpDatagram::new(src_port, dst_port, payload);
+        let packet = Ipv4Packet {
+            ident: self.next_ident(),
+            ttl: 64,
+            protocol: IpProtocol::Udp,
+            src: self.cfg.ip,
+            dst: dst_ip,
+            payload: dgram.encode(self.cfg.ip, dst_ip),
+        };
+        self.emit_ip(now, packet);
+    }
+
+    /// Receives the oldest queued datagram on `udp`.
+    pub fn udp_recv(&mut self, udp: UdpId) -> Option<UdpRecv> {
+        self.udps.get_mut(udp.0)?.recv()
+    }
+
+    // ------------------------------------------------ ST-TCP suppression
+
+    /// Suppresses all egress sourced from `ip` (backup shadow mode).
+    pub fn suppress(&mut self, ip: Ipv4Addr) {
+        self.suppressed.insert(ip);
+    }
+
+    /// Lifts suppression of `ip` — the takeover switch. "As soon as the
+    /// flag is set, the kernel starts sending the packets to the client
+    /// instead of dropping them" (§5).
+    pub fn unsuppress(&mut self, ip: Ipv4Addr) {
+        self.suppressed.remove(&ip);
+    }
+
+    /// Whether `ip`'s egress is currently suppressed.
+    pub fn is_suppressed(&self, ip: Ipv4Addr) -> bool {
+        self.suppressed.contains(&ip)
+    }
+
+    // ---------------------------------------------------------- ingress
+
+    /// Processes one received frame.
+    pub fn handle_frame(&mut self, now: SimTime, raw: Bytes) {
+        self.stats.frames_in += 1;
+        let Ok(eth) = EthernetFrame::parse(raw) else {
+            self.stats.parse_errors += 1;
+            return;
+        };
+        let for_us = eth.dst == self.cfg.mac
+            || eth.dst.is_broadcast()
+            || self.cfg.accept_macs.contains(&eth.dst)
+            || self.cfg.promiscuous;
+        if !for_us {
+            self.stats.frames_filtered += 1;
+            return;
+        }
+        self.stats.frames_accepted += 1;
+        match eth.ethertype {
+            EtherType::Arp => self.handle_arp(now, &eth),
+            EtherType::Ipv4 => self.handle_ip(now, &eth),
+            EtherType::Other(_) => {}
+        }
+    }
+
+    fn handle_arp(&mut self, now: SimTime, eth: &EthernetFrame) {
+        let Ok(arp) = ArpPacket::parse(&eth.payload) else {
+            self.stats.parse_errors += 1;
+            return;
+        };
+        self.arp.learn(arp.sender_ip, arp.sender_mac);
+        self.flush_arp_queue(now, arp.sender_ip);
+        if arp.op == ArpOp::Request && self.cfg.all_ips().any(|ip| ip == arp.target_ip) {
+            if self.suppressed.contains(&arp.target_ip) {
+                self.stats.arps_suppressed += 1;
+                return;
+            }
+            let reply = ArpPacket::reply(self.cfg.mac, arp.target_ip, &arp);
+            let frame = EthernetFrame::new(arp.sender_mac, self.cfg.mac, EtherType::Arp, reply.encode());
+            self.push_frame(frame.encode());
+        }
+    }
+
+    fn handle_ip(&mut self, now: SimTime, eth: &EthernetFrame) {
+        let Ok(ip) = Ipv4Packet::parse(eth.payload.clone()) else {
+            self.stats.parse_errors += 1;
+            return;
+        };
+        if self.cfg.learn_from_ip && !eth.src.is_multicast() {
+            self.arp.learn(ip.src, eth.src);
+            self.flush_arp_queue(now, ip.src);
+        }
+        if !self.cfg.all_ips().any(|mine| mine == ip.dst) {
+            return; // tapped frame addressed elsewhere; engines inspect separately
+        }
+        match ip.protocol {
+            IpProtocol::Tcp => self.handle_tcp(now, &ip),
+            IpProtocol::Udp => self.handle_udp(&ip),
+            IpProtocol::Other(_) => {}
+        }
+    }
+
+    fn handle_tcp(&mut self, now: SimTime, ip: &Ipv4Packet) {
+        let Ok(seg) = TcpSegment::parse(ip.payload.clone(), ip.src, ip.dst) else {
+            self.stats.parse_errors += 1;
+            return;
+        };
+        let quad = Quad::new(ip.dst, seg.dst_port, ip.src, seg.src_port);
+        if let Some(&idx) = self.by_quad.get(&quad) {
+            if let Some(tcb) = self.tcbs[idx].as_mut() {
+                tcb.on_segment(now, &seg);
+                if tcb.state() == TcpState::Closed {
+                    self.by_quad.remove(&quad);
+                }
+                return;
+            }
+        }
+        // No connection. A SYN to a listening port spawns one.
+        if seg.flags.contains(TcpFlags::SYN)
+            && !seg.flags.contains(TcpFlags::ACK)
+            && self.listeners.contains_key(&seg.dst_port)
+        {
+            let iss = SeqNum(self.isn_rng.next_u64() as u32);
+            let tcb = Tcb::accept(now, quad, iss, &seg, self.cfg.tcp.clone());
+            let sid = self.insert_tcb(quad, tcb);
+            self.listeners.get_mut(&seg.dst_port).expect("checked").push(sid);
+            return;
+        }
+        // Otherwise: RST (never in response to a RST).
+        if !seg.flags.contains(TcpFlags::RST) {
+            self.send_rst(now, ip, &seg);
+        }
+    }
+
+    fn send_rst(&mut self, now: SimTime, ip: &Ipv4Packet, seg: &TcpSegment) {
+        let rst = if seg.flags.contains(TcpFlags::ACK) {
+            TcpSegment::bare(seg.dst_port, seg.src_port, seg.ack, 0, TcpFlags::RST, 0)
+        } else {
+            let mut s = TcpSegment::bare(
+                seg.dst_port,
+                seg.src_port,
+                0,
+                seg.seq.wrapping_add(seg.seq_len()),
+                TcpFlags::RST | TcpFlags::ACK,
+                0,
+            );
+            s.ack = seg.seq.wrapping_add(seg.seq_len());
+            s
+        };
+        self.stats.rsts_sent += 1;
+        let packet = Ipv4Packet {
+            ident: self.next_ident(),
+            ttl: 64,
+            protocol: IpProtocol::Tcp,
+            src: ip.dst,
+            dst: ip.src,
+            payload: rst.encode(ip.dst, ip.src),
+        };
+        self.emit_ip(now, packet);
+    }
+
+    fn handle_udp(&mut self, ip: &Ipv4Packet) {
+        let Ok(dgram) = UdpDatagram::parse(ip.payload.clone(), ip.src, ip.dst) else {
+            self.stats.parse_errors += 1;
+            return;
+        };
+        if let Some(sock) = self.udps.iter_mut().find(|s| s.port() == dgram.dst_port) {
+            sock.deliver(UdpRecv { src_ip: ip.src, src_port: dgram.src_port, payload: dgram.payload });
+        }
+    }
+
+    // ----------------------------------------------------------- egress
+
+    /// Drives timers and collects every frame ready to transmit.
+    pub fn poll(&mut self, now: SimTime) -> Vec<Bytes> {
+        self.retry_arp(now);
+        let mut staged: Vec<(Quad, TcpSegment)> = Vec::new();
+        let mut closed: Vec<Quad> = Vec::new();
+        for tcb in self.tcbs.iter_mut().flatten() {
+            let quad = tcb.quad();
+            for seg in tcb.poll(now) {
+                staged.push((quad, seg));
+            }
+            if tcb.state() == TcpState::Closed {
+                closed.push(quad);
+            }
+        }
+        for quad in closed {
+            self.by_quad.remove(&quad);
+        }
+        for (quad, seg) in staged {
+            let packet = Ipv4Packet {
+                ident: self.next_ident(),
+                ttl: 64,
+                protocol: IpProtocol::Tcp,
+                src: quad.local_ip,
+                dst: quad.remote_ip,
+                payload: seg.encode(quad.local_ip, quad.remote_ip),
+            };
+            self.emit_ip(now, packet);
+        }
+        self.stats.frames_out += self.out.len() as u64;
+        self.out.drain(..).collect()
+    }
+
+    /// The earliest instant at which [`NetStack::poll`] has new work.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        let tcb_min = self.tcbs.iter().flatten().filter_map(|t| t.next_deadline()).min();
+        let arp_min = self
+            .pending_arp
+            .values()
+            .map(|p| p.last_request + ARP_RETRY)
+            .min();
+        [tcb_min, arp_min].into_iter().flatten().min()
+    }
+
+    fn emit_ip(&mut self, now: SimTime, packet: Ipv4Packet) {
+        // Egress suppression is enforced at the single emission choke
+        // point so that *every* frame sourced from a suppressed IP is
+        // covered — connection segments, RSTs for unknown quads, all of
+        // it. A backup that RST a client because its shadow was missing
+        // would kill the very connection it exists to protect.
+        if self.suppressed.contains(&packet.src) {
+            self.stats.segs_suppressed += 1;
+            return;
+        }
+        let next_hop = if self.cfg.on_subnet(packet.dst) {
+            packet.dst
+        } else {
+            match self.cfg.gateway {
+                Some(gw) => gw,
+                None => return, // unroutable
+            }
+        };
+        match self.arp.lookup(next_hop) {
+            Some(mac) => {
+                let frame = EthernetFrame::new(mac, self.cfg.mac, EtherType::Ipv4, packet.encode());
+                self.push_frame(frame.encode());
+            }
+            None => {
+                let entry = self.pending_arp.entry(next_hop).or_insert(ArpPending {
+                    last_request: now,
+                    tries: 0,
+                    queued: Vec::new(),
+                });
+                if entry.queued.len() < 64 {
+                    entry.queued.push(packet);
+                } else {
+                    self.stats.arp_queue_drops += 1;
+                }
+                if entry.tries == 0 {
+                    entry.tries = 1;
+                    entry.last_request = now;
+                    self.send_arp_request(next_hop);
+                }
+            }
+        }
+    }
+
+    fn retry_arp(&mut self, now: SimTime) {
+        let mut dead: Vec<Ipv4Addr> = Vec::new();
+        let mut to_request: Vec<Ipv4Addr> = Vec::new();
+        for (&ip, pending) in &mut self.pending_arp {
+            if now.checked_duration_since(pending.last_request).map(|d| d >= ARP_RETRY).unwrap_or(false) {
+                if pending.tries >= ARP_MAX_TRIES {
+                    dead.push(ip);
+                } else {
+                    pending.tries += 1;
+                    pending.last_request = now;
+                    to_request.push(ip);
+                }
+            }
+        }
+        for ip in to_request {
+            self.send_arp_request(ip);
+        }
+        for ip in dead {
+            if let Some(p) = self.pending_arp.remove(&ip) {
+                self.stats.arp_queue_drops += p.queued.len() as u64;
+            }
+        }
+    }
+
+    fn send_arp_request(&mut self, target: Ipv4Addr) {
+        let req = ArpPacket::request(self.cfg.mac, self.cfg.ip, target);
+        let frame = EthernetFrame::new(MacAddr::BROADCAST, self.cfg.mac, EtherType::Arp, req.encode());
+        self.push_frame(frame.encode());
+    }
+
+    fn flush_arp_queue(&mut self, _now: SimTime, ip: Ipv4Addr) {
+        let Some(pending) = self.pending_arp.remove(&ip) else {
+            return;
+        };
+        let Some(mac) = self.arp.lookup(ip) else {
+            self.pending_arp.insert(ip, pending);
+            return;
+        };
+        for packet in pending.queued {
+            let frame = EthernetFrame::new(mac, self.cfg.mac, EtherType::Ipv4, packet.encode());
+            self.push_frame(frame.encode());
+        }
+    }
+
+    fn push_frame(&mut self, frame: Bytes) {
+        self.out.push_back(frame);
+    }
+
+    fn next_ident(&mut self) -> u16 {
+        self.ip_ident = self.ip_ident.wrapping_add(1);
+        self.ip_ident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StackConfig;
+
+    const CLIENT_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn client() -> NetStack {
+        let mut cfg = StackConfig::host(MacAddr::local(1), CLIENT_IP);
+        cfg.isn_seed = 11;
+        NetStack::new(cfg)
+    }
+
+    fn server() -> NetStack {
+        let mut cfg = StackConfig::host(MacAddr::local(2), SERVER_IP);
+        cfg.isn_seed = 22;
+        NetStack::new(cfg)
+    }
+
+    /// Shuttles frames between two stacks until both go quiet, advancing
+    /// a fake clock by `step` per exchange. Returns rounds used.
+    fn pump(a: &mut NetStack, b: &mut NetStack, now: &mut SimTime, step: SimDuration) -> usize {
+        let mut rounds = 0;
+        loop {
+            let fa = a.poll(*now);
+            let fb = b.poll(*now);
+            if fa.is_empty() && fb.is_empty() {
+                return rounds;
+            }
+            *now = *now + step;
+            for f in fa {
+                b.handle_frame(*now, f);
+            }
+            for f in fb {
+                a.handle_frame(*now, f);
+            }
+            rounds += 1;
+            assert!(rounds < 10_000, "pump did not converge");
+        }
+    }
+
+    fn established_pair() -> (NetStack, NetStack, SockId, SockId, SimTime) {
+        let mut c = client();
+        let mut s = server();
+        s.listen(80);
+        let mut now = SimTime::ZERO;
+        let csock = c.connect(now, SERVER_IP, 80).unwrap();
+        pump(&mut c, &mut s, &mut now, SimDuration::from_micros(100));
+        let ssock = s.accept(80).expect("server should accept");
+        assert_eq!(c.state(csock), Some(TcpState::Established));
+        assert_eq!(s.state(ssock), Some(TcpState::Established));
+        (c, s, csock, ssock, now)
+    }
+
+    #[test]
+    fn three_way_handshake_with_arp() {
+        let (_c, s, _cs, ssock, _now) = established_pair();
+        // Server learned the client ISN via the SYN.
+        let tcb = s.tcb(ssock).unwrap();
+        assert!(tcb.state().is_synchronized());
+    }
+
+    #[test]
+    fn data_both_directions() {
+        let (mut c, mut s, cs, ss, mut now) = established_pair();
+        assert_eq!(c.write(cs, b"ping").unwrap(), 4);
+        pump(&mut c, &mut s, &mut now, SimDuration::from_micros(100));
+        let mut buf = [0u8; 16];
+        assert_eq!(s.read(ss, &mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], b"ping");
+        assert_eq!(s.write(ss, b"pong!").unwrap(), 5);
+        pump(&mut c, &mut s, &mut now, SimDuration::from_micros(100));
+        assert_eq!(c.read(cs, &mut buf).unwrap(), 5);
+        assert_eq!(&buf[..5], b"pong!");
+    }
+
+    #[test]
+    fn bulk_transfer_respects_window_and_completes() {
+        let (mut c, mut s, cs, ss, mut now) = established_pair();
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let mut sent = 0;
+        let mut received = Vec::new();
+        let mut buf = [0u8; 4096];
+        let mut spins = 0;
+        while received.len() < payload.len() {
+            sent += s.write(ss, &payload[sent..]).unwrap();
+            // Advance time enough for delack/rtx timers to fire if needed.
+            now = now + SimDuration::from_millis(1);
+            pump(&mut c, &mut s, &mut now, SimDuration::from_micros(50));
+            loop {
+                let n = c.read(cs, &mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                received.extend_from_slice(&buf[..n]);
+            }
+            spins += 1;
+            assert!(spins < 10_000, "bulk transfer stalled at {}", received.len());
+        }
+        assert_eq!(received, payload);
+    }
+
+    #[test]
+    fn orderly_close_reaches_time_wait_and_closed() {
+        let (mut c, mut s, cs, ss, mut now) = established_pair();
+        c.close(cs);
+        pump(&mut c, &mut s, &mut now, SimDuration::from_micros(100));
+        assert_eq!(s.state(ss), Some(TcpState::CloseWait));
+        assert_eq!(c.state(cs), Some(TcpState::FinWait2));
+        s.close(ss);
+        pump(&mut c, &mut s, &mut now, SimDuration::from_micros(100));
+        assert_eq!(s.state(ss), Some(TcpState::Closed));
+        assert_eq!(c.state(cs), Some(TcpState::TimeWait));
+        // TIME_WAIT expires.
+        now = now + SimDuration::from_secs(61);
+        c.poll(now);
+        assert_eq!(c.state(cs), Some(TcpState::Closed));
+    }
+
+    #[test]
+    fn rst_for_unknown_port() {
+        let mut c = client();
+        let mut s = server(); // no listener
+        let mut now = SimTime::ZERO;
+        let cs = c.connect(now, SERVER_IP, 9999).unwrap();
+        pump(&mut c, &mut s, &mut now, SimDuration::from_micros(100));
+        assert_eq!(c.state(cs), Some(TcpState::Closed), "SYN to closed port must be reset");
+        assert_eq!(s.stats.rsts_sent, 1);
+    }
+
+    #[test]
+    fn retransmission_recovers_loss() {
+        let (mut c, mut s, cs, ss, mut now) = established_pair();
+        c.write(cs, b"lost").unwrap();
+        // Drop the client's output entirely (the data segment vanishes).
+        let lost = c.poll(now);
+        assert!(!lost.is_empty());
+        drop(lost);
+        // Nothing arrives; the client's RTO fires (>= 200ms floor).
+        now = now + SimDuration::from_millis(250);
+        pump(&mut c, &mut s, &mut now, SimDuration::from_micros(100));
+        let mut buf = [0u8; 8];
+        assert_eq!(s.read(ss, &mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], b"lost");
+        assert!(c.tcb(cs).unwrap().stats.rto_retransmits >= 1);
+    }
+
+    #[test]
+    fn suppression_drops_egress_and_counts() {
+        let (mut c, mut s, cs, _ss, mut now) = established_pair();
+        s.suppress(SERVER_IP);
+        c.write(cs, b"hello?").unwrap();
+        // Client sends; server receives but its (delayed) ACKs are
+        // suppressed. Step past the 40 ms delayed-ACK timer each round.
+        for _ in 0..3 {
+            let fc = c.poll(now);
+            for f in fc {
+                s.handle_frame(now, f);
+            }
+            now = now + SimDuration::from_millis(50);
+            let fs = s.poll(now);
+            assert!(fs.is_empty(), "suppressed stack must emit nothing");
+        }
+        assert!(s.stats.segs_suppressed > 0);
+        // Unsuppress: the client's retransmission now gets acked.
+        s.unsuppress(SERVER_IP);
+        now = now + SimDuration::from_millis(300);
+        pump(&mut c, &mut s, &mut now, SimDuration::from_micros(100));
+        assert_eq!(c.tcb(cs).unwrap().snd_una(), c.tcb(cs).unwrap().snd_nxt());
+    }
+
+    #[test]
+    fn suppressed_ip_does_not_answer_arp() {
+        let mut s = server();
+        s.suppress(SERVER_IP);
+        let req = ArpPacket::request(MacAddr::local(1), CLIENT_IP, SERVER_IP);
+        let frame = EthernetFrame::new(MacAddr::BROADCAST, MacAddr::local(1), EtherType::Arp, req.encode());
+        s.handle_frame(SimTime::ZERO, frame.encode());
+        assert!(s.poll(SimTime::ZERO).is_empty());
+        assert_eq!(s.stats.arps_suppressed, 1);
+    }
+
+    #[test]
+    fn udp_roundtrip_with_arp_resolution() {
+        let mut a = client();
+        let mut b = server();
+        let ua = a.udp_bind(5000);
+        let ub = b.udp_bind(6000);
+        let mut now = SimTime::ZERO;
+        a.udp_send(now, ua, SERVER_IP, 6000, Bytes::from_static(b"heartbeat"));
+        pump(&mut a, &mut b, &mut now, SimDuration::from_micros(100));
+        let got = b.udp_recv(ub).expect("datagram should arrive after ARP");
+        assert_eq!(got.payload, Bytes::from_static(b"heartbeat"));
+        assert_eq!(got.src_ip, CLIENT_IP);
+        assert_eq!(got.src_port, 5000);
+        // Reply flows without further ARP.
+        b.udp_send(now, ub, CLIENT_IP, 5000, Bytes::from_static(b"ack"));
+        pump(&mut a, &mut b, &mut now, SimDuration::from_micros(100));
+        assert_eq!(a.udp_recv(ua).unwrap().payload, Bytes::from_static(b"ack"));
+    }
+
+    #[test]
+    fn nic_filter_rejects_foreign_unicast() {
+        let mut s = server();
+        let mut seg = TcpSegment::bare(1, 2, 0, 0, TcpFlags::ACK, 0);
+        seg.payload = Bytes::from_static(b"x");
+        let ip = Ipv4Packet::new(CLIENT_IP, SERVER_IP, IpProtocol::Tcp, seg.encode(CLIENT_IP, SERVER_IP));
+        let frame = EthernetFrame::new(MacAddr::local(99), MacAddr::local(1), EtherType::Ipv4, ip.encode());
+        s.handle_frame(SimTime::ZERO, frame.encode());
+        assert_eq!(s.stats.frames_filtered, 1);
+        assert_eq!(s.stats.frames_accepted, 0);
+    }
+
+    #[test]
+    fn promiscuous_accepts_and_learns() {
+        let mut cfg = StackConfig::host(MacAddr::local(3), Ipv4Addr::new(10, 0, 0, 3));
+        cfg.promiscuous = true;
+        cfg.learn_from_ip = true;
+        let mut tap = NetStack::new(cfg);
+        let mut seg = TcpSegment::bare(1, 2, 0, 0, TcpFlags::ACK, 0);
+        seg.payload = Bytes::from_static(b"x");
+        let ip = Ipv4Packet::new(CLIENT_IP, SERVER_IP, IpProtocol::Tcp, seg.encode(CLIENT_IP, SERVER_IP));
+        let frame = EthernetFrame::new(MacAddr::local(2), MacAddr::local(1), EtherType::Ipv4, ip.encode());
+        tap.handle_frame(SimTime::ZERO, frame.encode());
+        assert_eq!(tap.stats.frames_accepted, 1);
+        // It learned the client's MAC from the tapped frame.
+        // (Verified indirectly: an emit to CLIENT_IP requires no ARP.)
+        tap.udp_bind(7).0;
+        tap.udp_send(SimTime::ZERO, UdpId(0), CLIENT_IP, 9, Bytes::from_static(b"z"));
+        let frames = tap.poll(SimTime::ZERO);
+        assert_eq!(frames.len(), 1);
+        let out = EthernetFrame::parse(frames[0].clone()).unwrap();
+        assert_eq!(out.ethertype, EtherType::Ipv4, "no ARP needed — MAC was learned from the tap");
+        assert_eq!(out.dst, MacAddr::local(1));
+    }
+
+    #[test]
+    fn connect_allocates_distinct_ports() {
+        let mut c = client();
+        let a = c.connect(SimTime::ZERO, SERVER_IP, 80).unwrap();
+        let b = c.connect(SimTime::ZERO, SERVER_IP, 80).unwrap();
+        let qa = c.tcb(a).unwrap().quad();
+        let qb = c.tcb(b).unwrap().quad();
+        assert_ne!(qa.local_port, qb.local_port);
+    }
+
+    #[test]
+    fn arp_gives_up_after_retries() {
+        let mut c = client();
+        let u = c.udp_bind(5000);
+        let mut now = SimTime::ZERO;
+        c.udp_send(now, u, Ipv4Addr::new(10, 0, 0, 200), 1, Bytes::from_static(b"x"));
+        let mut requests = 0;
+        for _ in 0..10 {
+            let frames = c.poll(now);
+            requests += frames
+                .iter()
+                .filter(|f| EthernetFrame::parse((*f).clone()).unwrap().ethertype == EtherType::Arp)
+                .count();
+            now = now + SimDuration::from_secs(2);
+        }
+        assert_eq!(requests, ARP_MAX_TRIES as usize);
+        assert_eq!(c.stats.arp_queue_drops, 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! UDP endpoints — the transport of the ST-TCP side channel.
+//!
+//! "A separate UDP channel is established between the primary and the
+//! backup servers when these servers are started" (§4.2). Backup ACKs,
+//! missing-segment requests/replies, and heartbeats all ride on it.
+
+use bytes::Bytes;
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+
+/// One received datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpRecv {
+    /// Sender's IP.
+    pub src_ip: Ipv4Addr,
+    /// Sender's port.
+    pub src_port: u16,
+    /// Payload.
+    pub payload: Bytes,
+}
+
+/// A bound UDP socket: a port and a receive queue.
+#[derive(Debug, Clone, Default)]
+pub struct UdpSocket {
+    port: u16,
+    queue: VecDeque<UdpRecv>,
+    /// Datagrams dropped because the queue was full.
+    pub overflows: u64,
+    capacity: usize,
+}
+
+impl UdpSocket {
+    /// Creates a socket bound to `port` with a bounded receive queue.
+    pub fn new(port: u16, capacity: usize) -> Self {
+        UdpSocket { port, queue: VecDeque::new(), overflows: 0, capacity }
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Enqueues a received datagram (stack-internal).
+    pub(crate) fn deliver(&mut self, msg: UdpRecv) {
+        if self.queue.len() >= self.capacity {
+            self.overflows += 1;
+            return;
+        }
+        self.queue.push_back(msg);
+    }
+
+    /// Dequeues the oldest datagram, if any.
+    pub fn recv(&mut self) -> Option<UdpRecv> {
+        self.queue.pop_front()
+    }
+
+    /// Number of queued datagrams.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_delivery() {
+        let mut s = UdpSocket::new(9000, 8);
+        for i in 0..3u8 {
+            s.deliver(UdpRecv {
+                src_ip: Ipv4Addr::new(10, 0, 0, 1),
+                src_port: 1234,
+                payload: Bytes::from(vec![i]),
+            });
+        }
+        assert_eq!(s.pending(), 3);
+        assert_eq!(s.recv().unwrap().payload, Bytes::from_static(&[0]));
+        assert_eq!(s.recv().unwrap().payload, Bytes::from_static(&[1]));
+        assert_eq!(s.recv().unwrap().payload, Bytes::from_static(&[2]));
+        assert!(s.recv().is_none());
+    }
+
+    #[test]
+    fn bounded_queue_drops_and_counts() {
+        let mut s = UdpSocket::new(9000, 2);
+        for i in 0..5u8 {
+            s.deliver(UdpRecv {
+                src_ip: Ipv4Addr::new(10, 0, 0, 1),
+                src_port: 1,
+                payload: Bytes::from(vec![i]),
+            });
+        }
+        assert_eq!(s.pending(), 2);
+        assert_eq!(s.overflows, 3);
+    }
+}

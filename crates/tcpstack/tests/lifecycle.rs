@@ -1,0 +1,98 @@
+//! Connection lifecycle hygiene: half-open caps, slot reaping, and
+//! high-connection-count behaviour — the properties a long-running
+//! server depends on.
+
+use bytes::Bytes;
+use netsim::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+use tcpstack::{NetStack, StackConfig, TcpState};
+use wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, MacAddr, TcpFlags, TcpOption, TcpSegment};
+
+const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+fn server() -> NetStack {
+    let mut cfg = StackConfig::host(MacAddr::local(2), SERVER_IP);
+    cfg.learn_from_ip = true;
+    let mut s = NetStack::new(cfg);
+    s.listen(80);
+    s
+}
+
+fn syn_from(client_ip: Ipv4Addr, client_port: u16, iss: u32) -> Bytes {
+    let mut seg = TcpSegment::bare(client_port, 80, iss, 0, TcpFlags::SYN, 17520);
+    seg.options = vec![TcpOption::Mss(1460)];
+    let ip = Ipv4Packet::new(client_ip, SERVER_IP, IpProtocol::Tcp, seg.encode(client_ip, SERVER_IP));
+    EthernetFrame::new(MacAddr::local(2), MacAddr::local(1), EtherType::Ipv4, ip.encode()).encode()
+}
+
+#[test]
+fn half_open_connections_eventually_give_up() {
+    // A "SYN flood": 20 SYNs whose handshakes never complete. The
+    // SYN/ACK retransmission cap must close every embryo.
+    let mut s = server();
+    let mut now = SimTime::ZERO;
+    for i in 0..20u16 {
+        s.handle_frame(now, syn_from(Ipv4Addr::new(10, 0, 0, 50), 30_000 + i, 7_000 + u32::from(i)));
+    }
+    assert_eq!(s.socks().count(), 20);
+    // Drive timers far past the full SYN/ACK backoff schedule.
+    for _ in 0..400 {
+        now = now + SimDuration::from_secs(1);
+        let _ = s.poll(now);
+    }
+    let alive = s.socks().filter(|&sid| s.state(sid) != Some(TcpState::Closed)).count();
+    assert_eq!(alive, 0, "every half-open embryo must have given up");
+}
+
+#[test]
+fn release_frees_slots_for_reuse() {
+    let mut s = server();
+    let now = SimTime::ZERO;
+    s.handle_frame(now, syn_from(Ipv4Addr::new(10, 0, 0, 50), 30_000, 7_000));
+    let sock = s.socks().next().unwrap();
+    // Abort it (forces Closed), then release.
+    s.abort(sock);
+    assert_eq!(s.state(sock), Some(TcpState::Closed));
+    s.release(sock);
+    assert_eq!(s.state(sock), None, "released handle is dead");
+    assert_eq!(s.socks().count(), 0);
+    // A new connection reuses the slot.
+    s.handle_frame(now, syn_from(Ipv4Addr::new(10, 0, 0, 51), 30_001, 8_000));
+    assert_eq!(s.socks().count(), 1);
+    let reused = s.socks().next().unwrap();
+    assert_eq!(reused, sock, "slot index is recycled");
+}
+
+#[test]
+fn released_connection_is_gone_from_demux_and_listener() {
+    let mut s = server();
+    let now = SimTime::ZERO;
+    s.handle_frame(now, syn_from(Ipv4Addr::new(10, 0, 0, 50), 30_000, 7_000));
+    let sock = s.socks().next().unwrap();
+    s.abort(sock);
+    s.release(sock);
+    // The listener queue must not hand out the dead handle.
+    assert!(s.accept(80).is_none());
+    // A retransmitted SYN for the same quad builds a fresh connection
+    // rather than resurrecting the old slot's state.
+    s.handle_frame(now, syn_from(Ipv4Addr::new(10, 0, 0, 50), 30_000, 9_999));
+    let fresh = s.socks().next().unwrap();
+    assert_eq!(s.tcb(fresh).unwrap().irs().raw(), 9_999);
+}
+
+#[test]
+fn many_sequential_connections_do_not_accumulate() {
+    // Open, abort, and release 500 connections: the slot table must
+    // stay flat.
+    let mut s = server();
+    let now = SimTime::ZERO;
+    for i in 0..500u32 {
+        let port = 20_000 + (i % 1000) as u16;
+        let ip = Ipv4Addr::new(10, 0, (i / 250) as u8, 50);
+        s.handle_frame(now, syn_from(ip, port, i * 13 + 1));
+        let sock = s.socks().next().expect("conn exists");
+        s.abort(sock);
+        s.release(sock);
+    }
+    assert_eq!(s.socks().count(), 0);
+}

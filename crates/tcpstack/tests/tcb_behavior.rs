@@ -1,0 +1,263 @@
+//! White-box behavioural tests of the TCP control block, driven with
+//! hand-crafted segments and a manual clock — no stack, no simulator.
+
+use bytes::Bytes;
+use netsim::{SimDuration, SimTime};
+use tcpstack::{Quad, SeqNum, Tcb, TcpConfig, TcpState};
+use wire::{TcpFlags, TcpSegment};
+
+fn quad() -> Quad {
+    Quad::new(
+        std::net::Ipv4Addr::new(10, 0, 0, 100),
+        80,
+        std::net::Ipv4Addr::new(10, 0, 0, 1),
+        40000,
+    )
+}
+
+fn client_syn(client_iss: u32) -> TcpSegment {
+    let mut s = TcpSegment::bare(40000, 80, client_iss, 0, TcpFlags::SYN, 17520);
+    s.options = vec![wire::TcpOption::Mss(1460)];
+    s
+}
+
+fn seg(seq: u32, ack: u32, flags: TcpFlags, payload: &[u8]) -> TcpSegment {
+    let mut s = TcpSegment::bare(40000, 80, seq, ack, flags, 17520);
+    s.payload = Bytes::copy_from_slice(payload);
+    s
+}
+
+/// Server-side TCB established via handshake; returns (tcb, now,
+/// client_next_seq, server_iss).
+fn established_server(cfg: TcpConfig) -> (Tcb, SimTime, u32, u32) {
+    let now = SimTime::ZERO;
+    let syn = client_syn(7000);
+    let mut tcb = Tcb::accept(now, quad(), SeqNum(100_000), &syn, cfg);
+    let synack = tcb.poll(now);
+    assert_eq!(synack.len(), 1);
+    let iss = synack[0].seq;
+    tcb.on_segment(now, &seg(7001, iss.wrapping_add(1), TcpFlags::ACK, b""));
+    assert_eq!(tcb.state(), TcpState::Established);
+    (tcb, now, 7001, iss)
+}
+
+#[test]
+fn rto_rolls_back_and_resends_whole_window_under_slow_start() {
+    let (mut tcb, now, _cseq, _iss) = established_server(TcpConfig::default());
+    // Queue 8 segments worth; peer window is large.
+    let data = vec![0xAAu8; 8 * 1460];
+    assert_eq!(tcb.write(&data), data.len());
+    let first_burst = tcb.poll(now);
+    // Initial cwnd = 2 MSS.
+    assert_eq!(first_burst.len(), 2);
+    let snd_nxt_before = tcb.snd_nxt();
+    // Nothing comes back; RTO fires (1 s initial).
+    let t1 = now + SimDuration::from_millis(1100);
+    let rtx_burst = tcb.poll(t1);
+    // Go-back-N: snd_nxt rolled to snd_una, cwnd collapsed to 1 MSS,
+    // exactly one segment resent, starting at snd_una.
+    assert_eq!(rtx_burst.len(), 1);
+    assert_eq!(rtx_burst[0].seq, tcb.snd_una().raw());
+    assert_eq!(rtx_burst[0].payload.len(), 1460);
+    assert!(tcb.snd_nxt().lt(snd_nxt_before) || tcb.snd_nxt() == snd_nxt_before.sub(1460));
+    assert_eq!(tcb.stats.rto_retransmits, 1);
+    // The peer acks the retransmission: slow start resumes with two
+    // segments (cwnd 2 MSS). The first re-covers old ground (segment 2
+    // of the original burst — not new bytes); the second is the first
+    // transmission of queued data beyond the old snd_max.
+    let bytes_out_before = tcb.stats.bytes_out;
+    let t2 = t1 + SimDuration::from_millis(10);
+    tcb.on_segment(t2, &seg(7001, rtx_burst[0].seq.wrapping_add(1460), TcpFlags::ACK, b""));
+    let resume = tcb.poll(t2);
+    assert_eq!(resume.len(), 2, "slow start must re-open the pipe");
+    assert_eq!(
+        tcb.stats.bytes_out,
+        bytes_out_before + 1460,
+        "only the genuinely-new segment counts as new bytes"
+    );
+}
+
+#[test]
+fn fin_retransmits_after_rollback() {
+    let (mut tcb, now, _cseq, _iss) = established_server(TcpConfig::default());
+    tcb.write(b"bye");
+    tcb.close();
+    let out = tcb.poll(now);
+    // 3 bytes + FIN (possibly combined or separate).
+    let had_fin = out.iter().any(|s| s.flags.contains(TcpFlags::FIN));
+    assert!(had_fin);
+    assert_eq!(tcb.state(), TcpState::FinWait1);
+    // RTO fires twice with no ack: data+FIN must be fully resent.
+    let t1 = now + SimDuration::from_millis(1100);
+    let rtx = tcb.poll(t1);
+    assert!(!rtx.is_empty());
+    let resent_fin = rtx.iter().any(|s| s.flags.contains(TcpFlags::FIN));
+    assert!(resent_fin, "rollback must re-emit the FIN: {rtx:?}");
+    // Ack everything: connection proceeds to FinWait2.
+    let fin_seq = rtx.iter().map(|s| s.seq.wrapping_add(s.seq_len())).max().unwrap();
+    tcb.on_segment(t1, &seg(7001, fin_seq, TcpFlags::ACK, b""));
+    assert_eq!(tcb.state(), TcpState::FinWait2);
+}
+
+#[test]
+fn zero_window_probe_elicits_update() {
+    let mut cfg = TcpConfig::default();
+    cfg.delayed_ack = SimDuration::ZERO;
+    let (mut tcb, now, _cseq, iss) = established_server(cfg);
+    // Peer advertises a zero window.
+    tcb.on_segment(now, &seg(7001, iss.wrapping_add(1), TcpFlags::ACK, b""));
+    let zero_win = {
+        let mut s = TcpSegment::bare(40000, 80, 7001, iss.wrapping_add(1), TcpFlags::ACK, 0);
+        s.payload = Bytes::new();
+        s
+    };
+    tcb.on_segment(now, &zero_win);
+    tcb.write(b"stuck data");
+    assert!(tcb.poll(now).is_empty(), "no data may flow into a zero window");
+    // The persist timer fires and sends a probe below the window.
+    let t1 = now + SimDuration::from_secs(2);
+    let probes = tcb.poll(t1);
+    assert_eq!(probes.len(), 1);
+    assert_eq!(probes[0].payload.len(), 0);
+    assert_eq!(probes[0].seq, tcb.snd_una().sub(1).raw(), "keepalive-style probe below snd_una");
+    assert!(tcb.stats.probes >= 1);
+    // The peer answers with an opened window: data flows.
+    let open = TcpSegment::bare(40000, 80, 7001, iss.wrapping_add(1), TcpFlags::ACK, 17520);
+    tcb.on_segment(t1, &open);
+    let data = tcb.poll(t1);
+    assert_eq!(data.len(), 1);
+    assert_eq!(data[0].payload.as_ref(), b"stuck data");
+}
+
+#[test]
+fn shadow_resync_from_primary_synack_wins_over_client_ack() {
+    let mut cfg = TcpConfig::default();
+    cfg.shadow = true;
+    let now = SimTime::ZERO;
+    let syn = client_syn(7000);
+    let mut tcb = Tcb::accept(now, quad(), SeqNum(555), &syn, cfg);
+    let _ = tcb.poll(now); // its own (suppressed) SYN/ACK
+    // The tapped primary SYN/ACK announces the true ISN.
+    tcb.shadow_resync_iss(SeqNum(42_000));
+    assert_eq!(tcb.iss(), SeqNum(42_000));
+    assert_eq!(tcb.stats.isn_resyncs, 1);
+    // A *late* client ACK (handshake ACK lost; this one acks 150 bytes
+    // of primary data) arrives: it must NOT shift the ISN again.
+    tcb.on_segment(now, &seg(7001, 42_151, TcpFlags::ACK, b""));
+    assert_eq!(tcb.state(), TcpState::Established);
+    assert_eq!(tcb.iss(), SeqNum(42_000), "authoritative ISN must stick");
+    assert_eq!(tcb.snd_nxt(), SeqNum(42_001));
+    // The 150 acked-but-not-yet-generated bytes are remembered.
+    assert_eq!(tcb.peer_ack_high_water(), SeqNum(42_151));
+    // When the app produces them, they complete instantly.
+    tcb.write(&[0x55u8; 150]);
+    let out = tcb.poll(now);
+    assert_eq!(out.len(), 1);
+    assert_eq!(tcb.snd_una(), SeqNum(42_151), "auto-trim against the tapped client ack");
+}
+
+#[test]
+fn shadow_fallback_resync_without_synack() {
+    // If the primary SYN/ACK tap was lost, the paper's client-ACK rule
+    // still applies.
+    let mut cfg = TcpConfig::default();
+    cfg.shadow = true;
+    let now = SimTime::ZERO;
+    let syn = client_syn(7000);
+    let mut tcb = Tcb::accept(now, quad(), SeqNum(555), &syn, cfg);
+    let _ = tcb.poll(now);
+    tcb.on_segment(now, &seg(7001, 90_001, TcpFlags::ACK, b""));
+    assert_eq!(tcb.state(), TcpState::Established);
+    assert_eq!(tcb.iss(), SeqNum(90_000));
+    assert_eq!(tcb.stats.isn_resyncs, 1);
+}
+
+#[test]
+fn shadow_resync_is_inert_for_non_shadow_or_established() {
+    // Non-shadow TCB: no-op.
+    let (mut tcb, _now, _c, iss) = established_server(TcpConfig::default());
+    tcb.shadow_resync_iss(SeqNum(1));
+    assert_eq!(tcb.iss(), SeqNum(iss));
+    // Shadow TCB after establishment: no-op.
+    let mut cfg = TcpConfig::default();
+    cfg.shadow = true;
+    let now = SimTime::ZERO;
+    let mut shadow = Tcb::accept(now, quad(), SeqNum(555), &client_syn(7000), cfg);
+    let _ = shadow.poll(now);
+    shadow.shadow_resync_iss(SeqNum(1000));
+    shadow.on_segment(now, &seg(7001, 1001, TcpFlags::ACK, b""));
+    assert_eq!(shadow.state(), TcpState::Established);
+    shadow.shadow_resync_iss(SeqNum(9999));
+    assert_eq!(shadow.iss(), SeqNum(1000), "resync after establishment must be refused");
+}
+
+#[test]
+fn fast_retransmit_on_three_dup_acks() {
+    let mut cfg = TcpConfig::default();
+    cfg.delayed_ack = SimDuration::ZERO;
+    let (mut tcb, now, _c, iss) = established_server(cfg);
+    // Grow cwnd a little: write and ack a few rounds.
+    let mut clock = now;
+    let mut acked = iss.wrapping_add(1);
+    for _ in 0..4 {
+        tcb.write(&[0u8; 2920]);
+        let out = tcb.poll(clock);
+        for s in &out {
+            acked = acked.max(s.seq.wrapping_add(s.payload.len() as u32));
+        }
+        clock = clock + SimDuration::from_millis(10);
+        tcb.on_segment(clock, &seg(7001, acked, TcpFlags::ACK, b""));
+    }
+    // Put 5 segments in flight.
+    tcb.write(&[1u8; 5 * 1460]);
+    let flight = tcb.poll(clock);
+    assert!(flight.len() >= 4, "need several segments in flight, got {}", flight.len());
+    let first_seq = flight[0].seq;
+    // Three duplicate ACKs for the first segment's start.
+    for _ in 0..3 {
+        tcb.on_segment(clock, &seg(7001, first_seq, TcpFlags::ACK, b""));
+    }
+    let rtx = tcb.poll(clock);
+    assert_eq!(tcb.stats.fast_retransmits, 1);
+    assert!(rtx.iter().any(|s| s.seq == first_seq), "front segment must be fast-retransmitted");
+    assert_eq!(tcb.stats.rto_retransmits, 0, "no timeout involved");
+}
+
+#[test]
+fn retention_survives_app_reads_until_backup_ack() {
+    let mut cfg = TcpConfig::st_tcp_primary();
+    cfg.delayed_ack = SimDuration::ZERO;
+    let (mut tcb, now, cseq, _iss) = established_server(cfg);
+    tcb.on_segment(now, &seg(cseq, tcb.snd_nxt().raw(), TcpFlags::ACK | TcpFlags::PSH, b"0123456789"));
+    let mut buf = [0u8; 10];
+    assert_eq!(tcb.read(&mut buf), 10);
+    assert_eq!(tcb.retained(), 10);
+    assert_eq!(tcb.fetch_rx(SeqNum(cseq), 10).unwrap(), b"0123456789");
+    tcb.set_backup_acked(SeqNum(cseq).add(10));
+    assert_eq!(tcb.retained(), 0);
+    assert_eq!(tcb.fetch_rx(SeqNum(cseq), 10), None);
+}
+
+#[test]
+fn syn_retransmission_gives_up_eventually() {
+    let now = SimTime::ZERO;
+    let mut tcb = Tcb::connect(now, quad().flipped(), SeqNum(1), TcpConfig::default());
+    let _ = tcb.poll(now);
+    let mut clock = now;
+    for _ in 0..100 {
+        clock = clock + SimDuration::from_secs(30);
+        let _ = tcb.poll(clock);
+        if tcb.state() == TcpState::Closed {
+            break;
+        }
+    }
+    assert_eq!(tcb.state(), TcpState::Closed, "unanswered SYN must eventually give up");
+}
+
+#[test]
+fn rst_kills_the_connection_immediately() {
+    let (mut tcb, now, cseq, _iss) = established_server(TcpConfig::default());
+    tcb.on_segment(now, &seg(cseq, tcb.snd_nxt().raw(), TcpFlags::RST, b""));
+    assert_eq!(tcb.state(), TcpState::Closed);
+    assert!(tcb.poll(now).is_empty(), "a closed TCB emits nothing");
+}

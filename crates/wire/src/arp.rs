@@ -1,0 +1,184 @@
+//! ARP (RFC 826) over Ethernet/IPv4.
+//!
+//! The gateway in the ST-TCP tapping architecture carries *static* ARP
+//! entries mapping the service virtual IP to a multicast MAC; ordinary
+//! dynamic resolution still uses these packets.
+
+use crate::error::{need, ParseError};
+use crate::ethernet::MacAddr;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// ARP operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArpOp {
+    /// Who-has request (opcode 1).
+    Request,
+    /// Is-at reply (opcode 2).
+    Reply,
+}
+
+impl ArpOp {
+    fn to_u16(self) -> u16 {
+        match self {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+        }
+    }
+}
+
+/// On-wire size of an Ethernet/IPv4 ARP packet.
+pub const ARP_LEN: usize = 28;
+
+/// An ARP packet for Ethernet hardware and IPv4 protocol addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Request or reply.
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpPacket {
+    /// Builds a who-has request from `sender` for `target_ip`.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Self {
+        ArpPacket {
+            op: ArpOp::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::ZERO,
+            target_ip,
+        }
+    }
+
+    /// Builds the reply answering `request`, claiming `mac` owns `ip`.
+    pub fn reply(mac: MacAddr, ip: Ipv4Addr, request: &ArpPacket) -> Self {
+        ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: mac,
+            sender_ip: ip,
+            target_mac: request.sender_mac,
+            target_ip: request.sender_ip,
+        }
+    }
+
+    /// Serializes to on-wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(ARP_LEN);
+        buf.put_u16(1); // hardware type: Ethernet
+        buf.put_u16(0x0800); // protocol type: IPv4
+        buf.put_u8(6); // hardware size
+        buf.put_u8(4); // protocol size
+        buf.put_u16(self.op.to_u16());
+        buf.put_slice(&self.sender_mac.0);
+        buf.put_slice(&self.sender_ip.octets());
+        buf.put_slice(&self.target_mac.0);
+        buf.put_slice(&self.target_ip.octets());
+        buf.freeze()
+    }
+
+    /// Parses on-wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// * [`ParseError::Truncated`] — fewer than 28 bytes.
+    /// * [`ParseError::UnsupportedArp`] — not Ethernet/IPv4.
+    /// * [`ParseError::BadArpOp`] — opcode other than 1 or 2.
+    pub fn parse(raw: &[u8]) -> Result<Self, ParseError> {
+        need(raw, ARP_LEN)?;
+        let htype = u16::from_be_bytes([raw[0], raw[1]]);
+        let ptype = u16::from_be_bytes([raw[2], raw[3]]);
+        if htype != 1 || ptype != 0x0800 || raw[4] != 6 || raw[5] != 4 {
+            return Err(ParseError::UnsupportedArp);
+        }
+        let op = match u16::from_be_bytes([raw[6], raw[7]]) {
+            1 => ArpOp::Request,
+            2 => ArpOp::Reply,
+            other => return Err(ParseError::BadArpOp(other)),
+        };
+        let mut sender_mac = [0u8; 6];
+        sender_mac.copy_from_slice(&raw[8..14]);
+        let sender_ip = Ipv4Addr::new(raw[14], raw[15], raw[16], raw[17]);
+        let mut target_mac = [0u8; 6];
+        target_mac.copy_from_slice(&raw[18..24]);
+        let target_ip = Ipv4Addr::new(raw[24], raw[25], raw[26], raw[27]);
+        Ok(ArpPacket {
+            op,
+            sender_mac: MacAddr(sender_mac),
+            sender_ip,
+            target_mac: MacAddr(target_mac),
+            target_ip,
+        })
+    }
+}
+
+impl fmt::Display for ArpPacket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            ArpOp::Request => {
+                write!(
+                    f,
+                    "arp who-has {} tell {} ({})",
+                    self.target_ip, self.sender_ip, self.sender_mac
+                )
+            }
+            ArpOp::Reply => write!(f, "arp {} is-at {}", self.sender_ip, self.sender_mac),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> ArpPacket {
+        ArpPacket::request(MacAddr::local(1), Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+    }
+
+    #[test]
+    fn roundtrip_request() {
+        let req = sample_request();
+        assert_eq!(ArpPacket::parse(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn reply_targets_requester() {
+        let req = sample_request();
+        let rep = ArpPacket::reply(MacAddr::local(2), req.target_ip, &req);
+        assert_eq!(rep.op, ArpOp::Reply);
+        assert_eq!(rep.target_mac, req.sender_mac);
+        assert_eq!(rep.target_ip, req.sender_ip);
+        assert_eq!(ArpPacket::parse(&rep.encode()).unwrap(), rep);
+    }
+
+    #[test]
+    fn rejects_non_ethernet() {
+        let mut raw = sample_request().encode().to_vec();
+        raw[0] = 0;
+        raw[1] = 6; // IEEE 802 hardware type
+        assert_eq!(ArpPacket::parse(&raw), Err(ParseError::UnsupportedArp));
+    }
+
+    #[test]
+    fn rejects_bad_opcode() {
+        let mut raw = sample_request().encode().to_vec();
+        raw[7] = 9;
+        assert_eq!(ArpPacket::parse(&raw), Err(ParseError::BadArpOp(9)));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let raw = sample_request().encode();
+        assert!(matches!(
+            ArpPacket::parse(&raw[..27]),
+            Err(ParseError::Truncated { needed: 28, got: 27 })
+        ));
+    }
+}

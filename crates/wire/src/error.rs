@@ -1,0 +1,115 @@
+//! Errors produced when decoding on-wire bytes.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error encountered while parsing a frame, packet, or segment.
+///
+/// Parsers in this crate never panic on malformed input; they return one of
+/// these variants instead, mirroring what real hardware/stacks do (drop the
+/// packet, optionally count the reason).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParseError {
+    /// The buffer ended before the fixed-size portion of the header.
+    Truncated {
+        /// Minimum number of bytes the parser needed.
+        needed: usize,
+        /// Number of bytes actually available.
+        got: usize,
+    },
+    /// A checksum (IPv4 header, TCP, or UDP) did not verify.
+    BadChecksum {
+        /// The checksum carried by the packet.
+        found: u16,
+        /// The checksum recomputed over the received bytes.
+        expected: u16,
+    },
+    /// The IPv4 version field was not 4.
+    BadVersion(u8),
+    /// The IPv4 IHL field described a header shorter than 20 bytes or
+    /// longer than the buffer.
+    BadHeaderLength(usize),
+    /// The IPv4 total-length field disagreed with the buffer length.
+    BadTotalLength {
+        /// Length claimed by the header.
+        claimed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// A TCP option had an invalid length byte (zero, one, or overrunning
+    /// the option area).
+    BadTcpOption(u8),
+    /// The TCP data-offset field was below 5 or overran the segment.
+    BadDataOffset(u8),
+    /// An ARP packet carried hardware/protocol types other than
+    /// Ethernet/IPv4.
+    UnsupportedArp,
+    /// An ARP opcode other than request (1) or reply (2).
+    BadArpOp(u16),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ParseError::Truncated { needed, got } => {
+                write!(f, "truncated packet: needed {needed} bytes, got {got}")
+            }
+            ParseError::BadChecksum { found, expected } => {
+                write!(f, "bad checksum: found {found:#06x}, expected {expected:#06x}")
+            }
+            ParseError::BadVersion(v) => write!(f, "unsupported IP version {v}"),
+            ParseError::BadHeaderLength(l) => write!(f, "invalid IPv4 header length {l}"),
+            ParseError::BadTotalLength { claimed, got } => {
+                write!(f, "IPv4 total length {claimed} disagrees with buffer length {got}")
+            }
+            ParseError::BadTcpOption(k) => write!(f, "malformed TCP option kind {k}"),
+            ParseError::BadDataOffset(o) => write!(f, "invalid TCP data offset {o}"),
+            ParseError::UnsupportedArp => write!(f, "unsupported ARP hardware/protocol type"),
+            ParseError::BadArpOp(op) => write!(f, "invalid ARP opcode {op}"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+/// Checks that `buf` holds at least `needed` bytes.
+///
+/// # Errors
+///
+/// Returns [`ParseError::Truncated`] when it does not.
+pub(crate) fn need(buf: &[u8], needed: usize) -> Result<(), ParseError> {
+    if buf.len() < needed {
+        Err(ParseError::Truncated { needed, got: buf.len() })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ParseError::Truncated { needed: 20, got: 3 };
+        assert!(e.to_string().contains("needed 20"));
+        let e = ParseError::BadChecksum { found: 1, expected: 2 };
+        assert!(e.to_string().contains("0x0001"));
+    }
+
+    #[test]
+    fn need_accepts_exact_and_larger() {
+        assert!(need(&[0; 4], 4).is_ok());
+        assert!(need(&[0; 5], 4).is_ok());
+        assert_eq!(
+            need(&[0; 3], 4),
+            Err(ParseError::Truncated { needed: 4, got: 3 })
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<ParseError>();
+    }
+}

@@ -1,0 +1,64 @@
+//! Wire formats for the ST-TCP network substrate.
+//!
+//! This crate implements, from scratch, the packet formats that the
+//! ST-TCP reproduction exchanges over the simulated Ethernet:
+//!
+//! * [`ethernet`] — Ethernet II frames and [`MacAddr`]s, including the
+//!   unicast-IP → multicast-MAC mapping the paper uses to tap switched
+//!   Ethernet (§3.1 of the paper),
+//! * [`arp`] — ARP requests/replies (needed for the static-ARP tapping
+//!   configuration),
+//! * [`ipv4`] — IPv4 headers with internet checksums,
+//! * [`udp`] — UDP datagrams (the primary↔backup side channel),
+//! * [`tcp`] — TCP segments with the option kinds the paper's prototype
+//!   relies on (MSS; timestamps exist but are disabled in the experiments,
+//!   exactly as in §6 of the paper).
+//!
+//! Every format round-trips through [`bytes::Bytes`] buffers: `encode`
+//! produces the on-wire representation and `parse` validates and decodes
+//! it, returning a [`ParseError`] on malformed input. Checksums are always
+//! computed on encode and verified on parse, so the simulator can corrupt
+//! frames and the stacks will reject them like real hardware would.
+//!
+//! # Example
+//!
+//! ```
+//! use wire::{EthernetFrame, EtherType, MacAddr};
+//! use bytes::Bytes;
+//!
+//! # fn main() -> Result<(), wire::ParseError> {
+//! let frame = EthernetFrame::new(
+//!     MacAddr::BROADCAST,
+//!     MacAddr::new([0, 1, 2, 3, 4, 5]),
+//!     EtherType::Arp,
+//!     Bytes::from_static(b"payload"),
+//! );
+//! let raw = frame.encode();
+//! let back = EthernetFrame::parse(raw)?;
+//! assert_eq!(back.ethertype, EtherType::Arp);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arp;
+pub mod checksum;
+pub mod error;
+pub mod ethernet;
+pub mod ipv4;
+pub mod summary;
+pub mod tcp;
+pub mod udp;
+
+pub use arp::{ArpOp, ArpPacket};
+pub use error::ParseError;
+pub use ethernet::{EtherType, EthernetFrame, MacAddr};
+pub use ipv4::{IpProtocol, Ipv4Packet};
+pub use tcp::{TcpFlags, TcpOption, TcpSegment};
+pub use summary::summarize;
+pub use udp::UdpDatagram;
+
+/// Convenience alias: IPv4 addresses are the std type.
+pub use std::net::Ipv4Addr;

@@ -1,0 +1,163 @@
+//! One-line, tcpdump-style frame summaries for debugging and examples.
+//!
+//! The simulator deals in opaque `Bytes`; this module renders any frame
+//! it can parse into a compact human-readable line:
+//!
+//! ```text
+//! 10.0.0.1:40000 > 10.0.0.100:80 [S] seq=1234 win=17520 <mss 1460>
+//! 10.0.0.100:80 > 10.0.0.1:40000 [SA] seq=555 ack=1235 win=17520
+//! arp who-has 10.0.0.100 tell 10.0.0.1
+//! ```
+
+use crate::arp::ArpPacket;
+use crate::ethernet::{EtherType, EthernetFrame};
+use crate::ipv4::{IpProtocol, Ipv4Packet};
+use crate::tcp::{TcpOption, TcpSegment};
+use crate::udp::UdpDatagram;
+use bytes::Bytes;
+use std::fmt::Write as _;
+
+/// Renders a one-line summary of a raw Ethernet frame. Unparsable input
+/// yields a hex-prefixed fallback rather than an error — this is a
+/// debugging aid, not a validator.
+pub fn summarize(raw: &Bytes) -> String {
+    let Ok(eth) = EthernetFrame::parse(raw.clone()) else {
+        return format!("<unparsable {}B frame>", raw.len());
+    };
+    match eth.ethertype {
+        EtherType::Arp => match ArpPacket::parse(&eth.payload) {
+            Ok(arp) => arp.to_string(),
+            Err(_) => format!("<malformed arp from {}>", eth.src),
+        },
+        EtherType::Ipv4 => summarize_ip(&eth),
+        EtherType::Other(t) => {
+            format!("eth {} > {} type=0x{t:04x} len={}", eth.src, eth.dst, eth.payload.len())
+        }
+    }
+}
+
+fn summarize_ip(eth: &EthernetFrame) -> String {
+    let Ok(ip) = Ipv4Packet::parse(eth.payload.clone()) else {
+        return format!("<malformed ip from {}>", eth.src);
+    };
+    match ip.protocol {
+        IpProtocol::Tcp => match TcpSegment::parse(ip.payload.clone(), ip.src, ip.dst) {
+            Ok(seg) => summarize_tcp(&ip, &seg),
+            Err(_) => format!("{} > {} <malformed tcp>", ip.src, ip.dst),
+        },
+        IpProtocol::Udp => match UdpDatagram::parse(ip.payload.clone(), ip.src, ip.dst) {
+            Ok(udp) => format!(
+                "{}:{} > {}:{} udp len={}",
+                ip.src,
+                udp.src_port,
+                ip.dst,
+                udp.dst_port,
+                udp.payload.len()
+            ),
+            Err(_) => format!("{} > {} <malformed udp>", ip.src, ip.dst),
+        },
+        IpProtocol::Other(p) => format!("{} > {} proto={p} len={}", ip.src, ip.dst, ip.payload.len()),
+    }
+}
+
+fn summarize_tcp(ip: &Ipv4Packet, seg: &TcpSegment) -> String {
+    let mut s = String::with_capacity(96);
+    let _ = write!(
+        s,
+        "{}:{} > {}:{} [{}] seq={}",
+        ip.src, seg.src_port, ip.dst, seg.dst_port, seg.flags, seg.seq
+    );
+    if seg.flags.contains(crate::tcp::TcpFlags::ACK) {
+        let _ = write!(s, " ack={}", seg.ack);
+    }
+    let _ = write!(s, " win={}", seg.window);
+    if !seg.payload.is_empty() {
+        let _ = write!(s, " len={}", seg.payload.len());
+    }
+    if !seg.options.is_empty() {
+        let _ = write!(s, " <");
+        for (i, opt) in seg.options.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(s, ", ");
+            }
+            match opt {
+                TcpOption::Mss(v) => {
+                    let _ = write!(s, "mss {v}");
+                }
+                TcpOption::WindowScale(v) => {
+                    let _ = write!(s, "wscale {v}");
+                }
+                TcpOption::Timestamps { tsval, tsecr } => {
+                    let _ = write!(s, "ts {tsval}/{tsecr}");
+                }
+                TcpOption::SackPermitted => {
+                    let _ = write!(s, "sack-ok");
+                }
+            }
+        }
+        let _ = write!(s, ">");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ethernet::MacAddr;
+    use crate::tcp::TcpFlags;
+    use std::net::Ipv4Addr;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 100);
+
+    fn wrap(ip: Ipv4Packet) -> Bytes {
+        EthernetFrame::new(MacAddr::local(2), MacAddr::local(1), EtherType::Ipv4, ip.encode())
+            .encode()
+    }
+
+    #[test]
+    fn tcp_syn_summary() {
+        let mut seg = TcpSegment::bare(40000, 80, 1234, 0, TcpFlags::SYN, 17520);
+        seg.options = vec![TcpOption::Mss(1460), TcpOption::SackPermitted];
+        let frame = wrap(Ipv4Packet::new(A, B, IpProtocol::Tcp, seg.encode(A, B)));
+        assert_eq!(
+            summarize(&frame),
+            "10.0.0.1:40000 > 10.0.0.100:80 [S] seq=1234 win=17520 <mss 1460, sack-ok>"
+        );
+    }
+
+    #[test]
+    fn tcp_data_summary() {
+        let mut seg = TcpSegment::bare(80, 40000, 7, 9, TcpFlags::ACK | TcpFlags::PSH, 512);
+        seg.payload = Bytes::from_static(b"hello");
+        let frame = wrap(Ipv4Packet::new(B, A, IpProtocol::Tcp, seg.encode(B, A)));
+        assert_eq!(
+            summarize(&frame),
+            "10.0.0.100:80 > 10.0.0.1:40000 [PA] seq=7 ack=9 win=512 len=5"
+        );
+    }
+
+    #[test]
+    fn udp_and_arp_summaries() {
+        let udp = UdpDatagram::new(7077, 7077, Bytes::from_static(b"hb"));
+        let frame = wrap(Ipv4Packet::new(A, B, IpProtocol::Udp, udp.encode(A, B)));
+        assert_eq!(summarize(&frame), "10.0.0.1:7077 > 10.0.0.100:7077 udp len=2");
+
+        let arp = ArpPacket::request(MacAddr::local(1), A, B);
+        let raw = EthernetFrame::new(MacAddr::BROADCAST, MacAddr::local(1), EtherType::Arp, arp.encode())
+            .encode();
+        assert!(summarize(&raw).starts_with("arp who-has 10.0.0.100"));
+    }
+
+    #[test]
+    fn garbage_is_harmless() {
+        assert_eq!(summarize(&Bytes::from_static(&[1, 2, 3])), "<unparsable 3B frame>");
+        let junk = EthernetFrame::new(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            EtherType::Ipv4,
+            Bytes::from_static(b"nope"),
+        );
+        assert!(summarize(&junk.encode()).contains("malformed ip"));
+    }
+}

@@ -1,0 +1,57 @@
+//! The four tapping architectures of paper §3.1, side by side.
+//!
+//! ST-TCP's backup must see every service packet. On a broadcast hub
+//! that is free; on switched Ethernet it takes either a managed
+//! switch's port mirroring, or the unicast-IP→multicast-MAC mapping
+//! with static ARP entries (optionally behind a gateway). This example
+//! runs the same Interactive workload + failover through all four and
+//! prints what the tap cost in backup processing.
+//!
+//! Run with: `cargo run --release --example tapping_architectures`
+
+use st_tcp::apps::Workload;
+use st_tcp::netsim::{SimDuration, SimTime};
+use st_tcp::sttcp::scenario::{addrs, build, ScenarioSpec, Topology};
+use st_tcp::sttcp::{ServerNode, SttcpConfig};
+
+fn main() {
+    println!("Interactive x50 with a mid-run crash, per tapping architecture");
+    println!(
+        "{:<18} {:>9} {:>10} {:>12} {:>12} {:>8}",
+        "topology", "total(s)", "clean", "tap frames", "filtered", "takeover"
+    );
+    for (name, topology) in [
+        ("hub", Topology::Hub),
+        ("switch+mirror", Topology::SwitchMirror),
+        ("switch+multicast", Topology::SwitchMulticast),
+        ("gateway+switch", Topology::GatewaySwitch),
+    ] {
+        let spec = ScenarioSpec::new(Workload::Interactive { requests: 50, reply_size: 10 * 1024 })
+            .topology(topology)
+            .st_tcp(SttcpConfig::new(addrs::VIP, 80))
+            .crash_at(SimTime::ZERO + SimDuration::from_millis(300));
+        let mut scenario = build(&spec);
+        let metrics = scenario.run_to_completion(SimDuration::from_secs(120));
+        let backup_id = scenario.backup.unwrap();
+        let backup = scenario.sim.node_ref::<ServerNode>(backup_id);
+        let stats = backup.stack().stats;
+        let takeover = scenario
+            .backup_engine()
+            .unwrap()
+            .takeover_at()
+            .map(|t| format!("{:.3}s", t.as_secs_f64()))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<18} {:>9.3} {:>10} {:>12} {:>12} {:>8}",
+            name,
+            metrics.total_time().unwrap().as_secs_f64(),
+            metrics.verified_clean(),
+            stats.frames_accepted,
+            stats.frames_filtered,
+            takeover,
+        );
+        assert!(metrics.verified_clean());
+    }
+    println!("\nAll four architectures deliver the same service with the same failover");
+    println!("semantics; they differ only in how frames reach the backup's NIC.");
+}

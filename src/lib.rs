@@ -1,0 +1,27 @@
+//! # ST-TCP — Server fault-Tolerant TCP (facade crate)
+//!
+//! Reproduction of *"TCP Server Fault Tolerance Using Connection Migration
+//! to a Backup Server"* (Marwah, Mishra, Fetzer — DSN 2003).
+//!
+//! This crate re-exports the whole workspace so examples, integration
+//! tests, and downstream users can depend on a single crate:
+//!
+//! * [`netsim`] — deterministic discrete-event Ethernet/LAN simulator,
+//! * [`wire`] — packet formats (Ethernet, ARP, IPv4, UDP, TCP),
+//! * [`tcpstack`] — sans-io userspace TCP/IP stack,
+//! * [`sttcp`] — the paper's contribution: primary/backup engines, tap
+//!   shadowing, the synchronization side channel, failure detection,
+//!   and connection takeover,
+//! * [`apps`] — the paper's three evaluation applications (Echo,
+//!   Interactive, Bulk transfer) plus workload drivers.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+
+pub use apps;
+pub use netsim;
+pub use sttcp;
+pub use tcpstack;
+pub use wire;

@@ -1,0 +1,124 @@
+//! Multiple concurrent clients on one ST-TCP server pair: every
+//! connection is shadowed independently and every connection migrates
+//! on a crash. (A beyond-the-paper extension: the prototype evaluation
+//! used a single client, but the protocol is per-connection.)
+
+use st_tcp::apps::{EchoServer, Workload, WorkloadClient};
+use st_tcp::netsim::node::PortId;
+use st_tcp::netsim::{Hub, LinkSpec, SimDuration, SimTime, Simulator};
+use st_tcp::sttcp::node::{ClientNode, ServerNode, LAN};
+use st_tcp::sttcp::SttcpConfig;
+use st_tcp::tcpstack::{StackConfig, TcpConfig};
+use st_tcp::wire::MacAddr;
+use std::net::Ipv4Addr;
+
+const VIP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 100);
+const PRIMARY_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+const BACKUP_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
+
+struct Rig {
+    sim: Simulator,
+    clients: Vec<st_tcp::netsim::NodeId>,
+    primary: st_tcp::netsim::NodeId,
+    backup: st_tcp::netsim::NodeId,
+}
+
+fn build_rig(n_clients: usize) -> Rig {
+    let mut sim = Simulator::with_seed(0xBEEF);
+    let st = SttcpConfig::new(VIP, 80);
+
+    let mut p_cfg = StackConfig::host(MacAddr::local(2), PRIMARY_IP);
+    p_cfg.extra_ips = vec![VIP];
+    p_cfg.learn_from_ip = true;
+    p_cfg.isn_seed = 22;
+    p_cfg.tcp = TcpConfig::st_tcp_primary();
+    let primary = sim.add_node(
+        "primary",
+        ServerNode::primary(p_cfg, st.clone(), BACKUP_IP, Box::new(|| Box::new(EchoServer::new()))),
+    );
+
+    let mut b_cfg = StackConfig::host(MacAddr::local(3), BACKUP_IP);
+    b_cfg.extra_ips = vec![VIP];
+    b_cfg.learn_from_ip = true;
+    b_cfg.promiscuous = true;
+    b_cfg.suppressed_ips = vec![VIP];
+    b_cfg.isn_seed = 33;
+    b_cfg.tcp = TcpConfig::st_tcp_backup();
+    let backup = sim.add_node(
+        "backup",
+        ServerNode::backup(b_cfg, st, PRIMARY_IP, Box::new(|| Box::new(EchoServer::new()))),
+    );
+
+    let hub = sim.add_node("hub", Hub::new(2 + n_clients));
+    sim.connect(primary, LAN, hub, PortId(0), LinkSpec::lan());
+    sim.connect(backup, LAN, hub, PortId(1), LinkSpec::lan());
+
+    let mut clients = Vec::new();
+    for i in 0..n_clients {
+        let ip = Ipv4Addr::new(10, 0, 0, 10 + i as u8);
+        let mut c_cfg = StackConfig::host(MacAddr::local(100 + i as u32), ip);
+        c_cfg.isn_seed = 1000 + i as u64;
+        let app = WorkloadClient::new(Workload::Echo { requests: 50 });
+        // Stagger connection setup so handshakes interleave.
+        let node = ClientNode::new(
+            c_cfg,
+            (VIP, 80),
+            SimDuration::from_millis(1 + 7 * i as u64),
+            app,
+        );
+        let id = sim.add_node(format!("client{i}"), node);
+        sim.connect(id, LAN, hub, PortId(2 + i), LinkSpec::lan());
+        clients.push(id);
+    }
+    Rig { sim, clients, primary, backup }
+}
+
+fn run_until_all_done(rig: &mut Rig, limit: SimDuration) -> bool {
+    let deadline = rig.sim.now() + limit;
+    while rig.sim.now() < deadline {
+        rig.sim.run_for(SimDuration::from_millis(50));
+        let all_done = rig.clients.iter().all(|&c| {
+            rig.sim
+                .node_ref::<ClientNode>(c)
+                .app::<WorkloadClient>()
+                .map(|a| a.is_done())
+                .unwrap_or(false)
+        });
+        if all_done {
+            return true;
+        }
+    }
+    false
+}
+
+#[test]
+fn three_clients_failure_free() {
+    let mut rig = build_rig(3);
+    let ok = run_until_all_done(&mut rig, SimDuration::from_secs(30));
+    assert!(ok, "all three clients must finish");
+    for &c in &rig.clients {
+        let app = rig.sim.node_ref::<ClientNode>(c).app::<WorkloadClient>().unwrap();
+        assert!(app.metrics.verified_clean());
+        assert_eq!(app.metrics.latencies.len(), 50);
+    }
+    // The backup shadowed all three connections.
+    let b = rig.sim.node_ref::<ServerNode>(rig.backup);
+    assert_eq!(b.accepted.len(), 3, "backup must shadow every connection");
+    let p = rig.sim.node_ref::<ServerNode>(rig.primary);
+    assert_eq!(p.accepted.len(), 3);
+}
+
+#[test]
+fn three_clients_all_migrate_on_crash() {
+    let mut rig = build_rig(3);
+    rig.sim.schedule_crash(rig.primary, SimTime::ZERO + SimDuration::from_millis(200));
+    let ok = run_until_all_done(&mut rig, SimDuration::from_secs(60));
+    assert!(ok, "all clients must finish despite the crash");
+    for &c in &rig.clients {
+        let app = rig.sim.node_ref::<ClientNode>(c).app::<WorkloadClient>().unwrap();
+        assert!(app.metrics.verified_clean(), "client stream corrupted by failover");
+        assert_eq!(app.metrics.latencies.len(), 50);
+    }
+    let b = rig.sim.node_ref::<ServerNode>(rig.backup);
+    assert!(b.backup_engine().unwrap().has_taken_over());
+}
