@@ -80,6 +80,10 @@ impl Workload {
     }
 
     /// Expected content byte at offset `off` of reply `k`.
+    ///
+    /// Per-byte reference semantics for [`Workload::verify_chunk`]; the
+    /// equivalence test keeps the two in lockstep.
+    #[cfg(test)]
     fn expected_byte(&self, k: u64, off: u64) -> u8 {
         match *self {
             // The echo reply is the request itself.
@@ -95,6 +99,67 @@ impl Workload {
             }
         }
     }
+
+    /// Verifies `data` against bytes `off..off + data.len()` of reply
+    /// `k` in one pass. Returns the mismatch count and the offset
+    /// *within `data`* of the first mismatch. The caller guarantees the
+    /// range lies inside the reply; equivalent to checking
+    /// `Workload::expected_byte` per position, but without the
+    /// per-byte dispatch (and, for Echo, without re-deriving the whole
+    /// request for every byte) — this runs over every delivered byte.
+    fn verify_chunk(&self, k: u64, off: u64, data: &[u8]) -> (u64, Option<u64>) {
+        match *self {
+            Workload::Echo { .. } => {
+                let req = request_bytes(k, REQUEST_SIZE);
+                let at = usize::try_from(off).expect("small");
+                count_mismatches_against(&req[at..at + data.len()], data)
+            }
+            Workload::Interactive { reply_size, .. } => {
+                count_pattern_mismatches(k * reply_size as u64 + off, data)
+            }
+            Workload::Bulk { .. } => count_pattern_mismatches(k * self.reply_len(k) + off, data),
+            Workload::Upload { .. } => {
+                let conf = UploadServer::confirmation();
+                let at = usize::try_from(off).expect("small");
+                count_mismatches_against(&conf[at..at + data.len()], data)
+            }
+        }
+    }
+}
+
+/// Counts bytes of `data` differing from the pattern stream at `start`;
+/// also reports the index of the first difference.
+fn count_pattern_mismatches(start: u64, data: &[u8]) -> (u64, Option<u64>) {
+    let mut errors = 0u64;
+    let mut first = None;
+    for (i, &b) in data.iter().enumerate() {
+        if b != pattern_byte(start.wrapping_add(i as u64)) {
+            errors += 1;
+            if first.is_none() {
+                first = Some(i as u64);
+            }
+        }
+    }
+    (errors, first)
+}
+
+/// Counts positions where `data` differs from `expected` (equal lengths).
+fn count_mismatches_against(expected: &[u8], data: &[u8]) -> (u64, Option<u64>) {
+    debug_assert_eq!(expected.len(), data.len());
+    if expected == data {
+        return (0, None);
+    }
+    let mut errors = 0u64;
+    let mut first = None;
+    for (i, (&want, &got)) in expected.iter().zip(data).enumerate() {
+        if want != got {
+            errors += 1;
+            if first.is_none() {
+                first = Some(i as u64);
+            }
+        }
+    }
+    (errors, first)
 }
 
 /// The request/response driver with content verification and metrics.
@@ -200,23 +265,33 @@ impl Application for WorkloadClient {
         }
         let k = self.requests_sent.saturating_sub(1);
         let expected_len = self.workload.reply_len(k);
-        for &b in data {
-            // Verify every byte against the deterministic stream.
-            if self.reply_off < expected_len {
-                let want = self.workload.expected_byte(k, self.reply_off);
-                if b != want {
-                    self.metrics.content_errors += 1;
-                    if self.metrics.first_error_pos.is_none() {
-                        self.metrics.first_error_pos = Some(self.metrics.bytes_received);
-                    }
+        // Verify against the deterministic stream, chunk-at-a-time: the
+        // prefix inside the reply is checked for content, any excess
+        // beyond the reply's length is all errors.
+        let in_reply =
+            usize::try_from(expected_len.saturating_sub(self.reply_off).min(data.len() as u64))
+                .expect("bounded by data.len()");
+        let (expected, excess) = data.split_at(in_reply);
+        if !expected.is_empty() {
+            let (errors, first) = self.workload.verify_chunk(k, self.reply_off, expected);
+            if errors > 0 {
+                self.metrics.content_errors += errors;
+                if self.metrics.first_error_pos.is_none() {
+                    let first = first.expect("errors > 0 implies a first mismatch");
+                    self.metrics.first_error_pos = Some(self.metrics.bytes_received + first);
                 }
-            } else {
-                // More bytes than the response should have.
-                self.metrics.content_errors += 1;
             }
-            self.metrics.bytes_received += 1;
-            self.reply_off += 1;
         }
+        if !excess.is_empty() {
+            // More bytes than the response should have.
+            self.metrics.content_errors += excess.len() as u64;
+            if self.metrics.first_error_pos.is_none() {
+                self.metrics.first_error_pos =
+                    Some(self.metrics.bytes_received + expected.len() as u64);
+            }
+        }
+        self.metrics.bytes_received += data.len() as u64;
+        self.reply_off += data.len() as u64;
         if self.reply_off >= expected_len {
             let issued = self.request_issued_at.take().expect("request outstanding");
             self.metrics.latencies.push(api.now().duration_since(issued));
@@ -278,7 +353,8 @@ mod tests {
 
     #[test]
     fn interactive_run_completes_clean() {
-        let mut client = WorkloadClient::new(Workload::Interactive { requests: 5, reply_size: 4096 });
+        let mut client =
+            WorkloadClient::new(Workload::Interactive { requests: 5, reply_size: 4096 });
         let mut server = InteractiveServer::with_sizes(REQUEST_SIZE, 4096);
         drive(&mut client, &mut server, 100);
         assert!(client.is_done());
@@ -324,6 +400,39 @@ mod tests {
         // stream already completed — duplicates *within* a response are
         // covered by corruption_is_detected-style offsets.
         assert!(client.metrics.verified_clean());
+    }
+
+    #[test]
+    fn chunk_verification_matches_per_byte_reference() {
+        // `verify_chunk` is the hot-path implementation; `expected_byte`
+        // is the per-byte reference it must agree with, for every
+        // workload, offset, and corruption position.
+        let workloads = [
+            Workload::Echo { requests: 3 },
+            Workload::Interactive { requests: 3, reply_size: 64 },
+            Workload::Bulk { file_size: 96 },
+            Workload::Upload { file_size: 96 },
+        ];
+        for w in workloads {
+            for k in 0..2u64 {
+                let len = usize::try_from(w.reply_len(k)).unwrap().min(96);
+                let mut reply: Vec<u8> =
+                    (0..len as u64).map(|off| w.expected_byte(k, off)).collect();
+                for off in [0usize, 1, len / 2] {
+                    let chunk = &reply[off..];
+                    assert_eq!(
+                        w.verify_chunk(k, off as u64, chunk),
+                        (0, None),
+                        "clean chunk must verify ({w:?}, k={k}, off={off})"
+                    );
+                }
+                reply[len / 3] ^= 0xFF;
+                reply[len - 1] ^= 0x01;
+                let (errors, first) = w.verify_chunk(k, 0, &reply);
+                assert_eq!(errors, 2, "both corrupted bytes counted ({w:?}, k={k})");
+                assert_eq!(first, Some(len as u64 / 3), "first mismatch located ({w:?}, k={k})");
+            }
+        }
     }
 
     #[test]

@@ -39,8 +39,8 @@ pub use bulk::BulkServer;
 pub use client::{Workload, WorkloadClient};
 pub use echo::EchoServer;
 pub use interactive::InteractiveServer;
-pub use upload::UploadServer;
 pub use metrics::RunMetrics;
+pub use upload::UploadServer;
 
 /// Request size used by all three applications ("about 150 bytes").
 pub const REQUEST_SIZE: usize = 150;

@@ -1,113 +1,140 @@
-//! Criterion micro-benchmarks for the substrate: wire codecs, the
-//! simulator's event loop, the TCP stack's data path, and a full
-//! echo-exchange scenario. These quantify simulation cost (events/sec),
-//! not the paper's results — Tables 1–2 and Figures 5–6 have their own
-//! harness-free bench targets.
+//! Micro-benchmarks for the substrate: wire codecs, the simulator's
+//! event loop, the TCP stack's data path, and a full echo-exchange
+//! scenario. These quantify simulation cost (events/sec), not the
+//! paper's results — Tables 1–2 and Figures 5–6 have their own bench
+//! targets.
+//!
+//! Harness-free like the rest of the suite: each case is timed over a
+//! fixed iteration count and reported as ns/iter plus derived
+//! throughput where a byte count applies.
 
 use bytes::Bytes;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use netsim::node::{Context, Node, PortId};
 use netsim::{LinkSpec, SimDuration, Simulator};
 use std::net::Ipv4Addr;
-use wire::{checksum, EtherType, EthernetFrame, IpProtocol, Ipv4Packet, MacAddr, TcpFlags, TcpSegment};
+use std::time::Instant;
+use sttcp_bench::Table;
+use wire::{
+    checksum, EtherType, EthernetFrame, IpProtocol, Ipv4Packet, MacAddr, TcpFlags, TcpSegment,
+};
 
-fn bench_checksum(c: &mut Criterion) {
-    let mut g = c.benchmark_group("checksum");
-    for size in [64usize, 1460, 9000] {
-        let data = vec![0xA5u8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("internet_checksum_{size}B"), |b| {
-            b.iter(|| checksum::checksum(std::hint::black_box(&data)))
-        });
+/// Times `f` over `iters` runs and returns mean ns/iter.
+fn time<R>(iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    // One warm-up pass keeps first-touch costs out of the mean.
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
     }
-    g.finish();
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
 }
 
-fn bench_codec(c: &mut Criterion) {
-    let src = Ipv4Addr::new(10, 0, 0, 1);
-    let dst = Ipv4Addr::new(10, 0, 0, 100);
-    let mut seg = TcpSegment::bare(40000, 80, 1, 2, TcpFlags::ACK | TcpFlags::PSH, 16384);
-    seg.payload = Bytes::from(vec![0x42u8; 1460]);
-    let ip = Ipv4Packet::new(src, dst, IpProtocol::Tcp, seg.encode(src, dst));
-    let eth = EthernetFrame::new(MacAddr::local(1), MacAddr::local(2), EtherType::Ipv4, ip.encode());
-    let raw = eth.encode();
-
-    let mut g = c.benchmark_group("codec");
-    g.throughput(Throughput::Bytes(raw.len() as u64));
-    g.bench_function("encode_full_frame_1460B", |b| {
-        b.iter(|| {
-            let s = seg.encode(src, dst);
-            let i = Ipv4Packet::new(src, dst, IpProtocol::Tcp, s).encode();
-            EthernetFrame::new(MacAddr::local(1), MacAddr::local(2), EtherType::Ipv4, i).encode()
-        })
-    });
-    g.bench_function("parse_full_frame_1460B", |b| {
-        b.iter(|| {
-            let e = EthernetFrame::parse(raw.clone()).unwrap();
-            let i = Ipv4Packet::parse(e.payload).unwrap();
-            TcpSegment::parse(i.payload.clone(), i.src, i.dst).unwrap()
-        })
-    });
-    g.finish();
+fn throughput(bytes: usize, ns_per_iter: f64) -> String {
+    let mbps = bytes as f64 / ns_per_iter * 1e9 / 1e6;
+    format!("{mbps:.0} MB/s")
 }
 
 /// A pair of nodes ping-ponging a frame forever: measures raw simulator
 /// event throughput.
 struct Pinger;
+
 impl Node for Pinger {
     fn on_start(&mut self, ctx: &mut Context) {
         ctx.send_frame(PortId(0), Bytes::from_static(&[0u8; 64]));
     }
+
     fn on_frame(&mut self, port: PortId, frame: Bytes, ctx: &mut Context) {
         ctx.send_frame(port, frame);
     }
 }
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
-    g.bench_function("event_loop_10k_frame_hops", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new();
-            let a = sim.add_node("a", Pinger);
-            let z = sim.add_node("z", Pinger);
-            sim.connect(a, PortId(0), z, PortId(0), LinkSpec::ideal().with_latency(SimDuration::from_micros(1)));
-            sim.run_until_idle(10_000)
-        })
+fn main() {
+    let mut table = Table::new("Micro-benchmarks", &["case", "ns/iter", "throughput"]);
+
+    for size in [64usize, 1460, 9000] {
+        let data = vec![0xA5u8; size];
+        let ns = time(20_000, || checksum::checksum(std::hint::black_box(&data)));
+        table.row(vec![
+            format!("internet_checksum_{size}B"),
+            format!("{ns:.0}"),
+            throughput(size, ns),
+        ]);
+    }
+
+    let src = Ipv4Addr::new(10, 0, 0, 1);
+    let dst = Ipv4Addr::new(10, 0, 0, 100);
+    let mut seg = TcpSegment::bare(40000, 80, 1, 2, TcpFlags::ACK | TcpFlags::PSH, 16384);
+    seg.payload = Bytes::from(vec![0x42u8; 1460]);
+    let ip = Ipv4Packet::new(src, dst, IpProtocol::Tcp, seg.encode(src, dst));
+    let eth =
+        EthernetFrame::new(MacAddr::local(1), MacAddr::local(2), EtherType::Ipv4, ip.encode());
+    let raw = eth.encode();
+    let frame_len = raw.len();
+
+    let ns = time(20_000, || {
+        let s = seg.encode(src, dst);
+        let i = Ipv4Packet::new(src, dst, IpProtocol::Tcp, s).encode();
+        EthernetFrame::new(MacAddr::local(1), MacAddr::local(2), EtherType::Ipv4, i).encode()
     });
-    g.finish();
-}
+    table.row(vec![
+        "encode_full_frame_1460B".into(),
+        format!("{ns:.0}"),
+        throughput(frame_len, ns),
+    ]);
 
-fn bench_scenarios(c: &mut Criterion) {
-    use apps::Workload;
-    use sttcp::scenario::{addrs, build, ScenarioSpec};
-    use sttcp::SttcpConfig;
+    let ns = time(20_000, || {
+        let e = EthernetFrame::parse(raw.clone()).unwrap();
+        let i = Ipv4Packet::parse(e.payload).unwrap();
+        TcpSegment::parse(i.payload.clone(), i.src, i.dst).unwrap()
+    });
+    table.row(vec!["parse_full_frame_1460B".into(), format!("{ns:.0}"), throughput(frame_len, ns)]);
 
-    let mut g = c.benchmark_group("scenario");
-    g.sample_size(10);
-    g.bench_function("echo100_standard_tcp", |b| {
-        b.iter(|| {
+    let ns = time(50, || {
+        let mut sim = Simulator::new();
+        let a = sim.add_node("a", Pinger);
+        let z = sim.add_node("z", Pinger);
+        sim.connect(
+            a,
+            PortId(0),
+            z,
+            PortId(0),
+            LinkSpec::ideal().with_latency(SimDuration::from_micros(1)),
+        );
+        sim.run_until_idle(10_000)
+    });
+    table.row(vec![
+        "event_loop_10k_frame_hops".into(),
+        format!("{ns:.0}"),
+        format!("{:.2} Mev/s", 10_000.0 / ns * 1e9 / 1e6),
+    ]);
+
+    {
+        use apps::Workload;
+        use sttcp::scenario::{addrs, build, ScenarioSpec};
+        use sttcp::SttcpConfig;
+
+        let ns = time(10, || {
             let mut s = build(&ScenarioSpec::new(Workload::Echo { requests: 100 }));
             s.run_to_completion(SimDuration::from_secs(60))
-        })
-    });
-    g.bench_function("echo100_st_tcp_50ms_hb", |b| {
-        b.iter(|| {
+        });
+        table.row(vec!["echo100_standard_tcp".into(), format!("{ns:.0}"), String::new()]);
+
+        let ns = time(10, || {
             let spec = ScenarioSpec::new(Workload::Echo { requests: 100 })
                 .st_tcp(SttcpConfig::new(addrs::VIP, 80));
             let mut s = build(&spec);
             s.run_to_completion(SimDuration::from_secs(60))
-        })
-    });
-    g.bench_function("bulk1mb_st_tcp", |b| {
-        b.iter(|| {
+        });
+        table.row(vec!["echo100_st_tcp_50ms_hb".into(), format!("{ns:.0}"), String::new()]);
+
+        let ns = time(10, || {
             let spec =
                 ScenarioSpec::new(Workload::bulk_mb(1)).st_tcp(SttcpConfig::new(addrs::VIP, 80));
             let mut s = build(&spec);
             s.run_to_completion(SimDuration::from_secs(60))
-        })
-    });
-    g.finish();
-}
+        });
+        table.row(vec!["bulk1mb_st_tcp".into(), format!("{ns:.0}"), String::new()]);
+    }
 
-criterion_group!(benches, bench_checksum, bench_codec, bench_simulator, bench_scenarios);
-criterion_main!(benches);
+    table.emit("micro");
+}

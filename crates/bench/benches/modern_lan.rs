@@ -35,7 +35,8 @@ fn main() {
         ("Upload 100MB", Workload::upload_mb(100), 100.0),
     ] {
         let no_fail = {
-            let spec = modern_spec(workload).st_tcp(SttcpConfig::new(addrs::VIP, 80).with_hb_interval(hb));
+            let spec =
+                modern_spec(workload).st_tcp(SttcpConfig::new(addrs::VIP, 80).with_hb_interval(hb));
             let mut s = build(&spec);
             let m = s.run_to_completion(SimDuration::from_secs(600));
             assert!(m.verified_clean());
@@ -66,5 +67,7 @@ fn main() {
         );
     }
     table.emit("modern_lan");
-    println!("The 2003 protocol runs unchanged at gigabit speed; failover still ≈ detection + RTO.");
+    println!(
+        "The 2003 protocol runs unchanged at gigabit speed; failover still ≈ detection + RTO."
+    );
 }

@@ -1,0 +1,139 @@
+//! simperf — simulator throughput benchmark.
+//!
+//! Measures how fast the simulator itself runs (wall time and simulator
+//! events per wall-clock second) on the Echo and Bulk-100MB scenarios,
+//! and appends the numbers to `BENCH_simperf.json` at the repo root so
+//! the performance trajectory is tracked across changes.
+//!
+//! The first run seeds the `baseline` section; later runs preserve it
+//! and rewrite only `current`, so the file always shows current speed
+//! against the recorded pre-optimization baseline.
+//!
+//! `STTCP_BENCH_QUICK=1` shrinks the bulk transfer to 1 MB and skips the
+//! file write — a smoke run for CI, not a measurement.
+
+use apps::Workload;
+use netsim::SimDuration;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+use sttcp::scenario::{build, ScenarioSpec};
+use sttcp_bench::{quick_mode, st_cfg, Table};
+
+struct Case {
+    name: &'static str,
+    wall_s: f64,
+    events: u64,
+    events_per_s: f64,
+}
+
+fn run_case(name: &'static str, spec: &ScenarioSpec) -> Case {
+    let mut scenario = build(spec);
+    let start = Instant::now();
+    let metrics = scenario.run_to_completion(SimDuration::from_secs(600));
+    let wall_s = start.elapsed().as_secs_f64();
+    assert!(metrics.verified_clean(), "{name}: byte-stream verification failed");
+    let events = scenario.sim.trace().events_processed;
+    Case { name, wall_s, events, events_per_s: events as f64 / wall_s }
+}
+
+fn json_section(cases: &[Case]) -> String {
+    // One line per section so a later run can carry the baseline over
+    // without a JSON parser.
+    let mut s = String::from("{");
+    for (i, c) in cases.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(
+            s,
+            "\"{}\": {{\"wall_s\": {:.3}, \"events\": {}, \"events_per_s\": {:.0}}}",
+            c.name, c.wall_s, c.events, c.events_per_s
+        );
+    }
+    s.push('}');
+    s
+}
+
+fn repo_root() -> PathBuf {
+    // crates/bench -> crates -> repo root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+/// Pulls the one-line `"baseline": {...}` section out of a previous
+/// report, if any.
+fn previous_baseline(path: &std::path::Path) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    text.lines()
+        .find(|l| l.trim_start().starts_with("\"baseline\":"))
+        .and_then(|l| l.find('{').map(|i| l[i..].trim_end().trim_end_matches(',').to_string()))
+}
+
+fn main() {
+    let quick = quick_mode();
+    let bulk = if quick { Workload::bulk_mb(1) } else { Workload::bulk_mb(100) };
+    let bulk_name = if quick { "bulk_1mb (quick)" } else { "bulk_100mb" };
+
+    let cases = vec![
+        run_case("echo", &ScenarioSpec::new(Workload::echo())),
+        run_case(
+            "echo_st_tcp",
+            &ScenarioSpec::new(Workload::echo()).st_tcp(st_cfg(SimDuration::from_millis(50))),
+        ),
+        run_case("bulk_100mb", &ScenarioSpec::new(bulk)),
+        run_case(
+            "bulk_100mb_st_tcp",
+            &ScenarioSpec::new(bulk).st_tcp(st_cfg(SimDuration::from_millis(50))),
+        ),
+    ];
+
+    let mut table = Table::new(
+        if quick {
+            "simperf (quick smoke — 1 MB bulk, no file write)"
+        } else {
+            "simperf: simulator throughput"
+        },
+        &["scenario", "wall (s)", "events", "events/s"],
+    );
+    for c in &cases {
+        let name = if c.name.starts_with("bulk_100mb") {
+            c.name.replace("bulk_100mb", bulk_name.split(' ').next().unwrap())
+        } else {
+            c.name.to_string()
+        };
+        table.row(vec![
+            name,
+            format!("{:.3}", c.wall_s),
+            c.events.to_string(),
+            format!("{:.0}", c.events_per_s),
+        ]);
+    }
+    table.emit("simperf");
+
+    if quick {
+        println!("(quick mode: BENCH_simperf.json not updated)");
+        return;
+    }
+
+    let path = repo_root().join("BENCH_simperf.json");
+    let current = json_section(&cases);
+    let baseline = previous_baseline(&path).unwrap_or_else(|| current.clone());
+    let speedup = {
+        // Wall-time ratio baseline/current for the bulk case, when the
+        // baseline line carries one.
+        fn wall_of(section: &str, case: &str) -> Option<f64> {
+            let key = format!("\"{case}\": {{\"wall_s\": ");
+            let i = section.find(&key)? + key.len();
+            section[i..].split([',', '}']).next()?.trim().parse().ok()
+        }
+        match (wall_of(&baseline, "bulk_100mb"), wall_of(&current, "bulk_100mb")) {
+            (Some(b), Some(c)) if c > 0.0 => b / c,
+            _ => 1.0,
+        }
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"simperf\",\n  \"units\": {{\"wall_s\": \"seconds\", \"events_per_s\": \"simulator events per wall-clock second\"}},\n  \"baseline\": {baseline},\n  \"current\": {current},\n  \"bulk_100mb_speedup_vs_baseline\": {speedup:.2}\n}}\n"
+    );
+    std::fs::write(&path, json).expect("write BENCH_simperf.json");
+    println!("BENCH_simperf.json updated (bulk speedup vs baseline: {speedup:.2}x)");
+}

@@ -15,10 +15,8 @@ fn main() {
     let workloads = workload_grid_env();
     let mut header = vec!["config"];
     header.extend(workloads.iter().map(|(name, _)| *name));
-    let mut table = Table::new(
-        "Table 1: failure-free total time (s), standard TCP vs ST-TCP",
-        &header,
-    );
+    let mut table =
+        Table::new("Table 1: failure-free total time (s), standard TCP vs ST-TCP", &header);
 
     let mut row = vec!["Standard TCP".to_string()];
     let mut baseline = Vec::new();

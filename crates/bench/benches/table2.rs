@@ -16,10 +16,8 @@ fn main() {
     let mut header = vec!["config"];
     header.extend(workloads.iter().map(|(name, _)| *name));
     let mut table = Table::new("Table 2: failover time (s)", &header);
-    let mut detect_table = Table::new(
-        "Table 2 (supplement): detection latency (s), crash -> takeover",
-        &header,
-    );
+    let mut detect_table =
+        Table::new("Table 2 (supplement): detection latency (s), crash -> takeover", &header);
 
     for (hb_name, hb) in HB_GRID {
         let mut row = vec![format!("ST-TCP {hb_name} HB")];

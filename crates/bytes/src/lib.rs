@@ -1,0 +1,942 @@
+//! Vendored, minimal reimplementation of the parts of the `bytes` crate
+//! this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! ships its own `Bytes`/`BytesMut` with the same semantics the real
+//! crate documents for the operations we rely on:
+//!
+//! * [`Bytes`] is a cheaply-cloneable, reference-counted, immutable view
+//!   into a shared buffer. `clone()` and `slice()` never copy or
+//!   allocate.
+//! * [`BytesMut`] is a unique writer over the tail of a shared buffer.
+//!   [`BytesMut::freeze`] and [`BytesMut::split_to`] hand out views
+//!   without copying, and [`BytesMut::reserve`] reclaims the buffer in
+//!   place once every view split from it has been dropped — the property
+//!   the frame hot path uses to emit frames with zero steady-state
+//!   allocations.
+//! * [`Buf`]/[`BufMut`] provide the advancing big-endian accessors the
+//!   codecs use.
+//!
+//! Layout: one heap allocation holds the byte buffer, a second (the
+//! [`Shared`] header) holds the refcount and buffer metadata. Both are
+//! reused for the life of a [`BytesMut`] under the reserve-reclaim rule,
+//! so neither is a per-frame cost.
+
+#![warn(missing_docs)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::mem::ManuallyDrop;
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::ptr::NonNull;
+use std::sync::atomic::{fence, AtomicUsize, Ordering};
+
+/// Refcounted header for one shared buffer.
+///
+/// The buffer it points at never moves or changes size while more than
+/// one reference is alive; that is what makes the raw `ptr`s stored in
+/// [`Bytes`] stable.
+struct Shared {
+    refs: AtomicUsize,
+    ptr: *mut u8,
+    cap: usize,
+}
+
+impl Shared {
+    /// Allocates a header plus a buffer of capacity `cap`.
+    fn alloc(cap: usize) -> NonNull<Shared> {
+        let mut v = ManuallyDrop::new(Vec::<u8>::with_capacity(cap));
+        let shared =
+            Box::new(Shared { refs: AtomicUsize::new(1), ptr: v.as_mut_ptr(), cap: v.capacity() });
+        // SAFETY: Box::into_raw never returns null.
+        unsafe { NonNull::new_unchecked(Box::into_raw(shared)) }
+    }
+
+    /// Takes ownership of an existing `Vec`'s buffer without copying.
+    fn from_vec(vec: Vec<u8>) -> (NonNull<Shared>, usize) {
+        let mut v = ManuallyDrop::new(vec);
+        let len = v.len();
+        let shared =
+            Box::new(Shared { refs: AtomicUsize::new(1), ptr: v.as_mut_ptr(), cap: v.capacity() });
+        // SAFETY: Box::into_raw never returns null.
+        (unsafe { NonNull::new_unchecked(Box::into_raw(shared)) }, len)
+    }
+}
+
+/// Bumps the refcount of `shared`.
+///
+/// # Safety
+/// `shared` must point at a live `Shared` (refcount ≥ 1).
+unsafe fn incref(shared: NonNull<Shared>) {
+    shared.as_ref().refs.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Drops one reference; frees the buffer and header on the last one.
+///
+/// # Safety
+/// The caller must own one reference and never use `shared` again.
+unsafe fn decref(shared: NonNull<Shared>) {
+    if shared.as_ref().refs.fetch_sub(1, Ordering::Release) == 1 {
+        fence(Ordering::Acquire);
+        let boxed = Box::from_raw(shared.as_ptr());
+        drop(Vec::from_raw_parts(boxed.ptr, 0, boxed.cap));
+    }
+}
+
+fn resolve_range(range: impl RangeBounds<usize>, len: usize) -> (usize, usize) {
+    let start = match range.start_bound() {
+        Bound::Included(&n) => n,
+        Bound::Excluded(&n) => n + 1,
+        Bound::Unbounded => 0,
+    };
+    let end = match range.end_bound() {
+        Bound::Included(&n) => n + 1,
+        Bound::Excluded(&n) => n,
+        Bound::Unbounded => len,
+    };
+    assert!(start <= end, "range start {start} > end {end}");
+    assert!(end <= len, "range end {end} out of bounds (len {len})");
+    (start, end)
+}
+
+// ====================================================================
+// Bytes
+// ====================================================================
+
+/// A cheaply-cloneable immutable view into a shared byte buffer.
+pub struct Bytes {
+    /// `None` for views of `'static` data (nothing to free).
+    shared: Option<NonNull<Shared>>,
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the pointed-at bytes are immutable for the view's lifetime
+// (a coexisting `BytesMut` only ever writes its own disjoint region),
+// and the refcount is atomic.
+unsafe impl Send for Bytes {}
+unsafe impl Sync for Bytes {}
+
+impl Bytes {
+    /// An empty view. Never allocates.
+    pub const fn new() -> Bytes {
+        Bytes { shared: None, ptr: NonNull::<u8>::dangling().as_ptr(), len: 0 }
+    }
+
+    /// Wraps `'static` data without allocating.
+    pub const fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes { shared: None, ptr: data.as_ptr(), len: data.len() }
+    }
+
+    /// Copies `data` into a fresh buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns a sub-view; shares the buffer, never copies.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let (start, end) = resolve_range(range, self.len);
+        if let Some(shared) = self.shared {
+            // SAFETY: we hold a reference, so the header is live.
+            unsafe { incref(shared) };
+        }
+        Bytes {
+            shared: self.shared,
+            // SAFETY: start ≤ len, so the offset stays in bounds.
+            ptr: unsafe { self.ptr.add(start) },
+            len: end - start,
+        }
+    }
+
+    /// Splits off and returns the first `at` bytes; `self` keeps the rest.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        let head = self.slice(..at);
+        // SAFETY: at ≤ len checked by `slice` above.
+        self.ptr = unsafe { self.ptr.add(at) };
+        self.len -= at;
+        head
+    }
+
+    /// Splits off and returns the bytes from `at` on; `self` keeps the head.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        let tail = self.slice(at..);
+        self.len = at;
+        tail
+    }
+
+    /// Shortens the view to `len` bytes (no-op when already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.len = self.len.min(len);
+    }
+
+    /// Copies the view into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        // SAFETY: ptr/len describe initialized bytes that no writer
+        // touches (see the `Send`/`Sync` comment).
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Clone for Bytes {
+    fn clone(&self) -> Bytes {
+        if let Some(shared) = self.shared {
+            // SAFETY: we hold a reference, so the header is live.
+            unsafe { incref(shared) };
+        }
+        Bytes { shared: self.shared, ptr: self.ptr, len: self.len }
+    }
+}
+
+impl Drop for Bytes {
+    fn drop(&mut self) {
+        if let Some(shared) = self.shared {
+            // SAFETY: we own exactly one reference.
+            unsafe { decref(shared) };
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_bytes_debug(self, f)
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(vec: Vec<u8>) -> Bytes {
+        if vec.capacity() == 0 {
+            return Bytes::new();
+        }
+        let (shared, len) = Shared::from_vec(vec);
+        // SAFETY: the header was just created and owns the buffer.
+        let ptr = unsafe { shared.as_ref().ptr };
+        Bytes { shared: Some(shared), ptr, len }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(data: &'static [u8]) -> Bytes {
+        Bytes::from_static(data)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(data: &'static str) -> Bytes {
+        Bytes::from_static(data.as_bytes())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(buf: BytesMut) -> Bytes {
+        buf.freeze()
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Bytes {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_ref()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_ref()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_ref().iter()
+    }
+}
+
+// ====================================================================
+// BytesMut
+// ====================================================================
+
+/// A unique, growable writer over (a region of) a shared buffer.
+///
+/// The writer exclusively owns `[off, end)` of the underlying buffer;
+/// views split off before `off` are immutable and disjoint, which is
+/// what makes sharing sound.
+pub struct BytesMut {
+    /// `None` until the first write (an empty `BytesMut` is free).
+    shared: Option<NonNull<Shared>>,
+    /// Start of the exclusively-owned region.
+    off: usize,
+    /// Exclusive end of the owned region (== cap for an unsplit writer).
+    end: usize,
+    /// Initialized length within the owned region.
+    len: usize,
+}
+
+// SAFETY: same argument as `Bytes`, plus the owned region is only ever
+// written through the unique `&mut BytesMut`.
+unsafe impl Send for BytesMut {}
+unsafe impl Sync for BytesMut {}
+
+impl BytesMut {
+    /// An empty writer. Never allocates.
+    pub const fn new() -> BytesMut {
+        BytesMut { shared: None, off: 0, end: 0, len: 0 }
+    }
+
+    /// A writer with at least `cap` bytes of capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        if cap == 0 {
+            return BytesMut::new();
+        }
+        let shared = Shared::alloc(cap);
+        // SAFETY: freshly allocated header.
+        let end = unsafe { shared.as_ref().cap };
+        BytesMut { shared: Some(shared), off: 0, end, len: 0 }
+    }
+
+    /// Initialized length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writable capacity remaining in the owned region.
+    pub fn capacity(&self) -> usize {
+        self.end - self.off
+    }
+
+    fn base(&self) -> *mut u8 {
+        match self.shared {
+            // SAFETY: we hold a reference, so the header is live.
+            Some(shared) => unsafe { shared.as_ref().ptr },
+            None => NonNull::<u8>::dangling().as_ptr(),
+        }
+    }
+
+    /// Ensures room for `additional` more bytes.
+    ///
+    /// When every view split from this buffer has been dropped (this
+    /// writer holds the only reference) the whole buffer is reclaimed in
+    /// place instead of allocating — the steady-state of the frame hot
+    /// path. Otherwise a fresh buffer is allocated and the initialized
+    /// bytes are moved over.
+    pub fn reserve(&mut self, additional: usize) {
+        if self.end - self.off - self.len >= additional {
+            return;
+        }
+        let needed = self.len + additional;
+        if let Some(shared) = self.shared {
+            // SAFETY: we hold a reference, so the header is live.
+            let s = unsafe { shared.as_ref() };
+            if s.refs.load(Ordering::Acquire) == 1 && self.end == s.cap && s.cap >= needed {
+                // Sole owner of the whole buffer: slide our bytes to the
+                // front and reuse the allocation.
+                if self.len > 0 && self.off > 0 {
+                    // SAFETY: both ranges lie inside the same live buffer.
+                    unsafe {
+                        std::ptr::copy(s.ptr.add(self.off), s.ptr, self.len);
+                    }
+                }
+                self.off = 0;
+                return;
+            }
+        }
+        // Grow path: fresh buffer, geometric growth.
+        let new_cap = needed.max((self.end - self.off) * 2).max(64);
+        let shared = Shared::alloc(new_cap);
+        // SAFETY: freshly allocated, disjoint from the old buffer.
+        unsafe {
+            let dst = shared.as_ref().ptr;
+            if self.len > 0 {
+                std::ptr::copy_nonoverlapping(self.base().add(self.off), dst, self.len);
+            }
+        }
+        if let Some(old) = self.shared {
+            // SAFETY: we owned one reference to the old buffer.
+            unsafe { decref(old) };
+        }
+        // SAFETY: freshly allocated header.
+        let end = unsafe { shared.as_ref().cap };
+        self.shared = Some(shared);
+        self.off = 0;
+        self.end = end;
+    }
+
+    /// Appends `src`, growing as needed.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.reserve(src.len());
+        // SAFETY: reserve guaranteed room; the destination region
+        // [off+len, off+len+src.len) is exclusively ours.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                src.as_ptr(),
+                self.base().add(self.off + self.len),
+                src.len(),
+            );
+        }
+        self.len += src.len();
+    }
+
+    /// Freezes the writer into an immutable view. Never copies.
+    pub fn freeze(self) -> Bytes {
+        let this = ManuallyDrop::new(self);
+        match this.shared {
+            Some(shared) => Bytes {
+                shared: Some(shared),
+                // SAFETY: off stays within the buffer.
+                ptr: unsafe { shared.as_ref().ptr.add(this.off) },
+                len: this.len,
+            },
+            None => Bytes::new(),
+        }
+    }
+
+    /// Splits off and returns the first `at` initialized bytes as their
+    /// own writer; `self` keeps the rest of the region. No copying.
+    ///
+    /// # Panics
+    /// Panics when `at > len`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len, "split_to at {at} > len {}", self.len);
+        if let Some(shared) = self.shared {
+            // SAFETY: we hold a reference, so the header is live.
+            unsafe { incref(shared) };
+        }
+        let head = BytesMut { shared: self.shared, off: self.off, end: self.off + at, len: at };
+        self.off += at;
+        self.len -= at;
+        head
+    }
+
+    /// Splits off all initialized bytes (`split_to(len)`).
+    pub fn split(&mut self) -> BytesMut {
+        self.split_to(self.len)
+    }
+
+    /// Clears the initialized bytes; capacity is kept.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Shortens to `len` bytes (no-op when already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.len = self.len.min(len);
+    }
+
+    /// Resizes to `new_len`, filling new bytes with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        if new_len <= self.len {
+            self.len = new_len;
+            return;
+        }
+        let grow = new_len - self.len;
+        self.reserve(grow);
+        // SAFETY: reserve guaranteed room in our exclusive region.
+        unsafe {
+            std::ptr::write_bytes(self.base().add(self.off + self.len), value, grow);
+        }
+        self.len = new_len;
+    }
+
+    /// Copies the initialized bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        // SAFETY: [off, off+len) is initialized and exclusively ours.
+        unsafe { std::slice::from_raw_parts(self.base().add(self.off), self.len) }
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        // SAFETY: [off, off+len) is initialized and exclusively ours.
+        unsafe { std::slice::from_raw_parts_mut(self.base().add(self.off), self.len) }
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        self
+    }
+}
+
+impl Drop for BytesMut {
+    fn drop(&mut self) {
+        if let Some(shared) = self.shared {
+            // SAFETY: we own exactly one reference.
+            unsafe { decref(shared) };
+        }
+    }
+}
+
+impl Default for BytesMut {
+    fn default() -> BytesMut {
+        BytesMut::new()
+    }
+}
+
+impl Clone for BytesMut {
+    fn clone(&self) -> BytesMut {
+        let mut out = BytesMut::with_capacity(self.len.max(1));
+        out.extend_from_slice(self);
+        out
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_bytes_debug(self, f)
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &BytesMut) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for BytesMut {}
+
+impl PartialEq<[u8]> for BytesMut {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<I: IntoIterator<Item = u8>>(&mut self, iter: I) {
+        for b in iter {
+            self.extend_from_slice(&[b]);
+        }
+    }
+}
+
+impl<'a> Extend<&'a u8> for BytesMut {
+    fn extend<I: IntoIterator<Item = &'a u8>>(&mut self, iter: I) {
+        for b in iter {
+            self.extend_from_slice(&[*b]);
+        }
+    }
+}
+
+// ====================================================================
+// Buf / BufMut
+// ====================================================================
+
+/// Advancing big-endian reads over a byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skips `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let c = self.chunk();
+        let v = u16::from_be_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let c = self.chunk();
+        let v = u64::from_be_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+        self.advance(8);
+        v
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let c = self.chunk();
+        let v = u16::from_le_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let c = self.chunk();
+        let v = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Fills `dst` from the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len, "advance {cnt} > remaining {}", self.len);
+        // SAFETY: cnt ≤ len keeps the pointer in bounds.
+        self.ptr = unsafe { self.ptr.add(cnt) };
+        self.len -= cnt;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Appending big-endian writes.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        for _ in 0..cnt {
+            self.put_u8(val);
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Shared `Debug` body for `Bytes`/`BytesMut`: `b"..."` escape syntax.
+fn fmt_bytes_debug(data: &[u8], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "b\"")?;
+    for &b in data {
+        match b {
+            b'"' => write!(f, "\\\"")?,
+            b'\\' => write!(f, "\\\\")?,
+            b'\n' => write!(f, "\\n")?,
+            b'\r' => write!(f, "\\r")?,
+            b'\t' => write!(f, "\\t")?,
+            0x20..=0x7e => write!(f, "{}", b as char)?,
+            _ => write!(f, "\\x{b:02x}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_slice_shares_without_copying() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let s2 = s.slice(..2);
+        assert_eq!(&s2[..], &[2, 3]);
+        drop(b);
+        assert_eq!(&s[..], &[2, 3, 4]); // still alive via refcount
+    }
+
+    #[test]
+    fn bytes_static_and_empty() {
+        let e = Bytes::new();
+        assert!(e.is_empty());
+        let s = Bytes::from_static(b"hello");
+        assert_eq!(s, b"hello"[..]);
+        assert_eq!(s.slice(1..3), b"el"[..]);
+    }
+
+    #[test]
+    fn bytesmut_roundtrip_and_freeze() {
+        let mut m = BytesMut::with_capacity(8);
+        m.put_u16(0xABCD);
+        m.put_u8(0x01);
+        m.put_slice(b"xyz");
+        assert_eq!(m.len(), 6);
+        m[0..2].copy_from_slice(&[0x11, 0x22]);
+        let b = m.freeze();
+        assert_eq!(&b[..], &[0x11, 0x22, 0x01, b'x', b'y', b'z']);
+    }
+
+    #[test]
+    fn split_to_then_reserve_reclaims_when_unique() {
+        let mut m = BytesMut::with_capacity(64);
+        let cap = m.capacity();
+        m.put_slice(b"frame-one");
+        let f1 = m.split_to(9).freeze();
+        assert_eq!(f1, b"frame-one"[..]);
+        assert_eq!(m.len(), 0);
+        m.put_slice(b"frame-two");
+        let f2 = m.split().freeze();
+        // Views pin the buffer: reserve must not reclaim yet.
+        drop(f1);
+        drop(f2);
+        // All views gone: the same allocation is reclaimed in full.
+        m.reserve(cap);
+        assert_eq!(m.capacity(), cap);
+    }
+
+    #[test]
+    fn reserve_copies_when_shared() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_slice(b"keep");
+        let pinned = m.split_to(2).freeze();
+        m.reserve(64); // pinned view forces a fresh buffer
+        m.put_slice(&[0u8; 60]);
+        assert_eq!(pinned, b"ke"[..]);
+        assert_eq!(&m[..2], b"ep");
+    }
+
+    #[test]
+    fn buf_reads_advance() {
+        let mut b = Bytes::from(vec![0, 1, 0xAB, 0xCD, 1, 2, 3, 4, 9]);
+        assert_eq!(b.get_u16(), 1);
+        assert_eq!(b.get_u16(), 0xABCD);
+        assert_eq!(b.get_u32(), 0x01020304);
+        assert_eq!(b.remaining(), 1);
+        assert_eq!(b.get_u8(), 9);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn resize_truncate_clear() {
+        let mut m = BytesMut::new();
+        m.resize(4, 0xFF);
+        assert_eq!(&m[..], &[0xFF; 4]);
+        m.truncate(2);
+        assert_eq!(m.len(), 2);
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn equality_family() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        assert_eq!(b, [1u8, 2, 3]);
+        assert_eq!(b, vec![1u8, 2, 3]);
+        assert_eq!(b, Bytes::from_static(&[1, 2, 3]));
+        let m = {
+            let mut m = BytesMut::new();
+            m.extend_from_slice(&[1, 2, 3]);
+            m
+        };
+        assert_eq!(m, b.as_ref()[..]);
+    }
+
+    #[test]
+    fn freeze_does_not_allocate() {
+        // freeze/clone/slice must stay allocation-free: verified
+        // indirectly here by checking pointer identity through the chain.
+        let mut m = BytesMut::with_capacity(32);
+        m.put_slice(b"abcdef");
+        let p = m.as_ref().as_ptr();
+        let b = m.freeze();
+        assert_eq!(b.as_ref().as_ptr(), p);
+        let c = b.clone();
+        assert_eq!(c.as_ref().as_ptr(), p);
+        let s = b.slice(2..4);
+        assert_eq!(s.as_ref().as_ptr(), unsafe { p.add(2) });
+    }
+
+    #[test]
+    fn send_across_threads() {
+        let b = Bytes::from(vec![7u8; 1024]);
+        let c = b.clone();
+        let t = std::thread::spawn(move || c.len());
+        assert_eq!(t.join().unwrap(), 1024);
+        assert_eq!(b[0], 7);
+    }
+}

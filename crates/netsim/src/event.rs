@@ -70,9 +70,9 @@ impl PartialOrd for Entry {
 /// the simulator itself).
 pub fn event_target(kind: &EventKind) -> Option<NodeId> {
     match kind {
-        EventKind::Frame { node, .. } | EventKind::Timer { node, .. } | EventKind::Start { node } => {
-            Some(*node)
-        }
+        EventKind::Frame { node, .. }
+        | EventKind::Timer { node, .. }
+        | EventKind::Start { node } => Some(*node),
         EventKind::Control(_) => None,
     }
 }

@@ -42,7 +42,14 @@ impl std::fmt::Debug for DropRule {
 impl DropRule {
     /// Drops every matching frame.
     pub fn all(matcher: impl FnMut(&Bytes) -> bool + 'static) -> Self {
-        DropRule { matcher: Box::new(matcher), skip: 0, count: None, prob: 1.0, matched: 0, dropped: 0 }
+        DropRule {
+            matcher: Box::new(matcher),
+            skip: 0,
+            count: None,
+            prob: 1.0,
+            matched: 0,
+            dropped: 0,
+        }
     }
 
     /// Drops each matching frame independently with probability `prob`.
@@ -54,7 +61,14 @@ impl DropRule {
     /// `count` matching frames. This is the precise "lose exactly the
     /// n-th segment of the tap" tool the omission experiments use.
     pub fn window(skip: u64, count: u64, matcher: impl FnMut(&Bytes) -> bool + 'static) -> Self {
-        DropRule { matcher: Box::new(matcher), skip, count: Some(count), prob: 1.0, matched: 0, dropped: 0 }
+        DropRule {
+            matcher: Box::new(matcher),
+            skip,
+            count: Some(count),
+            prob: 1.0,
+            matched: 0,
+            dropped: 0,
+        }
     }
 
     /// Decides the fate of one incoming frame; `true` means drop.

@@ -72,10 +72,8 @@ mod tests {
     fn hub_floods_to_all_other_ports() {
         let mut sim = Simulator::new();
         let hub = sim.add_node("hub", Hub::new(4));
-        let talker = sim.add_node(
-            "talker",
-            Talker { say: Some(Bytes::from_static(b"hello")), heard: vec![] },
-        );
+        let talker = sim
+            .add_node("talker", Talker { say: Some(Bytes::from_static(b"hello")), heard: vec![] });
         let listeners: Vec<_> = (0..3)
             .map(|i| sim.add_node(format!("l{i}"), Talker { say: None, heard: vec![] }))
             .collect();

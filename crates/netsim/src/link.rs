@@ -13,19 +13,14 @@ use crate::time::{SimDuration, SimTime};
 pub struct LinkId(pub usize);
 
 /// How a link loses frames.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LossModel {
     /// Deliver everything.
+    #[default]
     None,
     /// Drop each frame independently with this probability, using the
     /// simulator's deterministic RNG.
     Rate(f64),
-}
-
-impl Default for LossModel {
-    fn default() -> Self {
-        LossModel::None
-    }
 }
 
 /// Configuration for one link.

@@ -51,8 +51,13 @@ impl ReplayQuery {
         p.put_u16(self.dst_port);
         p.put_u32(self.seq_from);
         p.put_u32(self.seq_to);
-        EthernetFrame::new(MacAddr::BROADCAST, src_mac, EtherType::Other(LOGGER_ETHERTYPE), p.freeze())
-            .encode()
+        EthernetFrame::new(
+            MacAddr::BROADCAST,
+            src_mac,
+            EtherType::Other(LOGGER_ETHERTYPE),
+            p.freeze(),
+        )
+        .encode()
     }
 
     /// Decodes a query payload.
@@ -146,7 +151,8 @@ impl PacketLogger {
 
     fn evict(&mut self, now: SimTime) {
         while let Some(&(t, ref f)) = self.ring.front() {
-            let expired = now.checked_duration_since(t).map(|d| d > self.retention).unwrap_or(false);
+            let expired =
+                now.checked_duration_since(t).map(|d| d > self.retention).unwrap_or(false);
             if expired || self.ring_bytes > self.capacity_bytes {
                 self.ring_bytes -= f.len();
                 self.ring.pop_front();
@@ -223,7 +229,8 @@ mod tests {
         let mut seg = TcpSegment::bare(5000, 80, seq, 0, TcpFlags::ACK, 1000);
         seg.payload = Bytes::from_static(payload);
         let ip = Ipv4Packet::new(CLIENT, SERVER, IpProtocol::Tcp, seg.encode(CLIENT, SERVER));
-        EthernetFrame::new(MacAddr::local(2), MacAddr::local(1), EtherType::Ipv4, ip.encode()).encode()
+        EthernetFrame::new(MacAddr::local(2), MacAddr::local(1), EtherType::Ipv4, ip.encode())
+            .encode()
     }
 
     struct Collector {
@@ -241,7 +248,9 @@ mod tests {
         }
     }
 
-    fn rig(frames: Vec<Bytes>) -> (Simulator, crate::node::NodeId, crate::node::NodeId, crate::node::NodeId) {
+    fn rig(
+        frames: Vec<Bytes>,
+    ) -> (Simulator, crate::node::NodeId, crate::node::NodeId, crate::node::NodeId) {
         let mut sim = Simulator::new();
         let sender = sim.add_node("sender", Collector { sent: frames, heard: vec![] });
         let logger = sim.add_node("logger", PacketLogger::with_defaults());
@@ -253,7 +262,8 @@ mod tests {
 
     #[test]
     fn passes_through_and_logs() {
-        let (mut sim, _s, logger, sink) = rig(vec![tcp_frame(100, b"hello"), tcp_frame(105, b"world")]);
+        let (mut sim, _s, logger, sink) =
+            rig(vec![tcp_frame(100, b"hello"), tcp_frame(105, b"world")]);
         sim.run_until_idle(100);
         assert_eq!(sim.node_ref::<Collector>(sink).heard.len(), 2);
         let lg = sim.node_ref::<PacketLogger>(logger);
@@ -286,18 +296,19 @@ mod tests {
         sim.node_mut::<Collector>(sink).heard.clear();
         sim.run_until_idle(100);
         let heard = &sim.node_ref::<Collector>(sink).heard;
-        assert_eq!(heard.len() - heard_before, 3, "replay must return the three overlapping frames");
+        assert_eq!(
+            heard.len() - heard_before,
+            3,
+            "replay must return the three overlapping frames"
+        );
         // The sender (other side) must NOT receive replays.
         assert!(sim.node_ref::<Collector>(sender).heard.is_empty());
     }
 
     #[test]
     fn replay_respects_exact_range() {
-        let (mut sim, _sender, _logger, sink) = rig(vec![
-            tcp_frame(100, b"aaaaa"),
-            tcp_frame(105, b"bbbbb"),
-            tcp_frame(110, b"ccccc"),
-        ]);
+        let (mut sim, _sender, _logger, sink) =
+            rig(vec![tcp_frame(100, b"aaaaa"), tcp_frame(105, b"bbbbb"), tcp_frame(110, b"ccccc")]);
         sim.run_until_idle(100);
         let q = ReplayQuery {
             src_ip: CLIENT,
@@ -339,18 +350,24 @@ mod tests {
     #[test]
     fn capacity_eviction() {
         let mut lg = PacketLogger::new(SimDuration::from_secs(3600), 300, SimDuration::ZERO);
-        let mut ctx = Context::new(SimTime::ZERO, crate::node::NodeId(0), crate::rng::SplitMix64::new(0));
+        let mut ctx =
+            Context::new(SimTime::ZERO, crate::node::NodeId(0), crate::rng::SplitMix64::new(0));
         for i in 0..10 {
             lg.on_frame(PortId(0), tcp_frame(i * 10, b"0123456789"), &mut ctx);
         }
-        assert!(lg.stored_bytes() <= 300 + 200, "capacity roughly respected: {}", lg.stored_bytes());
+        assert!(
+            lg.stored_bytes() <= 300 + 200,
+            "capacity roughly respected: {}",
+            lg.stored_bytes()
+        );
         assert!(lg.frames_evicted > 0);
     }
 
     #[test]
     fn time_eviction() {
         let mut lg = PacketLogger::new(SimDuration::from_millis(10), usize::MAX, SimDuration::ZERO);
-        let mut ctx = Context::new(SimTime::ZERO, crate::node::NodeId(0), crate::rng::SplitMix64::new(0));
+        let mut ctx =
+            Context::new(SimTime::ZERO, crate::node::NodeId(0), crate::rng::SplitMix64::new(0));
         lg.on_frame(PortId(0), tcp_frame(0, b"old"), &mut ctx);
         let later = SimTime::ZERO + SimDuration::from_millis(100);
         let mut ctx2 = Context::new(later, crate::node::NodeId(0), crate::rng::SplitMix64::new(0));

@@ -70,6 +70,17 @@ impl Context {
         Context { now, node, frames: Vec::new(), timers: Vec::new(), control: Vec::new(), rng }
     }
 
+    /// Re-arms a used context for the next dispatch, keeping the effect
+    /// vectors' capacity so a steady-state dispatch never allocates.
+    pub(crate) fn rearm(&mut self, now: SimTime, node: NodeId, rng: SplitMix64) {
+        self.now = now;
+        self.node = node;
+        self.rng = rng;
+        self.frames.clear();
+        self.timers.clear();
+        self.control.clear();
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now

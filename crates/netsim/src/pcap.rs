@@ -78,7 +78,8 @@ impl PcapRecorder {
 
     /// Renders the pcap file into memory.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(24 + self.records.iter().map(|r| 16 + r.frame.len()).sum::<usize>());
+        let mut out =
+            Vec::with_capacity(24 + self.records.iter().map(|r| 16 + r.frame.len()).sum::<usize>());
         out.extend_from_slice(&MAGIC.to_le_bytes());
         out.extend_from_slice(&VERSION_MAJOR.to_le_bytes());
         out.extend_from_slice(&VERSION_MINOR.to_le_bytes());

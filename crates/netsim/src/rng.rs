@@ -57,7 +57,7 @@ impl SplitMix64 {
 
 impl Default for SplitMix64 {
     fn default() -> Self {
-        SplitMix64::new(0x5EED_0F_57_7C9)
+        SplitMix64::new(0x05EE_D0F5_77C9)
     }
 }
 

@@ -9,7 +9,6 @@ use crate::time::{SimDuration, SimTime};
 use crate::trace::{FrameRecord, ProbeEvent, Trace};
 use bytes::Bytes;
 use std::any::Any;
-use std::collections::HashMap;
 
 /// Callback observing every frame accepted for transmission.
 pub type Probe = Box<dyn FnMut(ProbeEvent<'_>)>;
@@ -19,7 +18,9 @@ struct NodeSlot {
     name: String,
     alive: bool,
     paused_until: SimTime,
-    ports: HashMap<PortId, (LinkId, usize)>,
+    /// Wiring, indexed by `PortId` (ports are node-local and dense, so a
+    /// flat table beats hashing on the per-frame transmit path).
+    ports: Vec<Option<(LinkId, usize)>>,
     drops: Vec<DropRule>,
 }
 
@@ -43,6 +44,9 @@ pub struct Simulator {
     rng: SplitMix64,
     trace: Trace,
     probe: Option<Probe>,
+    /// Recycled dispatch context (keeps its effect vectors' capacity, so
+    /// steady-state dispatches allocate nothing).
+    scratch: Option<Context>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -79,6 +83,7 @@ impl Simulator {
             rng: SplitMix64::new(seed),
             trace: Trace::default(),
             probe: None,
+            scratch: None,
         }
     }
 
@@ -91,7 +96,7 @@ impl Simulator {
             name: name.into(),
             alive: true,
             paused_until: SimTime::ZERO,
-            ports: HashMap::new(),
+            ports: Vec::new(),
             drops: Vec::new(),
         });
         self.queue.push(SimTime::ZERO, EventKind::Start { node: id });
@@ -103,14 +108,29 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics if either port is already wired or a node id is invalid.
-    pub fn connect(&mut self, a: NodeId, pa: PortId, b: NodeId, pb: PortId, spec: LinkSpec) -> LinkId {
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        pa: PortId,
+        b: NodeId,
+        pb: PortId,
+        spec: LinkSpec,
+    ) -> LinkId {
         let id = LinkId(self.links.len());
         for (end, (node, port)) in [(a, pa), (b, pb)].into_iter().enumerate() {
             let slot = &mut self.nodes[node.0];
-            let prev = slot.ports.insert(port, (id, end));
+            if slot.ports.len() <= port.0 {
+                slot.ports.resize(port.0 + 1, None);
+            }
+            let prev = slot.ports[port.0].replace((id, end));
             assert!(prev.is_none(), "port {port} of node {node} already wired");
         }
-        self.links.push(LinkState { spec, ends: [(a, pa), (b, pb)], stats: LinkStats::default(), busy_until: [SimTime::ZERO; 2] });
+        self.links.push(LinkState {
+            spec,
+            ends: [(a, pa), (b, pb)],
+            stats: LinkStats::default(),
+            busy_until: [SimTime::ZERO; 2],
+        });
         id
     }
 
@@ -135,12 +155,11 @@ impl Simulator {
     ///
     /// Panics if `id` does not refer to a `T`.
     pub fn node_ref<T: Node>(&self, id: NodeId) -> &T {
-        let any: &dyn Any = self.nodes[id.0]
-            .node
-            .as_deref()
-            .expect("node is currently being dispatched");
-        any.downcast_ref::<T>()
-            .unwrap_or_else(|| panic!("node {id} ({}) is not a {}", self.nodes[id.0].name, std::any::type_name::<T>()))
+        let any: &dyn Any =
+            self.nodes[id.0].node.as_deref().expect("node is currently being dispatched");
+        any.downcast_ref::<T>().unwrap_or_else(|| {
+            panic!("node {id} ({}) is not a {}", self.nodes[id.0].name, std::any::type_name::<T>())
+        })
     }
 
     /// Mutable variant of [`Simulator::node_ref`].
@@ -149,13 +168,13 @@ impl Simulator {
     ///
     /// Panics if `id` does not refer to a `T`.
     pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
-        let name = self.nodes[id.0].name.clone();
-        let any: &mut dyn Any = self.nodes[id.0]
-            .node
-            .as_deref_mut()
-            .expect("node is currently being dispatched");
-        any.downcast_mut::<T>()
-            .unwrap_or_else(|| panic!("node {id} ({name}) is not a {}", std::any::type_name::<T>()))
+        let slot = &mut self.nodes[id.0];
+        let any: &mut dyn Any =
+            slot.node.as_deref_mut().expect("node is currently being dispatched");
+        if !(*any).is::<T>() {
+            panic!("node {id} ({}) is not a {}", slot.name, std::any::type_name::<T>());
+        }
+        any.downcast_mut::<T>().expect("type just checked")
     }
 
     /// Schedules a crash (power-off) of `node` at absolute time `at`.
@@ -320,21 +339,28 @@ impl Simulator {
 
     fn dispatch(&mut self, id: NodeId, call: impl FnOnce(&mut dyn Node, &mut Context)) {
         let mut node = self.nodes[id.0].node.take().expect("re-entrant dispatch");
-        let mut ctx = Context::new(self.now, id, self.rng);
+        let mut ctx = match self.scratch.take() {
+            Some(mut c) => {
+                c.rearm(self.now, id, self.rng);
+                c
+            }
+            None => Context::new(self.now, id, self.rng),
+        };
         call(node.as_mut(), &mut ctx);
         self.rng = ctx.rng;
         self.nodes[id.0].node = Some(node);
-        self.apply_effects(id, ctx);
+        self.apply_effects(id, &mut ctx);
+        self.scratch = Some(ctx);
     }
 
-    fn apply_effects(&mut self, id: NodeId, ctx: Context) {
-        for (port, frame) in ctx.frames {
+    fn apply_effects(&mut self, id: NodeId, ctx: &mut Context) {
+        for (port, frame) in ctx.frames.drain(..) {
             self.transmit(id, port, frame);
         }
-        for (at, token) in ctx.timers {
+        for (at, token) in ctx.timers.drain(..) {
             self.queue.push(at, EventKind::Timer { node: id, token });
         }
-        for action in ctx.control {
+        for action in ctx.control.drain(..) {
             self.queue.push(self.now, EventKind::Control(action));
         }
     }
@@ -357,7 +383,7 @@ impl Simulator {
     }
 
     fn transmit(&mut self, from: NodeId, port: PortId, frame: Bytes) {
-        let Some(&(link_id, end)) = self.nodes[from.0].ports.get(&port) else {
+        let Some((link_id, end)) = self.nodes[from.0].ports.get(port.0).copied().flatten() else {
             self.trace.frames_unwired += 1;
             return;
         };
@@ -381,9 +407,8 @@ impl Simulator {
         // Bounded transmit queue: if the serialization backlog already
         // exceeds the configured depth, tail-drop (congestion loss).
         if let Some(depth) = link.spec.max_queue {
-            let backlog = link.busy_until[end]
-                .checked_duration_since(self.now)
-                .unwrap_or(SimDuration::ZERO);
+            let backlog =
+                link.busy_until[end].checked_duration_since(self.now).unwrap_or(SimDuration::ZERO);
             if backlog > depth {
                 dir.queue_drops += 1;
                 self.trace.frames_lost_on_link += 1;
@@ -395,8 +420,8 @@ impl Simulator {
         link.busy_until[end] = departure;
         let mut arrival = departure + link.spec.latency;
         if !link.spec.jitter.is_zero() {
-            arrival = arrival
-                + SimDuration::from_nanos(self.rng.next_below(link.spec.jitter.as_nanos() + 1));
+            arrival +=
+                SimDuration::from_nanos(self.rng.next_below(link.spec.jitter.as_nanos() + 1));
         }
         dir.frames += 1;
         dir.bytes += frame.len() as u64;
@@ -507,8 +532,14 @@ mod tests {
         let b = sim.add_node("b", PingPong { got: vec![] });
         sim.connect(a, PortId(0), b, PortId(0), LinkSpec::ideal().with_bandwidth_bps(1_000_000));
         sim.run_until_idle(100);
-        assert_eq!(sim.node_ref::<PingPong>(a).got, vec![SimTime::ZERO + SimDuration::from_millis(10)]);
-        assert_eq!(sim.node_ref::<PingPong>(b).got, vec![SimTime::ZERO + SimDuration::from_millis(10)]);
+        assert_eq!(
+            sim.node_ref::<PingPong>(a).got,
+            vec![SimTime::ZERO + SimDuration::from_millis(10)]
+        );
+        assert_eq!(
+            sim.node_ref::<PingPong>(b).got,
+            vec![SimTime::ZERO + SimDuration::from_millis(10)]
+        );
     }
 
     #[test]
@@ -665,11 +696,22 @@ mod tests {
         let mut sim = Simulator::new();
         let t = sim.add_node("ticker", Ticker { ticks: vec![], frames: vec![] });
         let b = sim.add_node("blaster", Blaster::new(0, 0));
-        sim.connect(b, PortId(0), t, PortId(0), LinkSpec::ideal().with_latency(SimDuration::from_millis(1)));
+        sim.connect(
+            b,
+            PortId(0),
+            t,
+            PortId(0),
+            LinkSpec::ideal().with_latency(SimDuration::from_millis(1)),
+        );
         // Pause [25ms, 60ms): ticks at 30,40,50 defer to 60.
-        sim.schedule_pause(t, SimTime::ZERO + SimDuration::from_millis(25), SimDuration::from_millis(35));
+        sim.schedule_pause(
+            t,
+            SimTime::ZERO + SimDuration::from_millis(25),
+            SimDuration::from_millis(35),
+        );
         sim.run_for(SimDuration::from_millis(100));
-        let ticks: Vec<u64> = sim.node_ref::<Ticker>(t).ticks.iter().map(|x| x.as_nanos() / 1_000_000).collect();
+        let ticks: Vec<u64> =
+            sim.node_ref::<Ticker>(t).ticks.iter().map(|x| x.as_nanos() / 1_000_000).collect();
         // 10, 20, then the 30ms tick deferred to 60, then 70, 80, 90, 100.
         assert_eq!(ticks, vec![10, 20, 60, 70, 80, 90, 100]);
     }
@@ -679,7 +721,13 @@ mod tests {
         let mut sim = Simulator::new();
         let a = sim.add_node("a", Blaster::new(3, 64));
         let b = sim.add_node("b", Sink { received: vec![] });
-        sim.connect(a, PortId(0), b, PortId(0), LinkSpec::ideal().with_latency(SimDuration::from_millis(1)));
+        sim.connect(
+            a,
+            PortId(0),
+            b,
+            PortId(0),
+            LinkSpec::ideal().with_latency(SimDuration::from_millis(1)),
+        );
         sim.schedule_pause(b, SimTime::ZERO, SimDuration::from_millis(50));
         sim.run_for(SimDuration::from_millis(100));
         let rx = &sim.node_ref::<Sink>(b).received;

@@ -171,11 +171,7 @@ mod tests {
         sim.schedule_crash(b, sim.now());
         sim.schedule_power_on(b, sim.now() + SimDuration::from_millis(1));
         sim.run_for(SimDuration::from_millis(5));
-        assert!(sim
-            .node_ref::<Host>(hosts[0])
-            .heard
-            .iter()
-            .any(|f| f.payload.as_ref() == b"2nd"));
+        assert!(sim.node_ref::<Host>(hosts[0]).heard.iter().any(|f| f.payload.as_ref() == b"2nd"));
         assert!(
             !sim.node_ref::<Host>(hosts[2]).heard.iter().any(|f| f.payload.as_ref() == b"2nd"),
             "learned unicast must not reach third port — this is why a plain switch defeats tapping"
@@ -199,7 +195,9 @@ mod tests {
     #[test]
     fn broadcast_floods() {
         let (mut sim, _sw, hosts) = three_hosts();
-        sim.node_mut::<Host>(hosts[0]).outbox.push((MacAddr::BROADCAST, Bytes::from_static(b"arp")));
+        sim.node_mut::<Host>(hosts[0])
+            .outbox
+            .push((MacAddr::BROADCAST, Bytes::from_static(b"arp")));
         sim.run_for(SimDuration::from_millis(5));
         assert_eq!(sim.node_ref::<Host>(hosts[1]).heard.len(), 1);
         assert_eq!(sim.node_ref::<Host>(hosts[2]).heard.len(), 1);

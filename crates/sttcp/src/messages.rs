@@ -55,7 +55,11 @@ impl ConnKey {
 
 impl fmt::Display for ConnKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}->{}:{}", self.client_ip, self.client_port, self.server_ip, self.server_port)
+        write!(
+            f,
+            "{}:{}->{}:{}",
+            self.client_ip, self.client_port, self.server_ip, self.server_port
+        )
     }
 }
 

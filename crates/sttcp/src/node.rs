@@ -66,7 +66,7 @@ struct StackTimer {
 impl StackTimer {
     fn rearm(&mut self, ctx: &mut Context, deadline: Option<SimTime>) {
         if let Some(d) = deadline {
-            if self.armed.map_or(true, |a| d < a) {
+            if self.armed.is_none_or(|a| d < a) {
                 ctx.set_timer_at(d, TOK_STACK);
                 self.armed = Some(d);
             }
@@ -91,6 +91,8 @@ pub struct ServerNode {
     conns: HashMap<SockId, ConnState>,
     timer: StackTimer,
     booted: bool,
+    /// Reused frame staging buffer for [`NetStack::poll_into`].
+    tx: Vec<Bytes>,
     /// Times this node has booted (1 after a normal start).
     pub boot_count: u32,
     /// Accepted connections in order (diagnostics / tests).
@@ -112,6 +114,7 @@ impl ServerNode {
             conns: HashMap::new(),
             timer: StackTimer::default(),
             booted: false,
+            tx: Vec::new(),
             boot_count: 0,
             accepted: Vec::new(),
         }
@@ -138,6 +141,7 @@ impl ServerNode {
             conns: HashMap::new(),
             timer: StackTimer::default(),
             booted: false,
+            tx: Vec::new(),
             boot_count: 0,
             accepted: Vec::new(),
             cfg: Some(cfg),
@@ -166,6 +170,7 @@ impl ServerNode {
             conns: HashMap::new(),
             timer: StackTimer::default(),
             booted: false,
+            tx: Vec::new(),
             boot_count: 0,
             accepted: Vec::new(),
             cfg: Some(cfg),
@@ -345,7 +350,8 @@ impl ServerNode {
         // 5. Flush engine messages / fencing / logger queries.
         self.flush_engine(now, ctx);
         // 6. Transmit stack output and rearm the stack timer.
-        for frame in self.stack.poll(now) {
+        self.stack.poll_into(now, &mut self.tx);
+        for frame in self.tx.drain(..) {
             ctx.send_frame(LAN, frame);
         }
         self.timer.rearm(ctx, self.stack.next_deadline());
@@ -466,6 +472,8 @@ pub struct ClientNode {
     connected: bool,
     peer_closed: bool,
     timer: StackTimer,
+    /// Reused frame staging buffer for [`NetStack::poll_into`].
+    tx: Vec<Bytes>,
 }
 
 impl ClientNode {
@@ -485,6 +493,7 @@ impl ClientNode {
             connected: false,
             peer_closed: false,
             timer: StackTimer::default(),
+            tx: Vec::new(),
         }
     }
 
@@ -545,7 +554,8 @@ impl ClientNode {
                 }
             }
         }
-        for frame in self.stack.poll(now) {
+        self.stack.poll_into(now, &mut self.tx);
+        for frame in self.tx.drain(..) {
             ctx.send_frame(LAN, frame);
         }
         self.timer.rearm(ctx, self.stack.next_deadline());
@@ -564,10 +574,8 @@ impl Node for ClientNode {
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context) {
         match token {
-            TOK_CONNECT => {
-                if self.sock.is_none() {
-                    self.sock = self.stack.connect(ctx.now(), self.target.0, self.target.1).ok();
-                }
+            TOK_CONNECT if self.sock.is_none() => {
+                self.sock = self.stack.connect(ctx.now(), self.target.0, self.target.1).ok();
             }
             TOK_STACK => self.timer.fired(),
             t if t >= TOK_APP_BASE => {

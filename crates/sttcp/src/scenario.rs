@@ -12,9 +12,14 @@
 
 use crate::config::SttcpConfig;
 use crate::node::{ClientNode, GatewayNode, ServerNode, LAN, MGMT};
-use apps::{Application, BulkServer, EchoServer, InteractiveServer, RunMetrics, UploadServer, Workload, WorkloadClient};
+use apps::{
+    Application, BulkServer, EchoServer, InteractiveServer, RunMetrics, UploadServer, Workload,
+    WorkloadClient,
+};
 use netsim::node::{NodeId, PortId};
-use netsim::{Hub, LinkSpec, PacketLogger, PowerSwitch, SharedHub, SimDuration, SimTime, Simulator, Switch};
+use netsim::{
+    Hub, LinkSpec, PacketLogger, PowerSwitch, SharedHub, SimDuration, SimTime, Simulator, Switch,
+};
 use tcpstack::{Gateway, GatewayIface, StackConfig, TcpConfig};
 use wire::MacAddr;
 
@@ -230,14 +235,15 @@ pub fn build(spec: &ScenarioSpec) -> Scenario {
     } else {
         WorkloadClient::new(workload)
     };
-    let client =
-        sim.add_node("client", ClientNode::new(client_cfg, (addrs::VIP, 80), SimDuration::from_millis(1), client_app));
+    let client = sim.add_node(
+        "client",
+        ClientNode::new(client_cfg, (addrs::VIP, 80), SimDuration::from_millis(1), client_app),
+    );
 
     // --- servers ----------------------------------------------------
     let think = spec.interactive_think;
-    let mk_factory = move || -> crate::node::AppFactory {
-        Box::new(move || make_server_app(workload, think))
-    };
+    let mk_factory =
+        move || -> crate::node::AppFactory { Box::new(move || make_server_app(workload, think)) };
 
     let mut primary_cfg = StackConfig::host(MacAddr::local(2), addrs::PRIMARY);
     primary_cfg.extra_ips = vec![addrs::VIP];
@@ -365,7 +371,11 @@ pub fn build(spec: &ScenarioSpec) -> Scenario {
             // Gateway between the client subnet and the LAN, static
             // SVI→SME on the LAN side (the paper's key entry).
             let gw = Gateway::new(
-                GatewayIface { mac: MacAddr::local(10), ip: addrs::GW_CLIENT_SIDE, netmask_bits: 24 },
+                GatewayIface {
+                    mac: MacAddr::local(10),
+                    ip: addrs::GW_CLIENT_SIDE,
+                    netmask_bits: 24,
+                },
                 GatewayIface { mac: MacAddr::local(11), ip: addrs::GW_LAN_SIDE, netmask_bits: 24 },
                 [],
                 [(addrs::VIP, sme)],

@@ -18,9 +18,8 @@ fn congested_bottleneck_drives_fast_retransmit_and_still_completes() {
     // slow-start burst overruns it, real congestion loss follows, Reno
     // recovers. End-to-end through the full simulator + both servers.
     let mut spec = ScenarioSpec::new(Workload::bulk_mb(2)).st_tcp(SttcpConfig::new(addrs::VIP, 80));
-    spec.link = LinkSpec::lan()
-        .with_bandwidth_bps(10_000_000)
-        .with_max_queue(SimDuration::from_millis(5));
+    spec.link =
+        LinkSpec::lan().with_bandwidth_bps(10_000_000).with_max_queue(SimDuration::from_millis(5));
     let mut s = build(&spec);
     let m = s.run_to_completion(secs(120.0));
     assert!(m.verified_clean());
@@ -38,9 +37,8 @@ fn congested_bottleneck_failover() {
     let mut spec = ScenarioSpec::new(Workload::bulk_mb(2))
         .st_tcp(SttcpConfig::new(addrs::VIP, 80))
         .crash_at(SimTime::ZERO + secs(1.0));
-    spec.link = LinkSpec::lan()
-        .with_bandwidth_bps(10_000_000)
-        .with_max_queue(SimDuration::from_millis(5));
+    spec.link =
+        LinkSpec::lan().with_bandwidth_bps(10_000_000).with_max_queue(SimDuration::from_millis(5));
     let mut s = build(&spec);
     let m = s.run_to_completion(secs(180.0));
     assert!(m.verified_clean(), "congestion + failover must still be exactly-once");

@@ -1,0 +1,94 @@
+//! Frame-trace determinism regression tests.
+//!
+//! The zero-copy frame hot path (single-pass `FrameBuilder`, deferred
+//! payload staging, recycled simulator contexts) reuses buffers
+//! aggressively. None of that reuse may change a single bit on the
+//! wire: two runs of the same seeded scenario must transmit byte-for-
+//! byte identical frames at identical times. A probe hashes every
+//! frame accepted for transmission, so any divergence — reordering, a
+//! stale byte from a recycled buffer, a checksum mismatch between the
+//! builder and the layered encoders — changes the digest.
+
+use apps::Workload;
+use netsim::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+use sttcp::scenario::{addrs, build, ScenarioSpec};
+use sttcp::SttcpConfig;
+
+/// FNV-1a over every probe observation: departure time, link, both
+/// endpoints, and the full frame bytes.
+#[derive(Default)]
+struct TraceDigest {
+    hash: u64,
+    frames: u64,
+    bytes: u64,
+}
+
+impl TraceDigest {
+    fn new() -> Self {
+        TraceDigest { hash: 0xcbf2_9ce4_8422_2325, frames: 0, bytes: 0 }
+    }
+
+    fn mix(&mut self, v: u64) {
+        self.hash ^= v;
+        self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn observe(&mut self, ev: &netsim::ProbeEvent<'_>) {
+        self.mix(ev.time.as_nanos());
+        self.mix(ev.link.0 as u64);
+        self.mix(ev.from.0 as u64);
+        self.mix(ev.to.0 as u64);
+        self.mix(ev.frame.len() as u64);
+        for &b in ev.frame.iter() {
+            self.mix(u64::from(b));
+        }
+        self.frames += 1;
+        self.bytes += ev.frame.len() as u64;
+    }
+}
+
+/// One seeded ST-TCP bulk run with a mid-transfer primary crash,
+/// digesting every transmitted frame. Returns (digest, frame count,
+/// wire bytes, events processed, client bytes received).
+fn digest_failover_run() -> (u64, u64, u64, u64, u64) {
+    let spec = ScenarioSpec::new(Workload::Bulk { file_size: 2 << 20 })
+        .st_tcp(SttcpConfig::new(addrs::VIP, 80))
+        .crash_at(SimTime::ZERO + SimDuration::from_millis(300));
+    let mut s = build(&spec);
+    let digest = Rc::new(RefCell::new(TraceDigest::new()));
+    let sink = Rc::clone(&digest);
+    s.sim.set_probe(move |ev| sink.borrow_mut().observe(&ev));
+    let m = s.run_to_completion(SimDuration::from_secs(120));
+    assert!(m.verified_clean(), "failover run must deliver the stream intact");
+    assert!(s.backup_engine().unwrap().has_taken_over(), "the crash must trigger a takeover");
+    let d = digest.borrow();
+    let events = s.sim.trace().events_processed;
+    (d.hash, d.frames, d.bytes, events, m.bytes_received)
+}
+
+#[test]
+fn failover_frame_traces_are_bit_identical() {
+    let a = digest_failover_run();
+    let b = digest_failover_run();
+    assert!(a.1 > 1000, "a 2 MB failover run must transmit many frames, saw {}", a.1);
+    assert_eq!(a, b, "two identically-seeded runs must produce bit-identical frame traces");
+}
+
+#[test]
+fn echo_frame_traces_are_bit_identical() {
+    let run = || {
+        let spec = ScenarioSpec::new(Workload::Echo { requests: 50 })
+            .st_tcp(SttcpConfig::new(addrs::VIP, 80));
+        let mut s = build(&spec);
+        let digest = Rc::new(RefCell::new(TraceDigest::new()));
+        let sink = Rc::clone(&digest);
+        s.sim.set_probe(move |ev| sink.borrow_mut().observe(&ev));
+        let m = s.run_to_completion(SimDuration::from_secs(60));
+        assert!(m.verified_clean());
+        let d = digest.borrow();
+        (d.hash, d.frames, d.bytes)
+    };
+    assert_eq!(run(), run(), "failure-free traces must be bit-identical");
+}

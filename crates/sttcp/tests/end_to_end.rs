@@ -81,10 +81,7 @@ fn st_tcp_echo_failover_is_transparent_and_fast() {
     let takeover = eng.takeover_at().unwrap();
     let detection = takeover.duration_since(crash);
     // 3..4 heartbeat intervals of 50 ms, plus one tick of slack.
-    assert!(
-        (0.15..0.30).contains(&detection.as_secs_f64()),
-        "detection took {detection}"
-    );
+    assert!((0.15..0.30).contains(&detection.as_secs_f64()), "detection took {detection}");
     // Paper Table 2 (50 ms HB): failover ≈ 0.219 s; total ≈ 1.1 s.
     let total = m.total_time().unwrap().as_secs_f64();
     assert!((0.9..2.5).contains(&total), "echo with failover total {total}s");

@@ -39,7 +39,8 @@ fn primary_with_data(payload: &[u8]) -> (NetStack, SeqNum) {
     let synack = stack.poll(now);
     assert_eq!(synack.len(), 1);
     let tcb_iss = parse_tcp(&synack[0]).seq;
-    let mut ack = TcpSegment::bare(40000, 80, client_iss + 1, tcb_iss.wrapping_add(1), TcpFlags::ACK, 17520);
+    let mut ack =
+        TcpSegment::bare(40000, 80, client_iss + 1, tcb_iss.wrapping_add(1), TcpFlags::ACK, 17520);
     ack.payload = Bytes::copy_from_slice(payload);
     deliver(&mut stack, now, &ack);
     let sock = stack.accept(80).expect("established");
@@ -52,7 +53,8 @@ fn primary_with_data(payload: &[u8]) -> (NetStack, SeqNum) {
 fn deliver(stack: &mut NetStack, now: SimTime, seg: &TcpSegment) {
     use wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet};
     let ip = Ipv4Packet::new(CLIENT, VIP, IpProtocol::Tcp, seg.encode(CLIENT, VIP));
-    let eth = EthernetFrame::new(MacAddr::local(2), MacAddr::local(1), EtherType::Ipv4, ip.encode());
+    let eth =
+        EthernetFrame::new(MacAddr::local(2), MacAddr::local(1), EtherType::Ipv4, ip.encode());
     stack.handle_frame(now, eth.encode());
 }
 

@@ -21,11 +21,16 @@ fn arb_key() -> impl Strategy<Value = ConnKey> {
 fn arb_msg() -> impl Strategy<Value = SideMsg> {
     prop_oneof![
         any::<u64>().prop_map(|seq| SideMsg::Heartbeat { seq }),
-        (arb_key(), any::<u32>()).prop_map(|(conn, acked_next)| SideMsg::BackupAck { conn, acked_next }),
-        (arb_key(), any::<u32>(), any::<u32>())
-            .prop_map(|(conn, from, len)| SideMsg::MissingReq { conn, from, len }),
-        (arb_key(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..1200))
-            .prop_map(|(conn, seq, data)| SideMsg::MissingData { conn, seq, data: Bytes::from(data) }),
+        (arb_key(), any::<u32>())
+            .prop_map(|(conn, acked_next)| SideMsg::BackupAck { conn, acked_next }),
+        (arb_key(), any::<u32>(), any::<u32>()).prop_map(|(conn, from, len)| SideMsg::MissingReq {
+            conn,
+            from,
+            len
+        }),
+        (arb_key(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..1200)).prop_map(
+            |(conn, seq, data)| SideMsg::MissingData { conn, seq, data: Bytes::from(data) }
+        ),
         (arb_key(), any::<u32>()).prop_map(|(conn, from)| SideMsg::MissingNack { conn, from }),
     ]
 }

@@ -10,8 +10,8 @@ use sttcp::SttcpConfig;
 
 #[test]
 fn think_time_reproduces_the_papers_interactive_total() {
-    let mut spec = ScenarioSpec::new(Workload::interactive())
-        .st_tcp(SttcpConfig::new(addrs::VIP, 80));
+    let mut spec =
+        ScenarioSpec::new(Workload::interactive()).st_tcp(SttcpConfig::new(addrs::VIP, 80));
     spec.interactive_think = SimDuration::from_millis(9);
     let mut s = build(&spec);
     let m = s.run_to_completion(SimDuration::from_secs(30));

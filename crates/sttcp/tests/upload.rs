@@ -141,10 +141,8 @@ fn slow_backup_acks_shrink_the_window_but_nothing_breaks() {
     let slow_time = slow.run_to_completion(SimDuration::from_secs(300)).total_time().unwrap();
 
     let fast_spec = ScenarioSpec::new(Workload::upload_mb(1)).st_tcp(st_cfg());
-    let fast_time = build(&fast_spec)
-        .run_to_completion(SimDuration::from_secs(60))
-        .total_time()
-        .unwrap();
+    let fast_time =
+        build(&fast_spec).run_to_completion(SimDuration::from_secs(60)).total_time().unwrap();
     assert!(
         slow_time > fast_time.saturating_mul(2),
         "starved backup acks must throttle the upload: slow={slow_time} fast={fast_time}"

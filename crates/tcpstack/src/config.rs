@@ -40,7 +40,11 @@ impl Quad {
 
 impl fmt::Display for Quad {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{} <-> {}:{}", self.local_ip, self.local_port, self.remote_ip, self.remote_port)
+        write!(
+            f,
+            "{}:{} <-> {}:{}",
+            self.local_ip, self.local_port, self.remote_ip, self.remote_port
+        )
     }
 }
 

@@ -83,7 +83,9 @@ impl Congestion {
                     self.cwnd = self.cwnd.saturating_add(self.mss); // slow start
                 } else {
                     // Congestion avoidance: ~1 MSS per RTT.
-                    let inc = (u64::from(self.mss) * u64::from(self.mss) / u64::from(self.cwnd.max(1))).max(1);
+                    let inc = (u64::from(self.mss) * u64::from(self.mss)
+                        / u64::from(self.cwnd.max(1)))
+                    .max(1);
                     self.cwnd = self.cwnd.saturating_add(inc as u32);
                 }
             }

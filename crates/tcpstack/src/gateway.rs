@@ -134,7 +134,8 @@ impl Gateway {
         let iface = &self.ifaces[side.index()];
         if arp.op == ArpOp::Request && arp.target_ip == iface.ip {
             let reply = ArpPacket::reply(iface.mac, iface.ip, &arp);
-            let frame = EthernetFrame::new(arp.sender_mac, iface.mac, EtherType::Arp, reply.encode());
+            let frame =
+                EthernetFrame::new(arp.sender_mac, iface.mac, EtherType::Arp, reply.encode());
             self.out.push_back((side, frame.encode()));
         }
     }
@@ -254,7 +255,8 @@ mod tests {
         gw.poll();
         // Server (VIP) responds toward the client.
         let ip = Ipv4Packet::new(VIP, CLIENT, IpProtocol::Tcp, Bytes::from_static(b"resp"));
-        let f = EthernetFrame::new(MacAddr::local(11), MacAddr::local(5), EtherType::Ipv4, ip.encode());
+        let f =
+            EthernetFrame::new(MacAddr::local(11), MacAddr::local(5), EtherType::Ipv4, ip.encode());
         gw.handle_frame(Side::B, f.encode());
         let out = gw.poll();
         assert_eq!(out.len(), 1);
@@ -268,7 +270,8 @@ mod tests {
         let mut gw = gateway();
         let mut ip = Ipv4Packet::new(CLIENT, VIP, IpProtocol::Tcp, Bytes::new());
         ip.ttl = 1;
-        let f = EthernetFrame::new(MacAddr::local(10), MacAddr::local(1), EtherType::Ipv4, ip.encode());
+        let f =
+            EthernetFrame::new(MacAddr::local(10), MacAddr::local(1), EtherType::Ipv4, ip.encode());
         gw.handle_frame(Side::A, f.encode());
         assert!(gw.poll().is_empty());
         assert_eq!(gw.stats.ttl_drops, 1);
@@ -277,8 +280,10 @@ mod tests {
     #[test]
     fn no_route_counts() {
         let mut gw = gateway();
-        let ip = Ipv4Packet::new(CLIENT, Ipv4Addr::new(172, 16, 0, 1), IpProtocol::Tcp, Bytes::new());
-        let f = EthernetFrame::new(MacAddr::local(10), MacAddr::local(1), EtherType::Ipv4, ip.encode());
+        let ip =
+            Ipv4Packet::new(CLIENT, Ipv4Addr::new(172, 16, 0, 1), IpProtocol::Tcp, Bytes::new());
+        let f =
+            EthernetFrame::new(MacAddr::local(10), MacAddr::local(1), EtherType::Ipv4, ip.encode());
         gw.handle_frame(Side::A, f.encode());
         assert!(gw.poll().is_empty());
         assert_eq!(gw.stats.no_route, 1);
@@ -288,7 +293,8 @@ mod tests {
     fn packets_to_gateway_itself_are_sunk() {
         let mut gw = gateway();
         let ip = Ipv4Packet::new(CLIENT, GW_A, IpProtocol::Udp, Bytes::from_static(b"hi"));
-        let f = EthernetFrame::new(MacAddr::local(10), MacAddr::local(1), EtherType::Ipv4, ip.encode());
+        let f =
+            EthernetFrame::new(MacAddr::local(10), MacAddr::local(1), EtherType::Ipv4, ip.encode());
         gw.handle_frame(Side::A, f.encode());
         assert!(gw.poll().is_empty());
         assert_eq!(gw.stats.forwarded, 0);

@@ -71,5 +71,5 @@ pub use config::{Quad, StackConfig, TcpConfig};
 pub use gateway::{Gateway, GatewayIface, Side};
 pub use seq::SeqNum;
 pub use stack::{NetStack, SockId, StackError, UdpId};
-pub use tcb::{Tcb, TcpState};
+pub use tcb::{StagedSeg, Tcb, TcpState};
 pub use udp_socket::UdpRecv;

@@ -16,6 +16,7 @@
 //! standard TCP receive buffer; non-zero enables the second buffer.
 
 use crate::seq::SeqNum;
+use bytes::Bytes;
 use std::collections::{BTreeMap, VecDeque};
 
 /// Reassembly + retention receive buffer.
@@ -44,8 +45,10 @@ pub struct RecvBuffer {
     rcv_nxt: SeqNum,
     /// In-order bytes `[floor, rcv_nxt)`.
     data: VecDeque<u8>,
-    /// Out-of-order segments keyed by raw start seq.
-    ooo: BTreeMap<u32, Vec<u8>>,
+    /// Out-of-order segments keyed by raw start seq. Stored as [`Bytes`]
+    /// slices of the received frame, so buffering a reordered segment
+    /// costs a refcount bump, not a heap copy.
+    ooo: BTreeMap<u32, Bytes>,
     ooo_bytes: usize,
     /// First-buffer capacity (what a standard TCP would have).
     capacity: usize,
@@ -110,7 +113,17 @@ impl RecvBuffer {
     /// Inserts `data` at `seq`. Returns `true` if the segment carried at
     /// least one byte that was new and in-window (callers send an
     /// immediate ACK for anything else).
+    ///
+    /// Copying convenience over [`RecvBuffer::insert_bytes`]; the hot
+    /// receive path hands over the parsed segment payload directly.
     pub fn insert(&mut self, seq: SeqNum, data: &[u8]) -> bool {
+        self.insert_bytes(seq, Bytes::copy_from_slice(data))
+    }
+
+    /// Inserts `data` at `seq` without copying: an out-of-order segment
+    /// is held as a slice of the received frame until the gap fills.
+    /// Same return contract as [`RecvBuffer::insert`].
+    pub fn insert_bytes(&mut self, seq: SeqNum, data: Bytes) -> bool {
         if data.is_empty() {
             return false;
         }
@@ -122,7 +135,7 @@ impl RecvBuffer {
             if skip as usize >= data.len() {
                 return false; // entirely duplicate
             }
-            data = &data[skip as usize..];
+            data = data.slice(skip as usize..);
             seq = self.rcv_nxt;
         }
         // Trim the tail beyond the window edge.
@@ -132,13 +145,13 @@ impl RecvBuffer {
         }
         let room = window_edge.distance(seq) as usize;
         if data.len() > room {
-            data = &data[..room];
+            data = data.slice(..room);
         }
         if data.is_empty() {
             return false;
         }
         if seq == self.rcv_nxt {
-            self.data.extend(data);
+            self.data.extend(&data[..]);
             self.rcv_nxt = self.rcv_nxt.add(data.len() as u32);
             self.drain_ooo();
         } else {
@@ -147,13 +160,13 @@ impl RecvBuffer {
             use std::collections::btree_map::Entry;
             match self.ooo.entry(seq.raw()) {
                 Entry::Vacant(e) => {
-                    e.insert(data.to_vec());
                     self.ooo_bytes += data.len();
+                    e.insert(data);
                 }
                 Entry::Occupied(mut e) => {
                     if data.len() > e.get().len() {
                         self.ooo_bytes += data.len() - e.get().len();
-                        e.insert(data.to_vec());
+                        e.insert(data);
                     }
                 }
             }
@@ -184,12 +197,25 @@ impl RecvBuffer {
     pub fn read(&mut self, buf: &mut [u8]) -> usize {
         let n = buf.len().min(self.readable());
         let off = self.app_read.distance(self.floor) as usize;
-        for (i, b) in self.data.iter().skip(off).take(n).enumerate() {
-            buf[i] = *b;
-        }
+        self.copy_out(off, &mut buf[..n]);
         self.app_read = self.app_read.add(n as u32);
         self.discard();
         n
+    }
+
+    /// Copies `out.len()` held bytes starting `off` bytes above the
+    /// floor, as at most two slice memcpys across the ring seam.
+    fn copy_out(&self, off: usize, out: &mut [u8]) {
+        let n = out.len();
+        let (front, back) = self.data.as_slices();
+        if off < front.len() {
+            let a = n.min(front.len() - off);
+            out[..a].copy_from_slice(&front[off..off + a]);
+            out[a..].copy_from_slice(&back[..n - a]);
+        } else {
+            let o = off - front.len();
+            out.copy_from_slice(&back[o..o + n]);
+        }
     }
 
     /// Records the backup's cumulative acknowledgment (`LastByteAcked+1`)
@@ -222,7 +248,9 @@ impl RecvBuffer {
             return None;
         }
         let off = seq.distance(self.floor) as usize;
-        Some(self.data.iter().skip(off).take(len).copied().collect())
+        let mut out = vec![0u8; len];
+        self.copy_out(off, &mut out);
+        Some(out)
     }
 
     fn discard(&mut self) {

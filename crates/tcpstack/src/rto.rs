@@ -81,10 +81,7 @@ impl RtoEstimator {
 
     /// The current timeout: base RTO with the backoff applied, clamped.
     pub fn rto(&self) -> SimDuration {
-        self.base_rto
-            .saturating_mul(1u64 << self.backoff_shift.min(32))
-            .max(self.min)
-            .min(self.max)
+        self.base_rto.saturating_mul(1u64 << self.backoff_shift.min(32)).max(self.min).min(self.max)
     }
 
     /// Doubles the timeout (a retransmission fired).
@@ -170,7 +167,8 @@ mod tests {
 
     #[test]
     fn variance_raises_rto() {
-        let mut e = RtoEstimator::with_bounds(SimDuration::from_millis(1), SimDuration::from_secs(120));
+        let mut e =
+            RtoEstimator::with_bounds(SimDuration::from_millis(1), SimDuration::from_secs(120));
         e.on_sample(SimDuration::from_millis(100));
         let stable = e.rto();
         // A wildly different sample inflates RTTVAR.
@@ -180,7 +178,8 @@ mod tests {
 
     #[test]
     fn smoothing_converges() {
-        let mut e = RtoEstimator::with_bounds(SimDuration::from_millis(1), SimDuration::from_secs(120));
+        let mut e =
+            RtoEstimator::with_bounds(SimDuration::from_millis(1), SimDuration::from_secs(120));
         for _ in 0..100 {
             e.on_sample(SimDuration::from_millis(50));
         }

@@ -67,16 +67,38 @@ impl SendBuffer {
         n
     }
 
-    /// Copies up to `len` bytes starting at `seq` into a fresh vector.
-    /// Returns `None` if `seq` is outside the buffered range.
-    pub fn copy_range(&self, seq: SeqNum, len: usize) -> Option<Vec<u8>> {
+    /// Borrows up to `len` bytes starting at `seq` as the (at most two)
+    /// contiguous halves of the ring — the zero-copy counterpart of
+    /// [`SendBuffer::copy_range`]. Either slice may be empty. Returns
+    /// `None` if `seq` is outside the buffered range.
+    ///
+    /// The caller writes these straight into the frame builder, so a
+    /// transmitted payload costs exactly one memcpy end-to-end.
+    pub fn slices_range(&self, seq: SeqNum, len: usize) -> Option<(&[u8], &[u8])> {
         if !seq.ge(self.base) || !seq.le(self.end()) {
             return None;
         }
         let off = seq.distance(self.base) as usize;
-        let avail = self.data.len() - off;
-        let n = len.min(avail);
-        Some(self.data.iter().skip(off).take(n).copied().collect())
+        let n = len.min(self.data.len() - off);
+        let (front, back) = self.data.as_slices();
+        if off < front.len() {
+            let a = &front[off..front.len().min(off + n)];
+            let b = &back[..n - a.len()];
+            Some((a, b))
+        } else {
+            Some((&back[off - front.len()..off - front.len() + n], &[]))
+        }
+    }
+
+    /// Copies up to `len` bytes starting at `seq` into a fresh vector.
+    /// Returns `None` if `seq` is outside the buffered range.
+    pub fn copy_range(&self, seq: SeqNum, len: usize) -> Option<Vec<u8>> {
+        self.slices_range(seq, len).map(|(a, b)| {
+            let mut v = Vec::with_capacity(a.len() + b.len());
+            v.extend_from_slice(a);
+            v.extend_from_slice(b);
+            v
+        })
     }
 
     /// Advances `snd_una` to `new_base`, discarding acknowledged bytes.
@@ -120,6 +142,38 @@ mod tests {
         assert_eq!(b.copy_range(SeqNum(8), 100).unwrap(), b"ij");
         assert_eq!(b.copy_range(SeqNum(10), 5).unwrap(), b"", "end is valid, empty");
         assert_eq!(b.copy_range(SeqNum(11), 1), None);
+    }
+
+    #[test]
+    fn slices_range_matches_copy_range_across_the_seam() {
+        // Churn the deque so its ring head walks past the physical end
+        // and slices_range has to return two non-empty halves.
+        let mut b = SendBuffer::new(SeqNum(0), 16);
+        let mut next = 0u8;
+        let mut seam_seen = false;
+        // Keep a residue buffered: a fully drained VecDeque may reset its
+        // ring head, which would keep the storage contiguous forever.
+        assert_eq!(b.write(b"\xAA\xBB\xCC"), 3);
+        for _ in 0..40 {
+            let chunk: Vec<u8> = (0..6)
+                .map(|_| {
+                    next = next.wrapping_add(1);
+                    next
+                })
+                .collect();
+            assert_eq!(b.write(&chunk), 6);
+            for off in 0..=b.len() {
+                let seq = b.base().add(off as u32);
+                for len in [0usize, 1, 4, 16] {
+                    let (x, y) = b.slices_range(seq, len).unwrap();
+                    seam_seen |= !x.is_empty() && !y.is_empty();
+                    assert_eq!([x, y].concat(), b.copy_range(seq, len).unwrap());
+                }
+            }
+            b.ack_to(b.base().add(6));
+        }
+        assert!(seam_seen, "test never exercised the wrapped two-slice case");
+        assert_eq!(b.slices_range(b.end().add(1), 1), None);
     }
 
     #[test]

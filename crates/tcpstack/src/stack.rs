@@ -20,7 +20,7 @@
 use crate::arp_cache::ArpCache;
 use crate::config::{Quad, StackConfig};
 use crate::seq::SeqNum;
-use crate::tcb::{Tcb, TcpState};
+use crate::tcb::{StagedSeg, Tcb, TcpState};
 use crate::udp_socket::{UdpRecv, UdpSocket};
 use bytes::Bytes;
 use netsim::{SimDuration, SimTime, SplitMix64};
@@ -28,8 +28,8 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::net::Ipv4Addr;
 use wire::{
-    ArpOp, ArpPacket, EtherType, EthernetFrame, IpProtocol, Ipv4Packet, MacAddr, TcpFlags,
-    TcpSegment, UdpDatagram,
+    ArpOp, ArpPacket, EtherType, EthernetFrame, FrameBuilder, IpProtocol, Ipv4Packet, MacAddr,
+    TcpFlags, TcpFrameHeader, TcpSegment, UdpDatagram,
 };
 
 /// Handle to a TCP connection owned by a [`NetStack`].
@@ -105,6 +105,7 @@ pub struct NetStack {
     listeners: HashMap<u16, Vec<SockId>>,
     udps: Vec<UdpSocket>,
     out: VecDeque<Bytes>,
+    builder: FrameBuilder,
     pending_arp: HashMap<Ipv4Addr, ArpPending>,
     suppressed: HashSet<Ipv4Addr>,
     isn_rng: SplitMix64,
@@ -139,6 +140,7 @@ impl NetStack {
             listeners: HashMap::new(),
             udps: Vec::new(),
             out: VecDeque::new(),
+            builder: FrameBuilder::new(),
             pending_arp: HashMap::new(),
             ip_ident: 0,
             next_ephemeral: EPHEMERAL_BASE,
@@ -190,10 +192,15 @@ impl NetStack {
         Ok(self.insert_tcb(quad, tcb))
     }
 
-    fn alloc_ephemeral(&mut self, remote_ip: Ipv4Addr, remote_port: u16) -> Result<u16, StackError> {
+    fn alloc_ephemeral(
+        &mut self,
+        remote_ip: Ipv4Addr,
+        remote_port: u16,
+    ) -> Result<u16, StackError> {
         for _ in 0..20000 {
             let port = self.next_ephemeral;
-            self.next_ephemeral = if self.next_ephemeral >= 60000 { EPHEMERAL_BASE } else { self.next_ephemeral + 1 };
+            self.next_ephemeral =
+                if self.next_ephemeral >= 60000 { EPHEMERAL_BASE } else { self.next_ephemeral + 1 };
             let quad = Quad::new(self.cfg.ip, port, remote_ip, remote_port);
             if !self.by_quad.contains_key(&quad) {
                 return Ok(port);
@@ -298,7 +305,14 @@ impl NetStack {
     }
 
     /// Sends a datagram from our primary IP.
-    pub fn udp_send(&mut self, now: SimTime, udp: UdpId, dst_ip: Ipv4Addr, dst_port: u16, payload: Bytes) {
+    pub fn udp_send(
+        &mut self,
+        now: SimTime,
+        udp: UdpId,
+        dst_ip: Ipv4Addr,
+        dst_port: u16,
+        payload: Bytes,
+    ) {
         let Some(sock) = self.udps.get(udp.0) else {
             return;
         };
@@ -359,7 +373,7 @@ impl NetStack {
         self.stats.frames_accepted += 1;
         match eth.ethertype {
             EtherType::Arp => self.handle_arp(now, &eth),
-            EtherType::Ipv4 => self.handle_ip(now, &eth),
+            EtherType::Ipv4 => self.handle_ip(now, eth),
             EtherType::Other(_) => {}
         }
     }
@@ -377,13 +391,14 @@ impl NetStack {
                 return;
             }
             let reply = ArpPacket::reply(self.cfg.mac, arp.target_ip, &arp);
-            let frame = EthernetFrame::new(arp.sender_mac, self.cfg.mac, EtherType::Arp, reply.encode());
+            let frame =
+                EthernetFrame::new(arp.sender_mac, self.cfg.mac, EtherType::Arp, reply.encode());
             self.push_frame(frame.encode());
         }
     }
 
-    fn handle_ip(&mut self, now: SimTime, eth: &EthernetFrame) {
-        let Ok(ip) = Ipv4Packet::parse(eth.payload.clone()) else {
+    fn handle_ip(&mut self, now: SimTime, eth: EthernetFrame) {
+        let Ok(ip) = Ipv4Packet::parse(eth.payload) else {
             self.stats.parse_errors += 1;
             return;
         };
@@ -395,18 +410,19 @@ impl NetStack {
             return; // tapped frame addressed elsewhere; engines inspect separately
         }
         match ip.protocol {
-            IpProtocol::Tcp => self.handle_tcp(now, &ip),
-            IpProtocol::Udp => self.handle_udp(&ip),
+            IpProtocol::Tcp => self.handle_tcp(now, ip),
+            IpProtocol::Udp => self.handle_udp(ip),
             IpProtocol::Other(_) => {}
         }
     }
 
-    fn handle_tcp(&mut self, now: SimTime, ip: &Ipv4Packet) {
-        let Ok(seg) = TcpSegment::parse(ip.payload.clone(), ip.src, ip.dst) else {
+    fn handle_tcp(&mut self, now: SimTime, ip: Ipv4Packet) {
+        let (src, dst) = (ip.src, ip.dst);
+        let Ok(seg) = TcpSegment::parse(ip.payload, src, dst) else {
             self.stats.parse_errors += 1;
             return;
         };
-        let quad = Quad::new(ip.dst, seg.dst_port, ip.src, seg.src_port);
+        let quad = Quad::new(dst, seg.dst_port, src, seg.src_port);
         if let Some(&idx) = self.by_quad.get(&quad) {
             if let Some(tcb) = self.tcbs[idx].as_mut() {
                 tcb.on_segment(now, &seg);
@@ -429,11 +445,11 @@ impl NetStack {
         }
         // Otherwise: RST (never in response to a RST).
         if !seg.flags.contains(TcpFlags::RST) {
-            self.send_rst(now, ip, &seg);
+            self.send_rst(now, src, dst, &seg);
         }
     }
 
-    fn send_rst(&mut self, now: SimTime, ip: &Ipv4Packet, seg: &TcpSegment) {
+    fn send_rst(&mut self, now: SimTime, src: Ipv4Addr, dst: Ipv4Addr, seg: &TcpSegment) {
         let rst = if seg.flags.contains(TcpFlags::ACK) {
             TcpSegment::bare(seg.dst_port, seg.src_port, seg.ack, 0, TcpFlags::RST, 0)
         } else {
@@ -453,20 +469,21 @@ impl NetStack {
             ident: self.next_ident(),
             ttl: 64,
             protocol: IpProtocol::Tcp,
-            src: ip.dst,
-            dst: ip.src,
-            payload: rst.encode(ip.dst, ip.src),
+            src: dst,
+            dst: src,
+            payload: rst.encode(dst, src),
         };
         self.emit_ip(now, packet);
     }
 
-    fn handle_udp(&mut self, ip: &Ipv4Packet) {
-        let Ok(dgram) = UdpDatagram::parse(ip.payload.clone(), ip.src, ip.dst) else {
+    fn handle_udp(&mut self, ip: Ipv4Packet) {
+        let (src, dst) = (ip.src, ip.dst);
+        let Ok(dgram) = UdpDatagram::parse(ip.payload, src, dst) else {
             self.stats.parse_errors += 1;
             return;
         };
         if let Some(sock) = self.udps.iter_mut().find(|s| s.port() == dgram.dst_port) {
-            sock.deliver(UdpRecv { src_ip: ip.src, src_port: dgram.src_port, payload: dgram.payload });
+            sock.deliver(UdpRecv { src_ip: src, src_port: dgram.src_port, payload: dgram.payload });
         }
     }
 
@@ -474,44 +491,146 @@ impl NetStack {
 
     /// Drives timers and collects every frame ready to transmit.
     pub fn poll(&mut self, now: SimTime) -> Vec<Bytes> {
+        let mut frames = Vec::new();
+        self.poll_into(now, &mut frames);
+        frames
+    }
+
+    /// Drives timers and appends every ready frame to `frames`.
+    ///
+    /// The allocation-lean form of [`NetStack::poll`]: callers keep and
+    /// reuse `frames`, staged segments stay inside each TCB, and data
+    /// payloads flow from the send-buffer ring straight into the frame
+    /// builder — one memcpy, zero allocations per frame at steady state.
+    pub fn poll_into(&mut self, now: SimTime, frames: &mut Vec<Bytes>) {
         self.retry_arp(now);
-        let mut staged: Vec<(Quad, TcpSegment)> = Vec::new();
-        let mut closed: Vec<Quad> = Vec::new();
-        for tcb in self.tcbs.iter_mut().flatten() {
-            let quad = tcb.quad();
-            for seg in tcb.poll(now) {
-                staged.push((quad, seg));
-            }
-            if tcb.state() == TcpState::Closed {
-                closed.push(quad);
-            }
-        }
-        for quad in closed {
-            self.by_quad.remove(&quad);
-        }
-        for (quad, seg) in staged {
-            let packet = Ipv4Packet {
-                ident: self.next_ident(),
-                ttl: 64,
-                protocol: IpProtocol::Tcp,
-                src: quad.local_ip,
-                dst: quad.remote_ip,
-                payload: seg.encode(quad.local_ip, quad.remote_ip),
+        self.builder.recycle();
+        for idx in 0..self.tcbs.len() {
+            let Some(tcb) = self.tcbs[idx].as_mut() else {
+                continue;
             };
-            self.emit_ip(now, packet);
+            tcb.poll_stage(now);
+            self.emit_staged(now, idx);
+            let tcb = self.tcbs[idx].as_mut().expect("live TCB");
+            tcb.clear_staged();
+            if tcb.state() == TcpState::Closed {
+                self.by_quad.remove(&tcb.quad());
+            }
         }
         self.stats.frames_out += self.out.len() as u64;
-        self.out.drain(..).collect()
+        frames.extend(self.out.drain(..));
+    }
+
+    /// Transmits everything `tcbs[idx]` staged in this poll.
+    ///
+    /// With a resolved next hop this composes each segment straight into
+    /// the frame builder (borrowing data payloads from the send buffer);
+    /// without one it falls back to the layered encode chain and queues
+    /// the packets behind an ARP request.
+    fn emit_staged(&mut self, now: SimTime, idx: usize) {
+        let tcb = self.tcbs[idx].as_ref().expect("live TCB");
+        let staged = tcb.staged();
+        if staged.is_empty() {
+            return;
+        }
+        let quad = tcb.quad();
+        if self.suppressed.contains(&quad.local_ip) {
+            self.stats.segs_suppressed += staged.len() as u64;
+            return;
+        }
+        let next_hop = if self.cfg.on_subnet(quad.remote_ip) {
+            quad.remote_ip
+        } else {
+            match self.cfg.gateway {
+                Some(gw) => gw,
+                None => return, // unroutable
+            }
+        };
+        if let Some(mac) = self.arp.lookup(next_hop) {
+            for staged_seg in tcb.staged() {
+                self.ip_ident = self.ip_ident.wrapping_add(1);
+                let mut hdr = TcpFrameHeader {
+                    eth_dst: mac,
+                    eth_src: self.cfg.mac,
+                    ip_src: quad.local_ip,
+                    ip_dst: quad.remote_ip,
+                    ident: self.ip_ident,
+                    ttl: 64,
+                    src_port: quad.local_port,
+                    dst_port: quad.remote_port,
+                    seq: 0,
+                    ack: 0,
+                    flags: TcpFlags::from_bits(0),
+                    window: 0,
+                    options: &[],
+                };
+                let frame = match staged_seg {
+                    StagedSeg::Ctl(seg) => {
+                        hdr.src_port = seg.src_port;
+                        hdr.dst_port = seg.dst_port;
+                        hdr.seq = seg.seq;
+                        hdr.ack = seg.ack;
+                        hdr.flags = seg.flags;
+                        hdr.window = seg.window;
+                        hdr.options = &seg.options;
+                        self.builder.tcp_frame(&hdr, (&seg.payload, &[]))
+                    }
+                    StagedSeg::Data { seq, len, flags, ack, window } => {
+                        hdr.seq = seq.raw();
+                        hdr.ack = *ack;
+                        hdr.flags = *flags;
+                        hdr.window = *window;
+                        self.builder.tcp_frame(&hdr, tcb.payload_slices(*seq, usize::from(*len)))
+                    }
+                };
+                self.out.push_back(frame);
+            }
+        } else {
+            // ARP miss: materialize the staged segments and queue them
+            // as IP packets behind the request (the pre-builder path).
+            for i in 0..staged.len() {
+                let seg = tcb.materialize(i);
+                let packet = Ipv4Packet {
+                    ident: {
+                        self.ip_ident = self.ip_ident.wrapping_add(1);
+                        self.ip_ident
+                    },
+                    ttl: 64,
+                    protocol: IpProtocol::Tcp,
+                    src: quad.local_ip,
+                    dst: quad.remote_ip,
+                    payload: seg.encode(quad.local_ip, quad.remote_ip),
+                };
+                let entry = self.pending_arp.entry(next_hop).or_insert(ArpPending {
+                    last_request: now,
+                    tries: 0,
+                    queued: Vec::new(),
+                });
+                if entry.queued.len() < 64 {
+                    entry.queued.push(packet);
+                } else {
+                    self.stats.arp_queue_drops += 1;
+                }
+                if entry.tries == 0 {
+                    entry.tries = 1;
+                    entry.last_request = now;
+                    let req = ArpPacket::request(self.cfg.mac, self.cfg.ip, next_hop);
+                    let frame = EthernetFrame::new(
+                        MacAddr::BROADCAST,
+                        self.cfg.mac,
+                        EtherType::Arp,
+                        req.encode(),
+                    );
+                    self.out.push_back(frame.encode());
+                }
+            }
+        }
     }
 
     /// The earliest instant at which [`NetStack::poll`] has new work.
     pub fn next_deadline(&self) -> Option<SimTime> {
         let tcb_min = self.tcbs.iter().flatten().filter_map(|t| t.next_deadline()).min();
-        let arp_min = self
-            .pending_arp
-            .values()
-            .map(|p| p.last_request + ARP_RETRY)
-            .min();
+        let arp_min = self.pending_arp.values().map(|p| p.last_request + ARP_RETRY).min();
         [tcb_min, arp_min].into_iter().flatten().min()
     }
 
@@ -535,8 +654,8 @@ impl NetStack {
         };
         match self.arp.lookup(next_hop) {
             Some(mac) => {
-                let frame = EthernetFrame::new(mac, self.cfg.mac, EtherType::Ipv4, packet.encode());
-                self.push_frame(frame.encode());
+                let frame = self.builder.ip_frame(mac, self.cfg.mac, &packet);
+                self.push_frame(frame);
             }
             None => {
                 let entry = self.pending_arp.entry(next_hop).or_insert(ArpPending {
@@ -562,7 +681,11 @@ impl NetStack {
         let mut dead: Vec<Ipv4Addr> = Vec::new();
         let mut to_request: Vec<Ipv4Addr> = Vec::new();
         for (&ip, pending) in &mut self.pending_arp {
-            if now.checked_duration_since(pending.last_request).map(|d| d >= ARP_RETRY).unwrap_or(false) {
+            if now
+                .checked_duration_since(pending.last_request)
+                .map(|d| d >= ARP_RETRY)
+                .unwrap_or(false)
+            {
                 if pending.tries >= ARP_MAX_TRIES {
                     dead.push(ip);
                 } else {
@@ -584,7 +707,8 @@ impl NetStack {
 
     fn send_arp_request(&mut self, target: Ipv4Addr) {
         let req = ArpPacket::request(self.cfg.mac, self.cfg.ip, target);
-        let frame = EthernetFrame::new(MacAddr::BROADCAST, self.cfg.mac, EtherType::Arp, req.encode());
+        let frame =
+            EthernetFrame::new(MacAddr::BROADCAST, self.cfg.mac, EtherType::Arp, req.encode());
         self.push_frame(frame.encode());
     }
 
@@ -642,7 +766,7 @@ mod tests {
             if fa.is_empty() && fb.is_empty() {
                 return rounds;
             }
-            *now = *now + step;
+            *now += step;
             for f in fa {
                 b.handle_frame(*now, f);
             }
@@ -700,7 +824,7 @@ mod tests {
         while received.len() < payload.len() {
             sent += s.write(ss, &payload[sent..]).unwrap();
             // Advance time enough for delack/rtx timers to fire if needed.
-            now = now + SimDuration::from_millis(1);
+            now += SimDuration::from_millis(1);
             pump(&mut c, &mut s, &mut now, SimDuration::from_micros(50));
             loop {
                 let n = c.read(cs, &mut buf).unwrap();
@@ -727,7 +851,7 @@ mod tests {
         assert_eq!(s.state(ss), Some(TcpState::Closed));
         assert_eq!(c.state(cs), Some(TcpState::TimeWait));
         // TIME_WAIT expires.
-        now = now + SimDuration::from_secs(61);
+        now += SimDuration::from_secs(61);
         c.poll(now);
         assert_eq!(c.state(cs), Some(TcpState::Closed));
     }
@@ -752,7 +876,7 @@ mod tests {
         assert!(!lost.is_empty());
         drop(lost);
         // Nothing arrives; the client's RTO fires (>= 200ms floor).
-        now = now + SimDuration::from_millis(250);
+        now += SimDuration::from_millis(250);
         pump(&mut c, &mut s, &mut now, SimDuration::from_micros(100));
         let mut buf = [0u8; 8];
         assert_eq!(s.read(ss, &mut buf).unwrap(), 4);
@@ -772,14 +896,14 @@ mod tests {
             for f in fc {
                 s.handle_frame(now, f);
             }
-            now = now + SimDuration::from_millis(50);
+            now += SimDuration::from_millis(50);
             let fs = s.poll(now);
             assert!(fs.is_empty(), "suppressed stack must emit nothing");
         }
         assert!(s.stats.segs_suppressed > 0);
         // Unsuppress: the client's retransmission now gets acked.
         s.unsuppress(SERVER_IP);
-        now = now + SimDuration::from_millis(300);
+        now += SimDuration::from_millis(300);
         pump(&mut c, &mut s, &mut now, SimDuration::from_micros(100));
         assert_eq!(c.tcb(cs).unwrap().snd_una(), c.tcb(cs).unwrap().snd_nxt());
     }
@@ -789,7 +913,8 @@ mod tests {
         let mut s = server();
         s.suppress(SERVER_IP);
         let req = ArpPacket::request(MacAddr::local(1), CLIENT_IP, SERVER_IP);
-        let frame = EthernetFrame::new(MacAddr::BROADCAST, MacAddr::local(1), EtherType::Arp, req.encode());
+        let frame =
+            EthernetFrame::new(MacAddr::BROADCAST, MacAddr::local(1), EtherType::Arp, req.encode());
         s.handle_frame(SimTime::ZERO, frame.encode());
         assert!(s.poll(SimTime::ZERO).is_empty());
         assert_eq!(s.stats.arps_suppressed, 1);
@@ -819,8 +944,14 @@ mod tests {
         let mut s = server();
         let mut seg = TcpSegment::bare(1, 2, 0, 0, TcpFlags::ACK, 0);
         seg.payload = Bytes::from_static(b"x");
-        let ip = Ipv4Packet::new(CLIENT_IP, SERVER_IP, IpProtocol::Tcp, seg.encode(CLIENT_IP, SERVER_IP));
-        let frame = EthernetFrame::new(MacAddr::local(99), MacAddr::local(1), EtherType::Ipv4, ip.encode());
+        let ip = Ipv4Packet::new(
+            CLIENT_IP,
+            SERVER_IP,
+            IpProtocol::Tcp,
+            seg.encode(CLIENT_IP, SERVER_IP),
+        );
+        let frame =
+            EthernetFrame::new(MacAddr::local(99), MacAddr::local(1), EtherType::Ipv4, ip.encode());
         s.handle_frame(SimTime::ZERO, frame.encode());
         assert_eq!(s.stats.frames_filtered, 1);
         assert_eq!(s.stats.frames_accepted, 0);
@@ -834,13 +965,19 @@ mod tests {
         let mut tap = NetStack::new(cfg);
         let mut seg = TcpSegment::bare(1, 2, 0, 0, TcpFlags::ACK, 0);
         seg.payload = Bytes::from_static(b"x");
-        let ip = Ipv4Packet::new(CLIENT_IP, SERVER_IP, IpProtocol::Tcp, seg.encode(CLIENT_IP, SERVER_IP));
-        let frame = EthernetFrame::new(MacAddr::local(2), MacAddr::local(1), EtherType::Ipv4, ip.encode());
+        let ip = Ipv4Packet::new(
+            CLIENT_IP,
+            SERVER_IP,
+            IpProtocol::Tcp,
+            seg.encode(CLIENT_IP, SERVER_IP),
+        );
+        let frame =
+            EthernetFrame::new(MacAddr::local(2), MacAddr::local(1), EtherType::Ipv4, ip.encode());
         tap.handle_frame(SimTime::ZERO, frame.encode());
         assert_eq!(tap.stats.frames_accepted, 1);
         // It learned the client's MAC from the tapped frame.
         // (Verified indirectly: an emit to CLIENT_IP requires no ARP.)
-        tap.udp_bind(7).0;
+        tap.udp_bind(7);
         tap.udp_send(SimTime::ZERO, UdpId(0), CLIENT_IP, 9, Bytes::from_static(b"z"));
         let frames = tap.poll(SimTime::ZERO);
         assert_eq!(frames.len(), 1);
@@ -872,7 +1009,7 @@ mod tests {
                 .iter()
                 .filter(|f| EthernetFrame::parse((*f).clone()).unwrap().ethertype == EtherType::Arp)
                 .count();
-            now = now + SimDuration::from_secs(2);
+            now += SimDuration::from_secs(2);
         }
         assert_eq!(requests, ARP_MAX_TRIES as usize);
         assert_eq!(c.stats.arp_queue_drops, 1);

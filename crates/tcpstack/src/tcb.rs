@@ -140,7 +140,37 @@ pub struct Tcb {
 
     /// Counters.
     pub stats: TcbStats,
-    out: Vec<TcpSegment>,
+    out: Vec<StagedSeg>,
+}
+
+/// One staged outbound segment, as produced by [`Tcb::poll_stage`].
+///
+/// Data segments are staged as a *plan* — sequence range plus the header
+/// fields frozen at stage time — rather than a materialized
+/// [`TcpSegment`], so the stack can write the payload straight from the
+/// send buffer's ring ([`Tcb::payload_slices`]) into the frame builder
+/// with a single memcpy and zero allocations.
+#[derive(Debug, Clone)]
+pub enum StagedSeg {
+    /// A fully materialized control segment (SYN, pure ACK, FIN, RST,
+    /// window probe — never carries payload from the send buffer).
+    Ctl(TcpSegment),
+    /// A data segment whose payload still lives in the send buffer at
+    /// `[seq, seq + len)`. Header fields were frozen at stage time so a
+    /// later state change inside the same poll cannot alter the wire
+    /// bytes.
+    Data {
+        /// First payload byte's sequence number.
+        seq: SeqNum,
+        /// Payload length (bounded by the MSS, so `u16` suffices).
+        len: u16,
+        /// Flags (always includes ACK; may add PSH/FIN).
+        flags: TcpFlags,
+        /// Acknowledgment number frozen at stage time.
+        ack: u32,
+        /// Window field frozen at stage time.
+        window: u16,
+    },
 }
 
 const SYN_MAX_ATTEMPTS: u32 = 6;
@@ -311,7 +341,10 @@ impl Tcb {
 
     /// Queues application data; returns bytes accepted.
     pub fn write(&mut self, data: &[u8]) -> usize {
-        if !matches!(self.state, TcpState::SynSent | TcpState::SynRcvd | TcpState::Established | TcpState::CloseWait) {
+        if !matches!(
+            self.state,
+            TcpState::SynSent | TcpState::SynRcvd | TcpState::Established | TcpState::CloseWait
+        ) {
             return 0;
         }
         if self.fin_queued {
@@ -380,7 +413,8 @@ impl Tcb {
             }
             self.irs = SeqNum(seg.seq);
             self.remote_synced = true;
-            self.rcv_buf = RecvBuffer::new(self.irs.add(1), self.cfg.recv_buf, self.cfg.retention_buf);
+            self.rcv_buf =
+                RecvBuffer::new(self.irs.add(1), self.cfg.recv_buf, self.cfg.retention_buf);
             self.peer_mss = u32::from(seg.mss().unwrap_or(536));
             self.snd_una = self.iss.add(1);
             self.negotiate_wscale(seg);
@@ -501,7 +535,9 @@ impl Tcb {
             // exactly up to rcv_nxt, which deserves a fresh ACK and is
             // handled by the duplicate path in RecvBuffer).
             let window_edge = rcv_nxt.add(wnd.max(1));
-            seq.lt(window_edge) && seq.add(seg_len).gt(rcv_nxt) || seq.add(seg_len) == rcv_nxt || seq == rcv_nxt
+            seq.lt(window_edge) && seq.add(seg_len).gt(rcv_nxt)
+                || seq.add(seg_len) == rcv_nxt
+                || seq == rcv_nxt
         }
     }
 
@@ -540,11 +576,10 @@ impl Tcb {
             && !seg.flags.contains(TcpFlags::FIN)
             && self.flight() > 0
             && self.peer_window(seg) == self.snd_wnd
+            && self.cong.on_dup_ack(self.flight())
         {
-            if self.cong.on_dup_ack(self.flight()) {
-                self.stats.fast_retransmits += 1;
-                self.retransmit_front(now);
-            }
+            self.stats.fast_retransmits += 1;
+            self.retransmit_front(now);
         }
         // Window update (links are FIFO in the simulator, so the newest
         // segment carries the newest window).
@@ -579,14 +614,11 @@ impl Tcb {
     }
 
     fn process_payload(&mut self, now: SimTime, seq: SeqNum, payload: &Bytes) {
-        if !matches!(
-            self.state,
-            TcpState::Established | TcpState::FinWait1 | TcpState::FinWait2
-        ) {
+        if !matches!(self.state, TcpState::Established | TcpState::FinWait1 | TcpState::FinWait2) {
             return;
         }
         let before = self.rcv_buf.rcv_nxt();
-        self.rcv_buf.insert(seq, payload);
+        self.rcv_buf.insert_bytes(seq, payload.clone());
         let after = self.rcv_buf.rcv_nxt();
         let advanced = after.distance(before) as u64;
         self.stats.bytes_in += advanced;
@@ -720,8 +752,27 @@ impl Tcb {
     // -------------------------------------------------------- output
 
     /// Advances timers, emits due (re)transmissions and ACKs, and
-    /// returns the staged segments.
+    /// returns the staged segments, materialized.
+    ///
+    /// Compatibility wrapper around the allocation-free drain
+    /// ([`Tcb::poll_stage`] / [`Tcb::staged`] / [`Tcb::clear_staged`])
+    /// that the stack's hot path uses.
     pub fn poll(&mut self, now: SimTime) -> Vec<TcpSegment> {
+        self.poll_stage(now);
+        let mut segs = Vec::with_capacity(self.out.len());
+        for i in 0..self.out.len() {
+            segs.push(self.materialize(i));
+        }
+        self.out.clear();
+        segs
+    }
+
+    /// Advances timers and stages due (re)transmissions and ACKs into
+    /// the internal buffer, readable via [`Tcb::staged`].
+    ///
+    /// The staging buffer keeps its capacity across polls, so a
+    /// steady-state poll performs no heap allocation.
+    pub fn poll_stage(&mut self, now: SimTime) {
         self.check_timers(now);
         self.emit_data(now);
         self.shadow_auto_trim(now);
@@ -730,7 +781,51 @@ impl Tcb {
             self.stage(seg);
         }
         self.ack_pending = false;
-        std::mem::take(&mut self.out)
+    }
+
+    /// Segments staged by the last [`Tcb::poll_stage`].
+    pub fn staged(&self) -> &[StagedSeg] {
+        &self.out
+    }
+
+    /// Borrows a staged data payload as the ring's two contiguous halves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `[seq, seq + len)` is not buffered — staged plans are
+    /// valid until [`Tcb::clear_staged`], so this only fires on misuse.
+    pub fn payload_slices(&self, seq: SeqNum, len: usize) -> (&[u8], &[u8]) {
+        let (a, b) = self.snd_buf.slices_range(seq, len).expect("staged payload still buffered");
+        debug_assert_eq!(a.len() + b.len(), len, "staged payload truncated");
+        (a, b)
+    }
+
+    /// Discards the staged segments, keeping the buffer's capacity.
+    pub fn clear_staged(&mut self) {
+        self.out.clear();
+    }
+
+    /// Materializes staged segment `i` as a standalone [`TcpSegment`].
+    pub(crate) fn materialize(&self, i: usize) -> TcpSegment {
+        match &self.out[i] {
+            StagedSeg::Ctl(seg) => seg.clone(),
+            StagedSeg::Data { seq, len, flags, ack, window } => {
+                let data = self
+                    .snd_buf
+                    .copy_range(*seq, usize::from(*len))
+                    .expect("staged payload still buffered");
+                let mut seg = TcpSegment::bare(
+                    self.quad.local_port,
+                    self.quad.remote_port,
+                    seq.raw(),
+                    *ack,
+                    *flags,
+                    *window,
+                );
+                seg.payload = Bytes::from(data);
+                seg
+            }
+        }
     }
 
     /// The earliest instant at which [`Tcb::poll`] would do new work.
@@ -821,19 +916,16 @@ impl Tcb {
         let data_end = self.snd_buf.end();
         if self.snd_una.lt(data_end) {
             let len = (data_end.distance(self.snd_una) as usize).min(usize::from(self.cfg.mss));
-            if let Some(data) = self.snd_buf.copy_range(self.snd_una, len) {
-                let mut flags = TcpFlags::ACK;
-                if self.snd_una.add(data.len() as u32) == data_end {
-                    flags |= TcpFlags::PSH;
-                }
-                // A FIN that rides at the end of the buffer piggybacks.
-                if self.fin_sent && self.snd_una.add(data.len() as u32).add(1) == self.snd_max {
-                    flags |= TcpFlags::FIN;
-                }
-                let seg = self.make_seg(flags, self.snd_una, Bytes::from(data));
-                self.stage(seg);
-                self.last_send = now;
+            let mut flags = TcpFlags::ACK;
+            if self.snd_una.add(len as u32) == data_end {
+                flags |= TcpFlags::PSH;
             }
+            // A FIN that rides at the end of the buffer piggybacks.
+            if self.fin_sent && self.snd_una.add(len as u32).add(1) == self.snd_max {
+                flags |= TcpFlags::FIN;
+            }
+            self.stage_data(flags, self.snd_una, len);
+            self.last_send = now;
         } else if self.fin_sent && self.snd_una == data_end {
             // Only the FIN is outstanding.
             let seg = self.make_seg(TcpFlags::FIN | TcpFlags::ACK, self.snd_una, Bytes::new());
@@ -843,7 +935,8 @@ impl Tcb {
     }
 
     fn send_window_probe(&mut self, now: SimTime) {
-        let has_pending = self.snd_nxt.lt(self.snd_buf.end()) || (self.fin_queued && !self.fin_sent);
+        let has_pending =
+            self.snd_nxt.lt(self.snd_buf.end()) || (self.fin_queued && !self.fin_sent);
         if self.snd_wnd > 0 || !has_pending {
             return;
         }
@@ -860,7 +953,11 @@ impl Tcb {
     fn emit_data(&mut self, now: SimTime) {
         if !matches!(
             self.state,
-            TcpState::Established | TcpState::CloseWait | TcpState::FinWait1 | TcpState::Closing | TcpState::LastAck
+            TcpState::Established
+                | TcpState::CloseWait
+                | TcpState::FinWait1
+                | TcpState::Closing
+                | TcpState::LastAck
         ) {
             return;
         }
@@ -890,15 +987,13 @@ impl Tcb {
                 }
                 break;
             }
-            let data = self.snd_buf.copy_range(self.snd_nxt, n).expect("unsent range present");
             let end_seq = self.snd_nxt.add(n as u32);
             let is_new = end_seq.gt(self.snd_max);
             let mut flags = TcpFlags::ACK;
             if end_seq == data_end {
                 flags |= TcpFlags::PSH;
             }
-            let seg = self.make_seg(flags, self.snd_nxt, Bytes::from(data));
-            self.stage(seg);
+            self.stage_data(flags, self.snd_nxt, n);
             if is_new {
                 let new_bytes = end_seq.distance(self.snd_max.max(self.snd_nxt)) as u64;
                 self.stats.bytes_out += new_bytes;
@@ -1008,6 +1103,31 @@ impl Tcb {
 
     fn stage(&mut self, seg: TcpSegment) {
         self.stats.segs_out += 1;
-        self.out.push(seg);
+        self.out.push(StagedSeg::Ctl(seg));
+    }
+
+    /// Stages a data segment whose payload is `[seq, seq + len)` of the
+    /// send buffer.
+    ///
+    /// Non-shadow connections stage a plan (payload borrowed at emit
+    /// time — the zero-copy hot path). Shadow connections materialize
+    /// eagerly: `shadow_auto_trim` may release the staged bytes later in
+    /// the same poll, and the wire bytes must not change under it.
+    fn stage_data(&mut self, flags: TcpFlags, seq: SeqNum, len: usize) {
+        debug_assert!(len > 0 && len <= usize::from(u16::MAX));
+        if self.cfg.shadow {
+            let data = self.snd_buf.copy_range(seq, len).expect("staged payload present");
+            let seg = self.make_seg(flags, seq, Bytes::from(data));
+            self.stage(seg);
+        } else {
+            self.stats.segs_out += 1;
+            self.out.push(StagedSeg::Data {
+                seq,
+                len: len as u16,
+                flags,
+                ack: if self.remote_synced { self.ack_seq().raw() } else { 0 },
+                window: self.own_window_field(),
+            });
+        }
     }
 }

@@ -6,7 +6,9 @@ use bytes::Bytes;
 use netsim::{SimDuration, SimTime};
 use std::net::Ipv4Addr;
 use tcpstack::{NetStack, StackConfig, TcpState};
-use wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, MacAddr, TcpFlags, TcpOption, TcpSegment};
+use wire::{
+    EtherType, EthernetFrame, IpProtocol, Ipv4Packet, MacAddr, TcpFlags, TcpOption, TcpSegment,
+};
 
 const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 
@@ -21,7 +23,8 @@ fn server() -> NetStack {
 fn syn_from(client_ip: Ipv4Addr, client_port: u16, iss: u32) -> Bytes {
     let mut seg = TcpSegment::bare(client_port, 80, iss, 0, TcpFlags::SYN, 17520);
     seg.options = vec![TcpOption::Mss(1460)];
-    let ip = Ipv4Packet::new(client_ip, SERVER_IP, IpProtocol::Tcp, seg.encode(client_ip, SERVER_IP));
+    let ip =
+        Ipv4Packet::new(client_ip, SERVER_IP, IpProtocol::Tcp, seg.encode(client_ip, SERVER_IP));
     EthernetFrame::new(MacAddr::local(2), MacAddr::local(1), EtherType::Ipv4, ip.encode()).encode()
 }
 
@@ -32,12 +35,15 @@ fn half_open_connections_eventually_give_up() {
     let mut s = server();
     let mut now = SimTime::ZERO;
     for i in 0..20u16 {
-        s.handle_frame(now, syn_from(Ipv4Addr::new(10, 0, 0, 50), 30_000 + i, 7_000 + u32::from(i)));
+        s.handle_frame(
+            now,
+            syn_from(Ipv4Addr::new(10, 0, 0, 50), 30_000 + i, 7_000 + u32::from(i)),
+        );
     }
     assert_eq!(s.socks().count(), 20);
     // Drive timers far past the full SYN/ACK backoff schedule.
     for _ in 0..400 {
-        now = now + SimDuration::from_secs(1);
+        now += SimDuration::from_secs(1);
         let _ = s.poll(now);
     }
     let alive = s.socks().filter(|&sid| s.state(sid) != Some(TcpState::Closed)).count();

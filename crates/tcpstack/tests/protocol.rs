@@ -49,7 +49,7 @@ impl HubNet {
                 batches.push(s.poll(self.now));
             }
         }
-        self.now = self.now + self.latency;
+        self.now += self.latency;
         let mut delivered = 0;
         for (from, frames) in batches.into_iter().enumerate() {
             for frame in frames {
@@ -78,7 +78,7 @@ impl HubNet {
 
     /// Advances virtual time (for RTO/delack timers) without traffic.
     fn advance(&mut self, d: SimDuration) {
-        self.now = self.now + d;
+        self.now += d;
     }
 }
 
@@ -176,7 +176,11 @@ fn shadow_send_side_tracks_client_acks() {
     assert_eq!(&buf[..n], b"response-bytes");
     // The client's ACK (tapped) completed the backup's send too.
     let b_tcb = net.stacks[2].tcb(bs).unwrap();
-    assert_eq!(b_tcb.snd_una(), b_tcb.snd_nxt(), "tapped client ACK drained the shadow send buffer");
+    assert_eq!(
+        b_tcb.snd_una(),
+        b_tcb.snd_nxt(),
+        "tapped client ACK drained the shadow send buffer"
+    );
     let p_tcb = net.stacks[1].tcb(ps).unwrap();
     assert_eq!(b_tcb.snd_una(), p_tcb.snd_una());
 }
@@ -274,8 +278,11 @@ fn loss_on_the_segment_does_not_break_transfer() {
     }
     assert_eq!(got.len(), payload.len(), "transfer must complete under 10% loss");
     assert_eq!(got, payload, "bytes must arrive intact and in order");
-    assert!(net.stacks[1].tcb(ss).unwrap().stats.rto_retransmits
-        + net.stacks[1].tcb(ss).unwrap().stats.fast_retransmits > 0);
+    assert!(
+        net.stacks[1].tcb(ss).unwrap().stats.rto_retransmits
+            + net.stacks[1].tcb(ss).unwrap().stats.fast_retransmits
+            > 0
+    );
 }
 
 #[test]
@@ -297,7 +304,11 @@ fn backup_tap_loss_leaves_gap_identified_by_rcv_nxt() {
     net.settle(50);
     let p_tcb = net.stacks[1].tcb(ps).unwrap();
     let b_tcb = net.stacks[2].tcb(bs).unwrap();
-    assert_eq!(p_tcb.rcv_nxt().distance(b_tcb.rcv_nxt()), 4, "backup is exactly one segment behind");
+    assert_eq!(
+        p_tcb.rcv_nxt().distance(b_tcb.rcv_nxt()),
+        4,
+        "backup is exactly one segment behind"
+    );
     // The primary retained the un-backup-acked bytes for recovery.
     let missing = net.stacks[1]
         .tcb(ps)

@@ -29,7 +29,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         for f in frames {
             stack.handle_frame(now, Bytes::from(f));
-            now = now + SimDuration::from_micros(100);
+            now += SimDuration::from_micros(100);
             for out in stack.poll(now) {
                 prop_assert!(EthernetFrame::parse(out).is_ok(), "stack emitted unparsable bytes");
             }
@@ -59,11 +59,11 @@ proptest! {
             let ip = Ipv4Packet::new(src, HOST_IP, IpProtocol::Tcp, seg.encode(src, HOST_IP));
             let eth = EthernetFrame::new(MacAddr::local(2), MacAddr::local(9), EtherType::Ipv4, ip.encode());
             stack.handle_frame(now, eth.encode());
-            now = now + SimDuration::from_micros(500);
+            now += SimDuration::from_micros(500);
             let _ = stack.poll(now);
         }
-        // Whatever happened, accepting a real connection still works.
-        prop_assert!(stack.poll(now).is_empty() || true);
+        // Whatever happened, the stack must still answer a poll.
+        let _ = stack.poll(now);
     }
 }
 
@@ -97,7 +97,7 @@ fn sequence_wraparound_mid_transfer() {
             if fc.is_empty() && fs.is_empty() {
                 break;
             }
-            *now = *now + SimDuration::from_micros(100);
+            *now += SimDuration::from_micros(100);
             for f in fc {
                 server.handle_frame(*now, f);
             }
@@ -121,7 +121,7 @@ fn sequence_wraparound_mid_transfer() {
     for _ in 0..200_000 {
         c_sent += client.write(cs, &blob[c_sent..]).unwrap();
         s_sent += server.write(ss, &blob[s_sent..]).unwrap();
-        now = now + SimDuration::from_millis(1);
+        now += SimDuration::from_millis(1);
         pump(&mut client, &mut server, &mut now);
         loop {
             let n = client.read(cs, &mut buf).unwrap();

@@ -101,8 +101,7 @@ fn fin_retransmits_after_rollback() {
 
 #[test]
 fn zero_window_probe_elicits_update() {
-    let mut cfg = TcpConfig::default();
-    cfg.delayed_ack = SimDuration::ZERO;
+    let cfg = TcpConfig { delayed_ack: SimDuration::ZERO, ..TcpConfig::default() };
     let (mut tcb, now, _cseq, iss) = established_server(cfg);
     // Peer advertises a zero window.
     tcb.on_segment(now, &seg(7001, iss.wrapping_add(1), TcpFlags::ACK, b""));
@@ -131,13 +130,12 @@ fn zero_window_probe_elicits_update() {
 
 #[test]
 fn shadow_resync_from_primary_synack_wins_over_client_ack() {
-    let mut cfg = TcpConfig::default();
-    cfg.shadow = true;
+    let cfg = TcpConfig { shadow: true, ..TcpConfig::default() };
     let now = SimTime::ZERO;
     let syn = client_syn(7000);
     let mut tcb = Tcb::accept(now, quad(), SeqNum(555), &syn, cfg);
     let _ = tcb.poll(now); // its own (suppressed) SYN/ACK
-    // The tapped primary SYN/ACK announces the true ISN.
+                           // The tapped primary SYN/ACK announces the true ISN.
     tcb.shadow_resync_iss(SeqNum(42_000));
     assert_eq!(tcb.iss(), SeqNum(42_000));
     assert_eq!(tcb.stats.isn_resyncs, 1);
@@ -160,8 +158,7 @@ fn shadow_resync_from_primary_synack_wins_over_client_ack() {
 fn shadow_fallback_resync_without_synack() {
     // If the primary SYN/ACK tap was lost, the paper's client-ACK rule
     // still applies.
-    let mut cfg = TcpConfig::default();
-    cfg.shadow = true;
+    let cfg = TcpConfig { shadow: true, ..TcpConfig::default() };
     let now = SimTime::ZERO;
     let syn = client_syn(7000);
     let mut tcb = Tcb::accept(now, quad(), SeqNum(555), &syn, cfg);
@@ -179,8 +176,7 @@ fn shadow_resync_is_inert_for_non_shadow_or_established() {
     tcb.shadow_resync_iss(SeqNum(1));
     assert_eq!(tcb.iss(), SeqNum(iss));
     // Shadow TCB after establishment: no-op.
-    let mut cfg = TcpConfig::default();
-    cfg.shadow = true;
+    let cfg = TcpConfig { shadow: true, ..TcpConfig::default() };
     let now = SimTime::ZERO;
     let mut shadow = Tcb::accept(now, quad(), SeqNum(555), &client_syn(7000), cfg);
     let _ = shadow.poll(now);
@@ -193,8 +189,7 @@ fn shadow_resync_is_inert_for_non_shadow_or_established() {
 
 #[test]
 fn fast_retransmit_on_three_dup_acks() {
-    let mut cfg = TcpConfig::default();
-    cfg.delayed_ack = SimDuration::ZERO;
+    let cfg = TcpConfig { delayed_ack: SimDuration::ZERO, ..TcpConfig::default() };
     let (mut tcb, now, _c, iss) = established_server(cfg);
     // Grow cwnd a little: write and ack a few rounds.
     let mut clock = now;
@@ -205,7 +200,7 @@ fn fast_retransmit_on_three_dup_acks() {
         for s in &out {
             acked = acked.max(s.seq.wrapping_add(s.payload.len() as u32));
         }
-        clock = clock + SimDuration::from_millis(10);
+        clock += SimDuration::from_millis(10);
         tcb.on_segment(clock, &seg(7001, acked, TcpFlags::ACK, b""));
     }
     // Put 5 segments in flight.
@@ -228,7 +223,10 @@ fn retention_survives_app_reads_until_backup_ack() {
     let mut cfg = TcpConfig::st_tcp_primary();
     cfg.delayed_ack = SimDuration::ZERO;
     let (mut tcb, now, cseq, _iss) = established_server(cfg);
-    tcb.on_segment(now, &seg(cseq, tcb.snd_nxt().raw(), TcpFlags::ACK | TcpFlags::PSH, b"0123456789"));
+    tcb.on_segment(
+        now,
+        &seg(cseq, tcb.snd_nxt().raw(), TcpFlags::ACK | TcpFlags::PSH, b"0123456789"),
+    );
     let mut buf = [0u8; 10];
     assert_eq!(tcb.read(&mut buf), 10);
     assert_eq!(tcb.retained(), 10);
@@ -245,7 +243,7 @@ fn syn_retransmission_gives_up_eventually() {
     let _ = tcb.poll(now);
     let mut clock = now;
     for _ in 0..100 {
-        clock = clock + SimDuration::from_secs(30);
+        clock += SimDuration::from_secs(30);
         let _ = tcb.poll(clock);
         if tcb.state() == TcpState::Closed {
             break;

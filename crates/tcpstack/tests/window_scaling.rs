@@ -58,7 +58,7 @@ impl Pipe {
             self.sched_a = (self.now + ONE_WAY).max(self.sched_a + GAP);
             self.to_a.push_back((self.sched_a, f));
         }
-        self.now = self.now + TICK;
+        self.now += TICK;
         while self.to_b.front().map(|(t, _)| *t <= self.now).unwrap_or(false) {
             let (t, f) = self.to_b.pop_front().unwrap();
             b.handle_frame(t, f);
@@ -117,8 +117,15 @@ fn transfer(a: &mut NetStack, b: &mut NetStack, total: usize) -> SimDuration {
         }
         if std::env::var("WS_DEBUG").is_ok() && pipe.now.as_nanos() % 100_000_000 < 500_000 {
             let t = a.tcb(cs).unwrap();
-            eprintln!("t={} snd_wnd={} cwnd={} flight={} sent={} got={}",
-                pipe.now, t.snd_wnd(), t.congestion().cwnd(), t.flight(), sent, got);
+            eprintln!(
+                "t={} snd_wnd={} cwnd={} flight={} sent={} got={}",
+                pipe.now,
+                t.snd_wnd(),
+                t.congestion().cwnd(),
+                t.flight(),
+                sent,
+                got
+            );
         }
     }
     assert_eq!(got, total);

@@ -139,7 +139,11 @@ mod tests {
     use super::*;
 
     fn sample_request() -> ArpPacket {
-        ArpPacket::request(MacAddr::local(1), Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+        ArpPacket::request(
+            MacAddr::local(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        )
     }
 
     #[test]

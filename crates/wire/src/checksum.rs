@@ -31,14 +31,33 @@ impl Checksum {
     }
 
     /// Adds the bytes of `data`, padding to an even length with a zero.
+    ///
+    /// Accumulates eight bytes per step: because 2¹⁶ ≡ 1 (mod 0xFFFF),
+    /// folding a 64-bit sum of big-endian words is congruent to the
+    /// word-by-word sum, so the final checksum is bit-identical to the
+    /// naive two-byte loop while running several times faster — this is
+    /// on the per-frame hot path twice (compute on send, verify on
+    /// receive).
     pub fn add_bytes(&mut self, data: &[u8]) -> &mut Self {
-        let mut chunks = data.chunks_exact(2);
-        for chunk in &mut chunks {
-            self.sum = self.sum.wrapping_add(u32::from(u16::from_be_bytes([chunk[0], chunk[1]])));
+        let mut wide: u64 = 0;
+        let mut chunks8 = data.chunks_exact(8);
+        for chunk in &mut chunks8 {
+            let v = u64::from_be_bytes(chunk.try_into().expect("chunk is 8 bytes"));
+            wide += (v >> 32) + (v & 0xFFFF_FFFF);
         }
-        if let [last] = chunks.remainder() {
-            self.sum = self.sum.wrapping_add(u32::from(u16::from_be_bytes([*last, 0])));
+        let mut chunks2 = chunks8.remainder().chunks_exact(2);
+        for chunk in &mut chunks2 {
+            wide += u64::from(u16::from_be_bytes([chunk[0], chunk[1]]));
         }
+        if let [last] = chunks2.remainder() {
+            wide += u64::from(u16::from_be_bytes([*last, 0]));
+        }
+        // Fold to at most 16 significant bits before joining the 32-bit
+        // running sum, so the addition below cannot wrap.
+        while wide > 0xFFFF {
+            wide = (wide >> 16) + (wide & 0xFFFF);
+        }
+        self.sum = self.sum.wrapping_add(wide as u32);
         self
     }
 

@@ -101,10 +101,7 @@ mod tests {
     fn need_accepts_exact_and_larger() {
         assert!(need(&[0; 4], 4).is_ok());
         assert!(need(&[0; 5], 4).is_ok());
-        assert_eq!(
-            need(&[0; 3], 4),
-            Err(ParseError::Truncated { needed: 4, got: 3 })
-        );
+        assert_eq!(need(&[0; 3], 4), Err(ParseError::Truncated { needed: 4, got: 3 }));
     }
 
     #[test]

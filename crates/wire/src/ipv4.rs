@@ -145,14 +145,7 @@ impl Ipv4Packet {
 
 impl fmt::Display for Ipv4Packet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "ip {} -> {} {} ({}B)",
-            self.src,
-            self.dst,
-            self.protocol,
-            self.payload.len()
-        )
+        write!(f, "ip {} -> {} {} ({}B)", self.src, self.dst, self.protocol, self.payload.len())
     }
 }
 
@@ -179,10 +172,7 @@ mod tests {
     fn corrupted_header_rejected() {
         let mut raw = sample().encode().to_vec();
         raw[16] ^= 0xFF; // flip destination octet
-        assert!(matches!(
-            Ipv4Packet::parse(Bytes::from(raw)),
-            Err(ParseError::BadChecksum { .. })
-        ));
+        assert!(matches!(Ipv4Packet::parse(Bytes::from(raw)), Err(ParseError::BadChecksum { .. })));
     }
 
     #[test]

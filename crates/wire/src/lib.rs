@@ -47,6 +47,7 @@ pub mod arp;
 pub mod checksum;
 pub mod error;
 pub mod ethernet;
+pub mod frame;
 pub mod ipv4;
 pub mod summary;
 pub mod tcp;
@@ -55,9 +56,10 @@ pub mod udp;
 pub use arp::{ArpOp, ArpPacket};
 pub use error::ParseError;
 pub use ethernet::{EtherType, EthernetFrame, MacAddr};
+pub use frame::{FrameBuilder, TcpFrameHeader};
 pub use ipv4::{IpProtocol, Ipv4Packet};
-pub use tcp::{TcpFlags, TcpOption, TcpSegment};
 pub use summary::summarize;
+pub use tcp::{TcpFlags, TcpOption, TcpSegment};
 pub use udp::UdpDatagram;
 
 /// Convenience alias: IPv4 addresses are the std type.

@@ -56,7 +56,9 @@ fn summarize_ip(eth: &EthernetFrame) -> String {
             ),
             Err(_) => format!("{} > {} <malformed udp>", ip.src, ip.dst),
         },
-        IpProtocol::Other(p) => format!("{} > {} proto={p} len={}", ip.src, ip.dst, ip.payload.len()),
+        IpProtocol::Other(p) => {
+            format!("{} > {} proto={p} len={}", ip.src, ip.dst, ip.payload.len())
+        }
     }
 }
 
@@ -144,8 +146,9 @@ mod tests {
         assert_eq!(summarize(&frame), "10.0.0.1:7077 > 10.0.0.100:7077 udp len=2");
 
         let arp = ArpPacket::request(MacAddr::local(1), A, B);
-        let raw = EthernetFrame::new(MacAddr::BROADCAST, MacAddr::local(1), EtherType::Arp, arp.encode())
-            .encode();
+        let raw =
+            EthernetFrame::new(MacAddr::BROADCAST, MacAddr::local(1), EtherType::Arp, arp.encode())
+                .encode();
         assert!(summarize(&raw).starts_with("arp who-has 10.0.0.100"));
     }
 

@@ -114,6 +114,63 @@ pub enum TcpOption {
 /// Length of a TCP header without options.
 pub const HEADER_LEN: usize = 20;
 
+/// On-wire length of an option list, NOP-padded to a 32-bit boundary.
+///
+/// Shared by [`TcpSegment::encode`] and the single-pass
+/// [`crate::frame::FrameBuilder`] so the two paths stay bit-identical.
+pub fn options_wire_len(options: &[TcpOption]) -> usize {
+    let raw: usize = options
+        .iter()
+        .map(|o| match o {
+            TcpOption::Mss(_) => 4,
+            TcpOption::WindowScale(_) => 3,
+            TcpOption::Timestamps { .. } => 10,
+            TcpOption::SackPermitted => 2,
+        })
+        .sum();
+    (raw + 3) & !3 // pad with NOPs to a 32-bit boundary
+}
+
+/// Writes `options` with trailing NOP padding to a 32-bit boundary.
+///
+/// Shared by [`TcpSegment::encode`] and the single-pass
+/// [`crate::frame::FrameBuilder`] so the two paths stay bit-identical.
+pub fn write_options(buf: &mut BytesMut, options: &[TcpOption]) {
+    let opt_len = options_wire_len(options);
+    let mut written = 0usize;
+    for opt in options {
+        match *opt {
+            TcpOption::Mss(mss) => {
+                buf.put_u8(2);
+                buf.put_u8(4);
+                buf.put_u16(mss);
+                written += 4;
+            }
+            TcpOption::WindowScale(shift) => {
+                buf.put_u8(3);
+                buf.put_u8(3);
+                buf.put_u8(shift);
+                written += 3;
+            }
+            TcpOption::Timestamps { tsval, tsecr } => {
+                buf.put_u8(8);
+                buf.put_u8(10);
+                buf.put_u32(tsval);
+                buf.put_u32(tsecr);
+                written += 10;
+            }
+            TcpOption::SackPermitted => {
+                buf.put_u8(4);
+                buf.put_u8(2);
+                written += 2;
+            }
+        }
+    }
+    for _ in written..opt_len {
+        buf.put_u8(1); // NOP padding
+    }
+}
+
 /// A TCP segment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TcpSegment {
@@ -137,8 +194,24 @@ pub struct TcpSegment {
 
 impl TcpSegment {
     /// Builds a segment with no options and an empty payload.
-    pub fn bare(src_port: u16, dst_port: u16, seq: u32, ack: u32, flags: TcpFlags, window: u16) -> Self {
-        TcpSegment { src_port, dst_port, seq, ack, flags, window, options: Vec::new(), payload: Bytes::new() }
+    pub fn bare(
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        ack: u32,
+        flags: TcpFlags,
+        window: u16,
+    ) -> Self {
+        TcpSegment {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window,
+            options: Vec::new(),
+            payload: Bytes::new(),
+        }
     }
 
     /// The length this segment occupies in sequence space: payload bytes
@@ -155,17 +228,7 @@ impl TcpSegment {
     }
 
     fn options_len(&self) -> usize {
-        let raw: usize = self
-            .options
-            .iter()
-            .map(|o| match o {
-                TcpOption::Mss(_) => 4,
-                TcpOption::WindowScale(_) => 3,
-                TcpOption::Timestamps { .. } => 10,
-                TcpOption::SackPermitted => 2,
-            })
-            .sum();
-        (raw + 3) & !3 // pad with NOPs to a 32-bit boundary
+        options_wire_len(&self.options)
     }
 
     /// Serializes with a correct checksum over the IPv4 pseudo-header.
@@ -188,38 +251,7 @@ impl TcpSegment {
         buf.put_u16(self.window);
         buf.put_u16(0); // checksum placeholder
         buf.put_u16(0); // urgent pointer
-        let mut written = 0usize;
-        for opt in &self.options {
-            match *opt {
-                TcpOption::Mss(mss) => {
-                    buf.put_u8(2);
-                    buf.put_u8(4);
-                    buf.put_u16(mss);
-                    written += 4;
-                }
-                TcpOption::WindowScale(shift) => {
-                    buf.put_u8(3);
-                    buf.put_u8(3);
-                    buf.put_u8(shift);
-                    written += 3;
-                }
-                TcpOption::Timestamps { tsval, tsecr } => {
-                    buf.put_u8(8);
-                    buf.put_u8(10);
-                    buf.put_u32(tsval);
-                    buf.put_u32(tsecr);
-                    written += 10;
-                }
-                TcpOption::SackPermitted => {
-                    buf.put_u8(4);
-                    buf.put_u8(2);
-                    written += 2;
-                }
-            }
-        }
-        for _ in written..opt_len {
-            buf.put_u8(1); // NOP padding
-        }
+        write_options(&mut buf, &self.options);
         buf.put_slice(&self.payload);
         let mut c = Checksum::new();
         c.add_sum(pseudo_header_sum(src, dst, 6, total as u16));
@@ -259,8 +291,8 @@ impl TcpSegment {
         let mut i = HEADER_LEN;
         while i < header_len {
             match raw[i] {
-                0 => break,    // end of options
-                1 => i += 1,   // NOP
+                0 => break,  // end of options
+                1 => i += 1, // NOP
                 kind => {
                     if i + 1 >= header_len {
                         return Err(ParseError::BadTcpOption(kind));
@@ -270,12 +302,23 @@ impl TcpSegment {
                         return Err(ParseError::BadTcpOption(kind));
                     }
                     match (kind, len) {
-                        (2, 4) => options.push(TcpOption::Mss(u16::from_be_bytes([raw[i + 2], raw[i + 3]]))),
+                        (2, 4) => options
+                            .push(TcpOption::Mss(u16::from_be_bytes([raw[i + 2], raw[i + 3]]))),
                         (3, 3) => options.push(TcpOption::WindowScale(raw[i + 2])),
                         (4, 2) => options.push(TcpOption::SackPermitted),
                         (8, 10) => options.push(TcpOption::Timestamps {
-                            tsval: u32::from_be_bytes([raw[i + 2], raw[i + 3], raw[i + 4], raw[i + 5]]),
-                            tsecr: u32::from_be_bytes([raw[i + 6], raw[i + 7], raw[i + 8], raw[i + 9]]),
+                            tsval: u32::from_be_bytes([
+                                raw[i + 2],
+                                raw[i + 3],
+                                raw[i + 4],
+                                raw[i + 5],
+                            ]),
+                            tsecr: u32::from_be_bytes([
+                                raw[i + 6],
+                                raw[i + 7],
+                                raw[i + 8],
+                                raw[i + 9],
+                            ]),
                         }),
                         _ => {} // unknown option: skip
                     }
@@ -411,7 +454,7 @@ mod tests {
         let s = syn();
         let mut raw = s.encode(A, B).to_vec();
         raw[21] = 0; // MSS option length byte -> 0
-        // Recompute checksum so the option error (not checksum) is hit.
+                     // Recompute checksum so the option error (not checksum) is hit.
         raw[16] = 0;
         raw[17] = 0;
         let mut c = Checksum::new();

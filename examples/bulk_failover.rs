@@ -41,7 +41,11 @@ fn main() {
 
     let m = scenario.client_app().metrics.clone();
     let engine = scenario.backup_engine().unwrap();
-    println!("\ntransfer complete: {} bytes, verified clean: {}", m.bytes_received, m.verified_clean());
+    println!(
+        "\ntransfer complete: {} bytes, verified clean: {}",
+        m.bytes_received,
+        m.verified_clean()
+    );
     println!(
         "takeover at {:.3}s ({:.0} ms after the crash)",
         engine.takeover_at().unwrap().as_secs_f64(),

@@ -33,11 +33,7 @@ fn main() {
     let of = |id: st_tcp::netsim::NodeId, scenario_ids: &[(st_tcp::netsim::NodeId, usize)]| {
         scenario_ids.iter().find(|(n, _)| *n == id).map(|(_, i)| *i).unwrap_or(3)
     };
-    let ids = vec![
-        (scenario.client, 0usize),
-        (scenario.primary, 1),
-        (scenario.backup.unwrap(), 2),
-    ];
+    let ids = vec![(scenario.client, 0usize), (scenario.primary, 1), (scenario.backup.unwrap(), 2)];
     let log: Rc<RefCell<Vec<(f64, usize, String)>>> = Rc::new(RefCell::new(Vec::new()));
     let l2 = log.clone();
     scenario.sim.set_probe(move |ev| {
@@ -61,7 +57,9 @@ fn main() {
         println!("{:>9.6}s  {:<8}  {}", t, names[*origin], line);
     }
     let takeover = scenario.backup_engine().unwrap().takeover_at().unwrap();
-    println!("\ntakeover completed at {:.3}s; run finished clean at {:.3}s",
+    println!(
+        "\ntakeover completed at {:.3}s; run finished clean at {:.3}s",
         takeover.as_secs_f64(),
-        metrics.finished.unwrap().as_secs_f64());
+        metrics.finished.unwrap().as_secs_f64()
+    );
 }

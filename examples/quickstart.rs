@@ -6,10 +6,10 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use st_tcp::apps::Workload;
 use st_tcp::netsim::{SimDuration, SimTime};
 use st_tcp::sttcp::scenario::{addrs, build, ScenarioSpec};
 use st_tcp::sttcp::SttcpConfig;
-use st_tcp::apps::Workload;
 
 fn main() {
     // 100 echo exchanges; 50 ms heartbeats; crash at t = 0.45 s.

@@ -19,7 +19,10 @@ fn run(label: &str, cfg: SttcpConfig) {
     let spec = ScenarioSpec::new(Workload::upload_mb(1)).st_tcp(cfg);
     let mut s = build(&spec);
     println!("\n--- {label} ---");
-    println!("{:>8} {:>10} {:>10} {:>10} {:>12}", "t(ms)", "retained", "window", "rcv_nxt-", "client bytes");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>12}",
+        "t(ms)", "retained", "window", "rcv_nxt-", "client bytes"
+    );
     let mut done_at = None;
     for step in 1..=80 {
         s.sim.run_until(SimTime::ZERO + SimDuration::from_millis(25 * step));

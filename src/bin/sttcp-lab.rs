@@ -107,7 +107,9 @@ fn parse_args() -> Args {
                     },
                 };
             }
-            "--crash-at" => args.crash_at = Some(val("--crash-at").parse().unwrap_or_else(|_| usage())),
+            "--crash-at" => {
+                args.crash_at = Some(val("--crash-at").parse().unwrap_or_else(|_| usage()))
+            }
             "--tap-loss" => {
                 args.tap_loss = val("--tap-loss").parse::<f64>().unwrap_or_else(|_| usage()) / 100.0
             }
@@ -150,8 +152,8 @@ fn main() {
     spec.with_logger = args.logger;
     spec.with_power_switch = args.power_switch;
     if !args.standard {
-        let mut cfg = SttcpConfig::new(addrs::VIP, 80)
-            .with_hb_interval(SimDuration::from_millis(args.hb_ms));
+        let mut cfg =
+            SttcpConfig::new(addrs::VIP, 80).with_hb_interval(SimDuration::from_millis(args.hb_ms));
         if args.logger {
             cfg = cfg.with_logger();
         }
@@ -214,7 +216,10 @@ fn main() {
         println!("  heartbeats seen   : {}", eng.stats.hbs_received);
         println!("  missing requests  : {}", eng.stats.missing_reqs);
         println!("  bytes recovered   : {}", eng.stats.missing_bytes_recovered);
-        println!("  logger queries    : {}", eng.stats.logger_queries + eng.stats.bootstrap_queries);
+        println!(
+            "  logger queries    : {}",
+            eng.stats.logger_queries + eng.stats.bootstrap_queries
+        );
         match eng.takeover_at() {
             Some(t) => println!("  TOOK OVER at      : {:.3} s", t.as_secs_f64()),
             None => println!("  took over         : no"),

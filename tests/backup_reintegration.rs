@@ -61,7 +61,12 @@ fn rebooted_backup_reintegrates_and_protects_new_connections() {
     c1_cfg.isn_seed = 1001;
     let c1 = sim.add_node(
         "client1",
-        ClientNode::new(c1_cfg, (VIP, 80), SimDuration::from_millis(1), WorkloadClient::new(Workload::Echo { requests: 300 })),
+        ClientNode::new(
+            c1_cfg,
+            (VIP, 80),
+            SimDuration::from_millis(1),
+            WorkloadClient::new(Workload::Echo { requests: 300 }),
+        ),
     );
     sim.connect(c1, LAN, hub, PortId(2), LinkSpec::lan());
 
@@ -70,7 +75,12 @@ fn rebooted_backup_reintegrates_and_protects_new_connections() {
     c2_cfg.isn_seed = 1002;
     let c2 = sim.add_node(
         "client2",
-        ClientNode::new(c2_cfg, (VIP, 80), SimDuration::from_millis(1200), WorkloadClient::new(Workload::Echo { requests: 100 })),
+        ClientNode::new(
+            c2_cfg,
+            (VIP, 80),
+            SimDuration::from_millis(1200),
+            WorkloadClient::new(Workload::Echo { requests: 100 }),
+        ),
     );
     sim.connect(c2, LAN, hub, PortId(3), LinkSpec::lan());
 
@@ -152,7 +162,12 @@ fn new_connection_after_reintegration_survives_primary_crash() {
     c_cfg.isn_seed = 1001;
     let client = sim.add_node(
         "client",
-        ClientNode::new(c_cfg, (VIP, 80), SimDuration::from_millis(900), WorkloadClient::new(Workload::Echo { requests: 100 })),
+        ClientNode::new(
+            c_cfg,
+            (VIP, 80),
+            SimDuration::from_millis(900),
+            WorkloadClient::new(Workload::Echo { requests: 100 }),
+        ),
     );
     sim.connect(client, LAN, hub, PortId(2), LinkSpec::lan());
     // Crash the primary mid-run of the new connection.

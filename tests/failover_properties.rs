@@ -62,7 +62,7 @@ fn run_with_crash(workload: Workload, crash_ms: u64, seed: u64, tap_loss: f64) -
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 12 })]
 
     /// Echo: any crash instant inside the run window.
     #[test]
@@ -103,8 +103,7 @@ proptest! {
 #[test]
 fn crash_during_connection_setup() {
     for crash_ms in [2u64, 4, 6, 8, 11, 15] {
-        let (bytes, _) =
-            run_with_crash(Workload::Echo { requests: 20 }, crash_ms, 7, 0.0);
+        let (bytes, _) = run_with_crash(Workload::Echo { requests: 20 }, crash_ms, 7, 0.0);
         assert_eq!(bytes, 20 * 150, "crash at {crash_ms}ms broke connection setup");
     }
 }

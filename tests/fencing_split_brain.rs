@@ -44,7 +44,8 @@ fn run_paused_primary(with_fencing: bool) -> (bool, bool, usize, bool) {
     // takeover (the hub's re-broadcasts are not origination).
     let backup_id = scenario.backup.unwrap();
     let primary_id = scenario.primary;
-    let senders: Rc<RefCell<std::collections::BTreeSet<usize>>> = Rc::new(RefCell::new(Default::default()));
+    let senders: Rc<RefCell<std::collections::BTreeSet<usize>>> =
+        Rc::new(RefCell::new(Default::default()));
     let s2 = senders.clone();
     let takeover_seen = Rc::new(RefCell::new(false));
     let t2 = takeover_seen.clone();

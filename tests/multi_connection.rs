@@ -60,12 +60,8 @@ fn build_rig(n_clients: usize) -> Rig {
         c_cfg.isn_seed = 1000 + i as u64;
         let app = WorkloadClient::new(Workload::Echo { requests: 50 });
         // Stagger connection setup so handshakes interleave.
-        let node = ClientNode::new(
-            c_cfg,
-            (VIP, 80),
-            SimDuration::from_millis(1 + 7 * i as u64),
-            app,
-        );
+        let node =
+            ClientNode::new(c_cfg, (VIP, 80), SimDuration::from_millis(1 + 7 * i as u64), app);
         let id = sim.add_node(format!("client{i}"), node);
         sim.connect(id, LAN, hub, PortId(2 + i), LinkSpec::lan());
         clients.push(id);

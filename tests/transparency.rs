@@ -16,6 +16,8 @@ use std::rc::Rc;
 
 /// A client-visible TCP event: (time ns, seq, ack, flags bits, len, window).
 type FrameSig = (u64, u32, u32, u8, usize, u16);
+/// ISN-relative frame content (seq, ack, flags, len, win), timing split off.
+type Normalized = (Vec<(u32, u32, u8, usize, u16)>, Vec<u64>);
 
 fn record_client_frames(spec: &ScenarioSpec) -> (Vec<FrameSig>, f64) {
     let mut scenario = build(spec);
@@ -64,7 +66,7 @@ fn record_client_frames(spec: &ScenarioSpec) -> (Vec<FrameSig>, f64) {
 /// shared medium, so ST-TCP frames may trail by a few serialization
 /// slots (the paper's §4.3 traffic-overhead budget) without any
 /// protocol-visible difference.
-fn normalize(frames: &[FrameSig]) -> (Vec<(u32, u32, u8, usize, u16)>, Vec<u64>) {
+fn normalize(frames: &[FrameSig]) -> Normalized {
     let Some(&(_, first_seq, _, _, _, _)) = frames.first() else {
         return (Vec::new(), Vec::new());
     };
@@ -136,7 +138,8 @@ fn heartbeat_interval_does_not_leak_to_the_client() {
     let w = Workload::Echo { requests: 30 };
     let mut reference: Option<Vec<_>> = None;
     for hb_ms in [50u64, 200, 1000, 5000] {
-        let cfg = SttcpConfig::new(addrs::VIP, 80).with_hb_interval(SimDuration::from_millis(hb_ms));
+        let cfg =
+            SttcpConfig::new(addrs::VIP, 80).with_hb_interval(SimDuration::from_millis(hb_ms));
         let (frames, _) = record_client_frames(&ScenarioSpec::new(w).st_tcp(cfg));
         let (n, _) = normalize(&frames);
         match &reference {
@@ -155,9 +158,7 @@ fn failover_changes_only_timing_not_bytes() {
     let cfg = SttcpConfig::new(addrs::VIP, 80);
     let (clean, _) = record_client_frames(&ScenarioSpec::new(w).st_tcp(cfg.clone()));
     let (crashed, _) = record_client_frames(
-        &ScenarioSpec::new(w)
-            .st_tcp(cfg)
-            .crash_at(SimTime::ZERO + SimDuration::from_millis(250)),
+        &ScenarioSpec::new(w).st_tcp(cfg).crash_at(SimTime::ZERO + SimDuration::from_millis(250)),
     );
     // Project to (relative seq, len) of payload-carrying frames, dedup
     // retransmissions by keeping the first occurrence of each seq.

@@ -101,7 +101,12 @@ fn two_pairs_coexist_and_one_failover_does_not_disturb_the_other() {
     ca_cfg.isn_seed = 501;
     let client_a = sim.add_node(
         "client-a",
-        ClientNode::new(ca_cfg, (VIP_A, 80), SimDuration::from_millis(1), WorkloadClient::new(Workload::Echo { requests: 150 })),
+        ClientNode::new(
+            ca_cfg,
+            (VIP_A, 80),
+            SimDuration::from_millis(1),
+            WorkloadClient::new(Workload::Echo { requests: 150 }),
+        ),
     );
     sim.connect(client_a, LAN, hub, PortId(4), LinkSpec::lan());
 
