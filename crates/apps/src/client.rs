@@ -62,6 +62,22 @@ impl Workload {
         Workload::Upload { file_size: mb << 20 }
     }
 
+    /// Total response bytes the workload expects to receive over a full
+    /// clean run (the denominator for progress reporting).
+    pub fn expected_total_bytes(&self) -> u64 {
+        (0..self.total_requests() as u64).map(|k| self.reply_len(k)).sum()
+    }
+
+    /// Short stable name for reports ("echo", "bulk", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Workload::Echo { .. } => "echo",
+            Workload::Interactive { .. } => "interactive",
+            Workload::Bulk { .. } => "bulk",
+            Workload::Upload { .. } => "upload",
+        }
+    }
+
     fn total_requests(&self) -> usize {
         match *self {
             Workload::Echo { requests } => requests,
@@ -207,6 +223,13 @@ impl WorkloadClient {
     /// The configured workload.
     pub fn workload(&self) -> Workload {
         self.workload
+    }
+
+    /// Progress as `(received, expected)` response bytes — lets a
+    /// harness distinguish a run that wedged mid-stream from one that
+    /// never got going.
+    pub fn progress(&self) -> (u64, u64) {
+        (self.metrics.bytes_received, self.workload.expected_total_bytes())
     }
 
     fn send_next_request(&mut self, api: &mut dyn Api) {

@@ -1,0 +1,132 @@
+//! Replayable failure artifacts.
+//!
+//! When a campaign run violates an oracle, the engine emits a JSON
+//! artifact carrying everything needed to reproduce the failure
+//! byte-for-byte: the seed, the (possibly shrunk) fault schedule, the
+//! run knobs, and the frame-trace digest the replay must match.
+
+use crate::json::{self, Value};
+use crate::oracle::OracleKind;
+use crate::plan::{workload_from_value, workload_to_value, FaultPlan};
+use crate::run::{execute, RunReport, RunSpec};
+use netsim::SimDuration;
+
+/// A self-contained failure reproducer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureArtifact {
+    /// The run to replay.
+    pub spec: RunSpec,
+    /// The oracle that fired.
+    pub oracle: OracleKind,
+    /// Human-readable violation details at capture time.
+    pub details: Vec<String>,
+    /// The frame-trace digest a faithful replay must reproduce.
+    pub digest: u64,
+}
+
+impl FailureArtifact {
+    /// Captures an artifact from a failing run.
+    pub fn capture(spec: &RunSpec, report: &RunReport, oracle: OracleKind) -> Self {
+        FailureArtifact {
+            spec: spec.clone(),
+            oracle,
+            details: report
+                .violations
+                .iter()
+                .filter(|v| v.oracle == oracle)
+                .map(|v| v.to_string())
+                .collect(),
+            digest: report.digest,
+        }
+    }
+
+    /// Serializes to JSON text.
+    pub fn to_json(&self) -> String {
+        json::obj([
+            ("format", Value::Str("sttcp-chaos-artifact-v1".into())),
+            ("workload", workload_to_value(self.spec.workload)),
+            ("seed", json::hex(self.spec.seed)),
+            ("fencing", Value::Bool(self.spec.fencing)),
+            ("limit_ms", json::num(self.spec.limit.as_millis())),
+            ("max_events", json::num(self.spec.max_events)),
+            ("plan", self.spec.plan.to_value()),
+            ("oracle", Value::Str(self.oracle.tag().into())),
+            ("details", Value::Arr(self.details.iter().map(|d| Value::Str(d.clone())).collect())),
+            ("digest", json::hex(self.digest)),
+        ])
+        .to_json()
+    }
+
+    /// Parses an artifact serialized by [`FailureArtifact::to_json`].
+    pub fn from_json(text: &str) -> Option<Self> {
+        let v = Value::parse(text)?;
+        if v.get("format")?.as_str()? != "sttcp-chaos-artifact-v1" {
+            return None;
+        }
+        let spec = RunSpec {
+            workload: workload_from_value(v.get("workload")?)?,
+            seed: json::from_hex(v.get("seed")?)?,
+            fencing: v.get("fencing")?.as_bool()?,
+            plan: FaultPlan::from_value(v.get("plan")?)?,
+            limit: SimDuration::from_millis(v.get("limit_ms")?.as_u64()?),
+            max_events: v.get("max_events")?.as_u64()?,
+        };
+        let details = v
+            .get("details")?
+            .as_arr()?
+            .iter()
+            .map(|d| d.as_str().map(str::to_string))
+            .collect::<Option<Vec<_>>>()?;
+        Some(FailureArtifact {
+            spec,
+            oracle: OracleKind::from_tag(v.get("oracle")?.as_str()?)?,
+            details,
+            digest: json::from_hex(v.get("digest")?)?,
+        })
+    }
+
+    /// Re-executes the artifact's run and checks that it reproduces:
+    /// the same oracle fires and the frame-trace digest matches
+    /// exactly. Returns the replay report alongside the verdict.
+    pub fn replay(&self) -> (bool, RunReport) {
+        let report = execute(&self.spec);
+        let same_oracle = report.violations.iter().any(|v| v.oracle == self.oracle);
+        let same_digest = report.digest == self.digest;
+        (same_oracle && same_digest, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultOp, SideTarget};
+    use apps::Workload;
+
+    #[test]
+    fn artifact_json_roundtrip() {
+        let spec = RunSpec::new(
+            Workload::Echo { requests: 100 },
+            0xDEAD_BEEF_0000_0007,
+            FaultPlan::new([
+                FaultOp::PausePrimary { at_pct: 30, dur_ms: 500 },
+                FaultOp::SideDelay { target: SideTarget::Backup, delay_ms: 60 },
+            ]),
+        )
+        .without_fencing();
+        let artifact = FailureArtifact {
+            spec,
+            oracle: OracleKind::SingleServer,
+            details: vec!["node 1 still sourcing VIP traffic".into()],
+            digest: 0xFFFF_0000_1234_5678,
+        };
+        let text = artifact.to_json();
+        let back = FailureArtifact::from_json(&text).expect("parses");
+        assert_eq!(back, artifact);
+    }
+
+    #[test]
+    fn artifact_rejects_wrong_format() {
+        assert_eq!(FailureArtifact::from_json("{\"format\":\"other\"}"), None);
+        assert_eq!(FailureArtifact::from_json("not json"), None);
+    }
+}

@@ -1,0 +1,207 @@
+//! Campaign CLI: run chaos campaigns, verify the oracles catch a
+//! deliberately broken configuration, and emit replayable artifacts.
+//!
+//! ```text
+//! chaos-hunt [--smoke | --demo] [--skip-canary] [--threads N] [--replay FILE]
+//! ```
+//!
+//! * `--smoke`   bounded campaign for CI (default).
+//! * `--demo`    the full ≥200-run campaign.
+//! * `--replay`  replay a failure artifact JSON file and verify it
+//!               reproduces (same oracle, same frame digest).
+//!
+//! Exit code 0 iff the campaign is all green AND the broken-config
+//! canary is caught, shrunk, and replays deterministically.
+
+use chaos::{
+    broken_config_canary, demo_campaign, run_campaign, shrink, smoke_campaign, Campaign,
+    FailureArtifact, OracleKind,
+};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    demo: bool,
+    skip_canary: bool,
+    threads: usize,
+    replay: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        demo: false,
+        skip_canary: false,
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        replay: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.demo = false,
+            "--demo" => args.demo = true,
+            "--skip-canary" => args.skip_canary = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+            }
+            "--replay" => {
+                args.replay = Some(it.next().ok_or("--replay needs a file")?);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: chaos-hunt [--smoke | --demo] [--skip-canary] \
+                     [--threads N] [--replay FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run_matrix(campaign: &Campaign, threads: usize) -> bool {
+    let started = Instant::now();
+    println!(
+        "== campaign `{}`: {} runs on {} threads",
+        campaign.name,
+        campaign.runs.len(),
+        threads
+    );
+    let result = run_campaign(campaign, threads);
+    let failed = result.failed_runs();
+    let elapsed = started.elapsed();
+    let takeovers = result.reports.iter().filter(|r| r.takeover_latency.is_some()).count();
+    println!(
+        "   {} passed, {} failed, {} takeovers observed, {:.1}s wall",
+        result.reports.len() - failed.len(),
+        failed.len(),
+        takeovers,
+        elapsed.as_secs_f64()
+    );
+    for &i in &failed {
+        let spec = &campaign.runs[i];
+        let report = &result.reports[i];
+        println!(
+            "   FAIL run {i}: {} seed={} plan=[{}]",
+            spec.workload.label(),
+            spec.seed,
+            spec.plan.describe()
+        );
+        for v in &report.violations {
+            println!("      {v}");
+        }
+        if let Some(oracle) = report.first_oracle() {
+            let artifact = FailureArtifact::capture(spec, report, oracle);
+            println!("      artifact: {}", artifact.to_json());
+        }
+    }
+    failed.is_empty()
+}
+
+/// Proves the oracles have teeth: a fencing-disabled configuration must
+/// be caught by the single-server oracle, shrink to a minimal schedule,
+/// and replay deterministically.
+fn run_canary() -> bool {
+    println!("== broken-config canary (fencing disabled, paused primary)");
+    let spec = broken_config_canary();
+    let report = chaos::execute(&spec);
+    let caught = report.violations.iter().any(|v| v.oracle == OracleKind::SingleServer);
+    if !caught {
+        println!("   FAIL: split brain was NOT caught; violations: {:?}", report.violations);
+        return false;
+    }
+    println!("   caught: {}", report.violations[0]);
+
+    let Some(result) = shrink(&spec, OracleKind::SingleServer, 32) else {
+        println!("   FAIL: shrink could not reproduce the original failure");
+        return false;
+    };
+    println!(
+        "   shrunk in {} trials ({} ops removed): [{}]",
+        result.trials,
+        result.ops_removed,
+        result.minimal.plan.describe()
+    );
+    if result.minimal.plan.ops.is_empty() {
+        println!("   FAIL: shrink emptied the schedule yet still fails — oracle is vacuous");
+        return false;
+    }
+
+    let artifact =
+        FailureArtifact::capture(&result.minimal, &result.report, OracleKind::SingleServer);
+    let text = artifact.to_json();
+    let parsed = match FailureArtifact::from_json(&text) {
+        Some(a) => a,
+        None => {
+            println!("   FAIL: artifact did not round-trip through JSON");
+            return false;
+        }
+    };
+    let (reproduced, replay_report) = parsed.replay();
+    if !reproduced {
+        println!(
+            "   FAIL: replay diverged (digest {:016x} vs {:016x})",
+            replay_report.digest, artifact.digest
+        );
+        return false;
+    }
+    println!("   artifact replays deterministically (digest {:016x})", artifact.digest);
+    println!("   artifact: {text}");
+    true
+}
+
+fn run_replay(path: &str) -> bool {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        println!("cannot read {path}");
+        return false;
+    };
+    let Some(artifact) = FailureArtifact::from_json(&text) else {
+        println!("{path} is not a chaos artifact");
+        return false;
+    };
+    println!(
+        "replaying {} seed={:#x} plan=[{}]",
+        artifact.spec.workload.label(),
+        artifact.spec.seed,
+        artifact.spec.plan.describe()
+    );
+    let (reproduced, report) = artifact.replay();
+    for v in &report.violations {
+        println!("   {v}");
+    }
+    if reproduced {
+        println!("reproduced: oracle [{}] fired, digest matches", artifact.oracle.tag());
+    } else {
+        println!(
+            "did NOT reproduce (digest {:016x}, expected {:016x})",
+            report.digest, artifact.digest
+        );
+    }
+    reproduced
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("chaos-hunt: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &args.replay {
+        return if run_replay(path) { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+    let campaign = if args.demo { demo_campaign() } else { smoke_campaign() };
+    let mut ok = run_matrix(&campaign, args.threads);
+    if !args.skip_canary {
+        ok &= run_canary();
+    }
+    if ok {
+        println!("chaos-hunt: all green");
+        ExitCode::SUCCESS
+    } else {
+        println!("chaos-hunt: FAILURES");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,52 @@
+//! Deterministic chaos-campaign engine for the ST-TCP reproduction.
+//!
+//! The paper's evaluation (§6) injects one fault at a time by hand:
+//! crash the primary once, drop one tapped segment once. This crate
+//! systematizes that into *campaigns* — enumerated fault schedules
+//! crossed with workloads and RNG seeds, executed in parallel (each run
+//! an independent deterministic [`netsim::Simulator`]), judged by
+//! invariant oracles, and, on failure, shrunk to a minimal replayable
+//! reproducer.
+//!
+//! # Pipeline
+//!
+//! 1. [`plan`] — a [`plan::FaultPlan`] is pure data: crash the primary
+//!    at a quantile of the run, drop the n-th tapped segment, delay or
+//!    duplicate side-channel datagrams, partition the tap, pause the
+//!    primary. Schedules serialize to JSON and back.
+//! 2. [`campaign`] — crosses plans × workloads × seeds into a run
+//!    matrix and executes it across threads; probe runs (fault-free,
+//!    per workload+seed) map schedule percentages onto virtual time.
+//! 3. [`run`] — one run: install the plan as crash schedules and
+//!    ingress rules, drive the scenario in chunks, sample the oracles,
+//!    digest every frame transmission.
+//! 4. [`oracle`] — the invariants: client byte-stream integrity,
+//!    completion, at-most-one VIP speaker after takeover, shadow/primary
+//!    sequence agreement, bounded retention, bounded takeover latency,
+//!    no false suspicion, eventual teardown.
+//! 5. [`shrink`] — delta-debug a failing schedule to a minimal
+//!    reproducer (determinism makes "still fails" exact).
+//! 6. [`artifact`] — JSON artifacts carrying seed + schedule + frame
+//!    digest; [`artifact::FailureArtifact::replay`] verifies a
+//!    reproducer bit-for-bit.
+//!
+//! The `chaos-hunt` binary drives the stock campaigns from the command
+//! line; CI runs its `--smoke` mode on every push.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod campaign;
+pub mod json;
+pub mod oracle;
+pub mod plan;
+pub mod run;
+pub mod shrink;
+
+pub use artifact::FailureArtifact;
+pub use campaign::{broken_config_canary, demo_campaign, run_campaign, smoke_campaign, Campaign};
+pub use oracle::{OracleKind, Violation};
+pub use plan::{FaultOp, FaultPlan, SideTarget};
+pub use run::{execute, measure_profile, Profile, RunReport, RunSpec};
+pub use shrink::{shrink, ShrinkResult};

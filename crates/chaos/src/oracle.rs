@@ -1,0 +1,112 @@
+//! Invariant oracles: what must hold through and after every chaos run.
+//!
+//! Each oracle encodes one paper-level guarantee. Sampled oracles are
+//! evaluated every scheduler chunk while the run executes; terminal
+//! oracles are evaluated once the run stops. A run *passes* iff no
+//! oracle records a [`Violation`].
+
+use netsim::SimTime;
+
+/// The invariant a violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OracleKind {
+    /// The client's received byte stream is exactly the expected
+    /// content (paper's transparency claim — no loss, no corruption,
+    /// no duplication visible to the application).
+    ClientIntegrity,
+    /// A survivable schedule must let the workload finish within the
+    /// run budget.
+    Completion,
+    /// After a takeover, at most one server transmits from the VIP —
+    /// fencing must have silenced the old primary (§4.4).
+    SingleServer,
+    /// While the primary lives, the backup's shadow never runs ahead
+    /// of the primary in the client's sequence space (§4.1: the backup
+    /// mirrors, it does not invent).
+    SeqAgreement,
+    /// The primary's retention buffer occupancy never exceeds its
+    /// configured capacity (§4.2: retention is bounded, backed by the
+    /// backup-ack release protocol).
+    RetentionBound,
+    /// Takeover happens within the detection bound:
+    /// `hb_interval × (missed_hb_threshold + 2) + sync_time` plus any
+    /// slack the schedule itself adds to the detector channel.
+    TakeoverLatency,
+    /// A schedule that never incapacitates the primary and stays under
+    /// the heartbeat-loss threshold must not trigger a takeover.
+    FalseSuspicion,
+    /// A completed closing workload must actually tear the connection
+    /// down (no half-open leftovers — the crash-during-FIN corner).
+    EventualClose,
+}
+
+impl OracleKind {
+    /// Stable string tag (artifacts, CLI output).
+    pub fn tag(self) -> &'static str {
+        match self {
+            OracleKind::ClientIntegrity => "client-integrity",
+            OracleKind::Completion => "completion",
+            OracleKind::SingleServer => "single-server",
+            OracleKind::SeqAgreement => "seq-agreement",
+            OracleKind::RetentionBound => "retention-bound",
+            OracleKind::TakeoverLatency => "takeover-latency",
+            OracleKind::FalseSuspicion => "false-suspicion",
+            OracleKind::EventualClose => "eventual-close",
+        }
+    }
+
+    /// Parses a [`OracleKind::tag`] string.
+    pub fn from_tag(s: &str) -> Option<Self> {
+        [
+            OracleKind::ClientIntegrity,
+            OracleKind::Completion,
+            OracleKind::SingleServer,
+            OracleKind::SeqAgreement,
+            OracleKind::RetentionBound,
+            OracleKind::TakeoverLatency,
+            OracleKind::FalseSuspicion,
+            OracleKind::EventualClose,
+        ]
+        .into_iter()
+        .find(|k| k.tag() == s)
+    }
+}
+
+/// One observed invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub oracle: OracleKind,
+    /// Virtual instant the violation was observed.
+    pub at: SimTime,
+    /// Human-readable specifics (sequence numbers, node, counts).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] t={} {}", self.oracle.tag(), self.at, self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_roundtrip() {
+        for k in [
+            OracleKind::ClientIntegrity,
+            OracleKind::Completion,
+            OracleKind::SingleServer,
+            OracleKind::SeqAgreement,
+            OracleKind::RetentionBound,
+            OracleKind::TakeoverLatency,
+            OracleKind::FalseSuspicion,
+            OracleKind::EventualClose,
+        ] {
+            assert_eq!(OracleKind::from_tag(k.tag()), Some(k));
+        }
+        assert_eq!(OracleKind::from_tag("nope"), None);
+    }
+}

@@ -1,0 +1,394 @@
+//! Fault schedules: serializable descriptions of *what to break when*.
+//!
+//! A [`FaultPlan`] is a list of [`FaultOp`]s — pure data, no closures —
+//! so a failing schedule can be shrunk op-by-op, written into a
+//! replayable artifact, and parsed back byte-identically. Times are
+//! expressed as percentages of the fault-free run duration (measured by
+//! a probe run) so the same plan is meaningful across workloads.
+
+use crate::json::{self, Value};
+use apps::Workload;
+
+/// Which server's ingress a side-channel fault applies to.
+///
+/// The side channel is bidirectional UDP: heartbeats and missing-segment
+/// replies flow primary→backup; backup acks and missing-segment requests
+/// flow backup→primary. Placing the rule on the *receiving* node's
+/// ingress selects the direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SideTarget {
+    /// Fault side-channel datagrams arriving at the primary
+    /// (backup acks, missing-segment requests).
+    Primary,
+    /// Fault side-channel datagrams arriving at the backup
+    /// (heartbeats, missing-segment replies).
+    Backup,
+}
+
+impl SideTarget {
+    fn tag(self) -> &'static str {
+        match self {
+            SideTarget::Primary => "primary",
+            SideTarget::Backup => "backup",
+        }
+    }
+
+    fn from_tag(s: &str) -> Option<Self> {
+        match s {
+            "primary" => Some(SideTarget::Primary),
+            "backup" => Some(SideTarget::Backup),
+            _ => None,
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Fail-stop the primary at `quantile_pct` % of the fault-free run
+    /// duration.
+    CrashPrimary {
+        /// Crash instant as a percentage (0–100) of the probe duration.
+        quantile_pct: u8,
+    },
+    /// Fail-stop the primary at the instant the first FIN of the
+    /// client↔server teardown was observed in the probe run — the
+    /// crash-during-teardown corner.
+    CrashPrimaryNearFin,
+    /// Freeze the primary (performance failure, paper §7) at
+    /// `at_pct` % for `dur_ms` virtual milliseconds; it resumes with
+    /// its state intact — the scenario fencing exists for.
+    PausePrimary {
+        /// Pause start as a percentage of the probe duration.
+        at_pct: u8,
+        /// Pause length in virtual milliseconds.
+        dur_ms: u64,
+    },
+    /// Drop tapped client→VIP data segments at the backup: after
+    /// letting `skip` through, drop the next `count` (the §4.2 omission
+    /// the missing-segment protocol exists for).
+    TapDrop {
+        /// Matching segments let through first.
+        skip: u64,
+        /// Matching segments then dropped.
+        count: u64,
+    },
+    /// Drop *all* tapped VIP traffic at the backup in a time window
+    /// starting at `from_pct` % for `dur_ms` ms (a tap partition).
+    TapPartition {
+        /// Partition start as a percentage of the probe duration.
+        from_pct: u8,
+        /// Partition length in virtual milliseconds.
+        dur_ms: u64,
+    },
+    /// Drop side-channel datagrams arriving at `target`: skip `skip`,
+    /// then drop `count`.
+    SideDrop {
+        /// Which server's ingress.
+        target: SideTarget,
+        /// Matching datagrams let through first.
+        skip: u64,
+        /// Matching datagrams then dropped.
+        count: u64,
+    },
+    /// Delay every side-channel datagram arriving at `target` by
+    /// `delay_ms` virtual milliseconds (reordering relative to the tap).
+    SideDelay {
+        /// Which server's ingress.
+        target: SideTarget,
+        /// Added latency in virtual milliseconds.
+        delay_ms: u64,
+    },
+    /// Deliver side-channel datagrams arriving at `target` twice, the
+    /// copy `offset_ms` later (repetition fault).
+    SideDuplicate {
+        /// Which server's ingress.
+        target: SideTarget,
+        /// Echo offset in virtual milliseconds.
+        offset_ms: u64,
+    },
+}
+
+impl FaultOp {
+    /// True for ops that intentionally incapacitate the primary, i.e.
+    /// runs where a takeover is legitimate.
+    pub fn incapacitates_primary(&self) -> bool {
+        matches!(
+            self,
+            FaultOp::CrashPrimary { .. }
+                | FaultOp::CrashPrimaryNearFin
+                | FaultOp::PausePrimary { .. }
+        )
+    }
+
+    /// Extra heartbeat silence this op can add, in virtual
+    /// milliseconds, given the heartbeat interval. Used to widen the
+    /// takeover-latency bound for schedules that disturb the channel
+    /// carrying the failure detector.
+    pub fn detector_slack_ms(&self, hb_interval_ms: u64) -> u64 {
+        match self {
+            FaultOp::SideDrop { target: SideTarget::Backup, count, .. } => count * hb_interval_ms,
+            FaultOp::SideDelay { target: SideTarget::Backup, delay_ms } => *delay_ms,
+            _ => 0,
+        }
+    }
+
+    fn to_value(self) -> Value {
+        match self {
+            FaultOp::CrashPrimary { quantile_pct } => json::obj([
+                ("op", Value::Str("crash_primary".into())),
+                ("quantile_pct", json::num(u64::from(quantile_pct))),
+            ]),
+            FaultOp::CrashPrimaryNearFin => {
+                json::obj([("op", Value::Str("crash_primary_near_fin".into()))])
+            }
+            FaultOp::PausePrimary { at_pct, dur_ms } => json::obj([
+                ("op", Value::Str("pause_primary".into())),
+                ("at_pct", json::num(u64::from(at_pct))),
+                ("dur_ms", json::num(dur_ms)),
+            ]),
+            FaultOp::TapDrop { skip, count } => json::obj([
+                ("op", Value::Str("tap_drop".into())),
+                ("skip", json::num(skip)),
+                ("count", json::num(count)),
+            ]),
+            FaultOp::TapPartition { from_pct, dur_ms } => json::obj([
+                ("op", Value::Str("tap_partition".into())),
+                ("from_pct", json::num(u64::from(from_pct))),
+                ("dur_ms", json::num(dur_ms)),
+            ]),
+            FaultOp::SideDrop { target, skip, count } => json::obj([
+                ("op", Value::Str("side_drop".into())),
+                ("target", Value::Str(target.tag().into())),
+                ("skip", json::num(skip)),
+                ("count", json::num(count)),
+            ]),
+            FaultOp::SideDelay { target, delay_ms } => json::obj([
+                ("op", Value::Str("side_delay".into())),
+                ("target", Value::Str(target.tag().into())),
+                ("delay_ms", json::num(delay_ms)),
+            ]),
+            FaultOp::SideDuplicate { target, offset_ms } => json::obj([
+                ("op", Value::Str("side_duplicate".into())),
+                ("target", Value::Str(target.tag().into())),
+                ("offset_ms", json::num(offset_ms)),
+            ]),
+        }
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        let target = || SideTarget::from_tag(v.get("target")?.as_str()?);
+        match v.get("op")?.as_str()? {
+            "crash_primary" => Some(FaultOp::CrashPrimary {
+                quantile_pct: v.get("quantile_pct")?.as_u64()?.try_into().ok()?,
+            }),
+            "crash_primary_near_fin" => Some(FaultOp::CrashPrimaryNearFin),
+            "pause_primary" => Some(FaultOp::PausePrimary {
+                at_pct: v.get("at_pct")?.as_u64()?.try_into().ok()?,
+                dur_ms: v.get("dur_ms")?.as_u64()?,
+            }),
+            "tap_drop" => Some(FaultOp::TapDrop {
+                skip: v.get("skip")?.as_u64()?,
+                count: v.get("count")?.as_u64()?,
+            }),
+            "tap_partition" => Some(FaultOp::TapPartition {
+                from_pct: v.get("from_pct")?.as_u64()?.try_into().ok()?,
+                dur_ms: v.get("dur_ms")?.as_u64()?,
+            }),
+            "side_drop" => Some(FaultOp::SideDrop {
+                target: target()?,
+                skip: v.get("skip")?.as_u64()?,
+                count: v.get("count")?.as_u64()?,
+            }),
+            "side_delay" => Some(FaultOp::SideDelay {
+                target: target()?,
+                delay_ms: v.get("delay_ms")?.as_u64()?,
+            }),
+            "side_duplicate" => Some(FaultOp::SideDuplicate {
+                target: target()?,
+                offset_ms: v.get("offset_ms")?.as_u64()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// An ordered fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// The scheduled faults, applied to one run together.
+    pub ops: Vec<FaultOp>,
+}
+
+impl FaultPlan {
+    /// A schedule from ops.
+    pub fn new(ops: impl IntoIterator<Item = FaultOp>) -> Self {
+        FaultPlan { ops: ops.into_iter().collect() }
+    }
+
+    /// The empty (fault-free) schedule.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when some op incapacitates the primary (takeover expected
+    /// if the workload has not already finished).
+    pub fn incapacitates_primary(&self) -> bool {
+        self.ops.iter().any(FaultOp::incapacitates_primary)
+    }
+
+    /// True when some op needs the probe run's quantile→time map.
+    pub fn needs_probe(&self) -> bool {
+        self.ops.iter().any(|op| {
+            matches!(
+                op,
+                FaultOp::CrashPrimary { .. }
+                    | FaultOp::CrashPrimaryNearFin
+                    | FaultOp::PausePrimary { .. }
+                    | FaultOp::TapPartition { .. }
+            )
+        })
+    }
+
+    /// Total extra failure-detector slack the schedule can introduce,
+    /// in virtual milliseconds.
+    pub fn detector_slack_ms(&self, hb_interval_ms: u64) -> u64 {
+        self.ops.iter().map(|op| op.detector_slack_ms(hb_interval_ms)).sum()
+    }
+
+    /// Serializes the schedule as a JSON value.
+    pub fn to_value(&self) -> Value {
+        json::obj([("ops", Value::Arr(self.ops.iter().map(|op| op.to_value()).collect()))])
+    }
+
+    /// Parses a schedule serialized by [`FaultPlan::to_value`].
+    pub fn from_value(v: &Value) -> Option<Self> {
+        let ops = v.get("ops")?.as_arr()?;
+        Some(FaultPlan { ops: ops.iter().map(FaultOp::from_value).collect::<Option<Vec<_>>>()? })
+    }
+
+    /// One-line human description ("crash@40% + tap_drop(skip 5, 3)").
+    pub fn describe(&self) -> String {
+        if self.ops.is_empty() {
+            return "fault-free".to_string();
+        }
+        let parts: Vec<String> = self
+            .ops
+            .iter()
+            .map(|op| match op {
+                FaultOp::CrashPrimary { quantile_pct } => format!("crash@{quantile_pct}%"),
+                FaultOp::CrashPrimaryNearFin => "crash@fin".to_string(),
+                FaultOp::PausePrimary { at_pct, dur_ms } => {
+                    format!("pause@{at_pct}%/{dur_ms}ms")
+                }
+                FaultOp::TapDrop { skip, count } => format!("tap_drop(skip {skip}, {count})"),
+                FaultOp::TapPartition { from_pct, dur_ms } => {
+                    format!("tap_partition@{from_pct}%/{dur_ms}ms")
+                }
+                FaultOp::SideDrop { target, skip, count } => {
+                    format!("side_drop@{}(skip {skip}, {count})", target.tag())
+                }
+                FaultOp::SideDelay { target, delay_ms } => {
+                    format!("side_delay@{}({delay_ms}ms)", target.tag())
+                }
+                FaultOp::SideDuplicate { target, offset_ms } => {
+                    format!("side_dup@{}({offset_ms}ms)", target.tag())
+                }
+            })
+            .collect();
+        parts.join(" + ")
+    }
+}
+
+/// Serializes a workload (for artifacts).
+pub fn workload_to_value(w: Workload) -> Value {
+    match w {
+        Workload::Echo { requests } => json::obj([
+            ("kind", Value::Str("echo".into())),
+            ("requests", json::num(requests as u64)),
+        ]),
+        Workload::Interactive { requests, reply_size } => json::obj([
+            ("kind", Value::Str("interactive".into())),
+            ("requests", json::num(requests as u64)),
+            ("reply_size", json::num(reply_size as u64)),
+        ]),
+        Workload::Bulk { file_size } => {
+            json::obj([("kind", Value::Str("bulk".into())), ("file_size", json::num(file_size))])
+        }
+        Workload::Upload { file_size } => {
+            json::obj([("kind", Value::Str("upload".into())), ("file_size", json::num(file_size))])
+        }
+    }
+}
+
+/// Parses a workload serialized by [`workload_to_value`].
+pub fn workload_from_value(v: &Value) -> Option<Workload> {
+    match v.get("kind")?.as_str()? {
+        "echo" => Some(Workload::Echo { requests: v.get("requests")?.as_u64()? as usize }),
+        "interactive" => Some(Workload::Interactive {
+            requests: v.get("requests")?.as_u64()? as usize,
+            reply_size: v.get("reply_size")?.as_u64()? as usize,
+        }),
+        "bulk" => Some(Workload::Bulk { file_size: v.get("file_size")?.as_u64()? }),
+        "upload" => Some(Workload::Upload { file_size: v.get("file_size")?.as_u64()? }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn every_op() -> Vec<FaultOp> {
+        vec![
+            FaultOp::CrashPrimary { quantile_pct: 40 },
+            FaultOp::CrashPrimaryNearFin,
+            FaultOp::PausePrimary { at_pct: 30, dur_ms: 400 },
+            FaultOp::TapDrop { skip: 5, count: 3 },
+            FaultOp::TapPartition { from_pct: 20, dur_ms: 250 },
+            FaultOp::SideDrop { target: SideTarget::Backup, skip: 0, count: 2 },
+            FaultOp::SideDelay { target: SideTarget::Primary, delay_ms: 60 },
+            FaultOp::SideDuplicate { target: SideTarget::Backup, offset_ms: 5 },
+        ]
+    }
+
+    #[test]
+    fn plan_json_roundtrip() {
+        let plan = FaultPlan::new(every_op());
+        let text = plan.to_value().to_json();
+        let back = FaultPlan::from_value(&Value::parse(&text).expect("parses")).expect("decodes");
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn workload_json_roundtrip() {
+        for w in [
+            Workload::echo(),
+            Workload::interactive(),
+            Workload::bulk_mb(1),
+            Workload::upload_mb(2),
+        ] {
+            let text = workload_to_value(w).to_json();
+            let back = workload_from_value(&Value::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, w);
+        }
+    }
+
+    #[test]
+    fn detector_slack_counts_backup_facing_ops_only() {
+        let plan = FaultPlan::new([
+            FaultOp::SideDrop { target: SideTarget::Backup, skip: 0, count: 2 },
+            FaultOp::SideDelay { target: SideTarget::Backup, delay_ms: 60 },
+            FaultOp::SideDrop { target: SideTarget::Primary, skip: 0, count: 9 },
+            FaultOp::TapDrop { skip: 0, count: 5 },
+        ]);
+        assert_eq!(plan.detector_slack_ms(50), 2 * 50 + 60);
+    }
+
+    #[test]
+    fn probe_need_is_derived_from_ops() {
+        assert!(!FaultPlan::new([FaultOp::TapDrop { skip: 0, count: 1 }]).needs_probe());
+        assert!(FaultPlan::new([FaultOp::CrashPrimary { quantile_pct: 50 }]).needs_probe());
+        assert!(FaultPlan::new([FaultOp::CrashPrimaryNearFin]).needs_probe());
+    }
+}

@@ -1,0 +1,655 @@
+//! Executing one chaos run: probe, inject, observe, judge.
+//!
+//! A run is two deterministic simulations. The **probe** pass executes
+//! the workload fault-free to map schedule percentages onto virtual
+//! instants (total duration, first-FIN time). The **faulted** pass
+//! replays the same scenario with the plan's crash schedule and ingress
+//! rules installed, a frame probe digesting every transmission, and the
+//! invariant oracles sampled between scheduler chunks and at the end.
+
+use crate::oracle::{OracleKind, Violation};
+use crate::plan::{FaultOp, FaultPlan, SideTarget};
+use apps::Workload;
+use bytes::Bytes;
+use netsim::node::NodeId;
+use netsim::{DelayRule, DropRule, DuplicateRule, RuleId, SimDuration, SimTime, Simulator};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use sttcp::node::ServerNode;
+use sttcp::scenario::{addrs, build, Scenario, ScenarioSpec, StopReason};
+use sttcp::SttcpConfig;
+use tcpstack::{SeqNum, TcpState};
+use wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, TcpFlags, TcpSegment, UdpDatagram};
+
+/// Everything one chaos run needs: base scenario knobs plus the fault
+/// schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSpec {
+    /// The client workload.
+    pub workload: Workload,
+    /// Simulation seed (drives ISNs, probabilistic rules, jitter).
+    pub seed: u64,
+    /// Whether fencing (power switch) is deployed — the demo campaigns
+    /// keep it on; the canary turns it off to prove the oracles notice.
+    pub fencing: bool,
+    /// The fault schedule.
+    pub plan: FaultPlan,
+    /// Virtual-time budget for the faulted pass.
+    pub limit: SimDuration,
+    /// Event budget for the faulted pass (runaway-loop backstop).
+    pub max_events: u64,
+}
+
+impl RunSpec {
+    /// A spec with default budgets (60 virtual seconds, 20 M events).
+    pub fn new(workload: Workload, seed: u64, plan: FaultPlan) -> Self {
+        RunSpec {
+            workload,
+            seed,
+            fencing: true,
+            plan,
+            limit: SimDuration::from_secs(60),
+            max_events: 20_000_000,
+        }
+    }
+
+    /// Disables fencing (builder style) — the intentionally-broken
+    /// configuration the canary uses.
+    #[must_use]
+    pub fn without_fencing(mut self) -> Self {
+        self.fencing = false;
+        self
+    }
+}
+
+/// Quantile→instant map measured by the fault-free probe pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Profile {
+    /// Fault-free completion time of the workload.
+    pub duration: SimDuration,
+    /// Departure time of the first FIN segment on the service
+    /// connection, when the probe observed one.
+    pub first_fin: Option<SimTime>,
+}
+
+impl Profile {
+    /// The instant at `pct` % of the fault-free duration.
+    pub fn at_pct(&self, pct: u8) -> SimTime {
+        let ns = (u128::from(self.duration.as_nanos()) * u128::from(pct) / 100) as u64;
+        SimTime::ZERO + SimDuration::from_nanos(ns)
+    }
+}
+
+/// The judged result of one chaos run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Why the faulted pass stopped.
+    pub reason: StopReason,
+    /// Invariant violations, in observation order. Empty ⇒ pass.
+    pub violations: Vec<Violation>,
+    /// FNV-1a digest over every frame transmission of the faulted pass
+    /// (time, endpoints, bytes) — the replay fingerprint.
+    pub digest: u64,
+    /// Fault-free duration from the probe pass (zero if not needed).
+    pub probe_duration: SimDuration,
+    /// Virtual time the faulted pass consumed.
+    pub virtual_duration: SimDuration,
+    /// Crash/pause → takeover delay, when a takeover happened.
+    pub takeover_latency: Option<SimDuration>,
+    /// Bytes the client received.
+    pub bytes_received: u64,
+    /// Per-injection counters: (op description, matched, fired).
+    pub injections: Vec<(String, u64, u64)>,
+}
+
+impl RunReport {
+    /// True when every oracle stayed green.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The first violation's oracle, if any.
+    pub fn first_oracle(&self) -> Option<OracleKind> {
+        self.violations.first().map(|v| v.oracle)
+    }
+}
+
+fn scenario_spec(spec: &RunSpec) -> ScenarioSpec {
+    // The in-network packet logger (§3.2) is part of the full ST-TCP
+    // deployment and is what makes tap omissions recoverable even when
+    // the primary dies before healing them over the side channel
+    // (double failures). Chaos runs exercise that full configuration.
+    let mut sc = ScenarioSpec::new(spec.workload).st_tcp(sttcp_cfg(spec)).closing().with_logger();
+    if spec.fencing {
+        sc = sc.with_power_switch();
+    }
+    sc.seed = spec.seed;
+    sc
+}
+
+fn sttcp_cfg(spec: &RunSpec) -> SttcpConfig {
+    let mut cfg = SttcpConfig::new(addrs::VIP, 80).with_logger();
+    if spec.fencing {
+        cfg = cfg.with_fencing(0);
+    }
+    cfg
+}
+
+// ---------------------------------------------------------------------
+// Frame classification for matchers and the probe.
+
+fn parse_ipv4(frame: &Bytes) -> Option<Ipv4Packet> {
+    let eth = EthernetFrame::parse(frame.clone()).ok()?;
+    if eth.ethertype != EtherType::Ipv4 {
+        return None;
+    }
+    Ipv4Packet::parse(eth.payload).ok()
+}
+
+/// Tapped inbound service data: client→VIP TCP segments (what the
+/// backup buffers, §4.2).
+fn is_tap_data(frame: &Bytes) -> bool {
+    parse_ipv4(frame)
+        .map(|ip| ip.protocol == IpProtocol::Tcp && ip.dst == addrs::VIP)
+        .unwrap_or(false)
+}
+
+/// Any tapped VIP traffic, both directions (a full tap partition).
+fn is_tap_any(frame: &Bytes) -> bool {
+    parse_ipv4(frame)
+        .map(|ip| ip.protocol == IpProtocol::Tcp && (ip.dst == addrs::VIP || ip.src == addrs::VIP))
+        .unwrap_or(false)
+}
+
+/// A side-channel datagram (the only UDP in the simulation is the
+/// ST-TCP side channel; match the destination port to be precise).
+fn is_side_channel(frame: &Bytes, side_port: u16) -> bool {
+    parse_ipv4(frame)
+        .and_then(|ip| {
+            if ip.protocol != IpProtocol::Udp {
+                return None;
+            }
+            let udp = UdpDatagram::parse(ip.payload.clone(), ip.src, ip.dst).ok()?;
+            Some(udp.dst_port == side_port)
+        })
+        .unwrap_or(false)
+}
+
+// ---------------------------------------------------------------------
+// Probe observer: trace digest, VIP senders, first FIN.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+#[derive(Debug)]
+struct ProbeState {
+    digest: u64,
+    /// Latest departure time of a VIP-sourced frame per *originating*
+    /// server node (forwarding hops are excluded by the caller).
+    vip_last_sent: BTreeMap<usize, SimTime>,
+    first_fin: Option<SimTime>,
+}
+
+impl ProbeState {
+    fn new() -> Self {
+        ProbeState { digest: FNV_OFFSET, vip_last_sent: BTreeMap::new(), first_fin: None }
+    }
+}
+
+fn attach_probe(sim: &mut Simulator, servers: Vec<NodeId>) -> Rc<RefCell<ProbeState>> {
+    let state = Rc::new(RefCell::new(ProbeState::new()));
+    let handle = Rc::clone(&state);
+    sim.set_probe(move |ev| {
+        let mut st = handle.borrow_mut();
+        let mut h = st.digest;
+        h = fnv1a(h, &ev.time.as_nanos().to_le_bytes());
+        h = fnv1a(h, &(ev.from.0 as u64).to_le_bytes());
+        h = fnv1a(h, &(ev.to.0 as u64).to_le_bytes());
+        h = fnv1a(h, ev.frame);
+        st.digest = h;
+        let from_server = servers.contains(&ev.from);
+        if !from_server && st.first_fin.is_some() {
+            return;
+        }
+        if let Some(ip) = parse_ipv4(ev.frame) {
+            if ip.protocol == IpProtocol::Tcp {
+                let vip_sourced = ip.src == addrs::VIP;
+                if vip_sourced && from_server {
+                    st.vip_last_sent.insert(ev.from.0, ev.time);
+                }
+                if st.first_fin.is_none() && (vip_sourced || ip.dst == addrs::VIP) {
+                    if let Ok(seg) = TcpSegment::parse(ip.payload.clone(), ip.src, ip.dst) {
+                        if seg.flags.contains(TcpFlags::FIN) {
+                            st.first_fin = Some(ev.time);
+                        }
+                    }
+                }
+            }
+        }
+    });
+    state
+}
+
+// ---------------------------------------------------------------------
+// Probe pass.
+
+/// Measures the fault-free [`Profile`] for a spec (ignoring its plan).
+/// Returns the failed report if even the fault-free run cannot finish.
+pub fn measure_profile(spec: &RunSpec) -> Result<Profile, RunReport> {
+    let mut sc = build(&scenario_spec(spec));
+    let probe_state = attach_probe(&mut sc.sim, vec![sc.primary]);
+    let out = sc.run_classified(spec.limit, spec.max_events);
+    if !out.completed() {
+        return Err(RunReport {
+            reason: out.reason,
+            violations: vec![Violation {
+                oracle: OracleKind::Completion,
+                at: out.stopped_at,
+                detail: format!(
+                    "fault-free probe run stopped: {:?} after {}/{} bytes",
+                    out.reason, out.progress.0, out.progress.1
+                ),
+            }],
+            digest: probe_state.borrow().digest,
+            probe_duration: SimDuration::ZERO,
+            virtual_duration: out.stopped_at.duration_since(SimTime::ZERO),
+            takeover_latency: None,
+            bytes_received: out.progress.0,
+            injections: Vec::new(),
+        });
+    }
+    let first_fin = probe_state.borrow().first_fin;
+    Ok(Profile { duration: out.stopped_at.duration_since(SimTime::ZERO), first_fin })
+}
+
+// ---------------------------------------------------------------------
+// Plan installation.
+
+struct Installed {
+    /// Earliest instant an op incapacitates the primary.
+    incapacitated_at: Option<SimTime>,
+    /// Sequence-agreement sampling is valid strictly before this time.
+    seq_check_until: SimTime,
+    /// (op description, node, rule) for post-run stat collection.
+    rules: Vec<(String, NodeId, RuleId)>,
+}
+
+fn install_plan(sc: &mut Scenario, spec: &RunSpec, profile: &Profile) -> Installed {
+    let side_port = sttcp_cfg(spec).side_channel_port;
+    let mut incapacitated_at: Option<SimTime> = None;
+    let mut seq_check_until = SimTime::MAX;
+    let mut rules = Vec::new();
+    let note_incapacity = |at: SimTime, until: &mut SimTime, inc: &mut Option<SimTime>| {
+        *inc = Some(inc.map_or(at, |prev: SimTime| prev.min(at)));
+        *until = (*until).min(at);
+    };
+    for op in &spec.plan.ops {
+        let side_node = |sc: &Scenario, target: SideTarget| match target {
+            SideTarget::Primary => Some(sc.primary),
+            SideTarget::Backup => sc.backup,
+        };
+        match *op {
+            FaultOp::CrashPrimary { quantile_pct } => {
+                let at = profile.at_pct(quantile_pct);
+                sc.sim.schedule_crash(sc.primary, at);
+                note_incapacity(at, &mut seq_check_until, &mut incapacitated_at);
+            }
+            FaultOp::CrashPrimaryNearFin => {
+                // Fall back to 95 % when the probe saw no FIN (the
+                // workload should close, but stay total regardless).
+                let at = profile.first_fin.unwrap_or_else(|| profile.at_pct(95));
+                sc.sim.schedule_crash(sc.primary, at);
+                note_incapacity(at, &mut seq_check_until, &mut incapacitated_at);
+            }
+            FaultOp::PausePrimary { at_pct, dur_ms } => {
+                let at = profile.at_pct(at_pct);
+                sc.sim.schedule_pause(sc.primary, at, SimDuration::from_millis(dur_ms));
+                note_incapacity(at, &mut seq_check_until, &mut incapacitated_at);
+            }
+            FaultOp::TapDrop { skip, count } => {
+                if let Some(backup) = sc.backup {
+                    let id =
+                        sc.sim.add_ingress_rule(backup, DropRule::window(skip, count, is_tap_data));
+                    rules.push((format!("tap_drop(skip {skip}, {count})"), backup, id));
+                }
+            }
+            FaultOp::TapPartition { from_pct, dur_ms } => {
+                if let Some(backup) = sc.backup {
+                    let from = profile.at_pct(from_pct);
+                    let until = from + SimDuration::from_millis(dur_ms);
+                    let rule = DropRule::all(is_tap_any).between(from, until);
+                    let id = sc.sim.add_ingress_rule(backup, rule);
+                    rules.push((format!("tap_partition@{from_pct}%/{dur_ms}ms"), backup, id));
+                    // The backup misses everything in the window; its
+                    // shadow may legitimately trail or resync after.
+                    seq_check_until = seq_check_until.min(from);
+                }
+            }
+            FaultOp::SideDrop { target, skip, count } => {
+                if let Some(node) = side_node(sc, target) {
+                    let rule = DropRule::window(skip, count, move |f: &Bytes| {
+                        is_side_channel(f, side_port)
+                    });
+                    let id = sc.sim.add_ingress_rule(node, rule);
+                    rules.push((format!("side_drop@{target:?}(skip {skip}, {count})"), node, id));
+                }
+            }
+            FaultOp::SideDelay { target, delay_ms } => {
+                if let Some(node) = side_node(sc, target) {
+                    let rule =
+                        DelayRule::by(SimDuration::from_millis(delay_ms), move |f: &Bytes| {
+                            is_side_channel(f, side_port)
+                        });
+                    let id = sc.sim.add_ingress_rule(node, rule);
+                    rules.push((format!("side_delay@{target:?}({delay_ms}ms)"), node, id));
+                }
+            }
+            FaultOp::SideDuplicate { target, offset_ms } => {
+                if let Some(node) = side_node(sc, target) {
+                    let rule = DuplicateRule::after(
+                        SimDuration::from_millis(offset_ms),
+                        move |f: &Bytes| is_side_channel(f, side_port),
+                    );
+                    let id = sc.sim.add_ingress_rule(node, rule);
+                    rules.push((format!("side_dup@{target:?}({offset_ms}ms)"), node, id));
+                }
+            }
+        }
+    }
+    Installed { incapacitated_at, seq_check_until, rules }
+}
+
+// ---------------------------------------------------------------------
+// Sampled oracles.
+
+fn seq_le(a: SeqNum, b: SeqNum) -> bool {
+    (b.0.wrapping_sub(a.0) as i32) >= 0
+}
+
+fn sample_oracles(
+    sc: &Scenario,
+    installed: &Installed,
+    violations: &mut Vec<Violation>,
+    already: &mut [bool; 2],
+) {
+    let now = sc.sim.now();
+    let primary = sc.sim.node_ref::<ServerNode>(sc.primary);
+    // Retention bound: occupancy never exceeds configured capacity.
+    if !already[0] {
+        let cap = primary.stack().config().tcp.retention_buf;
+        for sock in primary.stack().socks() {
+            if let Some(tcb) = primary.stack().tcb(sock) {
+                if tcb.retained() > cap {
+                    violations.push(Violation {
+                        oracle: OracleKind::RetentionBound,
+                        at: now,
+                        detail: format!(
+                            "primary retains {} bytes > capacity {cap} on {:?}",
+                            tcb.retained(),
+                            tcb.quad()
+                        ),
+                    });
+                    already[0] = true;
+                }
+            }
+        }
+    }
+    // Sequence agreement: before the primary is incapacitated (and
+    // before any tap partition), the shadow never leads the primary.
+    if !already[1] && now < installed.seq_check_until {
+        if let Some(backup_id) = sc.backup {
+            let backup = sc.sim.node_ref::<ServerNode>(backup_id);
+            let taken_over = backup.backup_engine().map(|e| e.has_taken_over()).unwrap_or(false);
+            if !taken_over {
+                for sock in backup.stack().socks() {
+                    let Some(btcb) = backup.stack().tcb(sock) else { continue };
+                    if !btcb.state().is_synchronized() {
+                        continue;
+                    }
+                    let Some(psock) = primary.stack().sock_by_quad(btcb.quad()) else { continue };
+                    let Some(ptcb) = primary.stack().tcb(psock) else { continue };
+                    if !ptcb.state().is_synchronized() {
+                        continue;
+                    }
+                    if !seq_le(btcb.rcv_nxt(), ptcb.rcv_nxt()) {
+                        violations.push(Violation {
+                            oracle: OracleKind::SeqAgreement,
+                            at: now,
+                            detail: format!(
+                                "backup shadow rcv_nxt {} ahead of primary {} on {:?}",
+                                btcb.rcv_nxt(),
+                                ptcb.rcv_nxt(),
+                                btcb.quad()
+                            ),
+                        });
+                        already[1] = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The full run.
+
+/// Executes one chaos run (probe pass if the plan needs one, then the
+/// faulted pass) and judges it against every oracle.
+pub fn execute(spec: &RunSpec) -> RunReport {
+    let profile = if spec.plan.needs_probe() {
+        match measure_profile(spec) {
+            Ok(p) => p,
+            Err(report) => return report,
+        }
+    } else {
+        Profile::default()
+    };
+    execute_with_profile(spec, &profile)
+}
+
+/// Executes the faulted pass against an already-measured [`Profile`]
+/// (campaigns reuse probes across plans sharing a workload and seed).
+pub fn execute_with_profile(spec: &RunSpec, profile: &Profile) -> RunReport {
+    let cfg = sttcp_cfg(spec);
+    let mut sc = build(&scenario_spec(spec));
+    let installed = install_plan(&mut sc, spec, profile);
+    let mut servers = vec![sc.primary];
+    servers.extend(sc.backup);
+    let probe_state = attach_probe(&mut sc.sim, servers);
+
+    let mut violations = Vec::new();
+    let mut sampled_already = [false; 2];
+    let t0 = sc.sim.now();
+    let deadline = t0 + spec.limit;
+    let chunk = SimDuration::from_millis(50);
+    let events_before = sc.sim.trace().events_processed;
+    let reason = loop {
+        if sc.client_app().is_done() {
+            break StopReason::Completed;
+        }
+        if sc.sim.now() >= deadline {
+            break StopReason::TimeLimit;
+        }
+        if sc.sim.trace().events_processed - events_before >= spec.max_events {
+            break StopReason::EventLimit;
+        }
+        if sc.sim.pending_events() == 0 {
+            break StopReason::WedgedClient;
+        }
+        sc.sim.run_for(chunk);
+        sample_oracles(&sc, &installed, &mut violations, &mut sampled_already);
+    };
+    let stopped_at = sc.sim.now();
+
+    // ---- terminal oracles -------------------------------------------
+    let metrics = sc.client_app().metrics.clone();
+    let progress = sc.client_app().progress();
+    if metrics.content_errors > 0 {
+        violations.push(Violation {
+            oracle: OracleKind::ClientIntegrity,
+            at: stopped_at,
+            detail: format!(
+                "{} content errors, first at byte offset {:?}",
+                metrics.content_errors, metrics.first_error_pos
+            ),
+        });
+    }
+    if reason != StopReason::Completed {
+        violations.push(Violation {
+            oracle: OracleKind::Completion,
+            at: stopped_at,
+            detail: format!("run stopped: {:?} after {}/{} bytes", reason, progress.0, progress.1),
+        });
+    }
+
+    let takeover_at = sc.backup_engine().and_then(|e| e.takeover_at());
+    let takeover_latency = match (installed.incapacitated_at, takeover_at) {
+        (Some(fault), Some(tk)) => tk.checked_duration_since(fault),
+        _ => None,
+    };
+
+    // Takeover latency bound: detection threshold + one sync tick +
+    // schedule-added detector slack + fencing round-trip margin.
+    if let (Some(fault_at), Some(tk)) = (installed.incapacitated_at, takeover_at) {
+        let hb_ms = cfg.hb_interval.as_millis();
+        let bound = SimDuration::from_millis(
+            hb_ms * u64::from(cfg.missed_hb_threshold + 2)
+                + cfg.effective_sync_time().as_millis()
+                + spec.plan.detector_slack_ms(hb_ms)
+                + 100,
+        );
+        match tk.checked_duration_since(fault_at) {
+            Some(latency) if latency > bound => violations.push(Violation {
+                oracle: OracleKind::TakeoverLatency,
+                at: tk,
+                detail: format!("takeover {latency} after fault exceeds bound {bound}"),
+            }),
+            Some(_) => {}
+            None => violations.push(Violation {
+                oracle: OracleKind::TakeoverLatency,
+                at: tk,
+                detail: format!("takeover at {tk} precedes the fault at {fault_at}"),
+            }),
+        }
+    }
+    if let (Some(fault_at), None) = (installed.incapacitated_at, takeover_at) {
+        // The primary died mid-workload and nobody took over — only a
+        // problem if the workload then failed to finish (a crash after
+        // the last byte needs no takeover).
+        if reason != StopReason::Completed && fault_at < stopped_at {
+            violations.push(Violation {
+                oracle: OracleKind::TakeoverLatency,
+                at: stopped_at,
+                detail: format!("primary incapacitated at {fault_at}, backup never took over"),
+            });
+        }
+    }
+
+    // False suspicion: an innocent schedule must not trigger takeover.
+    let hb_ms = cfg.hb_interval.as_millis();
+    let detection_ms = hb_ms * u64::from(cfg.missed_hb_threshold);
+    if let Some(tk) = takeover_at {
+        if !spec.plan.incapacitates_primary() && spec.plan.detector_slack_ms(hb_ms) < detection_ms {
+            violations.push(Violation {
+                oracle: OracleKind::FalseSuspicion,
+                at: tk,
+                detail: format!(
+                    "takeover at {tk} though the schedule never incapacitated the primary"
+                ),
+            });
+        }
+    }
+
+    // Single server: after takeover (plus a small in-flight grace), only
+    // the backup may source VIP traffic.
+    if let Some(tk) = takeover_at {
+        let grace = SimDuration::from_millis(5);
+        let st = probe_state.borrow();
+        for (&node, &last) in &st.vip_last_sent {
+            if node != sc.backup.map(|b| b.0).unwrap_or(usize::MAX) && last > tk + grace {
+                violations.push(Violation {
+                    oracle: OracleKind::SingleServer,
+                    at: last,
+                    detail: format!(
+                        "node {node} still sourcing VIP traffic at {last}, {} after takeover",
+                        last.duration_since(tk)
+                    ),
+                });
+            }
+        }
+    }
+
+    // Eventual close: a completed closing workload must fully tear down.
+    if reason == StopReason::Completed {
+        sc.sim.run_for(SimDuration::from_secs(3));
+        let client = sc.sim.node_ref::<sttcp::node::ClientNode>(sc.client);
+        let state = client.sock().and_then(|s| client.stack().state(s));
+        let closed = matches!(state, None | Some(TcpState::Closed) | Some(TcpState::TimeWait));
+        if !closed {
+            violations.push(Violation {
+                oracle: OracleKind::EventualClose,
+                at: sc.sim.now(),
+                detail: format!("client connection stuck in {state:?} after completion"),
+            });
+        }
+    }
+
+    let injections = installed
+        .rules
+        .iter()
+        .map(|(desc, node, id)| {
+            let stats = sc.sim.ingress_rule_stats(*node, *id);
+            (desc.clone(), stats.matched, stats.fired)
+        })
+        .collect();
+
+    let digest = probe_state.borrow().digest;
+    RunReport {
+        reason,
+        violations,
+        digest,
+        probe_duration: profile.duration,
+        virtual_duration: stopped_at.duration_since(t0),
+        takeover_latency,
+        bytes_received: metrics.bytes_received,
+        injections,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_le_handles_wraparound() {
+        assert!(seq_le(SeqNum(5), SeqNum(5)));
+        assert!(seq_le(SeqNum(5), SeqNum(6)));
+        assert!(!seq_le(SeqNum(6), SeqNum(5)));
+        assert!(seq_le(SeqNum(u32::MAX), SeqNum(3)), "wrap: MAX < 3");
+        assert!(!seq_le(SeqNum(3), SeqNum(u32::MAX)));
+    }
+
+    #[test]
+    fn profile_pct_maps_linearly() {
+        let p = Profile { duration: SimDuration::from_secs(10), first_fin: None };
+        assert_eq!(p.at_pct(0), SimTime::ZERO);
+        assert_eq!(p.at_pct(50), SimTime::ZERO + SimDuration::from_secs(5));
+        assert_eq!(p.at_pct(100), SimTime::ZERO + SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn fnv_digest_is_order_sensitive() {
+        let a = fnv1a(fnv1a(FNV_OFFSET, b"ab"), b"cd");
+        let b = fnv1a(fnv1a(FNV_OFFSET, b"cd"), b"ab");
+        assert_ne!(a, b);
+    }
+}

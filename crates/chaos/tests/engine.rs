@@ -1,0 +1,115 @@
+//! End-to-end tests of the chaos engine against the real simulator.
+//!
+//! Kept deliberately small (debug-mode friendly): a handful of
+//! representative runs rather than a full campaign — `chaos-hunt` and
+//! the CI `chaos-smoke` job cover the matrices in release mode.
+
+use apps::Workload;
+use chaos::{
+    broken_config_canary, execute, shrink, FailureArtifact, FaultOp, FaultPlan, OracleKind,
+    RunSpec, SideTarget,
+};
+
+fn plan(ops: &[FaultOp]) -> FaultPlan {
+    FaultPlan { ops: ops.to_vec() }
+}
+
+#[test]
+fn fault_free_run_is_green() {
+    let spec = RunSpec::new(Workload::Echo { requests: 20 }, 1, plan(&[]));
+    let report = execute(&spec);
+    assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+    assert!(report.takeover_latency.is_none(), "no fault, no takeover");
+}
+
+#[test]
+fn crash_with_tap_loss_recovers_and_is_green() {
+    // Representative hard case: a mid-run crash combined with tap loss.
+    let spec = RunSpec::new(
+        Workload::Echo { requests: 20 },
+        1,
+        plan(&[FaultOp::CrashPrimary { quantile_pct: 50 }, FaultOp::TapDrop { skip: 2, count: 2 }]),
+    );
+    let report = execute(&spec);
+    assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+    assert!(report.takeover_latency.is_some(), "a crashed primary must hand over");
+}
+
+#[test]
+fn synack_only_window_bulk_regression() {
+    // Regression for a gap the chaos engine originally found: the tap
+    // misses the client's SYN and the primary dies before its first
+    // data segment — the tapped SYN/ACK is then the only evidence the
+    // connection exists and must trigger the logger bootstrap.
+    let spec = RunSpec::new(
+        Workload::Bulk { file_size: 64 * 1024 },
+        1,
+        plan(&[FaultOp::CrashPrimary { quantile_pct: 10 }, FaultOp::TapDrop { skip: 0, count: 1 }]),
+    );
+    let report = execute(&spec);
+    assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+}
+
+#[test]
+fn runs_are_bit_deterministic() {
+    let spec = RunSpec::new(
+        Workload::Echo { requests: 15 },
+        3,
+        plan(&[
+            FaultOp::CrashPrimary { quantile_pct: 30 },
+            FaultOp::SideDelay { target: SideTarget::Backup, delay_ms: 60 },
+        ]),
+    );
+    let a = execute(&spec);
+    let b = execute(&spec);
+    assert_eq!(a.digest, b.digest, "identical specs must produce identical frame traces");
+    assert_eq!(a.virtual_duration, b.virtual_duration);
+    assert_eq!(a.takeover_latency, b.takeover_latency);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let mk = |seed| RunSpec::new(Workload::Echo { requests: 15 }, seed, plan(&[]));
+    let a = execute(&mk(1));
+    let b = execute(&mk(2));
+    assert_ne!(a.digest, b.digest, "seeds must actually vary the trace");
+}
+
+#[test]
+fn canary_is_caught_shrunk_and_replayable() {
+    // The oracle-teeth proof: fencing disabled + paused primary is a
+    // split-brain the single-server oracle must catch; the failure must
+    // shrink to a non-empty minimal schedule whose artifact replays.
+    let spec = broken_config_canary();
+    let report = execute(&spec);
+    assert!(
+        report.violations.iter().any(|v| v.oracle == OracleKind::SingleServer),
+        "split brain must be caught: {:?}",
+        report.violations
+    );
+
+    let result = shrink(&spec, OracleKind::SingleServer, 16).expect("original failure reproduces");
+    assert!(!result.minimal.plan.ops.is_empty(), "shrink must not empty the schedule");
+    assert!(result.minimal.plan.ops.len() <= spec.plan.ops.len());
+
+    let artifact =
+        FailureArtifact::capture(&result.minimal, &result.report, OracleKind::SingleServer);
+    let text = artifact.to_json();
+    let parsed = FailureArtifact::from_json(&text).expect("artifact round-trips");
+    let (reproduced, _) = parsed.replay();
+    assert!(reproduced, "minimal artifact must replay bit-exactly");
+}
+
+#[test]
+fn innocent_side_channel_noise_is_not_flagged() {
+    // Side-channel jitter alone must neither violate an oracle nor
+    // trigger a spurious takeover (false-suspicion check).
+    let spec = RunSpec::new(
+        Workload::Echo { requests: 20 },
+        1,
+        plan(&[FaultOp::SideDuplicate { target: SideTarget::Backup, offset_ms: 5 }]),
+    );
+    let report = execute(&spec);
+    assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+    assert!(report.takeover_latency.is_none(), "no takeover without a real fault");
+}

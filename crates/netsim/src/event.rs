@@ -23,6 +23,19 @@ pub enum EventKind {
         /// Frame contents.
         frame: Bytes,
     },
+    /// Deliver a frame to `node` on `port`, bypassing ingress rules.
+    ///
+    /// Used to re-inject frames an ingress [`crate::fault::DelayRule`]
+    /// held back or a [`crate::fault::DuplicateRule`] copied — running
+    /// them through the rules again would delay/duplicate them forever.
+    InjectedFrame {
+        /// Receiving node.
+        node: NodeId,
+        /// Receiving port.
+        port: PortId,
+        /// Frame contents.
+        frame: Bytes,
+    },
     /// Wake `node`'s `on_timer` with `token`.
     Timer {
         /// Node to wake.
@@ -71,6 +84,7 @@ impl PartialOrd for Entry {
 pub fn event_target(kind: &EventKind) -> Option<NodeId> {
     match kind {
         EventKind::Frame { node, .. }
+        | EventKind::InjectedFrame { node, .. }
         | EventKind::Timer { node, .. }
         | EventKind::Start { node } => Some(*node),
         EventKind::Control(_) => None,

@@ -1,105 +1,339 @@
-//! Fault injection: targeted ingress drops.
+//! Fault injection: targeted ingress drops, delays, and duplications.
 //!
 //! Crash failures are scheduled directly on the [`crate::Simulator`]
-//! (`schedule_crash`); this module provides *omission* failures — frames
-//! silently lost on their way into a node, modelling the "IP stack on the
-//! backup server drops IP packets because of an IP-buffer overflow"
-//! scenario of paper §4.2 that motivates the second receive buffer and
-//! the missing-segment protocol.
+//! (`schedule_crash`); this module provides *message* failures — frames
+//! lost, held back, or repeated on their way into a node. Drops model
+//! the "IP stack on the backup server drops IP packets because of an
+//! IP-buffer overflow" scenario of paper §4.2 that motivates the second
+//! receive buffer and the missing-segment protocol; delays and
+//! duplicates model the reordering and repetition an asynchronous
+//! network may inflict on the UDP side channel (heartbeats, backup
+//! acks, missing-segment replies), which the chaos campaigns sweep.
+//!
+//! All three rule kinds share the same selection machinery: a frame
+//! matcher, a `skip`/`count` window among matching frames, an
+//! independent firing probability, and an optional active window in
+//! virtual time (used e.g. to partition the tap for a bounded period).
 
 use crate::rng::SplitMix64;
+use crate::time::{SimDuration, SimTime};
 use bytes::Bytes;
 
 /// Predicate selecting which frames a rule applies to.
 pub type FrameMatcher = Box<dyn FnMut(&Bytes) -> bool>;
+
+/// Identifies one ingress rule on one node (dense per-node index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RuleId(pub usize);
+
+/// Per-rule counters, exposed through
+/// [`crate::Simulator::ingress_rule_stats`] so campaign reports can
+/// attribute which injection actually fired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleStats {
+    /// Frames that matched the rule's predicate.
+    pub matched: u64,
+    /// Frames the rule acted on (dropped, delayed, or duplicated).
+    pub fired: u64,
+}
+
+/// What an ingress rule decided for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngressAction {
+    /// Deliver the frame normally.
+    Deliver,
+    /// Silently discard the frame.
+    Drop,
+    /// Hold the frame and deliver it this much later.
+    Delay(SimDuration),
+    /// Deliver the frame now and again after this offset.
+    Duplicate(SimDuration),
+}
+
+/// The shared selection machinery: matcher, skip/count window,
+/// probability, and active time window.
+struct Gate {
+    matcher: FrameMatcher,
+    skip: u64,
+    count: Option<u64>,
+    prob: f64,
+    active: Option<(SimTime, SimTime)>,
+    stats: RuleStats,
+}
+
+impl std::fmt::Debug for Gate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gate")
+            .field("skip", &self.skip)
+            .field("count", &self.count)
+            .field("prob", &self.prob)
+            .field("active", &self.active)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Gate {
+    fn new(matcher: impl FnMut(&Bytes) -> bool + 'static) -> Self {
+        Gate {
+            matcher: Box::new(matcher),
+            skip: 0,
+            count: None,
+            prob: 1.0,
+            active: None,
+            stats: RuleStats::default(),
+        }
+    }
+
+    /// Decides whether the rule fires for this frame.
+    fn fires(&mut self, frame: &Bytes, now: SimTime, rng: &mut SplitMix64) -> bool {
+        if let Some((from, until)) = self.active {
+            if now < from || now >= until {
+                return false;
+            }
+        }
+        if !(self.matcher)(frame) {
+            return false;
+        }
+        self.stats.matched += 1;
+        if self.stats.matched <= self.skip {
+            return false;
+        }
+        if let Some(count) = self.count {
+            if self.stats.matched - self.skip > count {
+                return false;
+            }
+        }
+        let fire = self.prob >= 1.0 || rng.chance(self.prob);
+        if fire {
+            self.stats.fired += 1;
+        }
+        fire
+    }
+}
+
+macro_rules! windowing_builders {
+    () => {
+        /// After letting `skip` matching frames through, acts on the
+        /// next `count` matching frames. This is the precise "lose
+        /// exactly the n-th segment of the tap" tool the omission
+        /// experiments use.
+        #[must_use]
+        pub fn window(mut self, skip: u64, count: u64) -> Self {
+            self.gate.skip = skip;
+            self.gate.count = Some(count);
+            self
+        }
+
+        /// Acts on each matching frame independently with probability
+        /// `prob`.
+        #[must_use]
+        pub fn rate(mut self, prob: f64) -> Self {
+            self.gate.prob = prob;
+            self
+        }
+
+        /// Restricts the rule to frames arriving in `[from, until)`
+        /// virtual time (e.g. a bounded tap partition).
+        #[must_use]
+        pub fn between(mut self, from: SimTime, until: SimTime) -> Self {
+            self.gate.active = Some((from, until));
+            self
+        }
+
+        /// Counters for this rule so far.
+        pub fn stats(&self) -> RuleStats {
+            self.gate.stats
+        }
+
+        /// Number of frames that matched the predicate so far.
+        pub fn matched(&self) -> u64 {
+            self.gate.stats.matched
+        }
+    };
+}
 
 /// A rule dropping some frames on their way into a node.
 ///
 /// A frame is first tested against the matcher; among *matching* frames,
 /// the first `skip` pass through, then up to `count` are dropped (all of
 /// them if `count` is `None`), each with probability `prob`.
+#[derive(Debug)]
 pub struct DropRule {
-    matcher: FrameMatcher,
-    skip: u64,
-    count: Option<u64>,
-    prob: f64,
-    matched: u64,
-    dropped: u64,
-}
-
-impl std::fmt::Debug for DropRule {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DropRule")
-            .field("skip", &self.skip)
-            .field("count", &self.count)
-            .field("prob", &self.prob)
-            .field("matched", &self.matched)
-            .field("dropped", &self.dropped)
-            .finish_non_exhaustive()
-    }
+    gate: Gate,
 }
 
 impl DropRule {
     /// Drops every matching frame.
     pub fn all(matcher: impl FnMut(&Bytes) -> bool + 'static) -> Self {
-        DropRule {
-            matcher: Box::new(matcher),
-            skip: 0,
-            count: None,
-            prob: 1.0,
-            matched: 0,
-            dropped: 0,
-        }
+        DropRule { gate: Gate::new(matcher) }
     }
 
     /// Drops each matching frame independently with probability `prob`.
     pub fn rate(prob: f64, matcher: impl FnMut(&Bytes) -> bool + 'static) -> Self {
-        DropRule { matcher: Box::new(matcher), skip: 0, count: None, prob, matched: 0, dropped: 0 }
+        DropRule::all(matcher).with_prob(prob)
     }
 
     /// After letting `skip` matching frames through, drops the next
-    /// `count` matching frames. This is the precise "lose exactly the
-    /// n-th segment of the tap" tool the omission experiments use.
+    /// `count` matching frames.
     pub fn window(skip: u64, count: u64, matcher: impl FnMut(&Bytes) -> bool + 'static) -> Self {
-        DropRule {
-            matcher: Box::new(matcher),
-            skip,
-            count: Some(count),
-            prob: 1.0,
-            matched: 0,
-            dropped: 0,
-        }
+        let mut rule = DropRule::all(matcher);
+        rule.gate.skip = skip;
+        rule.gate.count = Some(count);
+        rule
+    }
+
+    #[must_use]
+    fn with_prob(mut self, prob: f64) -> Self {
+        self.gate.prob = prob;
+        self
+    }
+
+    /// Restricts the rule to frames arriving in `[from, until)`.
+    #[must_use]
+    pub fn between(mut self, from: SimTime, until: SimTime) -> Self {
+        self.gate.active = Some((from, until));
+        self
     }
 
     /// Decides the fate of one incoming frame; `true` means drop.
-    pub fn should_drop(&mut self, frame: &Bytes, rng: &mut SplitMix64) -> bool {
-        if !(self.matcher)(frame) {
-            return false;
-        }
-        self.matched += 1;
-        if self.matched <= self.skip {
-            return false;
-        }
-        if let Some(count) = self.count {
-            if self.matched - self.skip > count {
-                return false;
-            }
-        }
-        let drop = self.prob >= 1.0 || rng.chance(self.prob);
-        if drop {
-            self.dropped += 1;
-        }
-        drop
+    pub fn should_drop(&mut self, frame: &Bytes, now: SimTime, rng: &mut SplitMix64) -> bool {
+        self.gate.fires(frame, now, rng)
     }
 
     /// Number of frames this rule has dropped so far.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.gate.stats.fired
+    }
+
+    /// Counters for this rule so far.
+    pub fn stats(&self) -> RuleStats {
+        self.gate.stats
     }
 
     /// Number of frames that matched the predicate so far.
     pub fn matched(&self) -> u64 {
-        self.matched
+        self.gate.stats.matched
+    }
+}
+
+/// A rule holding matching frames for a fixed virtual duration before
+/// delivery. Because only *matching* frames are held while others flow
+/// past, a delay rule doubles as a reordering fault.
+#[derive(Debug)]
+pub struct DelayRule {
+    gate: Gate,
+    delay: SimDuration,
+}
+
+impl DelayRule {
+    /// Delays every matching frame by `delay`.
+    pub fn by(delay: SimDuration, matcher: impl FnMut(&Bytes) -> bool + 'static) -> Self {
+        DelayRule { gate: Gate::new(matcher), delay }
+    }
+
+    windowing_builders!();
+
+    /// Decides the fate of one incoming frame.
+    pub fn decide(&mut self, frame: &Bytes, now: SimTime, rng: &mut SplitMix64) -> IngressAction {
+        if self.gate.fires(frame, now, rng) {
+            IngressAction::Delay(self.delay)
+        } else {
+            IngressAction::Deliver
+        }
+    }
+
+    /// Number of frames this rule has delayed so far.
+    pub fn delayed(&self) -> u64 {
+        self.gate.stats.fired
+    }
+}
+
+/// A rule delivering matching frames twice: once on time, once after
+/// `offset` (a repetition fault; `offset` controls how far the echo
+/// lands from the original).
+#[derive(Debug)]
+pub struct DuplicateRule {
+    gate: Gate,
+    offset: SimDuration,
+}
+
+impl DuplicateRule {
+    /// Duplicates every matching frame, the copy arriving `offset` later.
+    pub fn after(offset: SimDuration, matcher: impl FnMut(&Bytes) -> bool + 'static) -> Self {
+        DuplicateRule { gate: Gate::new(matcher), offset }
+    }
+
+    windowing_builders!();
+
+    /// Decides the fate of one incoming frame.
+    pub fn decide(&mut self, frame: &Bytes, now: SimTime, rng: &mut SplitMix64) -> IngressAction {
+        if self.gate.fires(frame, now, rng) {
+            IngressAction::Duplicate(self.offset)
+        } else {
+            IngressAction::Deliver
+        }
+    }
+
+    /// Number of frames this rule has duplicated so far.
+    pub fn duplicated(&self) -> u64 {
+        self.gate.stats.fired
+    }
+}
+
+/// Any ingress rule, as installed on a node via
+/// [`crate::Simulator::add_ingress_rule`].
+#[derive(Debug)]
+pub enum IngressRule {
+    /// Discard matching frames.
+    Drop(DropRule),
+    /// Hold matching frames for a duration (reordering).
+    Delay(DelayRule),
+    /// Deliver matching frames twice.
+    Duplicate(DuplicateRule),
+}
+
+impl IngressRule {
+    /// Decides the fate of one incoming frame.
+    pub fn decide(&mut self, frame: &Bytes, now: SimTime, rng: &mut SplitMix64) -> IngressAction {
+        match self {
+            IngressRule::Drop(r) => {
+                if r.should_drop(frame, now, rng) {
+                    IngressAction::Drop
+                } else {
+                    IngressAction::Deliver
+                }
+            }
+            IngressRule::Delay(r) => r.decide(frame, now, rng),
+            IngressRule::Duplicate(r) => r.decide(frame, now, rng),
+        }
+    }
+
+    /// Counters for this rule so far.
+    pub fn stats(&self) -> RuleStats {
+        match self {
+            IngressRule::Drop(r) => r.stats(),
+            IngressRule::Delay(r) => r.stats(),
+            IngressRule::Duplicate(r) => r.stats(),
+        }
+    }
+}
+
+impl From<DropRule> for IngressRule {
+    fn from(r: DropRule) -> Self {
+        IngressRule::Drop(r)
+    }
+}
+
+impl From<DelayRule> for IngressRule {
+    fn from(r: DelayRule) -> Self {
+        IngressRule::Delay(r)
+    }
+}
+
+impl From<DuplicateRule> for IngressRule {
+    fn from(r: DuplicateRule) -> Self {
+        IngressRule::Duplicate(r)
     }
 }
 
@@ -111,12 +345,14 @@ mod tests {
         |_| true
     }
 
+    const T0: SimTime = SimTime::ZERO;
+
     #[test]
     fn all_drops_everything_matching() {
         let mut rule = DropRule::all(|f: &Bytes| f.len() > 2);
         let mut rng = SplitMix64::new(1);
-        assert!(!rule.should_drop(&Bytes::from_static(b"ab"), &mut rng));
-        assert!(rule.should_drop(&Bytes::from_static(b"abc"), &mut rng));
+        assert!(!rule.should_drop(&Bytes::from_static(b"ab"), T0, &mut rng));
+        assert!(rule.should_drop(&Bytes::from_static(b"abc"), T0, &mut rng));
         assert_eq!(rule.dropped(), 1);
         assert_eq!(rule.matched(), 1);
     }
@@ -126,7 +362,7 @@ mod tests {
         let mut rule = DropRule::window(2, 3, any());
         let mut rng = SplitMix64::new(1);
         let f = Bytes::from_static(b"x");
-        let fates: Vec<bool> = (0..8).map(|_| rule.should_drop(&f, &mut rng)).collect();
+        let fates: Vec<bool> = (0..8).map(|_| rule.should_drop(&f, T0, &mut rng)).collect();
         assert_eq!(fates, vec![false, false, true, true, true, false, false, false]);
         assert_eq!(rule.dropped(), 3);
     }
@@ -137,7 +373,7 @@ mod tests {
             let mut rule = DropRule::rate(0.5, any());
             let mut rng = SplitMix64::new(42);
             let f = Bytes::from_static(b"x");
-            (0..100).map(|_| rule.should_drop(&f, &mut rng)).collect::<Vec<_>>()
+            (0..100).map(|_| rule.should_drop(&f, T0, &mut rng)).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
         let drops = run().iter().filter(|&&d| d).count();
@@ -149,6 +385,88 @@ mod tests {
         let mut rule = DropRule::rate(0.0, any());
         let mut rng = SplitMix64::new(3);
         let f = Bytes::from_static(b"x");
-        assert!((0..50).all(|_| !rule.should_drop(&f, &mut rng)));
+        assert!((0..50).all(|_| !rule.should_drop(&f, T0, &mut rng)));
+    }
+
+    #[test]
+    fn active_window_gates_in_time() {
+        let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+        let mut rule = DropRule::all(any()).between(t(10), t(20));
+        let mut rng = SplitMix64::new(1);
+        let f = Bytes::from_static(b"x");
+        assert!(!rule.should_drop(&f, t(9), &mut rng));
+        assert!(rule.should_drop(&f, t(10), &mut rng));
+        assert!(rule.should_drop(&f, t(19), &mut rng));
+        assert!(!rule.should_drop(&f, t(20), &mut rng), "until is exclusive");
+        // Frames outside the window do not consume the skip/count budget.
+        assert_eq!(rule.matched(), 2);
+        assert_eq!(rule.dropped(), 2);
+    }
+
+    #[test]
+    fn delay_rule_windows_like_drop() {
+        let d = SimDuration::from_millis(5);
+        let mut rule = DelayRule::by(d, any()).window(1, 2);
+        let mut rng = SplitMix64::new(1);
+        let f = Bytes::from_static(b"x");
+        let acts: Vec<IngressAction> = (0..5).map(|_| rule.decide(&f, T0, &mut rng)).collect();
+        assert_eq!(
+            acts,
+            vec![
+                IngressAction::Deliver,
+                IngressAction::Delay(d),
+                IngressAction::Delay(d),
+                IngressAction::Deliver,
+                IngressAction::Deliver,
+            ]
+        );
+        assert_eq!(rule.delayed(), 2);
+        assert_eq!(rule.matched(), 5);
+    }
+
+    #[test]
+    fn delay_rule_rate_is_deterministic() {
+        let run = || {
+            let mut rule = DelayRule::by(SimDuration::from_millis(1), any()).rate(0.5);
+            let mut rng = SplitMix64::new(9);
+            let f = Bytes::from_static(b"x");
+            (0..64).map(|_| rule.decide(&f, T0, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+        let delayed = run().iter().filter(|a| matches!(a, IngressAction::Delay(_))).count();
+        assert!((10..54).contains(&delayed), "rate 0.5 delayed {delayed}/64");
+    }
+
+    #[test]
+    fn duplicate_rule_fires_within_window_only() {
+        let off = SimDuration::from_millis(2);
+        let mut rule = DuplicateRule::after(off, any()).window(0, 1);
+        let mut rng = SplitMix64::new(1);
+        let f = Bytes::from_static(b"x");
+        assert_eq!(rule.decide(&f, T0, &mut rng), IngressAction::Duplicate(off));
+        assert_eq!(rule.decide(&f, T0, &mut rng), IngressAction::Deliver);
+        assert_eq!(rule.duplicated(), 1);
+        assert_eq!(rule.stats(), RuleStats { matched: 2, fired: 1 });
+    }
+
+    #[test]
+    fn ingress_rule_dispatches_all_kinds() {
+        let mut rng = SplitMix64::new(1);
+        let f = Bytes::from_static(b"x");
+        let mut drop: IngressRule = DropRule::all(any()).into();
+        let mut delay: IngressRule = DelayRule::by(SimDuration::from_millis(3), any()).into();
+        let mut dup: IngressRule = DuplicateRule::after(SimDuration::from_millis(4), any()).into();
+        assert_eq!(drop.decide(&f, T0, &mut rng), IngressAction::Drop);
+        assert_eq!(
+            delay.decide(&f, T0, &mut rng),
+            IngressAction::Delay(SimDuration::from_millis(3))
+        );
+        assert_eq!(
+            dup.decide(&f, T0, &mut rng),
+            IngressAction::Duplicate(SimDuration::from_millis(4))
+        );
+        for r in [&drop, &delay, &dup] {
+            assert_eq!(r.stats(), RuleStats { matched: 1, fired: 1 });
+        }
     }
 }

@@ -76,7 +76,9 @@ pub mod switch;
 pub mod time;
 pub mod trace;
 
-pub use fault::DropRule;
+pub use fault::{
+    DelayRule, DropRule, DuplicateRule, IngressAction, IngressRule, RuleId, RuleStats,
+};
 pub use hub::Hub;
 pub use link::{LinkId, LinkSpec, LinkStats, LossModel};
 pub use logger::PacketLogger;

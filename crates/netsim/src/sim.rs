@@ -1,7 +1,9 @@
 //! The [`Simulator`]: event loop, wiring, fault scheduling, inspection.
 
 use crate::event::{event_target, EventKind, EventQueue};
-use crate::fault::DropRule;
+use crate::fault::{
+    DelayRule, DropRule, DuplicateRule, IngressAction, IngressRule, RuleId, RuleStats,
+};
 use crate::link::{LinkId, LinkSpec, LinkStats, LossModel};
 use crate::node::{Context, ControlAction, Node, NodeId, PortId};
 use crate::rng::SplitMix64;
@@ -21,7 +23,7 @@ struct NodeSlot {
     /// Wiring, indexed by `PortId` (ports are node-local and dense, so a
     /// flat table beats hashing on the per-frame transmit path).
     ports: Vec<Option<(LinkId, usize)>>,
-    drops: Vec<DropRule>,
+    rules: Vec<IngressRule>,
 }
 
 struct LinkState {
@@ -47,6 +49,9 @@ pub struct Simulator {
     /// Recycled dispatch context (keeps its effect vectors' capacity, so
     /// steady-state dispatches allocate nothing).
     scratch: Option<Context>,
+    /// Every crash scheduled through [`Simulator::schedule_crash`], in
+    /// scheduling order (campaign reports attribute failures to it).
+    crash_schedule: Vec<(NodeId, SimTime)>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -84,6 +89,7 @@ impl Simulator {
             trace: Trace::default(),
             probe: None,
             scratch: None,
+            crash_schedule: Vec::new(),
         }
     }
 
@@ -97,7 +103,7 @@ impl Simulator {
             alive: true,
             paused_until: SimTime::ZERO,
             ports: Vec::new(),
-            drops: Vec::new(),
+            rules: Vec::new(),
         });
         self.queue.push(SimTime::ZERO, EventKind::Start { node: id });
         id
@@ -182,7 +188,13 @@ impl Simulator {
     /// From that instant the node receives no frames or timers and emits
     /// nothing — fail-stop semantics, the paper's §4.4 failure model.
     pub fn schedule_crash(&mut self, node: NodeId, at: SimTime) {
+        self.crash_schedule.push((node, at));
         self.queue.push(at, EventKind::Control(ControlAction::PowerOff(node)));
+    }
+
+    /// Every crash scheduled so far, in scheduling order.
+    pub fn crash_schedule(&self) -> &[(NodeId, SimTime)] {
+        &self.crash_schedule
     }
 
     /// Schedules powering `node` back on at `at`; it gets a fresh
@@ -215,14 +227,55 @@ impl Simulator {
         self.queue.push(from, EventKind::Control(ControlAction::Pause(node, from + duration)));
     }
 
-    /// Installs an ingress [`DropRule`] on `node` (tap-omission faults).
-    pub fn add_ingress_drop(&mut self, node: NodeId, rule: DropRule) {
-        self.nodes[node.0].drops.push(rule);
+    /// Installs any ingress rule on `node`; the returned [`RuleId`]
+    /// retrieves its counters via [`Simulator::ingress_rule_stats`].
+    pub fn add_ingress_rule(&mut self, node: NodeId, rule: impl Into<IngressRule>) -> RuleId {
+        let rules = &mut self.nodes[node.0].rules;
+        rules.push(rule.into());
+        RuleId(rules.len() - 1)
     }
 
-    /// Total frames dropped so far by `node`'s ingress rules.
+    /// Installs an ingress [`DropRule`] on `node` (tap-omission faults).
+    pub fn add_ingress_drop(&mut self, node: NodeId, rule: DropRule) -> RuleId {
+        self.add_ingress_rule(node, rule)
+    }
+
+    /// Installs an ingress [`DelayRule`] on `node` (reordering faults).
+    pub fn add_ingress_delay(&mut self, node: NodeId, rule: DelayRule) -> RuleId {
+        self.add_ingress_rule(node, rule)
+    }
+
+    /// Installs an ingress [`DuplicateRule`] on `node`.
+    pub fn add_ingress_duplicate(&mut self, node: NodeId, rule: DuplicateRule) -> RuleId {
+        self.add_ingress_rule(node, rule)
+    }
+
+    /// Counters of one ingress rule on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rule` was not returned for this `node`.
+    pub fn ingress_rule_stats(&self, node: NodeId, rule: RuleId) -> RuleStats {
+        self.nodes[node.0].rules[rule.0].stats()
+    }
+
+    /// Total frames dropped so far by `node`'s ingress drop rules.
     pub fn ingress_dropped(&self, node: NodeId) -> u64 {
-        self.nodes[node.0].drops.iter().map(|r| r.dropped()).sum()
+        self.nodes[node.0]
+            .rules
+            .iter()
+            .filter_map(|r| match r {
+                IngressRule::Drop(d) => Some(d.dropped()),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Number of events pending in the queue. A simulator with zero
+    /// pending events is *wedged*: nothing will ever happen again
+    /// without outside intervention.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
     }
 
     /// Statistics for a link.
@@ -283,8 +336,33 @@ impl Simulator {
             EventKind::Frame { node, port, frame } => {
                 if !self.nodes[node.0].alive {
                     self.trace.frames_to_dead_node += 1;
-                } else if self.ingress_should_drop(node, &frame) {
-                    self.trace.frames_dropped_ingress += 1;
+                } else {
+                    match self.ingress_decide(node, &frame) {
+                        IngressAction::Drop => self.trace.frames_dropped_ingress += 1,
+                        IngressAction::Delay(d) => {
+                            self.trace.frames_delayed_ingress += 1;
+                            self.queue
+                                .push(self.now + d, EventKind::InjectedFrame { node, port, frame });
+                        }
+                        IngressAction::Duplicate(d) => {
+                            self.trace.frames_duplicated_ingress += 1;
+                            self.queue.push(
+                                self.now + d,
+                                EventKind::InjectedFrame { node, port, frame: frame.clone() },
+                            );
+                            self.trace.frames_delivered += 1;
+                            self.dispatch(node, |n, ctx| n.on_frame(port, frame, ctx));
+                        }
+                        IngressAction::Deliver => {
+                            self.trace.frames_delivered += 1;
+                            self.dispatch(node, |n, ctx| n.on_frame(port, frame, ctx));
+                        }
+                    }
+                }
+            }
+            EventKind::InjectedFrame { node, port, frame } => {
+                if !self.nodes[node.0].alive {
+                    self.trace.frames_to_dead_node += 1;
                 } else {
                     self.trace.frames_delivered += 1;
                     self.dispatch(node, |n, ctx| n.on_frame(port, frame, ctx));
@@ -323,18 +401,29 @@ impl Simulator {
         self.run_until(deadline);
     }
 
-    fn ingress_should_drop(&mut self, node: NodeId, frame: &Bytes) -> bool {
+    /// Runs every ingress rule over the frame (all of them, so each
+    /// keeps counting) and combines their verdicts: drop beats delay
+    /// beats duplicate beats deliver; concurrent delays take the
+    /// longest hold.
+    fn ingress_decide(&mut self, node: NodeId, frame: &Bytes) -> IngressAction {
         let slot = &mut self.nodes[node.0];
-        if slot.drops.is_empty() {
-            return false;
+        if slot.rules.is_empty() {
+            return IngressAction::Deliver;
         }
-        let mut drop = false;
-        for rule in &mut slot.drops {
-            if rule.should_drop(frame, &mut self.rng) {
-                drop = true;
+        let mut verdict = IngressAction::Deliver;
+        for rule in &mut slot.rules {
+            match (rule.decide(frame, self.now, &mut self.rng), &mut verdict) {
+                (IngressAction::Drop, v) => *v = IngressAction::Drop,
+                (IngressAction::Delay(d), IngressAction::Delay(held)) => *held = (*held).max(d),
+                (IngressAction::Delay(_), IngressAction::Drop) => {}
+                (IngressAction::Delay(d), v) => *v = IngressAction::Delay(d),
+                (IngressAction::Duplicate(d), v @ IngressAction::Deliver) => {
+                    *v = IngressAction::Duplicate(d)
+                }
+                (IngressAction::Duplicate(_) | IngressAction::Deliver, _) => {}
             }
         }
-        drop
+        verdict
     }
 
     fn dispatch(&mut self, id: NodeId, call: impl FnOnce(&mut dyn Node, &mut Context)) {
@@ -629,6 +718,80 @@ mod tests {
         assert_eq!(sim.node_ref::<Sink>(b).received.len(), 8);
         assert_eq!(sim.ingress_dropped(b), 2);
         assert_eq!(sim.trace().frames_dropped_ingress, 2);
+    }
+
+    #[test]
+    fn ingress_delay_rule_defers_delivery() {
+        let (mut sim, a, b) = pair(LinkSpec::ideal().with_latency(SimDuration::from_millis(1)));
+        sim.node_mut::<Blaster>(a).count = 3;
+        sim.node_mut::<Blaster>(a).len = 64;
+        // Delay only the second frame by 10ms: it arrives after the third
+        // (reordering), nothing is lost.
+        let rule = DelayRule::by(SimDuration::from_millis(10), |_| true).window(1, 1);
+        let id = sim.add_ingress_delay(b, rule);
+        sim.run_until_idle(100);
+        let rx = &sim.node_ref::<Sink>(b).received;
+        assert_eq!(rx.len(), 3, "delay must never lose a frame");
+        assert_eq!(rx[0].0, SimTime::ZERO + SimDuration::from_millis(1));
+        assert_eq!(rx[1].0, SimTime::ZERO + SimDuration::from_millis(1));
+        assert_eq!(rx[2].0, SimTime::ZERO + SimDuration::from_millis(11), "held frame lands late");
+        assert_eq!(sim.ingress_rule_stats(b, id), RuleStats { matched: 3, fired: 1 });
+        assert_eq!(sim.trace().frames_delayed_ingress, 1);
+        assert_eq!(sim.ingress_dropped(b), 0);
+    }
+
+    #[test]
+    fn ingress_duplicate_rule_delivers_twice() {
+        let (mut sim, a, b) = pair(LinkSpec::ideal());
+        sim.node_mut::<Blaster>(a).count = 2;
+        sim.node_mut::<Blaster>(a).len = 64;
+        let rule = DuplicateRule::after(SimDuration::from_millis(5), |_| true).window(0, 1);
+        let id = sim.add_ingress_duplicate(b, rule);
+        sim.run_until_idle(100);
+        let rx = &sim.node_ref::<Sink>(b).received;
+        assert_eq!(rx.len(), 3, "one original duplicated once");
+        assert_eq!(sim.ingress_rule_stats(b, id), RuleStats { matched: 2, fired: 1 });
+        assert_eq!(sim.trace().frames_duplicated_ingress, 1);
+        // The copy bypasses ingress rules: it is not re-duplicated even
+        // with an unbounded rule.
+        let (mut sim2, a2, b2) = pair(LinkSpec::ideal());
+        sim2.node_mut::<Blaster>(a2).count = 1;
+        sim2.node_mut::<Blaster>(a2).len = 64;
+        sim2.add_ingress_duplicate(b2, DuplicateRule::after(SimDuration::from_millis(5), |_| true));
+        sim2.run_until_idle(100);
+        assert_eq!(sim2.node_ref::<Sink>(b2).received.len(), 2);
+    }
+
+    #[test]
+    fn drop_beats_delay_and_duplicate() {
+        let (mut sim, a, b) = pair(LinkSpec::ideal());
+        sim.node_mut::<Blaster>(a).count = 1;
+        sim.node_mut::<Blaster>(a).len = 64;
+        sim.add_ingress_delay(b, DelayRule::by(SimDuration::from_millis(5), |_| true));
+        sim.add_ingress_drop(b, DropRule::all(|_| true));
+        sim.add_ingress_duplicate(b, DuplicateRule::after(SimDuration::from_millis(5), |_| true));
+        sim.run_until_idle(100);
+        assert_eq!(sim.node_ref::<Sink>(b).received.len(), 0);
+        assert_eq!(sim.trace().frames_dropped_ingress, 1);
+    }
+
+    #[test]
+    fn crash_schedule_is_recorded() {
+        let mut sim = Simulator::new();
+        let a = sim.add_node("a", Blaster::new(0, 0));
+        let at = SimTime::ZERO + SimDuration::from_millis(7);
+        sim.schedule_crash(a, at);
+        assert_eq!(sim.crash_schedule(), &[(a, at)]);
+    }
+
+    #[test]
+    fn pending_events_reaches_zero_when_idle() {
+        let (mut sim, a, _b) = pair(LinkSpec::ideal());
+        sim.node_mut::<Blaster>(a).count = 1;
+        sim.node_mut::<Blaster>(a).len = 64;
+        assert!(sim.pending_events() > 0);
+        sim.run_until_idle(100);
+        assert_eq!(sim.pending_events(), 0);
     }
 
     #[test]

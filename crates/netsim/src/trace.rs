@@ -51,6 +51,10 @@ pub struct Trace {
     pub frames_lost_on_link: u64,
     /// Frames dropped by node ingress [`crate::DropRule`]s.
     pub frames_dropped_ingress: u64,
+    /// Frames held back by ingress [`crate::DelayRule`]s.
+    pub frames_delayed_ingress: u64,
+    /// Extra copies created by ingress [`crate::DuplicateRule`]s.
+    pub frames_duplicated_ingress: u64,
     /// Frames addressed to a crashed node.
     pub frames_to_dead_node: u64,
     /// Frames emitted on an unwired port.

@@ -164,10 +164,20 @@ impl BackupEngine {
         stack: &mut NetStack,
     ) {
         if is_syn {
-            if let Some(sock) = stack.sock_by_quad(key.server_quad()) {
-                if let Some(tcb) = stack.tcb_mut(sock) {
-                    tcb.shadow_resync_iss(primary_seq);
+            match stack.sock_by_quad(key.server_quad()) {
+                Some(sock) => {
+                    if let Some(tcb) = stack.tcb_mut(sock) {
+                        tcb.shadow_resync_iss(primary_seq);
+                    }
                 }
+                // A SYN/ACK for a quad we have no shadow of means the
+                // client's SYN was lost on the tap. Bootstrap right away:
+                // if the primary dies before sending any data segment
+                // (e.g. while the application prepares a reply), this
+                // SYN/ACK is the only tapped evidence the connection
+                // exists. Its ack field (client ISN + 1) anchors the
+                // replay window.
+                None => self.maybe_bootstrap(now, key, primary_ack),
             }
             return; // a SYN/ACK's ack field is the handshake, not data
         }
@@ -517,5 +527,32 @@ mod tests {
         e.on_tapped_primary_segment(SimTime::ZERO, key(), SeqNum(0), SeqNum(1000), false, &mut s);
         assert!(e.take_outbox().is_empty());
         assert_eq!(e.stats.missing_reqs, 0);
+    }
+
+    #[test]
+    fn unknown_conn_syn_ack_triggers_bootstrap() {
+        // A tapped SYN/ACK for a quad with no shadow is sometimes the
+        // ONLY evidence a connection exists (primary crashes before its
+        // first data segment), so it must fire the logger bootstrap.
+        let mut e = BackupEngine::new(cfg().with_logger(), 12 * 1024, SimTime::ZERO);
+        let mut s = backup_stack();
+        e.on_tapped_primary_segment(SimTime::ZERO, key(), SeqNum(5000), SeqNum(1001), true, &mut s);
+        assert_eq!(e.stats.bootstrap_queries, 1);
+        let queries = e.take_logger_queries();
+        assert_eq!(queries.len(), 1);
+        // The replay window is anchored by the SYN/ACK's ack field and
+        // must cover the client's ISN (1000, one below the ack).
+        let q = &queries[0];
+        assert!(q.seq_from.wrapping_sub(1000) as i32 <= 0, "window must reach back to the ISN");
+        assert!(1000u32.wrapping_sub(q.seq_to) as i32 <= 0, "window must extend past the ISN");
+    }
+
+    #[test]
+    fn unknown_conn_syn_ack_without_logger_is_ignored() {
+        let mut e = BackupEngine::new(cfg(), 12 * 1024, SimTime::ZERO);
+        let mut s = backup_stack();
+        e.on_tapped_primary_segment(SimTime::ZERO, key(), SeqNum(5000), SeqNum(1001), true, &mut s);
+        assert_eq!(e.stats.bootstrap_queries, 0);
+        assert!(e.take_logger_queries().is_empty());
     }
 }

@@ -61,4 +61,4 @@ pub use config::{Fencing, SttcpConfig};
 pub use messages::{ConnKey, SideMsg};
 pub use node::{ClientNode, GatewayNode, ServerNode};
 pub use primary::{PrimaryEngine, PrimaryStats};
-pub use scenario::{build, Scenario, ScenarioSpec, Topology};
+pub use scenario::{build, RunOutcome, Scenario, ScenarioSpec, StopReason, Topology};

@@ -416,6 +416,51 @@ pub fn build(spec: &ScenarioSpec) -> Scenario {
     Scenario { sim, client, primary, backup, fabric, logger, power, gateway }
 }
 
+/// Why a run stopped before the workload completed.
+///
+/// A bare "did not finish" is unclassifiable in a fault campaign; these
+/// reasons separate "the experiment needed more virtual time" from "the
+/// simulation physically cannot make further progress".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The workload finished; metrics are complete.
+    Completed,
+    /// The virtual-time limit passed with events still pending — a
+    /// longer limit might have finished (e.g. retransmission storms).
+    TimeLimit,
+    /// The event budget ran out before the time limit — a runaway
+    /// message loop rather than a slow experiment.
+    EventLimit,
+    /// The event queue drained with the client unfinished: no timer or
+    /// frame will ever fire again, so no limit would help (e.g. the
+    /// client's connection was reset and everything went quiet).
+    WedgedClient,
+}
+
+/// The classified result of driving a scenario: how it stopped, the
+/// client metrics so far (partial unless `Completed`), and how much the
+/// simulator worked.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Why the run stopped.
+    pub reason: StopReason,
+    /// Client metrics (complete only when `reason` is `Completed`).
+    pub metrics: RunMetrics,
+    /// Response bytes the client received out of the expected total.
+    pub progress: (u64, u64),
+    /// Simulator events processed during this call.
+    pub events: u64,
+    /// Virtual instant the run stopped at.
+    pub stopped_at: SimTime,
+}
+
+impl RunOutcome {
+    /// True when the workload finished.
+    pub fn completed(&self) -> bool {
+        self.reason == StopReason::Completed
+    }
+}
+
 impl Scenario {
     /// Runs until the client workload completes (or `limit` virtual
     /// time passes) and returns the client's metrics.
@@ -427,27 +472,54 @@ impl Scenario {
     /// [`Scenario::try_run_to_completion`] for experiments where a hang
     /// is an expected outcome (e.g. unmasked double failures).
     pub fn run_to_completion(&mut self, limit: SimDuration) -> RunMetrics {
-        match self.try_run_to_completion(limit) {
-            Some(metrics) => metrics,
-            None => panic!(
-                "workload did not complete within {limit} (received {} bytes)",
-                self.client_app().metrics.bytes_received
+        let outcome = self.try_run_to_completion(limit);
+        match outcome.reason {
+            StopReason::Completed => outcome.metrics,
+            reason => panic!(
+                "workload did not complete within {limit}: {reason:?} \
+                 (received {} of {} bytes)",
+                outcome.progress.0, outcome.progress.1
             ),
         }
     }
 
-    /// Like [`Scenario::run_to_completion`], but returns `None` instead
-    /// of panicking when the workload does not finish within `limit`.
-    pub fn try_run_to_completion(&mut self, limit: SimDuration) -> Option<RunMetrics> {
+    /// Like [`Scenario::run_to_completion`], but instead of panicking it
+    /// reports *why* the workload did not finish — time limit, event
+    /// limit (see [`Scenario::run_classified`]), or a wedged client.
+    pub fn try_run_to_completion(&mut self, limit: SimDuration) -> RunOutcome {
+        self.run_classified(limit, u64::MAX)
+    }
+
+    /// Drives the scenario until the workload completes, `limit`
+    /// virtual time passes, `max_events` simulator events fire, or the
+    /// event queue wedges — and says which.
+    pub fn run_classified(&mut self, limit: SimDuration, max_events: u64) -> RunOutcome {
         let deadline = self.sim.now() + limit;
         let chunk = SimDuration::from_millis(50);
-        while self.sim.now() < deadline {
-            self.sim.run_for(chunk);
+        let events_before = self.sim.trace().events_processed;
+        let spent = |sim: &Simulator| sim.trace().events_processed - events_before;
+        let reason = loop {
             if self.client_app().is_done() {
-                return Some(self.client_app().metrics.clone());
+                break StopReason::Completed;
             }
+            if self.sim.now() >= deadline {
+                break StopReason::TimeLimit;
+            }
+            if spent(&self.sim) >= max_events {
+                break StopReason::EventLimit;
+            }
+            if self.sim.pending_events() == 0 {
+                break StopReason::WedgedClient;
+            }
+            self.sim.run_for(chunk);
+        };
+        RunOutcome {
+            reason,
+            metrics: self.client_app().metrics.clone(),
+            progress: self.client_app().progress(),
+            events: spent(&self.sim),
+            stopped_at: self.sim.now(),
         }
-        None
     }
 
     /// The client's workload driver.

@@ -1,0 +1,70 @@
+//! Classified run outcomes: a campaign engine needs to know *why* a run
+//! stopped (finished, out of virtual time, out of event budget, or
+//! physically wedged), not just that it did.
+
+use apps::Workload;
+use netsim::{SimDuration, SimTime};
+use sttcp::scenario::{build, ScenarioSpec, StopReason};
+
+fn secs(s: f64) -> SimDuration {
+    SimDuration::from_secs_f64(s)
+}
+
+#[test]
+fn completed_run_reports_completed() {
+    let mut s = build(&ScenarioSpec::new(Workload::Echo { requests: 20 }));
+    let out = s.try_run_to_completion(secs(30.0));
+    assert_eq!(out.reason, StopReason::Completed);
+    assert!(out.completed());
+    assert!(out.metrics.verified_clean());
+    assert_eq!(out.progress.0, out.progress.1, "all expected bytes received");
+    assert!(out.events > 0);
+}
+
+#[test]
+fn short_limit_reports_time_limit_with_partial_progress() {
+    let mut s = build(&ScenarioSpec::new(Workload::bulk_mb(1)));
+    let out = s.try_run_to_completion(secs(0.1));
+    assert_eq!(out.reason, StopReason::TimeLimit);
+    assert!(!out.completed());
+    assert!(out.progress.0 < out.progress.1, "progress {:?} should be partial", out.progress);
+    assert!(out.stopped_at >= SimTime::ZERO + secs(0.1));
+}
+
+#[test]
+fn tiny_event_budget_reports_event_limit() {
+    let mut s = build(&ScenarioSpec::new(Workload::bulk_mb(1)));
+    let out = s.run_classified(secs(30.0), 50);
+    assert_eq!(out.reason, StopReason::EventLimit);
+    assert!(out.events >= 50, "budget was consumed ({} events)", out.events);
+}
+
+#[test]
+fn drained_queue_with_unfinished_client_reports_wedged() {
+    // Crash both endpoints early: every pending timer fires once into a
+    // dead node and is not re-armed, so the event queue drains while the
+    // workload is unfinished — the signature of a wedged run.
+    let mut s = build(&ScenarioSpec::new(Workload::Echo { requests: 100 }));
+    let at = SimTime::ZERO + secs(0.05);
+    s.sim.schedule_crash(s.primary, at);
+    s.sim.schedule_crash(s.client, at);
+    let out = s.try_run_to_completion(secs(30.0));
+    assert_eq!(out.reason, StopReason::WedgedClient);
+    assert!(!out.completed());
+    assert!(
+        out.stopped_at < SimTime::ZERO + secs(30.0),
+        "wedge must be detected well before the time limit, not at {}",
+        out.stopped_at
+    );
+}
+
+#[test]
+fn run_to_completion_panic_names_the_reason() {
+    let mut s = build(&ScenarioSpec::new(Workload::bulk_mb(1)));
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        s.run_to_completion(secs(0.1));
+    }))
+    .expect_err("must panic on an unfinished run");
+    let msg = err.downcast_ref::<String>().expect("panic payload is a String");
+    assert!(msg.contains("TimeLimit"), "panic message should say why: {msg}");
+}

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 
 pub use apps;
+pub use chaos;
 pub use netsim;
 pub use sttcp;
 pub use tcpstack;
