@@ -17,7 +17,7 @@ use apps::Workload;
 use netsim::{DropRule, SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
-use sttcp::scenario::{addrs, build, ScenarioSpec};
+use sttcp::scenario::{addrs, build, FaultSpec, RunLimits, ScenarioSpec};
 use sttcp_bench::{fmt_s, st_cfg, Table};
 use wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, TcpSegment, UdpDatagram};
 
@@ -64,7 +64,7 @@ fn side_channel_overhead() {
                 c.other += len;
             }
         });
-        let m = scenario.run_to_completion(SimDuration::from_secs(600));
+        let m = scenario.run(RunLimits::time(SimDuration::from_secs(600))).expect_completed();
         assert!(m.verified_clean());
         let c = *counts.borrow();
         let pct = 100.0 * c.side_channel as f64 / (c.other.max(1)) as f64;
@@ -110,8 +110,8 @@ fn tap_loss_sweep() {
         if loss > 0.0 {
             scenario.sim.add_ingress_drop(backup, DropRule::rate(loss, any_tcp_frame));
         }
-        let m = scenario.run_to_completion(SimDuration::from_secs(600));
-        let eng = scenario.backup_engine().unwrap();
+        let m = scenario.run(RunLimits::time(SimDuration::from_secs(600))).expect_completed();
+        let eng = scenario.backup().unwrap();
         let total = m.total_time().unwrap().as_secs_f64();
         table.row(vec![
             format!("{:.0}", loss * 100.0),
@@ -182,7 +182,9 @@ fn double_failure() {
         if use_logger {
             cfg = cfg.with_logger();
         }
-        let mut spec = ScenarioSpec::new(Workload::echo()).st_tcp(cfg).crash_at(crash);
+        let mut spec = ScenarioSpec::new(Workload::echo())
+            .st_tcp(cfg)
+            .faults(FaultSpec::crash_primary_at(crash));
         spec.with_logger = use_logger;
         let mut scenario = build(&spec);
         let backup = scenario.backup.unwrap();
@@ -197,14 +199,14 @@ fn double_failure() {
         let deadline = SimTime::ZERO + SimDuration::from_secs(90);
         while scenario.sim.now() < deadline {
             scenario.sim.run_for(SimDuration::from_millis(50));
-            if scenario.client_app().is_done() {
+            if scenario.client().unwrap().is_done() {
                 done = true;
                 break;
             }
         }
-        let m = scenario.client_app().metrics.clone();
+        let m = scenario.client().unwrap().metrics.clone();
         let clean = m.verified_clean();
-        let queries = scenario.backup_engine().unwrap().stats.logger_queries;
+        let queries = scenario.backup().unwrap().stats.logger_queries;
         table.row(vec![
             use_logger.to_string(),
             done.to_string(),
@@ -246,9 +248,9 @@ fn sync_param_sweep() {
         cfg.sync_time = Some(SimDuration::from_millis(sync_ms));
         let spec = ScenarioSpec::new(Workload::upload_mb(5)).st_tcp(cfg);
         let mut scenario = build(&spec);
-        let m = scenario.run_to_completion(SimDuration::from_secs(600));
+        let m = scenario.run(RunLimits::time(SimDuration::from_secs(600))).expect_completed();
         assert!(m.verified_clean());
-        let eng = scenario.backup_engine().unwrap();
+        let eng = scenario.backup().unwrap();
         if x.is_some() {
             assert!(eng.stats.acks_sent <= prev_acks, "larger X must not send more acks");
             prev_acks = eng.stats.acks_sent;
@@ -286,7 +288,7 @@ fn hub_vs_switch() {
             spec.link = spec.link.with_bandwidth_bps(10_000_000);
         }
         let mut scenario = build(&spec);
-        let m = scenario.run_to_completion(SimDuration::from_secs(600));
+        let m = scenario.run(RunLimits::time(SimDuration::from_secs(600))).expect_completed();
         assert!(m.verified_clean());
         let total = m.total_time().unwrap().as_secs_f64();
         table.row(vec![name.into(), fmt_s(total), format!("{:.3}", 5.0 * 1.048576 / total)]);

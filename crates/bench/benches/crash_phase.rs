@@ -12,7 +12,7 @@
 
 use apps::Workload;
 use netsim::{SimDuration, SimTime};
-use sttcp::scenario::{build, ScenarioSpec};
+use sttcp::scenario::{build, FaultSpec, RunLimits, ScenarioSpec};
 use sttcp_bench::{fmt_s, st_cfg, Table};
 
 fn main() {
@@ -25,14 +25,14 @@ fn main() {
     let mut values = Vec::new();
     for i in 1..=18 {
         let crash_at = no_fail * (i as f64 / 20.0);
-        let spec = ScenarioSpec::new(Workload::echo())
-            .st_tcp(st_cfg(hb))
-            .crash_at(SimTime::ZERO + SimDuration::from_secs_f64(crash_at));
+        let spec = ScenarioSpec::new(Workload::echo()).st_tcp(st_cfg(hb)).faults(
+            FaultSpec::crash_primary_at(SimTime::ZERO + SimDuration::from_secs_f64(crash_at)),
+        );
         let mut scenario = build(&spec);
-        let m = scenario.run_to_completion(SimDuration::from_secs(120));
+        let m = scenario.run(RunLimits::time(SimDuration::from_secs(120))).expect_completed();
         assert!(m.verified_clean());
         let total = m.total_time().unwrap().as_secs_f64();
-        let takeover = scenario.backup_engine().unwrap().takeover_at().unwrap().as_secs_f64();
+        let takeover = scenario.backup().unwrap().takeover_at().unwrap().as_secs_f64();
         let failover = total - no_fail;
         values.push(failover);
         table.row(vec![

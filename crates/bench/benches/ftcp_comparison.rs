@@ -19,7 +19,7 @@
 use apps::Workload;
 use netsim::{SimDuration, SimTime};
 use sttcp::config::TakeoverPolicy;
-use sttcp::scenario::{build, ScenarioSpec};
+use sttcp::scenario::{build, FaultSpec, RunLimits, ScenarioSpec};
 use sttcp_bench::{fmt_s, quick_mode, st_cfg, Table};
 
 const RESTART: SimDuration = SimDuration::from_millis(500);
@@ -33,9 +33,9 @@ fn run_one(workload: Workload, policy: TakeoverPolicy) -> (f64, f64) {
     cfg.takeover_policy = policy;
     let spec = ScenarioSpec::new(workload)
         .st_tcp(cfg)
-        .crash_at(SimTime::ZERO + SimDuration::from_secs_f64(crash_at));
+        .faults(FaultSpec::crash_primary_at(SimTime::ZERO + SimDuration::from_secs_f64(crash_at)));
     let mut scenario = build(&spec);
-    let m = scenario.run_to_completion(SimDuration::from_secs(3600));
+    let m = scenario.run(RunLimits::time(SimDuration::from_secs(3600))).expect_completed();
     assert!(m.verified_clean());
     let with_fail = m.total_time().expect("finished").as_secs_f64();
     (no_fail, with_fail - no_fail)

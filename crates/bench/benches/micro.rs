@@ -110,12 +110,12 @@ fn main() {
 
     {
         use apps::Workload;
-        use sttcp::scenario::{addrs, build, ScenarioSpec};
+        use sttcp::scenario::{addrs, build, RunLimits, ScenarioSpec};
         use sttcp::SttcpConfig;
 
         let ns = time(10, || {
             let mut s = build(&ScenarioSpec::new(Workload::Echo { requests: 100 }));
-            s.run_to_completion(SimDuration::from_secs(60))
+            s.run(RunLimits::time(SimDuration::from_secs(60))).expect_completed()
         });
         table.row(vec!["echo100_standard_tcp".into(), format!("{ns:.0}"), String::new()]);
 
@@ -123,7 +123,7 @@ fn main() {
             let spec = ScenarioSpec::new(Workload::Echo { requests: 100 })
                 .st_tcp(SttcpConfig::new(addrs::VIP, 80));
             let mut s = build(&spec);
-            s.run_to_completion(SimDuration::from_secs(60))
+            s.run(RunLimits::time(SimDuration::from_secs(60))).expect_completed()
         });
         table.row(vec!["echo100_st_tcp_50ms_hb".into(), format!("{ns:.0}"), String::new()]);
 
@@ -131,7 +131,7 @@ fn main() {
             let spec =
                 ScenarioSpec::new(Workload::bulk_mb(1)).st_tcp(SttcpConfig::new(addrs::VIP, 80));
             let mut s = build(&spec);
-            s.run_to_completion(SimDuration::from_secs(60))
+            s.run(RunLimits::time(SimDuration::from_secs(60))).expect_completed()
         });
         table.row(vec!["bulk1mb_st_tcp".into(), format!("{ns:.0}"), String::new()]);
     }

@@ -8,7 +8,7 @@
 
 use apps::Workload;
 use netsim::{LinkSpec, SimDuration, SimTime};
-use sttcp::scenario::{addrs, build, ScenarioSpec};
+use sttcp::scenario::{addrs, build, FaultSpec, RunLimits, ScenarioSpec};
 use sttcp::SttcpConfig;
 use sttcp_bench::{fmt_s, Table};
 
@@ -38,7 +38,7 @@ fn main() {
             let spec =
                 modern_spec(workload).st_tcp(SttcpConfig::new(addrs::VIP, 80).with_hb_interval(hb));
             let mut s = build(&spec);
-            let m = s.run_to_completion(SimDuration::from_secs(600));
+            let m = s.run(RunLimits::time(SimDuration::from_secs(600))).expect_completed();
             assert!(m.verified_clean());
             m.total_time().unwrap().as_secs_f64()
         };
@@ -46,9 +46,9 @@ fn main() {
             let crash = SimTime::ZERO + SimDuration::from_secs_f64((no_fail * 0.5).max(0.02));
             let spec = modern_spec(workload)
                 .st_tcp(SttcpConfig::new(addrs::VIP, 80).with_hb_interval(hb))
-                .crash_at(crash);
+                .faults(FaultSpec::crash_primary_at(crash));
             let mut s = build(&spec);
-            let m = s.run_to_completion(SimDuration::from_secs(600));
+            let m = s.run(RunLimits::time(SimDuration::from_secs(600))).expect_completed();
             assert!(m.verified_clean());
             m.total_time().unwrap().as_secs_f64()
         };

@@ -11,13 +11,19 @@
 //!
 //! `STTCP_BENCH_QUICK=1` shrinks the bulk transfer to 1 MB and skips the
 //! file write — a smoke run for CI, not a measurement.
+//!
+//! `STTCP_BENCH_CHECK=<factor>` turns the run into a perf guard: the
+//! measured `bulk_100mb` wall time must stay within `factor ×` the
+//! reference recorded in `BENCH_simperf.json` (the timed scenarios use
+//! the default no-op recorder, so this also asserts the observability
+//! layer stays off the hot path). Guard mode never rewrites the file.
 
 use apps::Workload;
-use netsim::SimDuration;
+use netsim::{SimDuration, SimTime};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
-use sttcp::scenario::{build, ScenarioSpec};
+use sttcp::scenario::{build, FaultSpec, RunLimits, ScenarioSpec};
 use sttcp_bench::{quick_mode, st_cfg, Table};
 
 struct Case {
@@ -30,7 +36,7 @@ struct Case {
 fn run_case(name: &'static str, spec: &ScenarioSpec) -> Case {
     let mut scenario = build(spec);
     let start = Instant::now();
-    let metrics = scenario.run_to_completion(SimDuration::from_secs(600));
+    let metrics = scenario.run(RunLimits::time(SimDuration::from_secs(600))).expect_completed();
     let wall_s = start.elapsed().as_secs_f64();
     assert!(metrics.verified_clean(), "{name}: byte-stream verification failed");
     let events = scenario.sim.trace().events_processed;
@@ -60,13 +66,26 @@ fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
 }
 
-/// Pulls the one-line `"baseline": {...}` section out of a previous
-/// report, if any.
-fn previous_baseline(path: &std::path::Path) -> Option<String> {
+/// Pulls a one-line `"<key>": {...}` section out of a previous report,
+/// if any.
+fn previous_section(path: &std::path::Path, key: &str) -> Option<String> {
     let text = std::fs::read_to_string(path).ok()?;
+    let prefix = format!("\"{key}\":");
     text.lines()
-        .find(|l| l.trim_start().starts_with("\"baseline\":"))
+        .find(|l| l.trim_start().starts_with(&prefix))
         .and_then(|l| l.find('{').map(|i| l[i..].trim_end().trim_end_matches(',').to_string()))
+}
+
+/// Extracts `wall_s` for one case from a one-line section.
+fn wall_of(section: &str, case: &str) -> Option<f64> {
+    let key = format!("\"{case}\": {{\"wall_s\": ");
+    let i = section.find(&key)? + key.len();
+    section[i..].split([',', '}']).next()?.trim().parse().ok()
+}
+
+/// `STTCP_BENCH_CHECK=<factor>` — perf-guard mode.
+fn check_factor() -> Option<f64> {
+    std::env::var("STTCP_BENCH_CHECK").ok()?.parse().ok()
 }
 
 fn main() {
@@ -110,29 +129,61 @@ fn main() {
     }
     table.emit("simperf");
 
+    let path = repo_root().join("BENCH_simperf.json");
+    if let Some(factor) = check_factor() {
+        if quick {
+            eprintln!("perf check skipped: quick mode measures 1 MB, reference is 100 MB");
+            return;
+        }
+        let reference =
+            previous_section(&path, "current").as_deref().and_then(|s| wall_of(s, "bulk_100mb"));
+        let measured = cases.iter().find(|c| c.name == "bulk_100mb").map(|c| c.wall_s);
+        match (reference, measured) {
+            (Some(r), Some(m)) if m <= r * factor => {
+                println!("perf check ok: bulk_100mb {m:.3}s <= {r:.3}s x {factor}");
+            }
+            (Some(r), Some(m)) => {
+                eprintln!("perf check FAILED: bulk_100mb {m:.3}s > {r:.3}s x {factor}");
+                std::process::exit(1);
+            }
+            _ => eprintln!("perf check skipped: no bulk_100mb reference in {}", path.display()),
+        }
+        return; // guard mode never rewrites the report
+    }
+
     if quick {
         println!("(quick mode: BENCH_simperf.json not updated)");
         return;
     }
 
-    let path = repo_root().join("BENCH_simperf.json");
+    // An untimed *recorded* failover run embeds the protocol counter
+    // snapshot in the report. The timed cases above keep the default
+    // no-op recorder, so recording can never skew the measurements.
+    let obs = {
+        // Crash after a few 50 ms heartbeat intervals so the snapshot
+        // exhibits the full protocol (heartbeats, acks, detection marks).
+        let crash = SimTime::ZERO + SimDuration::from_millis(200);
+        let spec = ScenarioSpec::new(Workload::echo())
+            .st_tcp(st_cfg(SimDuration::from_millis(50)))
+            .faults(FaultSpec::crash_primary_at(crash))
+            .recording();
+        let mut sc = build(&spec);
+        sc.run(RunLimits::time(SimDuration::from_secs(60))).expect_completed();
+        sc.snapshot().expect("recording scenario has a sink").to_json()
+    };
+
     let current = json_section(&cases);
-    let baseline = previous_baseline(&path).unwrap_or_else(|| current.clone());
+    let baseline = previous_section(&path, "baseline").unwrap_or_else(|| current.clone());
     let speedup = {
         // Wall-time ratio baseline/current for the bulk case, when the
         // baseline line carries one.
-        fn wall_of(section: &str, case: &str) -> Option<f64> {
-            let key = format!("\"{case}\": {{\"wall_s\": ");
-            let i = section.find(&key)? + key.len();
-            section[i..].split([',', '}']).next()?.trim().parse().ok()
-        }
         match (wall_of(&baseline, "bulk_100mb"), wall_of(&current, "bulk_100mb")) {
             (Some(b), Some(c)) if c > 0.0 => b / c,
             _ => 1.0,
         }
     };
     let json = format!(
-        "{{\n  \"bench\": \"simperf\",\n  \"units\": {{\"wall_s\": \"seconds\", \"events_per_s\": \"simulator events per wall-clock second\"}},\n  \"baseline\": {baseline},\n  \"current\": {current},\n  \"bulk_100mb_speedup_vs_baseline\": {speedup:.2}\n}}\n"
+        "{{\n  \"bench\": \"simperf\",\n  \"units\": {{\"wall_s\": \"seconds\", \"events_per_s\": \"simulator events per wall-clock second\"}},\n  \"baseline\": {baseline},\n  \"current\": {current},\n  \"obs\": {obs},\n  \"bulk_100mb_speedup_vs_baseline\": {speedup:.2}\n}}\n"
     );
     std::fs::write(&path, json).expect("write BENCH_simperf.json");
     println!("BENCH_simperf.json updated (bulk speedup vs baseline: {speedup:.2}x)");

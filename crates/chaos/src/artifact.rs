@@ -22,6 +22,9 @@ pub struct FailureArtifact {
     pub details: Vec<String>,
     /// The frame-trace digest a faithful replay must reproduce.
     pub digest: u64,
+    /// Observability counter snapshot of the failing run, when the run
+    /// recorded one (absent in artifacts from older engines).
+    pub obs: Option<Value>,
 }
 
 impl FailureArtifact {
@@ -37,12 +40,13 @@ impl FailureArtifact {
                 .map(|v| v.to_string())
                 .collect(),
             digest: report.digest,
+            obs: report.obs.clone(),
         }
     }
 
     /// Serializes to JSON text.
     pub fn to_json(&self) -> String {
-        json::obj([
+        let mut fields = vec![
             ("format", Value::Str("sttcp-chaos-artifact-v1".into())),
             ("workload", workload_to_value(self.spec.workload)),
             ("seed", json::hex(self.spec.seed)),
@@ -53,8 +57,11 @@ impl FailureArtifact {
             ("oracle", Value::Str(self.oracle.tag().into())),
             ("details", Value::Arr(self.details.iter().map(|d| Value::Str(d.clone())).collect())),
             ("digest", json::hex(self.digest)),
-        ])
-        .to_json()
+        ];
+        if let Some(obs) = &self.obs {
+            fields.push(("obs", obs.clone()));
+        }
+        json::obj(fields).to_json()
     }
 
     /// Parses an artifact serialized by [`FailureArtifact::to_json`].
@@ -82,6 +89,7 @@ impl FailureArtifact {
             oracle: OracleKind::from_tag(v.get("oracle")?.as_str()?)?,
             details,
             digest: json::from_hex(v.get("digest")?)?,
+            obs: v.get("obs").cloned(),
         })
     }
 
@@ -118,8 +126,25 @@ mod tests {
             oracle: OracleKind::SingleServer,
             details: vec!["node 1 still sourcing VIP traffic".into()],
             digest: 0xFFFF_0000_1234_5678,
+            obs: Some(json::obj([("counters", json::obj([("segs_suppressed", json::num(7))]))])),
         };
         let text = artifact.to_json();
+        let back = FailureArtifact::from_json(&text).expect("parses");
+        assert_eq!(back, artifact);
+    }
+
+    #[test]
+    fn artifact_without_obs_roundtrips() {
+        let spec = RunSpec::new(Workload::Echo { requests: 1 }, 1, FaultPlan::new([]));
+        let artifact = FailureArtifact {
+            spec,
+            oracle: OracleKind::Completion,
+            details: Vec::new(),
+            digest: 0,
+            obs: None,
+        };
+        let text = artifact.to_json();
+        assert!(!text.contains("\"obs\""), "absent snapshot must stay absent");
         let back = FailureArtifact::from_json(&text).expect("parses");
         assert_eq!(back, artifact);
     }

@@ -61,8 +61,8 @@ pub fn run_campaign(campaign: &Campaign, threads: usize) -> CampaignResult {
             probe_specs.push(RunSpec { plan: FaultPlan::none(), ..spec.clone() });
         }
     }
-    let profiles: BTreeMap<String, Result<Profile, RunReport>> = {
-        let slots: Mutex<BTreeMap<String, Result<Profile, RunReport>>> =
+    let profiles: BTreeMap<String, Result<Profile, Box<RunReport>>> = {
+        let slots: Mutex<BTreeMap<String, Result<Profile, Box<RunReport>>>> =
             Mutex::new(BTreeMap::new());
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
@@ -89,7 +89,7 @@ pub fn run_campaign(campaign: &Campaign, threads: usize) -> CampaignResult {
                 let report = if spec.plan.needs_probe() {
                     match profiles.get(&profile_key(spec)).expect("profile measured") {
                         Ok(profile) => execute_with_profile(spec, profile),
-                        Err(failed_probe) => failed_probe.clone(),
+                        Err(failed_probe) => (**failed_probe).clone(),
                     }
                 } else {
                     execute_with_profile(spec, &Profile::default())

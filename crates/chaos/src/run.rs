@@ -7,6 +7,7 @@
 //! rules installed, a frame probe digesting every transmission, and the
 //! invariant oracles sampled between scheduler chunks and at the end.
 
+use crate::json::Value;
 use crate::oracle::{OracleKind, Violation};
 use crate::plan::{FaultOp, FaultPlan, SideTarget};
 use apps::Workload;
@@ -17,7 +18,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 use sttcp::node::ServerNode;
-use sttcp::scenario::{addrs, build, Scenario, ScenarioSpec, StopReason};
+use sttcp::scenario::{addrs, build, RunLimits, Scenario, ScenarioSpec, StopReason};
 use sttcp::SttcpConfig;
 use tcpstack::{SeqNum, TcpState};
 use wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, TcpFlags, TcpSegment, UdpDatagram};
@@ -101,6 +102,9 @@ pub struct RunReport {
     pub bytes_received: u64,
     /// Per-injection counters: (op description, matched, fired).
     pub injections: Vec<(String, u64, u64)>,
+    /// Observability counter snapshot of the faulted pass, as a JSON
+    /// value ready to embed in reports and artifacts.
+    pub obs: Option<Value>,
 }
 
 impl RunReport {
@@ -119,8 +123,14 @@ fn scenario_spec(spec: &RunSpec) -> ScenarioSpec {
     // The in-network packet logger (§3.2) is part of the full ST-TCP
     // deployment and is what makes tap omissions recoverable even when
     // the primary dies before healing them over the side channel
-    // (double failures). Chaos runs exercise that full configuration.
-    let mut sc = ScenarioSpec::new(spec.workload).st_tcp(sttcp_cfg(spec)).closing().with_logger();
+    // (double failures). Chaos runs exercise that full configuration,
+    // recording protocol counters so oracles and artifacts can read
+    // protocol state instead of re-deriving it from frame traces.
+    let mut sc = ScenarioSpec::new(spec.workload)
+        .st_tcp(sttcp_cfg(spec))
+        .closing()
+        .with_logger()
+        .recording();
     if spec.fencing {
         sc = sc.with_power_switch();
     }
@@ -244,12 +254,12 @@ fn attach_probe(sim: &mut Simulator, servers: Vec<NodeId>) -> Rc<RefCell<ProbeSt
 
 /// Measures the fault-free [`Profile`] for a spec (ignoring its plan).
 /// Returns the failed report if even the fault-free run cannot finish.
-pub fn measure_profile(spec: &RunSpec) -> Result<Profile, RunReport> {
+pub fn measure_profile(spec: &RunSpec) -> Result<Profile, Box<RunReport>> {
     let mut sc = build(&scenario_spec(spec));
     let probe_state = attach_probe(&mut sc.sim, vec![sc.primary]);
-    let out = sc.run_classified(spec.limit, spec.max_events);
+    let out = sc.run(RunLimits::time(spec.limit).max_events(spec.max_events));
     if !out.completed() {
-        return Err(RunReport {
+        return Err(Box::new(RunReport {
             reason: out.reason,
             violations: vec![Violation {
                 oracle: OracleKind::Completion,
@@ -265,7 +275,8 @@ pub fn measure_profile(spec: &RunSpec) -> Result<Profile, RunReport> {
             takeover_latency: None,
             bytes_received: out.progress.0,
             injections: Vec::new(),
-        });
+            obs: sc.snapshot().and_then(|s| Value::parse(&s.to_json())),
+        }));
     }
     let first_fin = probe_state.borrow().first_fin;
     Ok(Profile { duration: out.stopped_at.duration_since(SimTime::ZERO), first_fin })
@@ -379,33 +390,13 @@ fn sample_oracles(
     sc: &Scenario,
     installed: &Installed,
     violations: &mut Vec<Violation>,
-    already: &mut [bool; 2],
+    already: &mut bool,
 ) {
     let now = sc.sim.now();
     let primary = sc.sim.node_ref::<ServerNode>(sc.primary);
-    // Retention bound: occupancy never exceeds configured capacity.
-    if !already[0] {
-        let cap = primary.stack().config().tcp.retention_buf;
-        for sock in primary.stack().socks() {
-            if let Some(tcb) = primary.stack().tcb(sock) {
-                if tcb.retained() > cap {
-                    violations.push(Violation {
-                        oracle: OracleKind::RetentionBound,
-                        at: now,
-                        detail: format!(
-                            "primary retains {} bytes > capacity {cap} on {:?}",
-                            tcb.retained(),
-                            tcb.quad()
-                        ),
-                    });
-                    already[0] = true;
-                }
-            }
-        }
-    }
     // Sequence agreement: before the primary is incapacitated (and
     // before any tap partition), the shadow never leads the primary.
-    if !already[1] && now < installed.seq_check_until {
+    if !*already && now < installed.seq_check_until {
         if let Some(backup_id) = sc.backup {
             let backup = sc.sim.node_ref::<ServerNode>(backup_id);
             let taken_over = backup.backup_engine().map(|e| e.has_taken_over()).unwrap_or(false);
@@ -431,7 +422,7 @@ fn sample_oracles(
                                 btcb.quad()
                             ),
                         });
-                        already[1] = true;
+                        *already = true;
                     }
                 }
             }
@@ -448,7 +439,7 @@ pub fn execute(spec: &RunSpec) -> RunReport {
     let profile = if spec.plan.needs_probe() {
         match measure_profile(spec) {
             Ok(p) => p,
-            Err(report) => return report,
+            Err(report) => return *report,
         }
     } else {
         Profile::default()
@@ -467,13 +458,13 @@ pub fn execute_with_profile(spec: &RunSpec, profile: &Profile) -> RunReport {
     let probe_state = attach_probe(&mut sc.sim, servers);
 
     let mut violations = Vec::new();
-    let mut sampled_already = [false; 2];
+    let mut sampled_already = false;
     let t0 = sc.sim.now();
     let deadline = t0 + spec.limit;
     let chunk = SimDuration::from_millis(50);
     let events_before = sc.sim.trace().events_processed;
     let reason = loop {
-        if sc.client_app().is_done() {
+        if sc.client().unwrap().is_done() {
             break StopReason::Completed;
         }
         if sc.sim.now() >= deadline {
@@ -491,8 +482,30 @@ pub fn execute_with_profile(spec: &RunSpec, profile: &Profile) -> RunReport {
     let stopped_at = sc.sim.now();
 
     // ---- terminal oracles -------------------------------------------
-    let metrics = sc.client_app().metrics.clone();
-    let progress = sc.client_app().progress();
+    let snapshot = sc.snapshot();
+
+    // Retention bound (§4.2): retained bytes past the second-buffer
+    // capacity spill into the first buffer and eat the advertised
+    // window, so occupancy is structurally capped at retention + recv
+    // capacity — window exhaustion stops the sender there. The gauge
+    // sees every peak, not just the instants the old sampled check
+    // visited (clients and the shadow run with retention capacity 0
+    // and never retain, so the global gauge is the primary's).
+    if let Some(snap) = &snapshot {
+        let tcp = &sc.sim.node_ref::<ServerNode>(sc.primary).stack().config().tcp;
+        let bound = (tcp.retention_buf + tcp.recv_buf) as u64;
+        let high_water = snap.get("retention_high_water");
+        if high_water > bound {
+            violations.push(Violation {
+                oracle: OracleKind::RetentionBound,
+                at: stopped_at,
+                detail: format!("primary retained {high_water} bytes > §4.2 bound {bound}"),
+            });
+        }
+    }
+
+    let metrics = sc.client().unwrap().metrics.clone();
+    let progress = sc.client().unwrap().progress();
     if metrics.content_errors > 0 {
         violations.push(Violation {
             oracle: OracleKind::ClientIntegrity,
@@ -511,7 +524,7 @@ pub fn execute_with_profile(spec: &RunSpec, profile: &Profile) -> RunReport {
         });
     }
 
-    let takeover_at = sc.backup_engine().and_then(|e| e.takeover_at());
+    let takeover_at = sc.backup().and_then(|e| e.takeover_at());
     let takeover_latency = match (installed.incapacitated_at, takeover_at) {
         (Some(fault), Some(tk)) => tk.checked_duration_since(fault),
         _ => None,
@@ -622,6 +635,7 @@ pub fn execute_with_profile(spec: &RunSpec, profile: &Profile) -> RunReport {
         takeover_latency,
         bytes_received: metrics.bytes_received,
         injections,
+        obs: snapshot.and_then(|s| Value::parse(&s.to_json())),
     }
 }
 

@@ -10,6 +10,7 @@ use crate::rng::SplitMix64;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{FrameRecord, ProbeEvent, Trace};
 use bytes::Bytes;
+use obs::{Counter, Gauge, SharedRecorder};
 use std::any::Any;
 
 /// Callback observing every frame accepted for transmission.
@@ -52,6 +53,8 @@ pub struct Simulator {
     /// Every crash scheduled through [`Simulator::schedule_crash`], in
     /// scheduling order (campaign reports attribute failures to it).
     crash_schedule: Vec<(NodeId, SimTime)>,
+    /// Observability sink for link/ingress events (no-op by default).
+    recorder: SharedRecorder,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -90,7 +93,19 @@ impl Simulator {
             probe: None,
             scratch: None,
             crash_schedule: Vec::new(),
+            recorder: obs::nop(),
         }
+    }
+
+    /// Installs an observability recorder; link-layer drops, queue depth,
+    /// and ingress-fault outcomes are reported to it from then on.
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = recorder;
+    }
+
+    /// The currently installed recorder (the no-op one by default).
+    pub fn recorder(&self) -> &SharedRecorder {
+        &self.recorder
     }
 
     /// Adds a node and returns its id. `on_start` fires when the
@@ -338,14 +353,19 @@ impl Simulator {
                     self.trace.frames_to_dead_node += 1;
                 } else {
                     match self.ingress_decide(node, &frame) {
-                        IngressAction::Drop => self.trace.frames_dropped_ingress += 1,
+                        IngressAction::Drop => {
+                            self.trace.frames_dropped_ingress += 1;
+                            self.recorder.count(Counter::IngressDrops, 1);
+                        }
                         IngressAction::Delay(d) => {
                             self.trace.frames_delayed_ingress += 1;
+                            self.recorder.count(Counter::IngressDelays, 1);
                             self.queue
                                 .push(self.now + d, EventKind::InjectedFrame { node, port, frame });
                         }
                         IngressAction::Duplicate(d) => {
                             self.trace.frames_duplicated_ingress += 1;
+                            self.recorder.count(Counter::IngressDuplicates, 1);
                             self.queue.push(
                                 self.now + d,
                                 EventKind::InjectedFrame { node, port, frame: frame.clone() },
@@ -490,6 +510,7 @@ impl Simulator {
         if lost {
             dir.dropped += 1;
             self.trace.frames_lost_on_link += 1;
+            self.recorder.count(Counter::LinkLossDrops, 1);
             return;
         }
 
@@ -501,12 +522,17 @@ impl Simulator {
             if backlog > depth {
                 dir.queue_drops += 1;
                 self.trace.frames_lost_on_link += 1;
+                self.recorder.count(Counter::LinkQueueDrops, 1);
                 return;
             }
         }
         let start = self.now.max(link.busy_until[end]);
         let departure = start + link.spec.serialization_time(frame.len());
         link.busy_until[end] = departure;
+        self.recorder.gauge_max(
+            Gauge::LinkQueueDepth,
+            departure.checked_duration_since(self.now).unwrap_or(SimDuration::ZERO).as_nanos(),
+        );
         let mut arrival = departure + link.spec.latency;
         if !link.spec.jitter.is_zero() {
             arrival +=

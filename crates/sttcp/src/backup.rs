@@ -21,6 +21,7 @@ use crate::config::{Fencing, SttcpConfig, TakeoverPolicy};
 use crate::messages::{ConnKey, SideMsg};
 use netsim::logger::ReplayQuery;
 use netsim::{SimDuration, SimTime};
+use obs::{Counter, Mark, SharedRecorder};
 use tcpstack::{NetStack, SeqNum};
 
 /// Backup-side counters and timeline.
@@ -67,6 +68,7 @@ pub struct BackupEngine {
     logger_queries: Vec<ReplayQuery>,
     last_logger_query: Option<SimTime>,
     bootstrap_attempts: std::collections::HashMap<ConnKey, SimTime>,
+    recorder: SharedRecorder,
     /// Counters.
     pub stats: BackupStats,
 }
@@ -90,8 +92,14 @@ impl BackupEngine {
             logger_queries: Vec::new(),
             last_logger_query: None,
             bootstrap_attempts: std::collections::HashMap::new(),
+            recorder: obs::nop(),
             stats: BackupStats::default(),
         }
+    }
+
+    /// Installs an observability recorder (no-op by default).
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = recorder;
     }
 
     /// Whether this backup has taken over as primary.
@@ -122,9 +130,11 @@ impl BackupEngine {
     /// Handles one side-channel message from the primary.
     pub fn on_side_msg(&mut self, now: SimTime, msg: SideMsg, stack: &mut NetStack) {
         self.last_primary_heard = Some(now);
+        self.recorder.mark_latest(Mark::LastPrimaryHeard, now.as_nanos());
         match msg {
             SideMsg::Heartbeat { .. } => {
                 self.stats.hbs_received += 1;
+                self.recorder.count(Counter::HeartbeatsReceived, 1);
             }
             SideMsg::MissingData { conn, seq, data } => {
                 if let Some(sock) = stack.sock_by_quad(conn.server_quad()) {
@@ -216,6 +226,7 @@ impl BackupEngine {
         }
         self.bootstrap_attempts.insert(key, now);
         self.stats.bootstrap_queries += 1;
+        self.recorder.count(Counter::BootstrapQueries, 1);
         // The client's sequence space is anchored by the primary's
         // cumulative ACK; a half-space window backwards covers the whole
         // connection history including the SYN.
@@ -258,6 +269,7 @@ impl BackupEngine {
         let len = (gap as usize).min(self.cfg.missing_req_chunk) as u32;
         track.outstanding_req = Some((from, now));
         self.stats.missing_reqs += 1;
+        self.recorder.count(Counter::MissingReqsSent, 1);
         self.outbox.push(SideMsg::MissingReq { conn: key, from: from.raw(), len });
     }
 
@@ -283,6 +295,7 @@ impl BackupEngine {
                 self.outbox.push(SideMsg::BackupAck { conn: key, acked_next: next.raw() });
                 track.last_acked_next = next;
                 self.stats.acks_sent += 1;
+                self.recorder.count(Counter::BackupAcksSent, 1);
                 if threshold_hit && !force {
                     self.stats.acks_threshold_triggered += 1;
                 }
@@ -357,8 +370,10 @@ impl BackupEngine {
         }
         // Suspect → fence → take over (§4.4).
         self.suspected_at = Some(now);
+        self.recorder.mark_first(Mark::SuspectedPrimaryDead, now.as_nanos());
         if let Fencing::PowerSwitch { outlet } = self.cfg.fencing {
             self.fence_request = Some(outlet);
+            self.recorder.mark_first(Mark::FenceRequested, now.as_nanos());
         }
         match self.cfg.takeover_policy {
             TakeoverPolicy::Active => self.take_over(now, stack),
@@ -387,6 +402,7 @@ impl BackupEngine {
     fn take_over(&mut self, now: SimTime, stack: &mut NetStack) {
         stack.unsuppress(self.cfg.vip);
         self.takeover_at = Some(now);
+        self.recorder.mark_first(Mark::TakeoverUnsuppressed, now.as_nanos());
         if self.cfg.use_logger {
             self.queue_logger_queries(now, stack);
         }
@@ -417,6 +433,7 @@ impl BackupEngine {
                     seq_to: primary_ack.raw(),
                 });
                 self.stats.logger_queries += 1;
+                self.recorder.count(Counter::LoggerQueries, 1);
             }
         }
     }

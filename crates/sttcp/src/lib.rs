@@ -32,17 +32,14 @@
 //! # Quickstart
 //!
 //! ```
-//! use sttcp::scenario::{build, ScenarioSpec};
-//! use sttcp::SttcpConfig;
-//! use apps::Workload;
-//! use netsim::{SimDuration, SimTime};
+//! use sttcp::prelude::*;
 //!
 //! // Echo workload over ST-TCP; crash the primary mid-run.
 //! let spec = ScenarioSpec::new(Workload::Echo { requests: 10 })
-//!     .st_tcp(SttcpConfig::new(sttcp::scenario::addrs::VIP, 80))
-//!     .crash_at(SimTime::ZERO + SimDuration::from_millis(40));
+//!     .st_tcp(SttcpConfig::new(addrs::VIP, 80))
+//!     .faults(FaultSpec::crash_primary_at(SimTime::ZERO + SimDuration::from_millis(40)));
 //! let mut scenario = build(&spec);
-//! let metrics = scenario.run_to_completion(SimDuration::from_secs(60));
+//! let metrics = scenario.run(RunLimits::default()).expect_completed();
 //! assert!(metrics.verified_clean()); // byte stream intact across failover
 //! ```
 
@@ -53,12 +50,15 @@ pub mod backup;
 pub mod config;
 pub mod messages;
 pub mod node;
+pub mod prelude;
 pub mod primary;
 pub mod scenario;
 
 pub use backup::{BackupEngine, BackupStats};
-pub use config::{Fencing, SttcpConfig};
+pub use config::{Fencing, SttcpConfig, TakeoverPolicy};
 pub use messages::{ConnKey, SideMsg};
 pub use node::{ClientNode, GatewayNode, ServerNode};
 pub use primary::{PrimaryEngine, PrimaryStats};
-pub use scenario::{build, RunOutcome, Scenario, ScenarioSpec, StopReason, Topology};
+pub use scenario::{
+    build, Fault, FaultSpec, RunLimits, RunOutcome, Scenario, ScenarioSpec, StopReason, Topology,
+};

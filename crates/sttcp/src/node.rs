@@ -22,6 +22,7 @@ use bytes::Bytes;
 use netsim::node::{Context, Node, PortId};
 use netsim::power::power_off_frame;
 use netsim::{SimDuration, SimTime};
+use obs::SharedRecorder;
 use std::any::Any;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -91,6 +92,9 @@ pub struct ServerNode {
     conns: HashMap<SockId, ConnState>,
     timer: StackTimer,
     booted: bool,
+    /// Observability recorder, re-applied to the fresh stack/engine on
+    /// every (re)boot.
+    recorder: SharedRecorder,
     /// Reused frame staging buffer for [`NetStack::poll_into`].
     tx: Vec<Bytes>,
     /// Times this node has booted (1 after a normal start).
@@ -114,6 +118,7 @@ impl ServerNode {
             conns: HashMap::new(),
             timer: StackTimer::default(),
             booted: false,
+            recorder: obs::nop(),
             tx: Vec::new(),
             boot_count: 0,
             accepted: Vec::new(),
@@ -141,6 +146,7 @@ impl ServerNode {
             conns: HashMap::new(),
             timer: StackTimer::default(),
             booted: false,
+            recorder: obs::nop(),
             tx: Vec::new(),
             boot_count: 0,
             accepted: Vec::new(),
@@ -170,6 +176,7 @@ impl ServerNode {
             conns: HashMap::new(),
             timer: StackTimer::default(),
             booted: false,
+            recorder: obs::nop(),
             tx: Vec::new(),
             boot_count: 0,
             accepted: Vec::new(),
@@ -180,6 +187,24 @@ impl ServerNode {
     /// The node's network stack (inspection).
     pub fn stack(&self) -> &NetStack {
         &self.stack
+    }
+
+    /// Installs an observability recorder on the stack and engine. The
+    /// node keeps the handle and re-applies it after a reboot (the
+    /// rebuilt stack and engine would otherwise silently revert to the
+    /// no-op recorder).
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = recorder;
+        self.apply_recorder();
+    }
+
+    fn apply_recorder(&mut self) {
+        self.stack.set_recorder(self.recorder.clone());
+        match &mut self.role {
+            Role::Primary(e) => e.set_recorder(self.recorder.clone()),
+            Role::Backup(e) => e.set_recorder(self.recorder.clone()),
+            Role::Solo => {}
+        }
     }
 
     /// The primary engine, if this node is a primary.
@@ -409,6 +434,7 @@ impl Node for ServerNode {
                 }
                 _ => Role::Solo,
             };
+            self.apply_recorder();
         }
         self.booted = true;
         self.boot_count += 1;
@@ -500,6 +526,11 @@ impl ClientNode {
     /// The client's stack (inspection).
     pub fn stack(&self) -> &NetStack {
         &self.stack
+    }
+
+    /// Installs an observability recorder on the client's stack.
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.stack.set_recorder(recorder);
     }
 
     /// The client's socket handle once connected.

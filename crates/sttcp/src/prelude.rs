@@ -1,0 +1,22 @@
+//! One-stop imports for building and running ST-TCP experiments.
+//!
+//! ```
+//! use sttcp::prelude::*;
+//!
+//! let spec = ScenarioSpec::new(Workload::Echo { requests: 3 })
+//!     .st_tcp(SttcpConfig::new(addrs::VIP, 80))
+//!     .recording();
+//! let mut scenario = build(&spec);
+//! let outcome = scenario.run(RunLimits::default());
+//! assert!(outcome.completed());
+//! assert!(scenario.snapshot().is_some());
+//! ```
+
+pub use crate::config::{Fencing, SttcpConfig, TakeoverPolicy};
+pub use crate::scenario::{
+    addrs, build, Deployment, Fault, FaultSpec, RunLimits, RunOutcome, Scenario, ScenarioSpec,
+    StopReason, Topology,
+};
+pub use apps::{RunMetrics, Workload};
+pub use netsim::{SimDuration, SimTime};
+pub use obs::{Counter, Gauge, Mark, ObsSink, Recorder, Snapshot, TakeoverBreakdown};

@@ -14,6 +14,7 @@ use crate::config::SttcpConfig;
 use crate::messages::{ConnKey, SideMsg};
 use bytes::Bytes;
 use netsim::SimTime;
+use obs::{Counter, SharedRecorder};
 use tcpstack::{NetStack, SeqNum};
 
 /// Primary-side counters.
@@ -43,6 +44,7 @@ pub struct PrimaryEngine {
     backup_dead_at: Option<SimTime>,
     hb_seq: u64,
     outbox: Vec<SideMsg>,
+    recorder: SharedRecorder,
     /// Counters.
     pub stats: PrimaryStats,
 }
@@ -61,8 +63,14 @@ impl PrimaryEngine {
             backup_dead_at: None,
             hb_seq: 0,
             outbox: Vec::new(),
+            recorder: obs::nop(),
             stats: PrimaryStats::default(),
         }
+    }
+
+    /// Installs an observability recorder (no-op by default).
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = recorder;
     }
 
     /// Whether the backup is considered alive (fault-tolerant mode).
@@ -92,6 +100,7 @@ impl PrimaryEngine {
             SideMsg::Heartbeat { .. } => {}
             SideMsg::BackupAck { conn, acked_next } => {
                 self.stats.backup_acks += 1;
+                self.recorder.count(Counter::BackupAcksReceived, 1);
                 if let Some(sock) = stack.sock_by_quad(conn.server_quad()) {
                     if let Some(tcb) = stack.tcb_mut(sock) {
                         tcb.set_backup_acked(SeqNum(acked_next));
@@ -109,11 +118,13 @@ impl PrimaryEngine {
     fn serve_missing(&mut self, conn: ConnKey, from: SeqNum, len: usize, stack: &mut NetStack) {
         let Some(sock) = stack.sock_by_quad(conn.server_quad()) else {
             self.stats.missing_nacked += 1;
+            self.recorder.count(Counter::MissingNacks, 1);
             self.outbox.push(SideMsg::MissingNack { conn, from: from.raw() });
             return;
         };
         let Some(tcb) = stack.tcb(sock) else {
             self.stats.missing_nacked += 1;
+            self.recorder.count(Counter::MissingNacks, 1);
             self.outbox.push(SideMsg::MissingNack { conn, from: from.raw() });
             return;
         };
@@ -123,12 +134,14 @@ impl PrimaryEngine {
         let avail = want_end.distance(from);
         if avail <= 0 {
             self.stats.missing_nacked += 1;
+            self.recorder.count(Counter::MissingNacks, 1);
             self.outbox.push(SideMsg::MissingNack { conn, from: from.raw() });
             return;
         }
         match tcb.fetch_rx(from, avail as usize) {
             Some(bytes) => {
                 self.stats.missing_served += 1;
+                self.recorder.count(Counter::MissingRepliesServed, 1);
                 self.stats.missing_bytes_sent += bytes.len() as u64;
                 for (i, chunk) in bytes.chunks(SIDE_CHUNK).enumerate() {
                     let seq = from.add((i * SIDE_CHUNK) as u32);
@@ -145,6 +158,7 @@ impl PrimaryEngine {
                 // guarantee), but can after a transition to
                 // non-fault-tolerant mode.
                 self.stats.missing_nacked += 1;
+                self.recorder.count(Counter::MissingNacks, 1);
                 self.outbox.push(SideMsg::MissingNack { conn, from: from.raw() });
             }
         }
@@ -155,6 +169,7 @@ impl PrimaryEngine {
     pub fn on_tick(&mut self, now: SimTime, stack: &mut NetStack) {
         self.hb_seq += 1;
         self.stats.hbs_sent += 1;
+        self.recorder.count(Counter::HeartbeatsSent, 1);
         self.outbox.push(SideMsg::Heartbeat { seq: self.hb_seq });
         if self.backup_alive {
             let deadline =

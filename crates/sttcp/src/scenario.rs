@@ -20,6 +20,8 @@ use netsim::node::{NodeId, PortId};
 use netsim::{
     Hub, LinkSpec, PacketLogger, PowerSwitch, SharedHub, SimDuration, SimTime, Simulator, Switch,
 };
+use obs::{ObsSink, Snapshot, TakeoverBreakdown};
+use std::sync::Arc;
 use tcpstack::{Gateway, GatewayIface, StackConfig, TcpConfig};
 use wire::MacAddr;
 
@@ -78,6 +80,74 @@ pub enum Deployment {
     StTcp(SttcpConfig),
 }
 
+/// One scheduled fault, in absolute virtual time.
+///
+/// This is the same vocabulary the chaos engine's `FaultPlan` resolves
+/// into: quantile-relative chaos ops become absolute [`Fault`]s once a
+/// probe pass has measured the fault-free duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Crash the primary at this instant. It stays down (amnesia reboot
+    /// is scheduled separately via [`netsim::Simulator::schedule_power_on`]).
+    CrashPrimary {
+        /// The instant of the crash.
+        at: SimTime,
+    },
+    /// Freeze the primary for a window — a gray failure: the node
+    /// neither crashes nor answers, then resumes with its state intact.
+    PausePrimary {
+        /// Start of the freeze.
+        at: SimTime,
+        /// How long the node stays frozen.
+        duration: SimDuration,
+    },
+}
+
+/// A composable fault schedule accepted by [`ScenarioSpec::faults`].
+///
+/// Replaces the old single-purpose `crash_primary_at` field and the
+/// ad-hoc toggles around it: faults compose with [`FaultSpec::and`] and
+/// are installed in order at build time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Scheduled faults, installed in order at build time.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultSpec {
+    /// No faults — the fault-free baseline.
+    pub fn none() -> Self {
+        FaultSpec::default()
+    }
+
+    /// The classic experiment: crash the primary at `at`.
+    pub fn crash_primary_at(at: SimTime) -> Self {
+        FaultSpec { faults: vec![Fault::CrashPrimary { at }] }
+    }
+
+    /// Appends another fault (builder style).
+    #[must_use]
+    pub fn and(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// True when no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Earliest instant a fault incapacitates the primary, if any.
+    pub fn incapacitated_at(&self) -> Option<SimTime> {
+        self.faults
+            .iter()
+            .map(|f| match *f {
+                Fault::CrashPrimary { at } | Fault::PausePrimary { at, .. } => at,
+            })
+            .min()
+    }
+}
+
 /// Everything needed to build one experiment run.
 #[derive(Debug, Clone)]
 pub struct ScenarioSpec {
@@ -89,8 +159,12 @@ pub struct ScenarioSpec {
     pub workload: Workload,
     /// Per-hop link characteristics.
     pub link: LinkSpec,
-    /// Crash the primary at this instant (virtual time).
-    pub crash_primary_at: Option<SimTime>,
+    /// Scheduled faults (virtual time).
+    pub faults: FaultSpec,
+    /// Record protocol events into a shared [`ObsSink`] (off by
+    /// default: the no-op recorder keeps the hot path allocation- and
+    /// atomics-free).
+    pub record_obs: bool,
     /// Insert the in-network packet logger (§3.2).
     pub with_logger: bool,
     /// Attach a power switch on the management segment.
@@ -119,7 +193,8 @@ impl ScenarioSpec {
             deployment: Deployment::StandardTcp,
             workload,
             link: LinkSpec::lan(),
-            crash_primary_at: None,
+            faults: FaultSpec::none(),
+            record_obs: false,
             with_logger: false,
             with_power_switch: false,
             tcp: TcpConfig::default(),
@@ -136,10 +211,27 @@ impl ScenarioSpec {
         self
     }
 
+    /// Installs a fault schedule (builder style).
+    #[must_use]
+    pub fn faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Schedules a primary crash (builder style).
+    #[deprecated(since = "0.5.0", note = "use `faults(FaultSpec::crash_primary_at(at))`")]
     #[must_use]
     pub fn crash_at(mut self, at: SimTime) -> Self {
-        self.crash_primary_at = Some(at);
+        self.faults = std::mem::take(&mut self.faults).and(Fault::CrashPrimary { at });
+        self
+    }
+
+    /// Records protocol events into a shared [`ObsSink`] (builder
+    /// style). The built [`Scenario`] then exposes
+    /// [`Scenario::snapshot`] and [`Scenario::takeover_breakdown`].
+    #[must_use]
+    pub fn recording(mut self) -> Self {
+        self.record_obs = true;
         self
     }
 
@@ -191,6 +283,9 @@ pub struct Scenario {
     pub power: Option<NodeId>,
     /// The gateway, in the gateway topology.
     pub gateway: Option<NodeId>,
+    /// The shared observability sink, when built with
+    /// [`ScenarioSpec::recording`].
+    pub obs: Option<Arc<ObsSink>>,
 }
 
 fn make_server_app(workload: Workload, think: SimDuration) -> Box<dyn Application> {
@@ -211,6 +306,10 @@ pub fn build(spec: &ScenarioSpec) -> Scenario {
     let gme = MacAddr::multicast_for_ip(addrs::GW_LAN_SIDE);
     let mut sim = Simulator::with_seed(spec.seed);
     let workload = spec.workload;
+    let obs = spec.record_obs.then(|| Arc::new(ObsSink::new()));
+    if let Some(sink) = &obs {
+        sim.set_recorder(sink.clone());
+    }
 
     // --- client -----------------------------------------------------
     let gateway_topology = spec.topology == Topology::GatewaySwitch;
@@ -235,10 +334,12 @@ pub fn build(spec: &ScenarioSpec) -> Scenario {
     } else {
         WorkloadClient::new(workload)
     };
-    let client = sim.add_node(
-        "client",
-        ClientNode::new(client_cfg, (addrs::VIP, 80), SimDuration::from_millis(1), client_app),
-    );
+    let mut client_node =
+        ClientNode::new(client_cfg, (addrs::VIP, 80), SimDuration::from_millis(1), client_app);
+    if let Some(sink) = &obs {
+        client_node.set_recorder(sink.clone());
+    }
+    let client = sim.add_node("client", client_node);
 
     // --- servers ----------------------------------------------------
     let think = spec.interactive_think;
@@ -265,7 +366,10 @@ pub fn build(spec: &ScenarioSpec) -> Scenario {
 
     let (primary, backup) = match &spec.deployment {
         Deployment::StandardTcp => {
-            let node = ServerNode::solo(primary_cfg, 80, mk_factory());
+            let mut node = ServerNode::solo(primary_cfg, 80, mk_factory());
+            if let Some(sink) = &obs {
+                node.set_recorder(sink.clone());
+            }
             (sim.add_node("server", node), None)
         }
         Deployment::StTcp(sttcp_cfg) => {
@@ -273,7 +377,11 @@ pub fn build(spec: &ScenarioSpec) -> Scenario {
             p_tcp.retention_buf = p_tcp.recv_buf; // "double the space" (§4.2)
             let mut p_cfg = primary_cfg.clone();
             p_cfg.tcp = p_tcp;
-            let p_node = ServerNode::primary(p_cfg, sttcp_cfg.clone(), addrs::BACKUP, mk_factory());
+            let mut p_node =
+                ServerNode::primary(p_cfg, sttcp_cfg.clone(), addrs::BACKUP, mk_factory());
+            if let Some(sink) = &obs {
+                p_node.set_recorder(sink.clone());
+            }
             let primary = sim.add_node("primary", p_node);
 
             let mut b_cfg = StackConfig::host(MacAddr::local(3), addrs::BACKUP);
@@ -298,7 +406,11 @@ pub fn build(spec: &ScenarioSpec) -> Scenario {
                     b_cfg.static_arp.push((addrs::GW_LAN_SIDE, gme));
                 }
             }
-            let b_node = ServerNode::backup(b_cfg, sttcp_cfg.clone(), addrs::PRIMARY, mk_factory());
+            let mut b_node =
+                ServerNode::backup(b_cfg, sttcp_cfg.clone(), addrs::PRIMARY, mk_factory());
+            if let Some(sink) = &obs {
+                b_node.set_recorder(sink.clone());
+            }
             (primary, Some(sim.add_node("backup", b_node)))
         }
     };
@@ -409,11 +521,14 @@ pub fn build(spec: &ScenarioSpec) -> Scenario {
     }
 
     // --- faults -------------------------------------------------------
-    if let Some(at) = spec.crash_primary_at {
-        sim.schedule_crash(primary, at);
+    for fault in &spec.faults.faults {
+        match *fault {
+            Fault::CrashPrimary { at } => sim.schedule_crash(primary, at),
+            Fault::PausePrimary { at, duration } => sim.schedule_pause(primary, at, duration),
+        }
     }
 
-    Scenario { sim, client, primary, backup, fabric, logger, power, gateway }
+    Scenario { sim, client, primary, backup, fabric, logger, power, gateway, obs }
 }
 
 /// Why a run stopped before the workload completed.
@@ -459,53 +574,78 @@ impl RunOutcome {
     pub fn completed(&self) -> bool {
         self.reason == StopReason::Completed
     }
-}
 
-impl Scenario {
-    /// Runs until the client workload completes (or `limit` virtual
-    /// time passes) and returns the client's metrics.
+    /// Unwraps the metrics of a completed run.
     ///
     /// # Panics
     ///
-    /// Panics if the workload does not finish within `limit` — a hung
-    /// experiment is a bug worth failing loudly on. Use
-    /// [`Scenario::try_run_to_completion`] for experiments where a hang
-    /// is an expected outcome (e.g. unmasked double failures).
-    pub fn run_to_completion(&mut self, limit: SimDuration) -> RunMetrics {
-        let outcome = self.try_run_to_completion(limit);
-        match outcome.reason {
-            StopReason::Completed => outcome.metrics,
+    /// Panics with the stop reason and progress when the workload did
+    /// not finish — a hung experiment is a bug worth failing loudly on.
+    /// Keep the [`RunOutcome`] instead for experiments where not
+    /// finishing is an expected result (e.g. unmasked double failures).
+    pub fn expect_completed(self) -> RunMetrics {
+        match self.reason {
+            StopReason::Completed => self.metrics,
             reason => panic!(
-                "workload did not complete within {limit}: {reason:?} \
-                 (received {} of {} bytes)",
-                outcome.progress.0, outcome.progress.1
+                "workload did not complete by {}: {reason:?} (received {} of {} bytes)",
+                self.stopped_at, self.progress.0, self.progress.1
             ),
         }
     }
+}
 
-    /// Like [`Scenario::run_to_completion`], but instead of panicking it
-    /// reports *why* the workload did not finish — time limit, event
-    /// limit (see [`Scenario::run_classified`]), or a wedged client.
-    pub fn try_run_to_completion(&mut self, limit: SimDuration) -> RunOutcome {
-        self.run_classified(limit, u64::MAX)
+/// Budget for one [`Scenario::run`] call.
+///
+/// Collapses the old `run_to_completion(limit)` /
+/// `try_run_to_completion(limit)` / `run_classified(limit, max_events)`
+/// trio into one vocabulary: build the limits, run, then decide whether
+/// to [`RunOutcome::expect_completed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Virtual-time budget for this call.
+    pub time: SimDuration,
+    /// Simulator-event budget (runaway-loop backstop).
+    pub max_events: u64,
+}
+
+impl Default for RunLimits {
+    /// 60 virtual seconds, unlimited events.
+    fn default() -> Self {
+        RunLimits { time: SimDuration::from_secs(60), max_events: u64::MAX }
+    }
+}
+
+impl RunLimits {
+    /// A budget of `time` virtual time (unlimited events).
+    pub fn time(time: SimDuration) -> Self {
+        RunLimits { time, ..RunLimits::default() }
     }
 
-    /// Drives the scenario until the workload completes, `limit`
-    /// virtual time passes, `max_events` simulator events fire, or the
-    /// event queue wedges — and says which.
-    pub fn run_classified(&mut self, limit: SimDuration, max_events: u64) -> RunOutcome {
-        let deadline = self.sim.now() + limit;
+    /// Caps the simulator events processed (builder style).
+    #[must_use]
+    pub fn max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+}
+
+impl Scenario {
+    /// Drives the scenario until the workload completes, the
+    /// [`RunLimits`] budget runs out, or the event queue wedges — and
+    /// says which.
+    pub fn run(&mut self, limits: RunLimits) -> RunOutcome {
+        let deadline = self.sim.now() + limits.time;
         let chunk = SimDuration::from_millis(50);
         let events_before = self.sim.trace().events_processed;
         let spent = |sim: &Simulator| sim.trace().events_processed - events_before;
         let reason = loop {
-            if self.client_app().is_done() {
+            if self.workload_client().is_done() {
                 break StopReason::Completed;
             }
             if self.sim.now() >= deadline {
                 break StopReason::TimeLimit;
             }
-            if spent(&self.sim) >= max_events {
+            if spent(&self.sim) >= limits.max_events {
                 break StopReason::EventLimit;
             }
             if self.sim.pending_events() == 0 {
@@ -515,29 +655,84 @@ impl Scenario {
         };
         RunOutcome {
             reason,
-            metrics: self.client_app().metrics.clone(),
-            progress: self.client_app().progress(),
+            metrics: self.workload_client().metrics.clone(),
+            progress: self.workload_client().progress(),
             events: spent(&self.sim),
             stopped_at: self.sim.now(),
         }
     }
 
-    /// The client's workload driver.
-    pub fn client_app(&self) -> &WorkloadClient {
-        self.sim
-            .node_ref::<ClientNode>(self.client)
-            .app::<WorkloadClient>()
-            .expect("client runs a WorkloadClient")
+    fn workload_client(&self) -> &WorkloadClient {
+        self.client().expect("client runs a WorkloadClient")
     }
 
-    /// The backup's engine, when deployed.
-    pub fn backup_engine(&self) -> Option<&crate::backup::BackupEngine> {
+    /// Runs until the client workload completes (or `limit` virtual
+    /// time passes) and returns the client's metrics.
+    #[deprecated(since = "0.5.0", note = "use `run(RunLimits::time(limit)).expect_completed()`")]
+    pub fn run_to_completion(&mut self, limit: SimDuration) -> RunMetrics {
+        self.run(RunLimits::time(limit)).expect_completed()
+    }
+
+    /// Like `run_to_completion`, but instead of panicking it reports
+    /// *why* the workload did not finish.
+    #[deprecated(since = "0.5.0", note = "use `run(RunLimits::time(limit))`")]
+    pub fn try_run_to_completion(&mut self, limit: SimDuration) -> RunOutcome {
+        self.run(RunLimits::time(limit))
+    }
+
+    /// Drives the scenario with both a time and an event budget.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `run(RunLimits::time(limit).max_events(max_events))`"
+    )]
+    pub fn run_classified(&mut self, limit: SimDuration, max_events: u64) -> RunOutcome {
+        self.run(RunLimits::time(limit).max_events(max_events))
+    }
+
+    /// The client's workload driver, when the client node runs one.
+    pub fn client(&self) -> Option<&WorkloadClient> {
+        self.sim.node_ref::<ClientNode>(self.client).app::<WorkloadClient>()
+    }
+
+    /// The primary's ST-TCP engine (`None` for a standard-TCP
+    /// deployment).
+    pub fn primary(&self) -> Option<&crate::primary::PrimaryEngine> {
+        self.sim.node_ref::<ServerNode>(self.primary).primary_engine()
+    }
+
+    /// The backup's ST-TCP engine, when a backup is deployed.
+    pub fn backup(&self) -> Option<&crate::backup::BackupEngine> {
         let b = self.backup?;
         self.sim.node_ref::<ServerNode>(b).backup_engine()
     }
 
+    /// The client's workload driver.
+    #[deprecated(since = "0.5.0", note = "use `client()`")]
+    pub fn client_app(&self) -> &WorkloadClient {
+        self.client().expect("client runs a WorkloadClient")
+    }
+
+    /// The backup's engine, when deployed.
+    #[deprecated(since = "0.5.0", note = "use `backup()`")]
+    pub fn backup_engine(&self) -> Option<&crate::backup::BackupEngine> {
+        self.backup()
+    }
+
     /// The primary's engine, when deployed as ST-TCP.
+    #[deprecated(since = "0.5.0", note = "use `primary()`")]
     pub fn primary_engine(&self) -> Option<&crate::primary::PrimaryEngine> {
-        self.sim.node_ref::<ServerNode>(self.primary).primary_engine()
+        self.primary()
+    }
+
+    /// A snapshot of the recorded observability counters; `None` unless
+    /// the scenario was built with [`ScenarioSpec::recording`].
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        self.obs.as_ref().map(|sink| sink.snapshot())
+    }
+
+    /// The takeover phase breakdown, when recording was on and a
+    /// takeover actually happened.
+    pub fn takeover_breakdown(&self) -> Option<TakeoverBreakdown> {
+        TakeoverBreakdown::from_snapshot(&self.snapshot()?)
     }
 }

@@ -5,7 +5,7 @@
 
 use apps::Workload;
 use netsim::{LinkSpec, SimDuration, SimTime};
-use sttcp::scenario::{addrs, build, ScenarioSpec};
+use sttcp::scenario::{addrs, build, FaultSpec, RunLimits, ScenarioSpec};
 use sttcp::{ServerNode, SttcpConfig};
 
 fn secs(s: f64) -> SimDuration {
@@ -21,7 +21,7 @@ fn congested_bottleneck_drives_fast_retransmit_and_still_completes() {
     spec.link =
         LinkSpec::lan().with_bandwidth_bps(10_000_000).with_max_queue(SimDuration::from_millis(5));
     let mut s = build(&spec);
-    let m = s.run_to_completion(secs(120.0));
+    let m = s.run(RunLimits::time(secs(120.0))).expect_completed();
     assert!(m.verified_clean());
     assert_eq!(m.bytes_received, 2 << 20);
     let p = s.sim.node_ref::<ServerNode>(s.primary);
@@ -36,14 +36,14 @@ fn congested_bottleneck_failover() {
     // connection migration interleave.
     let mut spec = ScenarioSpec::new(Workload::bulk_mb(2))
         .st_tcp(SttcpConfig::new(addrs::VIP, 80))
-        .crash_at(SimTime::ZERO + secs(1.0));
+        .faults(FaultSpec::crash_primary_at(SimTime::ZERO + secs(1.0)));
     spec.link =
         LinkSpec::lan().with_bandwidth_bps(10_000_000).with_max_queue(SimDuration::from_millis(5));
     let mut s = build(&spec);
-    let m = s.run_to_completion(secs(180.0));
+    let m = s.run(RunLimits::time(secs(180.0))).expect_completed();
     assert!(m.verified_clean(), "congestion + failover must still be exactly-once");
     assert_eq!(m.bytes_received, 2 << 20);
-    assert!(s.backup_engine().unwrap().has_taken_over());
+    assert!(s.backup().unwrap().has_taken_over());
 }
 
 #[test]
@@ -55,7 +55,7 @@ fn jitter_reorders_frames_and_the_shadow_stays_consistent() {
     let mut spec = ScenarioSpec::new(Workload::bulk_mb(1)).st_tcp(SttcpConfig::new(addrs::VIP, 80));
     spec.link = LinkSpec::lan().with_jitter(SimDuration::from_millis(2));
     let mut s = build(&spec);
-    let m = s.run_to_completion(secs(120.0));
+    let m = s.run(RunLimits::time(secs(120.0))).expect_completed();
     assert!(m.verified_clean());
     assert_eq!(m.bytes_received, 1 << 20);
     // Both servers hold identical receive state despite differing
@@ -71,11 +71,11 @@ fn jitter_reorders_frames_and_the_shadow_stays_consistent() {
 fn jitter_plus_crash() {
     let mut spec = ScenarioSpec::new(Workload::Echo { requests: 100 })
         .st_tcp(SttcpConfig::new(addrs::VIP, 80))
-        .crash_at(SimTime::ZERO + secs(0.6));
+        .faults(FaultSpec::crash_primary_at(SimTime::ZERO + secs(0.6)));
     spec.link = LinkSpec::lan().with_jitter(SimDuration::from_millis(2));
     let mut s = build(&spec);
-    let m = s.run_to_completion(secs(120.0));
+    let m = s.run(RunLimits::time(secs(120.0))).expect_completed();
     assert!(m.verified_clean());
     assert_eq!(m.latencies.len(), 100);
-    assert!(s.backup_engine().unwrap().has_taken_over());
+    assert!(s.backup().unwrap().has_taken_over());
 }

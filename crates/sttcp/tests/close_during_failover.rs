@@ -5,7 +5,7 @@
 
 use apps::Workload;
 use netsim::{SimDuration, SimTime};
-use sttcp::scenario::{addrs, build, ScenarioSpec};
+use sttcp::scenario::{addrs, build, FaultSpec, RunLimits, ScenarioSpec};
 use sttcp::{ClientNode, ServerNode, SttcpConfig};
 use tcpstack::TcpState;
 
@@ -25,7 +25,7 @@ fn orderly_close_shadows_cleanly() {
     // primary answers the FIN; the backup shadows the whole teardown
     // with its own (suppressed) copy.
     let mut s = build(&closing_spec());
-    let m = s.run_to_completion(secs(30.0));
+    let m = s.run(RunLimits::time(secs(30.0))).expect_completed();
     assert!(m.verified_clean());
     // Give the FIN exchange time to complete.
     s.sim.run_for(secs(2.0));
@@ -58,13 +58,14 @@ fn close_races_the_crash() {
     // backup with no RST and no corruption.
     let total = {
         let mut s = build(&closing_spec());
-        s.run_to_completion(secs(30.0)).total_time().unwrap().as_secs_f64()
+        s.run(RunLimits::time(secs(30.0))).expect_completed().total_time().unwrap().as_secs_f64()
     };
     for crash_offset in [-0.02f64, -0.005, 0.0, 0.005, 0.02] {
         let crash_at = (total + crash_offset).max(0.05);
-        let spec = closing_spec().crash_at(SimTime::ZERO + secs(crash_at));
+        let spec =
+            closing_spec().faults(FaultSpec::crash_primary_at(SimTime::ZERO + secs(crash_at)));
         let mut s = build(&spec);
-        let m = s.run_to_completion(secs(60.0));
+        let m = s.run(RunLimits::time(secs(60.0))).expect_completed();
         assert!(m.verified_clean(), "crash_offset={crash_offset}");
         let sock = s.sim.node_ref::<ClientNode>(s.client).sock().unwrap();
         let deadline = s.sim.now() + secs(30.0);
@@ -91,9 +92,9 @@ fn bulk_with_close_after_transfer_survives_mid_stream_crash() {
     let spec = ScenarioSpec::new(Workload::bulk_mb(1))
         .st_tcp(SttcpConfig::new(addrs::VIP, 80))
         .closing()
-        .crash_at(SimTime::ZERO + secs(0.3));
+        .faults(FaultSpec::crash_primary_at(SimTime::ZERO + secs(0.3)));
     let mut s = build(&spec);
-    let m = s.run_to_completion(secs(60.0));
+    let m = s.run(RunLimits::time(secs(60.0))).expect_completed();
     assert!(m.verified_clean());
     assert_eq!(m.bytes_received, 1 << 20);
     let sock = s.sim.node_ref::<ClientNode>(s.client).sock().unwrap();

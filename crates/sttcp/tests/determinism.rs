@@ -13,7 +13,7 @@ use apps::Workload;
 use netsim::{SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
-use sttcp::scenario::{addrs, build, ScenarioSpec};
+use sttcp::scenario::{addrs, build, FaultSpec, RunLimits, ScenarioSpec};
 use sttcp::SttcpConfig;
 
 /// FNV-1a over every probe observation: departure time, link, both
@@ -55,14 +55,14 @@ impl TraceDigest {
 fn digest_failover_run() -> (u64, u64, u64, u64, u64) {
     let spec = ScenarioSpec::new(Workload::Bulk { file_size: 2 << 20 })
         .st_tcp(SttcpConfig::new(addrs::VIP, 80))
-        .crash_at(SimTime::ZERO + SimDuration::from_millis(300));
+        .faults(FaultSpec::crash_primary_at(SimTime::ZERO + SimDuration::from_millis(300)));
     let mut s = build(&spec);
     let digest = Rc::new(RefCell::new(TraceDigest::new()));
     let sink = Rc::clone(&digest);
     s.sim.set_probe(move |ev| sink.borrow_mut().observe(&ev));
-    let m = s.run_to_completion(SimDuration::from_secs(120));
+    let m = s.run(RunLimits::time(SimDuration::from_secs(120))).expect_completed();
     assert!(m.verified_clean(), "failover run must deliver the stream intact");
-    assert!(s.backup_engine().unwrap().has_taken_over(), "the crash must trigger a takeover");
+    assert!(s.backup().unwrap().has_taken_over(), "the crash must trigger a takeover");
     let d = digest.borrow();
     let events = s.sim.trace().events_processed;
     (d.hash, d.frames, d.bytes, events, m.bytes_received)
@@ -85,7 +85,7 @@ fn echo_frame_traces_are_bit_identical() {
         let digest = Rc::new(RefCell::new(TraceDigest::new()));
         let sink = Rc::clone(&digest);
         s.sim.set_probe(move |ev| sink.borrow_mut().observe(&ev));
-        let m = s.run_to_completion(SimDuration::from_secs(60));
+        let m = s.run(RunLimits::time(SimDuration::from_secs(60))).expect_completed();
         assert!(m.verified_clean());
         let d = digest.borrow();
         (d.hash, d.frames, d.bytes)

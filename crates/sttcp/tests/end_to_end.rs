@@ -3,7 +3,7 @@
 
 use apps::Workload;
 use netsim::{SimDuration, SimTime};
-use sttcp::scenario::{addrs, build, ScenarioSpec, Topology};
+use sttcp::scenario::{addrs, build, FaultSpec, RunLimits, ScenarioSpec, Topology};
 use sttcp::SttcpConfig;
 
 fn st_cfg() -> SttcpConfig {
@@ -17,7 +17,7 @@ fn secs(s: f64) -> SimDuration {
 #[test]
 fn standard_tcp_echo_baseline() {
     let mut s = build(&ScenarioSpec::new(Workload::Echo { requests: 100 }));
-    let m = s.run_to_completion(secs(30.0));
+    let m = s.run(RunLimits::time(secs(30.0))).expect_completed();
     assert!(m.verified_clean());
     assert_eq!(m.latencies.len(), 100);
     let total = m.total_time().unwrap().as_secs_f64();
@@ -28,7 +28,7 @@ fn standard_tcp_echo_baseline() {
 #[test]
 fn standard_tcp_interactive_baseline() {
     let mut s = build(&ScenarioSpec::new(Workload::interactive()));
-    let m = s.run_to_completion(secs(30.0));
+    let m = s.run(RunLimits::time(secs(30.0))).expect_completed();
     assert!(m.verified_clean());
     let total = m.total_time().unwrap().as_secs_f64();
     // Paper Table 1: 2.000 s (20 ms/exchange). Our simulated exchange is
@@ -41,7 +41,7 @@ fn standard_tcp_interactive_baseline() {
 #[test]
 fn standard_tcp_bulk_1mb_baseline() {
     let mut s = build(&ScenarioSpec::new(Workload::bulk_mb(1)));
-    let m = s.run_to_completion(secs(30.0));
+    let m = s.run(RunLimits::time(secs(30.0))).expect_completed();
     assert!(m.verified_clean());
     let total = m.total_time().unwrap().as_secs_f64();
     // Paper Table 1: 0.640 s (window-limited at ≈1.6 MB/s).
@@ -51,16 +51,17 @@ fn standard_tcp_bulk_1mb_baseline() {
 #[test]
 fn st_tcp_failure_free_echo_matches_standard() {
     let mut std_run = build(&ScenarioSpec::new(Workload::Echo { requests: 100 }));
-    let std_time = std_run.run_to_completion(secs(30.0)).total_time().unwrap();
+    let std_time =
+        std_run.run(RunLimits::time(secs(30.0))).expect_completed().total_time().unwrap();
     let mut st_run = build(&ScenarioSpec::new(Workload::Echo { requests: 100 }).st_tcp(st_cfg()));
-    let st_m = st_run.run_to_completion(secs(30.0));
+    let st_m = st_run.run(RunLimits::time(secs(30.0))).expect_completed();
     assert!(st_m.verified_clean());
     let st_time = st_m.total_time().unwrap();
     // Table 1's core claim: no measurable overhead.
     let ratio = st_time.as_secs_f64() / std_time.as_secs_f64();
     assert!((0.98..1.02).contains(&ratio), "ST-TCP overhead ratio {ratio}");
     // And the backup really was shadowing (sent acks, got heartbeats).
-    let eng = st_run.backup_engine().unwrap();
+    let eng = st_run.backup().unwrap();
     assert!(eng.stats.acks_sent > 0);
     assert!(eng.stats.hbs_received > 0);
     assert!(!eng.has_taken_over());
@@ -71,12 +72,12 @@ fn st_tcp_echo_failover_is_transparent_and_fast() {
     let crash = SimTime::ZERO + secs(0.45); // mid-run
     let spec = ScenarioSpec::new(Workload::Echo { requests: 100 })
         .st_tcp(st_cfg()) // 50 ms heartbeats
-        .crash_at(crash);
+        .faults(FaultSpec::crash_primary_at(crash));
     let mut s = build(&spec);
-    let m = s.run_to_completion(secs(60.0));
+    let m = s.run(RunLimits::time(secs(60.0))).expect_completed();
     assert!(m.verified_clean(), "bytes must survive the failover intact");
     assert_eq!(m.latencies.len(), 100);
-    let eng = s.backup_engine().unwrap();
+    let eng = s.backup().unwrap();
     assert!(eng.has_taken_over());
     let takeover = eng.takeover_at().unwrap();
     let detection = takeover.duration_since(crash);
@@ -90,20 +91,24 @@ fn st_tcp_echo_failover_is_transparent_and_fast() {
 #[test]
 fn st_tcp_bulk_failover_mid_transfer() {
     let crash = SimTime::ZERO + secs(0.3);
-    let spec = ScenarioSpec::new(Workload::bulk_mb(1)).st_tcp(st_cfg()).crash_at(crash);
+    let spec = ScenarioSpec::new(Workload::bulk_mb(1))
+        .st_tcp(st_cfg())
+        .faults(FaultSpec::crash_primary_at(crash));
     let mut s = build(&spec);
-    let m = s.run_to_completion(secs(60.0));
+    let m = s.run(RunLimits::time(secs(60.0))).expect_completed();
     assert!(m.verified_clean(), "1 MB stream must be exactly-once across the crash");
     assert_eq!(m.bytes_received, 1 << 20);
-    assert!(s.backup_engine().unwrap().has_taken_over());
+    assert!(s.backup().unwrap().has_taken_over());
 }
 
 #[test]
 fn st_tcp_interactive_failover() {
     let crash = SimTime::ZERO + secs(1.0);
-    let spec = ScenarioSpec::new(Workload::interactive()).st_tcp(st_cfg()).crash_at(crash);
+    let spec = ScenarioSpec::new(Workload::interactive())
+        .st_tcp(st_cfg())
+        .faults(FaultSpec::crash_primary_at(crash));
     let mut s = build(&spec);
-    let m = s.run_to_completion(secs(60.0));
+    let m = s.run(RunLimits::time(secs(60.0))).expect_completed();
     assert!(m.verified_clean());
     assert_eq!(m.bytes_received, 100 * 10 * 1024);
 }
@@ -114,11 +119,11 @@ fn switch_multicast_tapping_works() {
     let spec = ScenarioSpec::new(Workload::Echo { requests: 100 })
         .topology(Topology::SwitchMulticast)
         .st_tcp(st_cfg())
-        .crash_at(crash);
+        .faults(FaultSpec::crash_primary_at(crash));
     let mut s = build(&spec);
-    let m = s.run_to_completion(secs(60.0));
+    let m = s.run(RunLimits::time(secs(60.0))).expect_completed();
     assert!(m.verified_clean());
-    assert!(s.backup_engine().unwrap().has_taken_over());
+    assert!(s.backup().unwrap().has_taken_over());
 }
 
 #[test]
@@ -130,11 +135,11 @@ fn shared_medium_hub_paper_testbed() {
     let spec = ScenarioSpec::new(Workload::Echo { requests: 100 })
         .topology(Topology::SharedMediumHub { medium_bps: 100_000_000 })
         .st_tcp(st_cfg())
-        .crash_at(crash);
+        .faults(FaultSpec::crash_primary_at(crash));
     let mut s = build(&spec);
-    let m = s.run_to_completion(secs(60.0));
+    let m = s.run(RunLimits::time(secs(60.0))).expect_completed();
     assert!(m.verified_clean());
-    assert!(s.backup_engine().unwrap().has_taken_over());
+    assert!(s.backup().unwrap().has_taken_over());
 }
 
 #[test]
@@ -143,10 +148,10 @@ fn switch_mirror_tapping_works() {
         .topology(Topology::SwitchMirror)
         .st_tcp(st_cfg());
     let mut s = build(&spec);
-    let m = s.run_to_completion(secs(60.0));
+    let m = s.run(RunLimits::time(secs(60.0))).expect_completed();
     assert!(m.verified_clean());
     // Backup shadowed through the mirror.
-    let eng = s.backup_engine().unwrap();
+    let eng = s.backup().unwrap();
     assert!(eng.stats.acks_sent > 0);
 }
 
@@ -156,9 +161,9 @@ fn gateway_topology_full_architecture() {
         .topology(Topology::GatewaySwitch)
         .st_tcp(st_cfg());
     let mut s = build(&spec);
-    let m = s.run_to_completion(secs(60.0));
+    let m = s.run(RunLimits::time(secs(60.0))).expect_completed();
     assert!(m.verified_clean());
-    assert!(s.backup_engine().unwrap().stats.acks_sent > 0);
+    assert!(s.backup().unwrap().stats.acks_sent > 0);
 }
 
 #[test]
@@ -167,9 +172,9 @@ fn backup_crash_drops_to_non_fault_tolerant_mode() {
     let mut s = build(&spec);
     let backup = s.backup.unwrap();
     s.sim.schedule_crash(backup, SimTime::ZERO + secs(0.3));
-    let m = s.run_to_completion(secs(30.0));
+    let m = s.run(RunLimits::time(secs(30.0))).expect_completed();
     assert!(m.verified_clean(), "service continues when the backup dies");
-    let eng = s.primary_engine().unwrap();
+    let eng = s.primary().unwrap();
     assert!(!eng.backup_alive(), "primary must notice the backup's death");
     assert!(eng.backup_dead_at().is_some());
 }
@@ -198,10 +203,10 @@ fn tap_omission_recovered_over_side_channel() {
     // side channel is the recovery path and heartbeat carrier; losing
     // it is a different fault class (see side_channel_loss test below).
     s.sim.add_ingress_drop(backup, DropRule::rate(0.3, any_tcp_frame));
-    let m = s.run_to_completion(secs(30.0));
+    let m = s.run(RunLimits::time(secs(30.0))).expect_completed();
     assert!(m.verified_clean());
     // The backup must have requested and recovered missing bytes.
-    let eng = s.backup_engine().unwrap();
+    let eng = s.backup().unwrap();
     assert!(eng.stats.missing_reqs > 0, "tap loss must trigger missing-segment requests");
     assert!(eng.stats.missing_bytes_recovered > 0);
     assert!(!eng.has_taken_over(), "omissions alone must not trigger a takeover");
@@ -233,14 +238,14 @@ fn side_channel_loss_causes_false_takeover() {
             .unwrap_or(false)
         }),
     );
-    let m = s.run_to_completion(secs(30.0));
+    let m = s.run(RunLimits::time(secs(30.0))).expect_completed();
     // The client still completes: the shadow is complete (TCP tap was
     // clean), so the falsely-promoted backup serves the same bytes the
     // primary does. Both transmit as the VIP — split brain — which only
     // fencing can rule out for non-deterministic real servers.
     assert!(m.verified_clean());
     assert!(
-        s.backup_engine().unwrap().has_taken_over(),
+        s.backup().unwrap().has_taken_over(),
         "sustained heartbeat loss must trigger a (wrong) takeover"
     );
     assert!(s.sim.is_alive(s.primary), "the primary was never actually down");
@@ -252,13 +257,15 @@ fn tap_omission_then_crash_still_transparent() {
     // the crash, so takeover still works without a logger.
     use netsim::DropRule;
     let crash = SimTime::ZERO + secs(0.6);
-    let spec = ScenarioSpec::new(Workload::Echo { requests: 100 }).st_tcp(st_cfg()).crash_at(crash);
+    let spec = ScenarioSpec::new(Workload::Echo { requests: 100 })
+        .st_tcp(st_cfg())
+        .faults(FaultSpec::crash_primary_at(crash));
     let mut s = build(&spec);
     let backup = s.backup.unwrap();
     s.sim.add_ingress_drop(backup, DropRule::window(40, 2, |_| true));
-    let m = s.run_to_completion(secs(60.0));
+    let m = s.run(RunLimits::time(secs(60.0))).expect_completed();
     assert!(m.verified_clean());
-    assert!(s.backup_engine().unwrap().has_taken_over());
+    assert!(s.backup().unwrap().has_taken_over());
 }
 
 #[test]
@@ -266,9 +273,9 @@ fn power_switch_fencing_kills_primary_before_takeover() {
     let spec = ScenarioSpec::new(Workload::Echo { requests: 100 })
         .st_tcp(st_cfg().with_fencing(0))
         .with_power_switch()
-        .crash_at(SimTime::ZERO + secs(0.45));
+        .faults(FaultSpec::crash_primary_at(SimTime::ZERO + secs(0.45)));
     let mut s = build(&spec);
-    let m = s.run_to_completion(secs(60.0));
+    let m = s.run(RunLimits::time(secs(60.0))).expect_completed();
     assert!(m.verified_clean());
     let psw = s.power.unwrap();
     assert_eq!(s.sim.node_ref::<netsim::PowerSwitch>(psw).offs, 1, "backup fenced the primary");
@@ -280,9 +287,9 @@ fn determinism_identical_runs_produce_identical_timings() {
     let run = || {
         let spec = ScenarioSpec::new(Workload::Echo { requests: 100 })
             .st_tcp(st_cfg())
-            .crash_at(SimTime::ZERO + secs(0.45));
+            .faults(FaultSpec::crash_primary_at(SimTime::ZERO + secs(0.45)));
         let mut s = build(&spec);
-        let m = s.run_to_completion(secs(60.0));
+        let m = s.run(RunLimits::time(secs(60.0))).expect_completed();
         (m.total_time().unwrap(), m.latencies.clone())
     };
     assert_eq!(run(), run(), "simulation must be bit-reproducible");

@@ -11,7 +11,7 @@
 
 use apps::{EchoServer, Workload};
 use netsim::{DropRule, SimDuration, SimTime};
-use sttcp::scenario::{addrs, build, ScenarioSpec};
+use sttcp::scenario::{addrs, build, RunLimits, ScenarioSpec};
 use sttcp::{ServerNode, SttcpConfig};
 use wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, TcpFlags, TcpSegment};
 
@@ -62,11 +62,11 @@ fn missed_syn_is_bootstrapped_from_the_logger() {
     let ptcb = p.stack().tcb(p.accepted[0]).unwrap();
     let btcb = s.sim.node_ref::<ServerNode>(backup).stack().tcb(sock).unwrap();
     assert_eq!(btcb.iss(), ptcb.iss(), "replayed handshake ACK must resync the ISN");
-    assert_eq!(s.client_app().metrics.content_errors, 0);
+    assert_eq!(s.client().unwrap().metrics.content_errors, 0);
     assert!(
-        s.client_app().metrics.bytes_received > 50 * 150,
+        s.client().unwrap().metrics.bytes_received > 50 * 150,
         "the client must have made normal progress throughout: got {} bytes",
-        s.client_app().metrics.bytes_received
+        s.client().unwrap().metrics.bytes_received
     );
 }
 
@@ -77,10 +77,10 @@ fn bootstrapped_backup_survives_a_crash() {
     s.sim.add_ingress_drop(backup, DropRule::window(0, 1, client_syn));
     // Give the bootstrap time to converge, then kill the primary.
     s.sim.schedule_crash(s.primary, SimTime::ZERO + SimDuration::from_millis(500));
-    let m = s.run_to_completion(SimDuration::from_secs(60));
+    let m = s.run(RunLimits::time(SimDuration::from_secs(60))).expect_completed();
     assert!(m.verified_clean(), "failover from a bootstrapped shadow must be byte-exact");
     assert_eq!(m.latencies.len(), 100);
-    let eng = s.backup_engine().unwrap();
+    let eng = s.backup().unwrap();
     assert!(eng.has_taken_over());
     assert!(eng.stats.bootstrap_queries >= 1);
 }
@@ -94,10 +94,10 @@ fn without_logger_a_missed_syn_is_fatal_after_crash() {
     s.sim.add_ingress_drop(backup, DropRule::window(0, 1, client_syn));
     s.sim.schedule_crash(s.primary, SimTime::ZERO + SimDuration::from_millis(500));
     let deadline = SimTime::ZERO + SimDuration::from_secs(30);
-    while s.sim.now() < deadline && !s.client_app().is_done() {
+    while s.sim.now() < deadline && !s.client().unwrap().is_done() {
         s.sim.run_for(SimDuration::from_millis(50));
     }
-    assert!(!s.client_app().is_done(), "without the logger this failover cannot succeed");
+    assert!(!s.client().unwrap().is_done(), "without the logger this failover cannot succeed");
     let node = s.sim.node_ref::<ServerNode>(backup);
     assert_eq!(node.accepted.len(), 0, "no shadow was ever built");
 }

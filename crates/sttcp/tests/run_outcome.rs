@@ -4,7 +4,7 @@
 
 use apps::Workload;
 use netsim::{SimDuration, SimTime};
-use sttcp::scenario::{build, ScenarioSpec, StopReason};
+use sttcp::scenario::{build, RunLimits, ScenarioSpec, StopReason};
 
 fn secs(s: f64) -> SimDuration {
     SimDuration::from_secs_f64(s)
@@ -13,7 +13,7 @@ fn secs(s: f64) -> SimDuration {
 #[test]
 fn completed_run_reports_completed() {
     let mut s = build(&ScenarioSpec::new(Workload::Echo { requests: 20 }));
-    let out = s.try_run_to_completion(secs(30.0));
+    let out = s.run(RunLimits::time(secs(30.0)));
     assert_eq!(out.reason, StopReason::Completed);
     assert!(out.completed());
     assert!(out.metrics.verified_clean());
@@ -24,7 +24,7 @@ fn completed_run_reports_completed() {
 #[test]
 fn short_limit_reports_time_limit_with_partial_progress() {
     let mut s = build(&ScenarioSpec::new(Workload::bulk_mb(1)));
-    let out = s.try_run_to_completion(secs(0.1));
+    let out = s.run(RunLimits::time(secs(0.1)));
     assert_eq!(out.reason, StopReason::TimeLimit);
     assert!(!out.completed());
     assert!(out.progress.0 < out.progress.1, "progress {:?} should be partial", out.progress);
@@ -34,7 +34,7 @@ fn short_limit_reports_time_limit_with_partial_progress() {
 #[test]
 fn tiny_event_budget_reports_event_limit() {
     let mut s = build(&ScenarioSpec::new(Workload::bulk_mb(1)));
-    let out = s.run_classified(secs(30.0), 50);
+    let out = s.run(RunLimits::time(secs(30.0)).max_events(50));
     assert_eq!(out.reason, StopReason::EventLimit);
     assert!(out.events >= 50, "budget was consumed ({} events)", out.events);
 }
@@ -48,7 +48,7 @@ fn drained_queue_with_unfinished_client_reports_wedged() {
     let at = SimTime::ZERO + secs(0.05);
     s.sim.schedule_crash(s.primary, at);
     s.sim.schedule_crash(s.client, at);
-    let out = s.try_run_to_completion(secs(30.0));
+    let out = s.run(RunLimits::time(secs(30.0)));
     assert_eq!(out.reason, StopReason::WedgedClient);
     assert!(!out.completed());
     assert!(
@@ -62,7 +62,7 @@ fn drained_queue_with_unfinished_client_reports_wedged() {
 fn run_to_completion_panic_names_the_reason() {
     let mut s = build(&ScenarioSpec::new(Workload::bulk_mb(1)));
     let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        s.run_to_completion(secs(0.1));
+        s.run(RunLimits::time(secs(0.1))).expect_completed();
     }))
     .expect_err("must panic on an unfinished run");
     let msg = err.downcast_ref::<String>().expect("panic payload is a String");

@@ -5,7 +5,7 @@
 
 use apps::Workload;
 use netsim::{SimDuration, SimTime};
-use sttcp::scenario::{addrs, build, ScenarioSpec};
+use sttcp::scenario::{addrs, build, FaultSpec, RunLimits, ScenarioSpec};
 use sttcp::SttcpConfig;
 
 #[test]
@@ -14,7 +14,7 @@ fn think_time_reproduces_the_papers_interactive_total() {
         ScenarioSpec::new(Workload::interactive()).st_tcp(SttcpConfig::new(addrs::VIP, 80));
     spec.interactive_think = SimDuration::from_millis(9);
     let mut s = build(&spec);
-    let m = s.run_to_completion(SimDuration::from_secs(30));
+    let m = s.run(RunLimits::time(SimDuration::from_secs(30))).expect_completed();
     assert!(m.verified_clean());
     let total = m.total_time().unwrap().as_secs_f64();
     // Paper Table 1: 2.000 s.
@@ -30,11 +30,11 @@ fn think_time_is_replicated_deterministically_across_failover() {
     // the middle still yields a byte-exact stream.
     let mut spec = ScenarioSpec::new(Workload::interactive())
         .st_tcp(SttcpConfig::new(addrs::VIP, 80))
-        .crash_at(SimTime::ZERO + SimDuration::from_millis(900));
+        .faults(FaultSpec::crash_primary_at(SimTime::ZERO + SimDuration::from_millis(900)));
     spec.interactive_think = SimDuration::from_millis(9);
     let mut s = build(&spec);
-    let m = s.run_to_completion(SimDuration::from_secs(60));
+    let m = s.run(RunLimits::time(SimDuration::from_secs(60))).expect_completed();
     assert!(m.verified_clean());
     assert_eq!(m.bytes_received, 100 * 10 * 1024);
-    assert!(s.backup_engine().unwrap().has_taken_over());
+    assert!(s.backup().unwrap().has_taken_over());
 }

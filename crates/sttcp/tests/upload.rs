@@ -6,7 +6,7 @@
 
 use apps::{UploadServer, Workload};
 use netsim::{DropRule, SimDuration, SimTime};
-use sttcp::scenario::{addrs, build, ScenarioSpec};
+use sttcp::scenario::{addrs, build, FaultSpec, RunLimits, ScenarioSpec};
 use sttcp::{ServerNode, SttcpConfig};
 
 fn st_cfg() -> SttcpConfig {
@@ -17,7 +17,7 @@ fn st_cfg() -> SttcpConfig {
 fn upload_failure_free_and_servers_agree() {
     let spec = ScenarioSpec::new(Workload::upload_mb(2)).st_tcp(st_cfg());
     let mut s = build(&spec);
-    let m = s.run_to_completion(SimDuration::from_secs(60));
+    let m = s.run(RunLimits::time(SimDuration::from_secs(60))).expect_completed();
     assert!(m.verified_clean(), "confirmation must verify");
     // Both server applications consumed and verified the whole upload.
     for id in [s.primary, s.backup.unwrap()] {
@@ -28,7 +28,7 @@ fn upload_failure_free_and_servers_agree() {
         assert_eq!(app.content_errors, 0, "{}", s.sim.node_name(id));
     }
     // The upload volume forced threshold-triggered backup acks.
-    let eng = s.backup_engine().unwrap();
+    let eng = s.backup().unwrap();
     assert!(
         eng.stats.acks_threshold_triggered > 0,
         "2 MB of client data must trip the X-byte ack rule"
@@ -45,17 +45,29 @@ fn upload_throughput_and_the_x_threshold_tradeoff() {
     // download-equal throughput, at the price of more frequent acks.
     let down = {
         let spec = ScenarioSpec::new(Workload::bulk_mb(2)).st_tcp(st_cfg());
-        build(&spec).run_to_completion(SimDuration::from_secs(60)).total_time().unwrap()
+        build(&spec)
+            .run(RunLimits::time(SimDuration::from_secs(60)))
+            .expect_completed()
+            .total_time()
+            .unwrap()
     };
     let up_default = {
         let spec = ScenarioSpec::new(Workload::upload_mb(2)).st_tcp(st_cfg());
-        build(&spec).run_to_completion(SimDuration::from_secs(60)).total_time().unwrap()
+        build(&spec)
+            .run(RunLimits::time(SimDuration::from_secs(60)))
+            .expect_completed()
+            .total_time()
+            .unwrap()
     };
     let up_small_x = {
         let mut cfg = st_cfg();
         cfg.ack_threshold = Some(4096);
         let spec = ScenarioSpec::new(Workload::upload_mb(2)).st_tcp(cfg);
-        build(&spec).run_to_completion(SimDuration::from_secs(60)).total_time().unwrap()
+        build(&spec)
+            .run(RunLimits::time(SimDuration::from_secs(60)))
+            .expect_completed()
+            .total_time()
+            .unwrap()
     };
     let ratio_default = up_default.as_secs_f64() / down.as_secs_f64();
     let ratio_small = up_small_x.as_secs_f64() / down.as_secs_f64();
@@ -73,9 +85,11 @@ fn upload_throughput_and_the_x_threshold_tradeoff() {
 #[test]
 fn upload_failover_server_side_exactly_once() {
     let crash = SimTime::ZERO + SimDuration::from_millis(600);
-    let spec = ScenarioSpec::new(Workload::upload_mb(2)).st_tcp(st_cfg()).crash_at(crash);
+    let spec = ScenarioSpec::new(Workload::upload_mb(2))
+        .st_tcp(st_cfg())
+        .faults(FaultSpec::crash_primary_at(crash));
     let mut s = build(&spec);
-    let m = s.run_to_completion(SimDuration::from_secs(120));
+    let m = s.run(RunLimits::time(SimDuration::from_secs(120))).expect_completed();
     assert!(m.verified_clean());
     let backup_id = s.backup.unwrap();
     let node = s.sim.node_ref::<ServerNode>(backup_id);
@@ -93,7 +107,9 @@ fn upload_failover_with_tap_loss_and_logger() {
     let crash = SimTime::ZERO + SimDuration::from_millis(700);
     let mut cfg = st_cfg().with_logger();
     cfg.missing_req_chunk = 8 * 1024;
-    let mut spec = ScenarioSpec::new(Workload::upload_mb(1)).st_tcp(cfg).crash_at(crash);
+    let mut spec = ScenarioSpec::new(Workload::upload_mb(1))
+        .st_tcp(cfg)
+        .faults(FaultSpec::crash_primary_at(crash));
     spec.with_logger = true;
     let mut s = build(&spec);
     let backup = s.backup.unwrap();
@@ -112,7 +128,7 @@ fn upload_failover_with_tap_loss_and_logger() {
             .unwrap_or(false)
         }),
     );
-    let m = s.run_to_completion(SimDuration::from_secs(120));
+    let m = s.run(RunLimits::time(SimDuration::from_secs(120))).expect_completed();
     assert!(m.verified_clean());
     let node = s.sim.node_ref::<ServerNode>(backup);
     let app = node.app::<UploadServer>(node.accepted[0]).unwrap();
@@ -138,11 +154,18 @@ fn slow_backup_acks_shrink_the_window_but_nothing_breaks() {
     cfg.ack_threshold = Some(usize::MAX);
     let spec = ScenarioSpec::new(Workload::upload_mb(1)).st_tcp(cfg);
     let mut slow = build(&spec);
-    let slow_time = slow.run_to_completion(SimDuration::from_secs(300)).total_time().unwrap();
+    let slow_time = slow
+        .run(RunLimits::time(SimDuration::from_secs(300)))
+        .expect_completed()
+        .total_time()
+        .unwrap();
 
     let fast_spec = ScenarioSpec::new(Workload::upload_mb(1)).st_tcp(st_cfg());
-    let fast_time =
-        build(&fast_spec).run_to_completion(SimDuration::from_secs(60)).total_time().unwrap();
+    let fast_time = build(&fast_spec)
+        .run(RunLimits::time(SimDuration::from_secs(60)))
+        .expect_completed()
+        .total_time()
+        .unwrap();
     assert!(
         slow_time > fast_time.saturating_mul(2),
         "starved backup acks must throttle the upload: slow={slow_time} fast={fast_time}"

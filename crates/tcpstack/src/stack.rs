@@ -24,6 +24,7 @@ use crate::tcb::{StagedSeg, Tcb, TcpState};
 use crate::udp_socket::{UdpRecv, UdpSocket};
 use bytes::Bytes;
 use netsim::{SimDuration, SimTime, SplitMix64};
+use obs::{Counter, Mark, SharedRecorder};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -108,6 +109,10 @@ pub struct NetStack {
     builder: FrameBuilder,
     pending_arp: HashMap<Ipv4Addr, ArpPending>,
     suppressed: HashSet<Ipv4Addr>,
+    recorder: SharedRecorder,
+    /// Armed by [`NetStack::unsuppress`]: the next *data* segment to
+    /// leave the stack stamps the first-post-takeover-byte mark.
+    takeover_watch: bool,
     isn_rng: SplitMix64,
     ip_ident: u16,
     next_ephemeral: u16,
@@ -134,6 +139,8 @@ impl NetStack {
         NetStack {
             arp,
             suppressed,
+            recorder: obs::nop(),
+            takeover_watch: false,
             isn_rng,
             tcbs: Vec::new(),
             by_quad: HashMap::new(),
@@ -152,6 +159,15 @@ impl NetStack {
     /// The stack's configuration.
     pub fn config(&self) -> &StackConfig {
         &self.cfg
+    }
+
+    /// Installs an observability recorder on the stack and every live
+    /// connection; future connections inherit it.
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        for tcb in self.tcbs.iter_mut().flatten() {
+            tcb.set_recorder(recorder.clone());
+        }
+        self.recorder = recorder;
     }
 
     // ------------------------------------------------------ TCP sockets
@@ -188,7 +204,8 @@ impl NetStack {
         let local_port = self.alloc_ephemeral(remote_ip, remote_port)?;
         let quad = Quad::new(self.cfg.ip, local_port, remote_ip, remote_port);
         let iss = SeqNum(self.isn_rng.next_u64() as u32);
-        let tcb = Tcb::connect(now, quad, iss, self.cfg.tcp.clone());
+        let mut tcb = Tcb::connect(now, quad, iss, self.cfg.tcp.clone());
+        tcb.set_recorder(self.recorder.clone());
         Ok(self.insert_tcb(quad, tcb))
     }
 
@@ -345,7 +362,9 @@ impl NetStack {
     /// flag is set, the kernel starts sending the packets to the client
     /// instead of dropping them" (§5).
     pub fn unsuppress(&mut self, ip: Ipv4Addr) {
-        self.suppressed.remove(&ip);
+        if self.suppressed.remove(&ip) {
+            self.takeover_watch = true;
+        }
     }
 
     /// Whether `ip`'s egress is currently suppressed.
@@ -438,7 +457,8 @@ impl NetStack {
             && self.listeners.contains_key(&seg.dst_port)
         {
             let iss = SeqNum(self.isn_rng.next_u64() as u32);
-            let tcb = Tcb::accept(now, quad, iss, &seg, self.cfg.tcp.clone());
+            let mut tcb = Tcb::accept(now, quad, iss, &seg, self.cfg.tcp.clone());
+            tcb.set_recorder(self.recorder.clone());
             let sid = self.insert_tcb(quad, tcb);
             self.listeners.get_mut(&seg.dst_port).expect("checked").push(sid);
             return;
@@ -536,7 +556,18 @@ impl NetStack {
         let quad = tcb.quad();
         if self.suppressed.contains(&quad.local_ip) {
             self.stats.segs_suppressed += staged.len() as u64;
+            self.recorder.count(Counter::SegsSuppressed, staged.len() as u64);
             return;
+        }
+        if self.takeover_watch {
+            let carries_data = staged.iter().any(|s| match s {
+                StagedSeg::Ctl(seg) => !seg.payload.is_empty(),
+                StagedSeg::Data { len, .. } => *len > 0,
+            });
+            if carries_data {
+                self.recorder.mark_first(Mark::FirstByteAfterTakeover, now.as_nanos());
+                self.takeover_watch = false;
+            }
         }
         let next_hop = if self.cfg.on_subnet(quad.remote_ip) {
             quad.remote_ip
@@ -642,6 +673,7 @@ impl NetStack {
         // would kill the very connection it exists to protect.
         if self.suppressed.contains(&packet.src) {
             self.stats.segs_suppressed += 1;
+            self.recorder.count(Counter::SegsSuppressed, 1);
             return;
         }
         let next_hop = if self.cfg.on_subnet(packet.dst) {

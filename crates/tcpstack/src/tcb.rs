@@ -25,6 +25,7 @@ use crate::send_buf::SendBuffer;
 use crate::seq::SeqNum;
 use bytes::Bytes;
 use netsim::SimTime;
+use obs::{Counter, Gauge, SharedRecorder};
 use wire::{TcpFlags, TcpOption, TcpSegment};
 
 /// RFC 793 connection states (LISTEN lives in the stack's listener
@@ -140,6 +141,7 @@ pub struct Tcb {
 
     /// Counters.
     pub stats: TcbStats,
+    recorder: SharedRecorder,
     out: Vec<StagedSeg>,
 }
 
@@ -234,12 +236,18 @@ impl Tcb {
             shadow_peer_ack: iss,
             isn_fixed: false,
             stats: TcbStats::default(),
+            recorder: obs::nop(),
             out: Vec::new(),
             quad,
             state,
             iss,
             cfg,
         }
+    }
+
+    /// Installs an observability recorder (no-op by default).
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = recorder;
     }
 
     // ------------------------------------------------------- accessors
@@ -350,7 +358,11 @@ impl Tcb {
         if self.fin_queued {
             return 0;
         }
-        self.snd_buf.write(data)
+        let n = self.snd_buf.write(data);
+        if n > 0 {
+            self.recorder.gauge_max(Gauge::SendBufHighWater, self.snd_buf.len() as u64);
+        }
+        n
     }
 
     /// Reads received data; returns bytes copied. Opening the window
@@ -465,6 +477,7 @@ impl Tcb {
                     self.iss = primary_iss;
                     self.snd_buf.rebase(ack);
                     self.stats.isn_resyncs += 1;
+                    self.recorder.count(Counter::ShadowIsnResyncs, 1);
                 }
                 self.snd_nxt = ack;
                 self.snd_max = ack;
@@ -579,6 +592,7 @@ impl Tcb {
             && self.cong.on_dup_ack(self.flight())
         {
             self.stats.fast_retransmits += 1;
+            self.recorder.count(Counter::TcpFastRetransmits, 1);
             self.retransmit_front(now);
         }
         // Window update (links are FIFO in the simulator, so the newest
@@ -622,6 +636,10 @@ impl Tcb {
         let after = self.rcv_buf.rcv_nxt();
         let advanced = after.distance(before) as u64;
         self.stats.bytes_in += advanced;
+        if advanced > 0 {
+            self.recorder.gauge_max(Gauge::RecvBufHighWater, self.rcv_buf.readable() as u64);
+            self.recorder.gauge_max(Gauge::RetentionHighWater, self.rcv_buf.retained() as u64);
+        }
         let fully_in_order = advanced > 0 && after == seq.add(payload.len() as u32);
         if fully_in_order {
             self.bytes_since_ack += advanced as u32;
@@ -715,6 +733,7 @@ impl Tcb {
             self.iss = primary_iss;
             self.snd_buf.rebase(primary_iss.add(1));
             self.stats.isn_resyncs += 1;
+            self.recorder.count(Counter::ShadowIsnResyncs, 1);
         }
         self.snd_una = primary_iss;
         self.snd_nxt = primary_iss.add(1);
@@ -876,6 +895,7 @@ impl Tcb {
                 self.stage_syn(now, false);
                 self.rtx_deadline = Some(now + self.rto.rto());
                 self.stats.rto_retransmits += 1;
+                self.recorder.count(Counter::TcpRtoFired, 1);
             }
             TcpState::SynRcvd => {
                 self.syn_attempts += 1;
@@ -891,6 +911,7 @@ impl Tcb {
                 self.stage_syn(now, true);
                 self.rtx_deadline = Some(now + self.rto.rto());
                 self.stats.rto_retransmits += 1;
+                self.recorder.count(Counter::TcpRtoFired, 1);
             }
             TcpState::Closed | TcpState::TimeWait => {}
             _ => {
@@ -901,6 +922,7 @@ impl Tcb {
                 self.rto.backoff();
                 self.rtt_probe = None; // Karn: no samples from retransmits
                 self.stats.rto_retransmits += 1;
+                self.recorder.count(Counter::TcpRtoFired, 1);
                 // Classic go-back-N: roll snd_nxt back so emit_data
                 // resends the whole outstanding window under slow-start
                 // pacing (one segment now, doubling per RTT).
@@ -945,6 +967,7 @@ impl Tcb {
         let seg = self.make_seg(TcpFlags::ACK, self.snd_una.sub(1), Bytes::new());
         self.stage(seg);
         self.stats.probes += 1;
+        self.recorder.count(Counter::TcpWindowProbes, 1);
         self.probe_backoff = (self.probe_backoff + 1).min(10);
         let interval = self.rto.rto().saturating_mul(1 << self.probe_backoff.min(6));
         self.probe_deadline = Some(now + interval.min(self.cfg.rto_max));
@@ -984,6 +1007,7 @@ impl Tcb {
                 if self.snd_wnd == 0 && self.probe_deadline.is_none() {
                     self.probe_deadline = Some(now + self.rto.rto());
                     self.probe_backoff = 0;
+                    self.recorder.count(Counter::TcpWindowStalls, 1);
                 }
                 break;
             }

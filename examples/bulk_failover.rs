@@ -4,16 +4,17 @@
 //!
 //! Run with: `cargo run --release --example bulk_failover`
 
-use st_tcp::apps::Workload;
-use st_tcp::netsim::{SimDuration, SimTime};
-use st_tcp::sttcp::scenario::{addrs, build, ScenarioSpec};
-use st_tcp::sttcp::SttcpConfig;
+use st_tcp::sttcp::prelude::*;
 
 fn main() {
     let crash_at = SimTime::ZERO + SimDuration::from_millis(1500);
+    let cfg = SttcpConfig::new(addrs::VIP, 80);
+    let hb = cfg.hb_interval;
+    let missed = u64::from(cfg.missed_hb_threshold);
     let spec = ScenarioSpec::new(Workload::bulk_mb(5))
-        .st_tcp(SttcpConfig::new(addrs::VIP, 80))
-        .crash_at(crash_at);
+        .st_tcp(cfg)
+        .faults(FaultSpec::crash_primary_at(crash_at))
+        .recording();
     let mut scenario = build(&spec);
 
     println!("Bulk 5 MB over ST-TCP, primary crash at t=1.5s (50 ms heartbeats)");
@@ -22,7 +23,7 @@ fn main() {
     let tick = SimDuration::from_millis(250);
     for step in 1.. {
         scenario.sim.run_for(tick);
-        let m = &scenario.client_app().metrics;
+        let m = &scenario.client().unwrap().metrics;
         let bytes = m.bytes_received;
         let rate = (bytes - last_bytes) as f64 / tick.as_secs_f64() / 1e6;
         let marker = if rate < 0.1 { "   <-- outage" } else { "" };
@@ -33,14 +34,14 @@ fn main() {
             rate
         );
         last_bytes = bytes;
-        if scenario.client_app().is_done() {
+        if scenario.client().unwrap().is_done() {
             break;
         }
         assert!(step < 400, "transfer did not finish");
     }
 
-    let m = scenario.client_app().metrics.clone();
-    let engine = scenario.backup_engine().unwrap();
+    let m = scenario.client().unwrap().metrics.clone();
+    let engine = scenario.backup().unwrap();
     println!(
         "\ntransfer complete: {} bytes, verified clean: {}",
         m.bytes_received,
@@ -51,6 +52,22 @@ fn main() {
         engine.takeover_at().unwrap().as_secs_f64(),
         (engine.takeover_at().unwrap().as_secs_f64() - crash_at.as_secs_f64()) * 1e3
     );
+
+    let breakdown = scenario.takeover_breakdown().expect("recorded takeover");
+    println!("\n{}", breakdown.render());
+
+    // Detection is paced by heartbeats: the backup suspects the primary
+    // after `missed_hb_threshold` silent intervals, checked at sync
+    // ticks — so the recorded detection latency must land just past the
+    // threshold and within a couple of extra intervals of slack.
+    let detection_ms = breakdown.detection_ns() as f64 / 1e6;
+    let hb_ms = hb.as_millis() as f64;
+    assert!(
+        detection_ms > hb_ms * missed as f64 && detection_ms <= hb_ms * (missed + 2) as f64,
+        "detection latency {detection_ms:.1} ms inconsistent with {hb_ms:.0} ms heartbeats \
+         and threshold {missed}"
+    );
+
     assert!(m.verified_clean());
     assert_eq!(m.bytes_received, 5 << 20);
 }

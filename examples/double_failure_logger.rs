@@ -9,10 +9,8 @@
 //!
 //! Run with: `cargo run --release --example double_failure_logger`
 
-use st_tcp::apps::Workload;
-use st_tcp::netsim::{DropRule, SimDuration, SimTime};
-use st_tcp::sttcp::scenario::{addrs, build, ScenarioSpec};
-use st_tcp::sttcp::SttcpConfig;
+use st_tcp::netsim::DropRule;
+use st_tcp::sttcp::prelude::*;
 use st_tcp::wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, TcpSegment, UdpDatagram};
 
 fn client_request_frame(frame: &bytes::Bytes) -> bool {
@@ -51,7 +49,7 @@ fn run_once(with_logger: bool) {
     }
     let mut spec = ScenarioSpec::new(Workload::Echo { requests: 100 })
         .st_tcp(cfg)
-        .crash_at(SimTime::ZERO + SimDuration::from_millis(600));
+        .faults(FaultSpec::crash_primary_at(SimTime::ZERO + SimDuration::from_millis(600)));
     spec.with_logger = with_logger;
     let mut scenario = build(&spec);
     let backup = scenario.backup.unwrap();
@@ -61,23 +59,23 @@ fn run_once(with_logger: bool) {
     scenario.sim.add_ingress_drop(backup, DropRule::all(missing_data_reply));
 
     let deadline = SimTime::ZERO + SimDuration::from_secs(30);
-    while scenario.sim.now() < deadline && !scenario.client_app().is_done() {
+    while scenario.sim.now() < deadline && !scenario.client().unwrap().is_done() {
         scenario.sim.run_for(SimDuration::from_millis(50));
     }
-    let m = &scenario.client_app().metrics;
-    let eng = scenario.backup_engine().unwrap();
+    let m = &scenario.client().unwrap().metrics;
+    let eng = scenario.backup().unwrap();
     println!(
         "logger={:<5}  completed={:<5}  clean={:<5}  responses={:>3}/100  logger_replay_queries={}",
         with_logger,
-        scenario.client_app().is_done(),
+        scenario.client().unwrap().is_done(),
         m.verified_clean(),
         m.latencies.len(),
         eng.stats.logger_queries,
     );
     if with_logger {
-        assert!(scenario.client_app().is_done(), "logger must mask the double failure");
+        assert!(scenario.client().unwrap().is_done(), "logger must mask the double failure");
     } else {
-        assert!(!scenario.client_app().is_done(), "without the logger the service stalls");
+        assert!(!scenario.client().unwrap().is_done(), "without the logger the service stalls");
     }
 }
 

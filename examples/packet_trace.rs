@@ -13,10 +13,7 @@
 //!
 //! Run with: `cargo run --release --example packet_trace`
 
-use st_tcp::apps::Workload;
-use st_tcp::netsim::{SimDuration, SimTime};
-use st_tcp::sttcp::scenario::{addrs, build, ScenarioSpec};
-use st_tcp::sttcp::SttcpConfig;
+use st_tcp::sttcp::prelude::*;
 use st_tcp::wire::summarize;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -25,7 +22,7 @@ fn main() {
     let crash_at = SimTime::ZERO + SimDuration::from_millis(250);
     let spec = ScenarioSpec::new(Workload::Echo { requests: 40 })
         .st_tcp(SttcpConfig::new(addrs::VIP, 80))
-        .crash_at(crash_at);
+        .faults(FaultSpec::crash_primary_at(crash_at));
     let mut scenario = build(&spec);
 
     // Collect (time, origin, summary) for two windows of interest.
@@ -44,7 +41,7 @@ fn main() {
         }
     });
 
-    let metrics = scenario.run_to_completion(SimDuration::from_secs(30));
+    let metrics = scenario.run(RunLimits::time(SimDuration::from_secs(30))).expect_completed();
     assert!(metrics.verified_clean());
 
     println!("=== connection setup (the backup taps everything, says nothing) ===");
@@ -56,7 +53,7 @@ fn main() {
         }
         println!("{:>9.6}s  {:<8}  {}", t, names[*origin], line);
     }
-    let takeover = scenario.backup_engine().unwrap().takeover_at().unwrap();
+    let takeover = scenario.backup().unwrap().takeover_at().unwrap();
     println!(
         "\ntakeover completed at {:.3}s; run finished clean at {:.3}s",
         takeover.as_secs_f64(),

@@ -6,22 +6,19 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use st_tcp::apps::Workload;
-use st_tcp::netsim::{SimDuration, SimTime};
-use st_tcp::sttcp::scenario::{addrs, build, ScenarioSpec};
-use st_tcp::sttcp::SttcpConfig;
+use st_tcp::sttcp::prelude::*;
 
 fn main() {
     // 100 echo exchanges; 50 ms heartbeats; crash at t = 0.45 s.
     let crash_at = SimTime::ZERO + SimDuration::from_millis(450);
     let spec = ScenarioSpec::new(Workload::Echo { requests: 100 })
         .st_tcp(SttcpConfig::new(addrs::VIP, 80))
-        .crash_at(crash_at);
+        .faults(FaultSpec::crash_primary_at(crash_at));
 
     let mut scenario = build(&spec);
-    let metrics = scenario.run_to_completion(SimDuration::from_secs(60));
+    let metrics = scenario.run(RunLimits::time(SimDuration::from_secs(60))).expect_completed();
 
-    let engine = scenario.backup_engine().expect("ST-TCP deployment");
+    let engine = scenario.backup().expect("ST-TCP deployment");
     println!("ST-TCP quickstart — Echo x100 with a mid-run primary crash");
     println!("-----------------------------------------------------------");
     println!("primary crashed at        : {:.3} s", crash_at.as_secs_f64());

@@ -9,10 +9,8 @@
 //!
 //! Run with: `cargo run --release --example tapping_architectures`
 
-use st_tcp::apps::Workload;
-use st_tcp::netsim::{SimDuration, SimTime};
-use st_tcp::sttcp::scenario::{addrs, build, ScenarioSpec, Topology};
-use st_tcp::sttcp::{ServerNode, SttcpConfig};
+use st_tcp::sttcp::prelude::*;
+use st_tcp::sttcp::ServerNode;
 
 fn main() {
     println!("Interactive x50 with a mid-run crash, per tapping architecture");
@@ -29,14 +27,14 @@ fn main() {
         let spec = ScenarioSpec::new(Workload::Interactive { requests: 50, reply_size: 10 * 1024 })
             .topology(topology)
             .st_tcp(SttcpConfig::new(addrs::VIP, 80))
-            .crash_at(SimTime::ZERO + SimDuration::from_millis(300));
+            .faults(FaultSpec::crash_primary_at(SimTime::ZERO + SimDuration::from_millis(300)));
         let mut scenario = build(&spec);
-        let metrics = scenario.run_to_completion(SimDuration::from_secs(120));
+        let metrics = scenario.run(RunLimits::time(SimDuration::from_secs(120))).expect_completed();
         let backup_id = scenario.backup.unwrap();
         let backup = scenario.sim.node_ref::<ServerNode>(backup_id);
         let stats = backup.stack().stats;
         let takeover = scenario
-            .backup_engine()
+            .backup()
             .unwrap()
             .takeover_at()
             .map(|t| format!("{:.3}s", t.as_secs_f64()))

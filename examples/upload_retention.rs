@@ -10,10 +10,8 @@
 //!
 //! Run with: `cargo run --release --example upload_retention`
 
-use st_tcp::apps::Workload;
-use st_tcp::netsim::{SimDuration, SimTime};
-use st_tcp::sttcp::scenario::{addrs, build, ScenarioSpec};
-use st_tcp::sttcp::{ServerNode, SttcpConfig};
+use st_tcp::sttcp::prelude::*;
+use st_tcp::sttcp::ServerNode;
 
 fn run(label: &str, cfg: SttcpConfig) {
     let spec = ScenarioSpec::new(Workload::upload_mb(1)).st_tcp(cfg);
@@ -47,7 +45,7 @@ fn run(label: &str, cfg: SttcpConfig) {
                 up
             );
         }
-        if s.client_app().is_done() && done_at.is_none() {
+        if s.client().unwrap().is_done() && done_at.is_none() {
             done_at = Some(s.sim.now().as_secs_f64());
             break;
         }

@@ -27,7 +27,9 @@
 use st_tcp::apps::Workload;
 use st_tcp::netsim::pcap::SharedPcap;
 use st_tcp::netsim::{DropRule, SimDuration, SimTime};
-use st_tcp::sttcp::scenario::{addrs, build, Deployment, ScenarioSpec, Topology};
+use st_tcp::sttcp::scenario::{
+    addrs, build, Deployment, FaultSpec, RunLimits, ScenarioSpec, Topology,
+};
 use st_tcp::sttcp::{ServerNode, SttcpConfig};
 use st_tcp::wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet};
 use std::process::exit;
@@ -163,7 +165,8 @@ fn main() {
         spec.deployment = Deployment::StTcp(cfg);
     }
     if let Some(t) = args.crash_at {
-        spec = spec.crash_at(SimTime::ZERO + SimDuration::from_secs_f64(t));
+        spec =
+            spec.faults(FaultSpec::crash_primary_at(SimTime::ZERO + SimDuration::from_secs_f64(t)));
     }
 
     let mut scenario = build(&spec);
@@ -198,7 +201,7 @@ fn main() {
         rec
     });
 
-    let metrics = scenario.run_to_completion(SimDuration::from_secs(600));
+    let metrics = scenario.run(RunLimits::time(SimDuration::from_secs(600))).expect_completed();
 
     println!("workload complete");
     println!("  total time        : {:.6} s", metrics.total_time().unwrap().as_secs_f64());

@@ -23,6 +23,7 @@
 pub use apps;
 pub use chaos;
 pub use netsim;
+pub use obs;
 pub use sttcp;
 pub use tcpstack;
 pub use wire;

@@ -10,7 +10,7 @@
 use proptest::prelude::*;
 use st_tcp::apps::Workload;
 use st_tcp::netsim::{DropRule, SimDuration, SimTime};
-use st_tcp::sttcp::scenario::{addrs, build, ScenarioSpec};
+use st_tcp::sttcp::scenario::{addrs, build, FaultSpec, RunLimits, ScenarioSpec};
 use st_tcp::sttcp::SttcpConfig;
 use st_tcp::wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, TcpSegment};
 
@@ -44,7 +44,7 @@ fn run_with_crash(workload: Workload, crash_ms: u64, seed: u64, tap_loss: f64) -
     }
     let mut spec = ScenarioSpec::new(workload)
         .st_tcp(cfg)
-        .crash_at(SimTime::ZERO + SimDuration::from_millis(crash_ms));
+        .faults(FaultSpec::crash_primary_at(SimTime::ZERO + SimDuration::from_millis(crash_ms)));
     spec.seed = seed;
     spec.with_logger = tap_loss > 0.0;
     let mut scenario = build(&spec);
@@ -52,7 +52,7 @@ fn run_with_crash(workload: Workload, crash_ms: u64, seed: u64, tap_loss: f64) -
         let backup = scenario.backup.unwrap();
         scenario.sim.add_ingress_drop(backup, DropRule::rate(tap_loss, tapped_client_data));
     }
-    let m = scenario.run_to_completion(SimDuration::from_secs(300));
+    let m = scenario.run(RunLimits::time(SimDuration::from_secs(300))).expect_completed();
     assert!(
         m.verified_clean(),
         "crash at {crash_ms}ms seed {seed} loss {tap_loss}: stream corrupted at {:?}",

@@ -15,7 +15,7 @@
 
 use st_tcp::apps::{Workload, WorkloadClient};
 use st_tcp::netsim::{SimDuration, SimTime};
-use st_tcp::sttcp::scenario::{addrs, build, ScenarioSpec};
+use st_tcp::sttcp::scenario::{addrs, build, RunLimits, ScenarioSpec};
 use st_tcp::sttcp::{ClientNode, ServerNode, SttcpConfig};
 use st_tcp::wire::{EtherType, EthernetFrame, Ipv4Packet};
 use std::cell::RefCell;
@@ -70,11 +70,11 @@ fn run_paused_primary(with_fencing: bool) -> (bool, bool, usize, bool) {
     });
 
     let deadline = SimTime::ZERO + SimDuration::from_secs(30);
-    while scenario.sim.now() < deadline && !scenario.client_app().is_done() {
+    while scenario.sim.now() < deadline && !scenario.client().unwrap().is_done() {
         scenario.sim.run_for(SimDuration::from_millis(50));
     }
-    let done = scenario.client_app().is_done();
-    let clean = scenario.client_app().metrics.verified_clean();
+    let done = scenario.client().unwrap().is_done();
+    let clean = scenario.client().unwrap().metrics.verified_clean();
     let sender_count = senders.borrow().len();
     let primary_alive = scenario.sim.is_alive(primary);
     (done, clean, sender_count, primary_alive)
@@ -117,10 +117,10 @@ fn pause_shorter_than_detection_threshold_is_harmless() {
         SimTime::ZERO + SimDuration::from_millis(300),
         SimDuration::from_millis(100), // 2 x 50ms HB
     );
-    let m = scenario.run_to_completion(SimDuration::from_secs(30));
+    let m = scenario.run(RunLimits::time(SimDuration::from_secs(30))).expect_completed();
     assert!(m.verified_clean());
     assert!(
-        !scenario.backup_engine().unwrap().has_taken_over(),
+        !scenario.backup().unwrap().has_taken_over(),
         "a sub-threshold stall must not be suspected"
     );
 }
@@ -141,7 +141,7 @@ fn client_keeps_talking_to_whichever_server_answers() {
         SimDuration::from_secs(1),
     );
     let deadline = SimTime::ZERO + SimDuration::from_secs(30);
-    while scenario.sim.now() < deadline && !scenario.client_app().is_done() {
+    while scenario.sim.now() < deadline && !scenario.client().unwrap().is_done() {
         scenario.sim.run_for(SimDuration::from_millis(50));
         let c = scenario.sim.node_ref::<ClientNode>(scenario.client);
         if let Some(sock) = c.sock() {
@@ -152,7 +152,7 @@ fn client_keeps_talking_to_whichever_server_answers() {
             );
         }
     }
-    assert!(scenario.client_app().is_done());
+    assert!(scenario.client().unwrap().is_done());
     // The backup is serving; its engine recorded the takeover.
     let b = scenario.sim.node_ref::<ServerNode>(scenario.backup.unwrap());
     assert!(b.backup_engine().unwrap().has_taken_over());

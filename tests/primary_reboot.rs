@@ -9,7 +9,7 @@
 
 use st_tcp::apps::Workload;
 use st_tcp::netsim::{SimDuration, SimTime};
-use st_tcp::sttcp::scenario::{addrs, build, ScenarioSpec};
+use st_tcp::sttcp::scenario::{addrs, build, FaultSpec, RunLimits, ScenarioSpec};
 use st_tcp::sttcp::{ClientNode, ServerNode, SttcpConfig};
 
 fn secs(s: f64) -> SimDuration {
@@ -42,22 +42,25 @@ fn rebooted_ex_primary_resets_migrated_connections() {
     let crash = SimTime::ZERO + secs(0.3);
     let spec = ScenarioSpec::new(Workload::Echo { requests: 100 })
         .st_tcp(SttcpConfig::new(addrs::VIP, 80))
-        .crash_at(crash);
+        .faults(FaultSpec::crash_primary_at(crash));
     let mut s = build(&spec);
     // Let the takeover complete and service resume...
     s.sim.run_for(secs(0.7));
-    assert!(s.backup_engine().unwrap().has_taken_over());
-    let bytes_mid = s.client_app().metrics.bytes_received;
+    assert!(s.backup().unwrap().has_taken_over());
+    let bytes_mid = s.client().unwrap().metrics.bytes_received;
     assert!(bytes_mid > 0);
     // ...then bring the old primary back.
     s.sim.schedule_power_on(s.primary, s.sim.now());
     let deadline = SimTime::ZERO + secs(20.0);
-    while s.sim.now() < deadline && !s.client_app().is_done() {
+    while s.sim.now() < deadline && !s.client().unwrap().is_done() {
         s.sim.run_for(secs(0.05));
     }
     // The amnesiac primary RSTs the client's established connection the
     // moment one of its segments reaches it.
-    assert!(!s.client_app().is_done(), "the returning amnesiac primary must break the service");
+    assert!(
+        !s.client().unwrap().is_done(),
+        "the returning amnesiac primary must break the service"
+    );
     let c = s.sim.node_ref::<ClientNode>(s.client);
     let state = c.sock().and_then(|sk| c.stack().state(sk));
     assert_eq!(
@@ -79,9 +82,9 @@ fn with_fencing_discipline_the_primary_stays_down_and_service_survives() {
     let spec = ScenarioSpec::new(Workload::Echo { requests: 100 })
         .st_tcp(SttcpConfig::new(addrs::VIP, 80).with_fencing(0))
         .with_power_switch()
-        .crash_at(crash);
+        .faults(FaultSpec::crash_primary_at(crash));
     let mut s = build(&spec);
-    let m = s.run_to_completion(secs(30.0));
+    let m = s.run(RunLimits::time(secs(30.0))).expect_completed();
     assert!(m.verified_clean());
     assert!(!s.sim.is_alive(s.primary), "fenced and left off");
 }

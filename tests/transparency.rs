@@ -8,7 +8,7 @@
 
 use st_tcp::apps::Workload;
 use st_tcp::netsim::{SimDuration, SimTime};
-use st_tcp::sttcp::scenario::{addrs, build, ScenarioSpec};
+use st_tcp::sttcp::scenario::{addrs, build, FaultSpec, RunLimits, ScenarioSpec};
 use st_tcp::sttcp::SttcpConfig;
 use st_tcp::wire::{EtherType, EthernetFrame, Ipv4Packet, TcpSegment};
 use std::cell::RefCell;
@@ -52,7 +52,7 @@ fn record_client_frames(spec: &ScenarioSpec) -> (Vec<FrameSig>, f64) {
             seg.window,
         ));
     });
-    let metrics = scenario.run_to_completion(SimDuration::from_secs(120));
+    let metrics = scenario.run(RunLimits::time(SimDuration::from_secs(120))).expect_completed();
     assert!(metrics.verified_clean());
     let total = metrics.total_time().unwrap().as_secs_f64();
     let frames = log.borrow().clone();
@@ -158,7 +158,9 @@ fn failover_changes_only_timing_not_bytes() {
     let cfg = SttcpConfig::new(addrs::VIP, 80);
     let (clean, _) = record_client_frames(&ScenarioSpec::new(w).st_tcp(cfg.clone()));
     let (crashed, _) = record_client_frames(
-        &ScenarioSpec::new(w).st_tcp(cfg).crash_at(SimTime::ZERO + SimDuration::from_millis(250)),
+        &ScenarioSpec::new(w)
+            .st_tcp(cfg)
+            .faults(FaultSpec::crash_primary_at(SimTime::ZERO + SimDuration::from_millis(250))),
     );
     // Project to (relative seq, len) of payload-carrying frames, dedup
     // retransmissions by keeping the first occurrence of each seq.
