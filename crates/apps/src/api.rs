@@ -88,7 +88,7 @@ impl Api for StackApi<'_> {
     }
 
     fn close(&mut self) {
-        self.stack.close(self.sock);
+        self.stack.close(self.now, self.sock);
     }
 
     fn wake_after(&mut self, after: SimDuration) {

@@ -17,6 +17,12 @@
 //! reference recorded in `BENCH_simperf.json` (the timed scenarios use
 //! the default no-op recorder, so this also asserts the observability
 //! layer stays off the hot path). Guard mode never rewrites the file.
+//!
+//! `STTCP_BENCH_TRACE_CHECK=<factor>` guards the recorder itself: the
+//! ST-TCP bulk scenario is run twice in-process — no-op recorder vs
+//! metrics + flight recorder — and the enabled run must stay within
+//! `factor ×` the no-op wall time (best of three each). Composes with
+//! `STTCP_BENCH_QUICK=1`; never touches the report file.
 
 use apps::Workload;
 use netsim::{SimDuration, SimTime};
@@ -88,10 +94,41 @@ fn check_factor() -> Option<f64> {
     std::env::var("STTCP_BENCH_CHECK").ok()?.parse().ok()
 }
 
+/// `STTCP_BENCH_TRACE_CHECK=<factor>` — recorder-overhead guard mode.
+fn trace_check_factor() -> Option<f64> {
+    std::env::var("STTCP_BENCH_TRACE_CHECK").ok()?.parse().ok()
+}
+
+/// Recorder-overhead guard: the same bulk scenario with the recorder
+/// off vs fully on (metrics sink + flight ring), best of three runs
+/// each to damp scheduler noise. Exits non-zero past `factor`.
+fn run_trace_check(factor: f64, bulk: Workload) {
+    let base = || ScenarioSpec::new(bulk).st_tcp(st_cfg(SimDuration::from_millis(50)));
+    let best = |name: &'static str, spec: &dyn Fn() -> ScenarioSpec| {
+        (0..3).map(|_| run_case(name, &spec()).wall_s).fold(f64::INFINITY, f64::min)
+    };
+    let nop = best("bulk_st_tcp (no-op recorder)", &base);
+    let on = best("bulk_st_tcp (metrics + flight)", &|| base().recording().tracing());
+    let ratio = on / nop;
+    if ratio <= factor {
+        println!(
+            "trace perf check ok: {on:.3}s recorded / {nop:.3}s no-op = {ratio:.3}x <= {factor}x"
+        );
+    } else {
+        eprintln!("trace perf check FAILED: {on:.3}s recorded / {nop:.3}s no-op = {ratio:.3}x > {factor}x");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let quick = quick_mode();
     let bulk = if quick { Workload::bulk_mb(1) } else { Workload::bulk_mb(100) };
     let bulk_name = if quick { "bulk_1mb (quick)" } else { "bulk_100mb" };
+
+    if let Some(factor) = trace_check_factor() {
+        run_trace_check(factor, bulk);
+        return;
+    }
 
     let cases = vec![
         run_case("echo", &ScenarioSpec::new(Workload::echo())),

@@ -25,6 +25,10 @@ pub struct FailureArtifact {
     /// Observability counter snapshot of the failing run, when the run
     /// recorded one (absent in artifacts from older engines).
     pub obs: Option<Value>,
+    /// Flight-recorder trace tail (`sttcp-trace-v1`) of the failing
+    /// run, when the run traced one (absent in artifacts from older
+    /// engines).
+    pub trace: Option<Value>,
 }
 
 impl FailureArtifact {
@@ -41,6 +45,7 @@ impl FailureArtifact {
                 .collect(),
             digest: report.digest,
             obs: report.obs.clone(),
+            trace: report.trace.clone(),
         }
     }
 
@@ -60,6 +65,9 @@ impl FailureArtifact {
         ];
         if let Some(obs) = &self.obs {
             fields.push(("obs", obs.clone()));
+        }
+        if let Some(trace) = &self.trace {
+            fields.push(("trace", trace.clone()));
         }
         json::obj(fields).to_json()
     }
@@ -90,6 +98,7 @@ impl FailureArtifact {
             details,
             digest: json::from_hex(v.get("digest")?)?,
             obs: v.get("obs").cloned(),
+            trace: v.get("trace").cloned(),
         })
     }
 
@@ -127,6 +136,11 @@ mod tests {
             details: vec!["node 1 still sourcing VIP traffic".into()],
             digest: 0xFFFF_0000_1234_5678,
             obs: Some(json::obj([("counters", json::obj([("segs_suppressed", json::num(7))]))])),
+            trace: Some(json::obj([
+                ("format", Value::Str("sttcp-trace-v1".into())),
+                ("dropped", json::num(3)),
+                ("events", Value::Arr(vec![])),
+            ])),
         };
         let text = artifact.to_json();
         let back = FailureArtifact::from_json(&text).expect("parses");
@@ -142,9 +156,11 @@ mod tests {
             details: Vec::new(),
             digest: 0,
             obs: None,
+            trace: None,
         };
         let text = artifact.to_json();
         assert!(!text.contains("\"obs\""), "absent snapshot must stay absent");
+        assert!(!text.contains("\"trace\""), "absent trace must stay absent");
         let back = FailureArtifact::from_json(&text).expect("parses");
         assert_eq!(back, artifact);
     }

@@ -3,20 +3,25 @@
 //!
 //! ```text
 //! chaos-hunt [--smoke | --demo] [--skip-canary] [--threads N] [--replay FILE]
+//!            [--artifacts DIR]
 //! ```
 //!
-//! * `--smoke`   bounded campaign for CI (default).
-//! * `--demo`    the full ≥200-run campaign.
-//! * `--replay`  replay a failure artifact JSON file and verify it
-//!               reproduces (same oracle, same frame digest).
+//! * `--smoke`     bounded campaign for CI (default).
+//! * `--demo`      the full ≥200-run campaign.
+//! * `--replay`    replay a failure artifact JSON file and verify it
+//!                 reproduces (same oracle, same frame digest).
+//! * `--artifacts` write each failure's reproducer to DIR: the JSON
+//!                 artifact (with embedded obs snapshot and trace tail)
+//!                 plus a `.pcap` capture of the failing pass.
 //!
 //! Exit code 0 iff the campaign is all green AND the broken-config
 //! canary is caught, shrunk, and replays deterministically.
 
 use chaos::{
-    broken_config_canary, demo_campaign, run_campaign, shrink, smoke_campaign, Campaign,
-    FailureArtifact, OracleKind,
+    broken_config_canary, demo_campaign, execute_with_pcap, measure_profile, run_campaign, shrink,
+    smoke_campaign, Campaign, FailureArtifact, OracleKind, Profile,
 };
+use netsim::pcap::SharedPcap;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -25,6 +30,7 @@ struct Args {
     skip_canary: bool,
     threads: usize,
     replay: Option<String>,
+    artifacts: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
         skip_canary: false,
         threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
         replay: None,
+        artifacts: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -47,10 +54,13 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => {
                 args.replay = Some(it.next().ok_or("--replay needs a file")?);
             }
+            "--artifacts" => {
+                args.artifacts = Some(it.next().ok_or("--artifacts needs a directory")?);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: chaos-hunt [--smoke | --demo] [--skip-canary] \
-                     [--threads N] [--replay FILE]"
+                     [--threads N] [--replay FILE] [--artifacts DIR]"
                 );
                 std::process::exit(0);
             }
@@ -60,7 +70,33 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn run_matrix(campaign: &Campaign, threads: usize) -> bool {
+/// Writes `name.json` (the artifact) and `name.pcap` (a frame capture of
+/// the failing pass, re-executed deterministically) into `dir`.
+fn export_artifact(dir: &str, name: &str, artifact: &FailureArtifact) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        println!("      cannot create {dir}: {e}");
+        return;
+    }
+    let json_path = format!("{dir}/{name}.json");
+    if let Err(e) = std::fs::write(&json_path, artifact.to_json()) {
+        println!("      cannot write {json_path}: {e}");
+        return;
+    }
+    let profile = if artifact.spec.plan.needs_probe() {
+        measure_profile(&artifact.spec).unwrap_or_default()
+    } else {
+        Profile::default()
+    };
+    let pcap = SharedPcap::new();
+    let _ = execute_with_pcap(&artifact.spec, &profile, pcap.clone());
+    let pcap_path = format!("{dir}/{name}.pcap");
+    match pcap.save(&pcap_path) {
+        Ok(()) => println!("      artifact files: {json_path}, {pcap_path}"),
+        Err(e) => println!("      cannot write {pcap_path}: {e}"),
+    }
+}
+
+fn run_matrix(campaign: &Campaign, threads: usize, artifacts: Option<&str>) -> bool {
     let started = Instant::now();
     println!(
         "== campaign `{}`: {} runs on {} threads",
@@ -94,6 +130,13 @@ fn run_matrix(campaign: &Campaign, threads: usize) -> bool {
         if let Some(oracle) = report.first_oracle() {
             let artifact = FailureArtifact::capture(spec, report, oracle);
             println!("      artifact: {}", artifact.to_json());
+            if let Some(dir) = artifacts {
+                export_artifact(
+                    dir,
+                    &format!("{}-run{i}-{}", campaign.name, oracle.tag()),
+                    &artifact,
+                );
+            }
         }
     }
     failed.is_empty()
@@ -102,7 +145,7 @@ fn run_matrix(campaign: &Campaign, threads: usize) -> bool {
 /// Proves the oracles have teeth: a fencing-disabled configuration must
 /// be caught by the single-server oracle, shrink to a minimal schedule,
 /// and replay deterministically.
-fn run_canary() -> bool {
+fn run_canary(artifacts: Option<&str>) -> bool {
     println!("== broken-config canary (fencing disabled, paused primary)");
     let spec = broken_config_canary();
     let report = chaos::execute(&spec);
@@ -148,6 +191,9 @@ fn run_canary() -> bool {
     }
     println!("   artifact replays deterministically (digest {:016x})", artifact.digest);
     println!("   artifact: {text}");
+    if let Some(dir) = artifacts {
+        export_artifact(dir, "canary-single-server", &artifact);
+    }
     true
 }
 
@@ -193,9 +239,9 @@ fn main() -> ExitCode {
         return if run_replay(path) { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
     let campaign = if args.demo { demo_campaign() } else { smoke_campaign() };
-    let mut ok = run_matrix(&campaign, args.threads);
+    let mut ok = run_matrix(&campaign, args.threads, args.artifacts.as_deref());
     if !args.skip_canary {
-        ok &= run_canary();
+        ok &= run_canary(args.artifacts.as_deref());
     }
     if ok {
         println!("chaos-hunt: all green");

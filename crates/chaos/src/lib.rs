@@ -48,5 +48,7 @@ pub use artifact::FailureArtifact;
 pub use campaign::{broken_config_canary, demo_campaign, run_campaign, smoke_campaign, Campaign};
 pub use oracle::{OracleKind, Violation};
 pub use plan::{FaultOp, FaultPlan, SideTarget};
-pub use run::{execute, measure_profile, Profile, RunReport, RunSpec};
+pub use run::{
+    execute, execute_with_pcap, execute_with_profile, measure_profile, Profile, RunReport, RunSpec,
+};
 pub use shrink::{shrink, ShrinkResult};

@@ -13,6 +13,7 @@ use crate::plan::{FaultOp, FaultPlan, SideTarget};
 use apps::Workload;
 use bytes::Bytes;
 use netsim::node::NodeId;
+use netsim::pcap::SharedPcap;
 use netsim::{DelayRule, DropRule, DuplicateRule, RuleId, SimDuration, SimTime, Simulator};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -105,6 +106,10 @@ pub struct RunReport {
     /// Observability counter snapshot of the faulted pass, as a JSON
     /// value ready to embed in reports and artifacts.
     pub obs: Option<Value>,
+    /// Tail of the flight-recorder trace (newest events) of the faulted
+    /// pass, as a parsed `sttcp-trace-v1` export ready to embed in
+    /// reports and artifacts.
+    pub trace: Option<Value>,
 }
 
 impl RunReport {
@@ -119,6 +124,17 @@ impl RunReport {
     }
 }
 
+/// Flight-recorder ring capacity for chaos runs: enough to hold the
+/// whole failure neighbourhood while keeping per-run memory small.
+const TRACE_RING: usize = 4096;
+
+/// How many newest trace events a report/artifact embeds.
+const TRACE_TAIL: usize = 256;
+
+fn trace_tail(sc: &Scenario) -> Option<Value> {
+    sc.flight.as_ref().and_then(|ring| Value::parse(&ring.tail(TRACE_TAIL).to_json()))
+}
+
 fn scenario_spec(spec: &RunSpec) -> ScenarioSpec {
     // The in-network packet logger (§3.2) is part of the full ST-TCP
     // deployment and is what makes tap omissions recoverable even when
@@ -130,7 +146,8 @@ fn scenario_spec(spec: &RunSpec) -> ScenarioSpec {
         .st_tcp(sttcp_cfg(spec))
         .closing()
         .with_logger()
-        .recording();
+        .recording()
+        .tracing_with_capacity(TRACE_RING);
     if spec.fencing {
         sc = sc.with_power_switch();
     }
@@ -216,9 +233,20 @@ impl ProbeState {
 }
 
 fn attach_probe(sim: &mut Simulator, servers: Vec<NodeId>) -> Rc<RefCell<ProbeState>> {
+    attach_probe_with(sim, servers, None)
+}
+
+fn attach_probe_with(
+    sim: &mut Simulator,
+    servers: Vec<NodeId>,
+    pcap: Option<SharedPcap>,
+) -> Rc<RefCell<ProbeState>> {
     let state = Rc::new(RefCell::new(ProbeState::new()));
     let handle = Rc::clone(&state);
     sim.set_probe(move |ev| {
+        if let Some(cap) = &pcap {
+            cap.record(ev.time, ev.frame);
+        }
         let mut st = handle.borrow_mut();
         let mut h = st.digest;
         h = fnv1a(h, &ev.time.as_nanos().to_le_bytes());
@@ -276,6 +304,7 @@ pub fn measure_profile(spec: &RunSpec) -> Result<Profile, Box<RunReport>> {
             bytes_received: out.progress.0,
             injections: Vec::new(),
             obs: sc.snapshot().and_then(|s| Value::parse(&s.to_json())),
+            trace: trace_tail(&sc),
         }));
     }
     let first_fin = probe_state.borrow().first_fin;
@@ -450,12 +479,23 @@ pub fn execute(spec: &RunSpec) -> RunReport {
 /// Executes the faulted pass against an already-measured [`Profile`]
 /// (campaigns reuse probes across plans sharing a workload and seed).
 pub fn execute_with_profile(spec: &RunSpec, profile: &Profile) -> RunReport {
+    execute_faulted(spec, profile, None)
+}
+
+/// Like [`execute_with_profile`], but additionally captures every frame
+/// transmission of the faulted pass into `pcap` (the artifact-export
+/// path: the capture opens directly in Wireshark next to the JSON).
+pub fn execute_with_pcap(spec: &RunSpec, profile: &Profile, pcap: SharedPcap) -> RunReport {
+    execute_faulted(spec, profile, Some(pcap))
+}
+
+fn execute_faulted(spec: &RunSpec, profile: &Profile, pcap: Option<SharedPcap>) -> RunReport {
     let cfg = sttcp_cfg(spec);
     let mut sc = build(&scenario_spec(spec));
     let installed = install_plan(&mut sc, spec, profile);
     let mut servers = vec![sc.primary];
     servers.extend(sc.backup);
-    let probe_state = attach_probe(&mut sc.sim, servers);
+    let probe_state = attach_probe_with(&mut sc.sim, servers, pcap);
 
     let mut violations = Vec::new();
     let mut sampled_already = false;
@@ -636,6 +676,7 @@ pub fn execute_with_profile(spec: &RunSpec, profile: &Profile) -> RunReport {
         bytes_received: metrics.bytes_received,
         injections,
         obs: snapshot.and_then(|s| Value::parse(&s.to_json())),
+        trace: trace_tail(&sc),
     }
 }
 

@@ -10,8 +10,10 @@ use crate::rng::SplitMix64;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{FrameRecord, ProbeEvent, Trace};
 use bytes::Bytes;
-use obs::{Counter, Gauge, SharedRecorder};
+use obs::trace::{FaultKind, PowerKind};
+use obs::{Counter, Gauge, SharedRecorder, TraceEvent};
 use std::any::Any;
+use std::borrow::Cow;
 
 /// Callback observing every frame accepted for transmission.
 pub type Probe = Box<dyn FnMut(ProbeEvent<'_>)>;
@@ -356,16 +358,19 @@ impl Simulator {
                         IngressAction::Drop => {
                             self.trace.frames_dropped_ingress += 1;
                             self.recorder.count(Counter::IngressDrops, 1);
+                            self.trace_fault(FaultKind::Drop);
                         }
                         IngressAction::Delay(d) => {
                             self.trace.frames_delayed_ingress += 1;
                             self.recorder.count(Counter::IngressDelays, 1);
+                            self.trace_fault(FaultKind::Delay);
                             self.queue
                                 .push(self.now + d, EventKind::InjectedFrame { node, port, frame });
                         }
                         IngressAction::Duplicate(d) => {
                             self.trace.frames_duplicated_ingress += 1;
                             self.recorder.count(Counter::IngressDuplicates, 1);
+                            self.trace_fault(FaultKind::Duplicate);
                             self.queue.push(
                                 self.now + d,
                                 EventKind::InjectedFrame { node, port, frame: frame.clone() },
@@ -478,17 +483,31 @@ impl Simulator {
         match action {
             ControlAction::PowerOff(node) => {
                 self.nodes[node.0].alive = false;
+                self.trace_power(node, PowerKind::Crash);
             }
             ControlAction::Pause(node, until) => {
                 self.nodes[node.0].paused_until = until;
+                self.trace_power(node, PowerKind::Pause);
             }
             ControlAction::PowerOn(node) => {
                 if !self.nodes[node.0].alive {
                     self.nodes[node.0].alive = true;
                     self.queue.push(self.now, EventKind::Start { node });
+                    self.trace_power(node, PowerKind::PowerOn);
                 }
             }
         }
+    }
+
+    fn trace_fault(&self, kind: FaultKind) {
+        self.recorder.trace(self.now.as_nanos(), &TraceEvent::FaultRule { kind });
+    }
+
+    fn trace_power(&self, node: NodeId, what: PowerKind) {
+        self.recorder.trace(
+            self.now.as_nanos(),
+            &TraceEvent::NodePower { node: Cow::Owned(self.nodes[node.0].name.clone()), what },
+        );
     }
 
     fn transmit(&mut self, from: NodeId, port: PortId, frame: Bytes) {

@@ -30,6 +30,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod trace;
+
+pub use trace::{
+    for_actor, render_chrome, render_sequence, render_timeline, Actor, FlightRecorder,
+    TimelinePhases, TraceConn, TraceEvent, TraceExport, TracedEvent, DEFAULT_TRACE_CAPACITY,
+    TRACE_FORMAT,
+};
+
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -154,6 +162,15 @@ pub trait Recorder: fmt::Debug + Send + Sync {
     /// Records `t_ns` for mark `m`, overwriting any earlier value.
     fn mark_latest(&self, m: Mark, t_ns: u64) {
         let _ = (m, t_ns);
+    }
+    /// Records one structured [`TraceEvent`] at virtual time `t_ns`.
+    ///
+    /// Defaulted to a no-op (and ignored by [`ObsSink`], which only
+    /// aggregates); trace events are retained by wrapping a recorder
+    /// with [`trace::for_actor`], which routes them into a shared
+    /// [`FlightRecorder`] ring.
+    fn trace(&self, t_ns: u64, ev: &TraceEvent) {
+        let _ = (t_ns, ev);
     }
 }
 

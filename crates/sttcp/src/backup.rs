@@ -21,7 +21,7 @@ use crate::config::{Fencing, SttcpConfig, TakeoverPolicy};
 use crate::messages::{ConnKey, SideMsg};
 use netsim::logger::ReplayQuery;
 use netsim::{SimDuration, SimTime};
-use obs::{Counter, Mark, SharedRecorder};
+use obs::{Counter, Mark, SharedRecorder, TraceEvent};
 use tcpstack::{NetStack, SeqNum};
 
 /// Backup-side counters and timeline.
@@ -177,7 +177,7 @@ impl BackupEngine {
             match stack.sock_by_quad(key.server_quad()) {
                 Some(sock) => {
                     if let Some(tcb) = stack.tcb_mut(sock) {
-                        tcb.shadow_resync_iss(primary_seq);
+                        tcb.shadow_resync_iss(now, primary_seq);
                     }
                 }
                 // A SYN/ACK for a quad we have no shadow of means the
@@ -360,20 +360,22 @@ impl BackupEngine {
         }
         let deadline: SimDuration =
             self.cfg.hb_interval.saturating_mul(u64::from(self.cfg.missed_hb_threshold));
-        let silent = self
-            .last_primary_heard
-            .and_then(|t| now.checked_duration_since(t))
-            .map(|d| d > deadline)
-            .unwrap_or(false);
+        let silence = self.last_primary_heard.and_then(|t| now.checked_duration_since(t));
+        let silent = silence.map(|d| d > deadline).unwrap_or(false);
         if !silent {
             return;
         }
         // Suspect → fence → take over (§4.4).
         self.suspected_at = Some(now);
         self.recorder.mark_first(Mark::SuspectedPrimaryDead, now.as_nanos());
+        self.recorder.trace(
+            now.as_nanos(),
+            &TraceEvent::Suspected { silent_ns: silence.map(|d| d.as_nanos()).unwrap_or(0) },
+        );
         if let Fencing::PowerSwitch { outlet } = self.cfg.fencing {
             self.fence_request = Some(outlet);
             self.recorder.mark_first(Mark::FenceRequested, now.as_nanos());
+            self.recorder.trace(now.as_nanos(), &TraceEvent::Fence { outlet });
         }
         match self.cfg.takeover_policy {
             TakeoverPolicy::Active => self.take_over(now, stack),
@@ -400,9 +402,10 @@ impl BackupEngine {
     }
 
     fn take_over(&mut self, now: SimTime, stack: &mut NetStack) {
-        stack.unsuppress(self.cfg.vip);
+        stack.unsuppress(now, self.cfg.vip);
         self.takeover_at = Some(now);
         self.recorder.mark_first(Mark::TakeoverUnsuppressed, now.as_nanos());
+        self.recorder.trace(now.as_nanos(), &TraceEvent::Promoted);
         if self.cfg.use_logger {
             self.queue_logger_queries(now, stack);
         }

@@ -51,6 +51,11 @@ impl ConnKey {
     pub fn server_quad(&self) -> Quad {
         Quad::new(self.server_ip, self.server_port, self.client_ip, self.client_port)
     }
+
+    /// The canonical trace identifier for this connection.
+    pub fn trace_conn(&self) -> obs::TraceConn {
+        obs::TraceConn::new((self.client_ip, self.client_port), (self.server_ip, self.server_port))
+    }
 }
 
 impl fmt::Display for ConnKey {
@@ -111,6 +116,31 @@ pub enum SideMsg {
         /// The `from` of the request being refused.
         from: u32,
     },
+}
+
+impl SideMsg {
+    /// Decomposes the message into the fields a trace event carries:
+    /// kind, connection (absent for heartbeats), the kind's sequence
+    /// number (heartbeat seq, `acked_next`, `from`, or data `seq`), and
+    /// a payload/request length where one exists.
+    pub fn trace_parts(&self) -> (obs::trace::SideMsgKind, Option<obs::TraceConn>, u64, u32) {
+        use obs::trace::SideMsgKind as K;
+        match self {
+            SideMsg::Heartbeat { seq } => (K::Heartbeat, None, *seq, 0),
+            SideMsg::BackupAck { conn, acked_next } => {
+                (K::BackupAck, Some(conn.trace_conn()), u64::from(*acked_next), 0)
+            }
+            SideMsg::MissingReq { conn, from, len } => {
+                (K::MissingReq, Some(conn.trace_conn()), u64::from(*from), *len)
+            }
+            SideMsg::MissingData { conn, seq, data } => {
+                (K::MissingData, Some(conn.trace_conn()), u64::from(*seq), data.len() as u32)
+            }
+            SideMsg::MissingNack { conn, from } => {
+                (K::MissingNack, Some(conn.trace_conn()), u64::from(*from), 0)
+            }
+        }
+    }
 }
 
 const TAG_HEARTBEAT: u8 = 1;

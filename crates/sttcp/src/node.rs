@@ -22,7 +22,7 @@ use bytes::Bytes;
 use netsim::node::{Context, Node, PortId};
 use netsim::power::power_off_frame;
 use netsim::{SimDuration, SimTime};
-use obs::SharedRecorder;
+use obs::{SharedRecorder, TraceEvent};
 use std::any::Any;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -305,6 +305,9 @@ impl ServerNode {
                 let Some(msg) = SideMsg::decode(dgram.payload) else {
                     continue;
                 };
+                let (kind, conn, seq, len) = msg.trace_parts();
+                self.recorder
+                    .trace(now.as_nanos(), &TraceEvent::SideRecv { msg: kind, conn, seq, len });
                 match &mut self.role {
                     Role::Primary(e) => e.on_side_msg(now, msg, &mut self.stack),
                     Role::Backup(e) => e.on_side_msg(now, msg, &mut self.stack),
@@ -395,6 +398,9 @@ impl ServerNode {
             Role::Solo => Vec::new(),
         };
         for msg in msgs {
+            let (kind, conn, seq, len) = msg.trace_parts();
+            self.recorder
+                .trace(now.as_nanos(), &TraceEvent::SideSend { msg: kind, conn, seq, len });
             self.stack.udp_send(now, side, peer_ip, peer_port, msg.encode());
         }
         if let Role::Backup(engine) = &mut self.role {

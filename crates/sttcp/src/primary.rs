@@ -14,7 +14,7 @@ use crate::config::SttcpConfig;
 use crate::messages::{ConnKey, SideMsg};
 use bytes::Bytes;
 use netsim::SimTime;
-use obs::{Counter, SharedRecorder};
+use obs::{Counter, SharedRecorder, TraceEvent};
 use tcpstack::{NetStack, SeqNum};
 
 /// Primary-side counters.
@@ -174,16 +174,19 @@ impl PrimaryEngine {
         if self.backup_alive {
             let deadline =
                 self.cfg.hb_interval.saturating_mul(u64::from(self.cfg.missed_hb_threshold));
-            let silent = self
-                .last_backup_heard
-                .and_then(|t| now.checked_duration_since(t))
-                .map(|d| d > deadline)
-                .unwrap_or(false);
+            let silence = self.last_backup_heard.and_then(|t| now.checked_duration_since(t));
+            let silent = silence.map(|d| d > deadline).unwrap_or(false);
             if silent {
                 // §4.4: "On detecting failure of the backup, the primary
                 // transitions to non-fault-tolerant mode."
                 self.backup_alive = false;
                 self.backup_dead_at = Some(now);
+                self.recorder.trace(
+                    now.as_nanos(),
+                    &TraceEvent::BackupDead {
+                        silent_ns: silence.map(|d| d.as_nanos()).unwrap_or(0),
+                    },
+                );
                 let socks: Vec<_> = stack.socks().collect();
                 for sock in socks {
                     if let Some(tcb) = stack.tcb_mut(sock) {

@@ -20,7 +20,10 @@ use netsim::node::{NodeId, PortId};
 use netsim::{
     Hub, LinkSpec, PacketLogger, PowerSwitch, SharedHub, SimDuration, SimTime, Simulator, Switch,
 };
-use obs::{ObsSink, Snapshot, TakeoverBreakdown};
+use obs::{
+    Actor, FlightRecorder, ObsSink, SharedRecorder, Snapshot, TakeoverBreakdown, TraceExport,
+    DEFAULT_TRACE_CAPACITY,
+};
 use std::sync::Arc;
 use tcpstack::{Gateway, GatewayIface, StackConfig, TcpConfig};
 use wire::MacAddr;
@@ -165,6 +168,9 @@ pub struct ScenarioSpec {
     /// default: the no-op recorder keeps the hot path allocation- and
     /// atomics-free).
     pub record_obs: bool,
+    /// Capacity of the flight-recorder trace ring, when tracing is on
+    /// (off by default for the same hot-path reason as `record_obs`).
+    pub trace_capacity: Option<usize>,
     /// Insert the in-network packet logger (§3.2).
     pub with_logger: bool,
     /// Attach a power switch on the management segment.
@@ -195,6 +201,7 @@ impl ScenarioSpec {
             link: LinkSpec::lan(),
             faults: FaultSpec::none(),
             record_obs: false,
+            trace_capacity: None,
             with_logger: false,
             with_power_switch: false,
             tcp: TcpConfig::default(),
@@ -218,20 +225,30 @@ impl ScenarioSpec {
         self
     }
 
-    /// Schedules a primary crash (builder style).
-    #[deprecated(since = "0.5.0", note = "use `faults(FaultSpec::crash_primary_at(at))`")]
-    #[must_use]
-    pub fn crash_at(mut self, at: SimTime) -> Self {
-        self.faults = std::mem::take(&mut self.faults).and(Fault::CrashPrimary { at });
-        self
-    }
-
     /// Records protocol events into a shared [`ObsSink`] (builder
     /// style). The built [`Scenario`] then exposes
     /// [`Scenario::snapshot`] and [`Scenario::takeover_breakdown`].
     #[must_use]
     pub fn recording(mut self) -> Self {
         self.record_obs = true;
+        self
+    }
+
+    /// Records structured trace events into a per-run
+    /// [`FlightRecorder`] ring (builder style). The built [`Scenario`]
+    /// then exposes [`Scenario::trace_export`]. Composes with
+    /// [`ScenarioSpec::recording`]; either works alone.
+    #[must_use]
+    pub fn tracing(self) -> Self {
+        self.tracing_with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Like [`ScenarioSpec::tracing`] with an explicit ring capacity
+    /// (builder style). Long campaigns keep only the newest `capacity`
+    /// events; the export's `dropped` counter records the loss.
+    #[must_use]
+    pub fn tracing_with_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
         self
     }
 
@@ -286,6 +303,9 @@ pub struct Scenario {
     /// The shared observability sink, when built with
     /// [`ScenarioSpec::recording`].
     pub obs: Option<Arc<ObsSink>>,
+    /// The flight-recorder trace ring, when built with
+    /// [`ScenarioSpec::tracing`].
+    pub flight: Option<Arc<FlightRecorder>>,
 }
 
 fn make_server_app(workload: Workload, think: SimDuration) -> Box<dyn Application> {
@@ -307,8 +327,21 @@ pub fn build(spec: &ScenarioSpec) -> Scenario {
     let mut sim = Simulator::with_seed(spec.seed);
     let workload = spec.workload;
     let obs = spec.record_obs.then(|| Arc::new(ObsSink::new()));
-    if let Some(sink) = &obs {
-        sim.set_recorder(sink.clone());
+    let flight = spec.trace_capacity.map(|cap| Arc::new(FlightRecorder::new(cap)));
+    // One recorder per role: metrics go to the shared sink (when
+    // recording), traces into the flight ring tagged with the actor.
+    let recorder_for = |actor: Actor| -> Option<SharedRecorder> {
+        let metrics: SharedRecorder = match &obs {
+            Some(sink) => sink.clone(),
+            None => obs::nop(),
+        };
+        match &flight {
+            Some(ring) => Some(obs::for_actor(actor, metrics, ring.clone())),
+            None => obs.as_ref().map(|sink| sink.clone() as SharedRecorder),
+        }
+    };
+    if let Some(rec) = recorder_for(Actor::Net) {
+        sim.set_recorder(rec);
     }
 
     // --- client -----------------------------------------------------
@@ -336,8 +369,8 @@ pub fn build(spec: &ScenarioSpec) -> Scenario {
     };
     let mut client_node =
         ClientNode::new(client_cfg, (addrs::VIP, 80), SimDuration::from_millis(1), client_app);
-    if let Some(sink) = &obs {
-        client_node.set_recorder(sink.clone());
+    if let Some(rec) = recorder_for(Actor::Client) {
+        client_node.set_recorder(rec);
     }
     let client = sim.add_node("client", client_node);
 
@@ -367,8 +400,8 @@ pub fn build(spec: &ScenarioSpec) -> Scenario {
     let (primary, backup) = match &spec.deployment {
         Deployment::StandardTcp => {
             let mut node = ServerNode::solo(primary_cfg, 80, mk_factory());
-            if let Some(sink) = &obs {
-                node.set_recorder(sink.clone());
+            if let Some(rec) = recorder_for(Actor::Primary) {
+                node.set_recorder(rec);
             }
             (sim.add_node("server", node), None)
         }
@@ -379,8 +412,8 @@ pub fn build(spec: &ScenarioSpec) -> Scenario {
             p_cfg.tcp = p_tcp;
             let mut p_node =
                 ServerNode::primary(p_cfg, sttcp_cfg.clone(), addrs::BACKUP, mk_factory());
-            if let Some(sink) = &obs {
-                p_node.set_recorder(sink.clone());
+            if let Some(rec) = recorder_for(Actor::Primary) {
+                p_node.set_recorder(rec);
             }
             let primary = sim.add_node("primary", p_node);
 
@@ -408,8 +441,8 @@ pub fn build(spec: &ScenarioSpec) -> Scenario {
             }
             let mut b_node =
                 ServerNode::backup(b_cfg, sttcp_cfg.clone(), addrs::PRIMARY, mk_factory());
-            if let Some(sink) = &obs {
-                b_node.set_recorder(sink.clone());
+            if let Some(rec) = recorder_for(Actor::Backup) {
+                b_node.set_recorder(rec);
             }
             (primary, Some(sim.add_node("backup", b_node)))
         }
@@ -528,7 +561,7 @@ pub fn build(spec: &ScenarioSpec) -> Scenario {
         }
     }
 
-    Scenario { sim, client, primary, backup, fabric, logger, power, gateway, obs }
+    Scenario { sim, client, primary, backup, fabric, logger, power, gateway, obs, flight }
 }
 
 /// Why a run stopped before the workload completed.
@@ -666,29 +699,6 @@ impl Scenario {
         self.client().expect("client runs a WorkloadClient")
     }
 
-    /// Runs until the client workload completes (or `limit` virtual
-    /// time passes) and returns the client's metrics.
-    #[deprecated(since = "0.5.0", note = "use `run(RunLimits::time(limit)).expect_completed()`")]
-    pub fn run_to_completion(&mut self, limit: SimDuration) -> RunMetrics {
-        self.run(RunLimits::time(limit)).expect_completed()
-    }
-
-    /// Like `run_to_completion`, but instead of panicking it reports
-    /// *why* the workload did not finish.
-    #[deprecated(since = "0.5.0", note = "use `run(RunLimits::time(limit))`")]
-    pub fn try_run_to_completion(&mut self, limit: SimDuration) -> RunOutcome {
-        self.run(RunLimits::time(limit))
-    }
-
-    /// Drives the scenario with both a time and an event budget.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `run(RunLimits::time(limit).max_events(max_events))`"
-    )]
-    pub fn run_classified(&mut self, limit: SimDuration, max_events: u64) -> RunOutcome {
-        self.run(RunLimits::time(limit).max_events(max_events))
-    }
-
     /// The client's workload driver, when the client node runs one.
     pub fn client(&self) -> Option<&WorkloadClient> {
         self.sim.node_ref::<ClientNode>(self.client).app::<WorkloadClient>()
@@ -706,28 +716,16 @@ impl Scenario {
         self.sim.node_ref::<ServerNode>(b).backup_engine()
     }
 
-    /// The client's workload driver.
-    #[deprecated(since = "0.5.0", note = "use `client()`")]
-    pub fn client_app(&self) -> &WorkloadClient {
-        self.client().expect("client runs a WorkloadClient")
-    }
-
-    /// The backup's engine, when deployed.
-    #[deprecated(since = "0.5.0", note = "use `backup()`")]
-    pub fn backup_engine(&self) -> Option<&crate::backup::BackupEngine> {
-        self.backup()
-    }
-
-    /// The primary's engine, when deployed as ST-TCP.
-    #[deprecated(since = "0.5.0", note = "use `primary()`")]
-    pub fn primary_engine(&self) -> Option<&crate::primary::PrimaryEngine> {
-        self.primary()
-    }
-
     /// A snapshot of the recorded observability counters; `None` unless
     /// the scenario was built with [`ScenarioSpec::recording`].
     pub fn snapshot(&self) -> Option<Snapshot> {
         self.obs.as_ref().map(|sink| sink.snapshot())
+    }
+
+    /// An export of the flight-recorder trace; `None` unless the
+    /// scenario was built with [`ScenarioSpec::tracing`].
+    pub fn trace_export(&self) -> Option<TraceExport> {
+        self.flight.as_ref().map(|ring| ring.export())
     }
 
     /// The takeover phase breakdown, when recording was on and a

@@ -1,0 +1,93 @@
+//! Flight-recorder invariants: same-seed traces are byte-identical,
+//! the timeline phases agree with the counter-derived takeover
+//! breakdown, and the bounded ring drops oldest-first with an exact
+//! dropped count.
+
+use obs::{TimelinePhases, TraceExport, TRACE_FORMAT};
+use sttcp::prelude::*;
+
+fn failover_spec(seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(Workload::Echo { requests: 100 })
+        .st_tcp(SttcpConfig::new(addrs::VIP, 80))
+        .faults(FaultSpec::crash_primary_at(SimTime::ZERO + SimDuration::from_millis(400)))
+        .recording()
+        .tracing();
+    spec.seed = seed;
+    spec
+}
+
+fn run_and_export(spec: &ScenarioSpec) -> TraceExport {
+    let mut s = build(spec);
+    s.run(RunLimits::default()).expect_completed();
+    s.trace_export().expect("tracing was enabled")
+}
+
+#[test]
+fn trace_absent_without_tracing() {
+    let spec =
+        ScenarioSpec::new(Workload::Echo { requests: 3 }).st_tcp(SttcpConfig::new(addrs::VIP, 80));
+    let mut s = build(&spec);
+    assert!(s.flight.is_none());
+    s.run(RunLimits::default()).expect_completed();
+    assert!(s.trace_export().is_none());
+}
+
+#[test]
+fn same_seed_exports_are_byte_identical() {
+    let a = run_and_export(&failover_spec(0xA11CE));
+    let b = run_and_export(&failover_spec(0xA11CE));
+    assert!(!a.events.is_empty(), "a failover run must record events");
+    assert_eq!(a.to_json(), b.to_json(), "same seed must reproduce the trace byte-for-byte");
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = run_and_export(&failover_spec(1));
+    let b = run_and_export(&failover_spec(2));
+    assert_ne!(a.to_json(), b.to_json(), "ISNs are seed-derived; traces must differ");
+}
+
+#[test]
+fn export_roundtrips_through_json() {
+    let a = run_and_export(&failover_spec(7));
+    let text = a.to_json();
+    assert!(text.contains(TRACE_FORMAT));
+    let back = TraceExport::from_json(&text).expect("parses");
+    assert_eq!(back.to_json(), text, "parse → serialize must be the identity");
+}
+
+#[test]
+fn timeline_phases_agree_with_takeover_breakdown() {
+    let spec = failover_spec(0xBEEF);
+    let mut s = build(&spec);
+    s.run(RunLimits::default()).expect_completed();
+    let breakdown = s.takeover_breakdown().expect("crash run records a takeover");
+    let export = s.trace_export().unwrap();
+    let phases = TimelinePhases::from_export(&export).expect("trace contains the takeover");
+    assert_eq!(phases.suspected_ns, breakdown.suspected_ns);
+    assert_eq!(phases.detection_ns, breakdown.detection_ns());
+    assert_eq!(phases.promoted_ns, breakdown.unsuppressed_ns);
+    assert_eq!(phases.fenced_ns, breakdown.fenced_ns);
+    assert_eq!(phases.first_byte_ns, breakdown.first_byte_ns);
+}
+
+#[test]
+fn tiny_ring_drops_oldest_and_counts_them() {
+    let cap = 16;
+    let full = run_and_export(&failover_spec(3));
+    let mut spec = failover_spec(3);
+    spec = spec.tracing_with_capacity(cap);
+    let tail = run_and_export(&spec);
+    assert_eq!(tail.events.len(), cap, "ring must be full after overflow");
+    assert_eq!(
+        tail.dropped as usize,
+        full.events.len() - cap,
+        "dropped counter must equal the overflow"
+    );
+    // Drop-oldest: the surviving events are exactly the tail of the
+    // unbounded trace (the recorder must not perturb the run itself).
+    let full_tail = &full.events[full.events.len() - cap..];
+    for (kept, expect) in tail.events.iter().zip(full_tail) {
+        assert_eq!(kept, expect);
+    }
+}

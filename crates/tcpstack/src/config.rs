@@ -26,6 +26,13 @@ impl Quad {
         Quad { local_ip, local_port, remote_ip, remote_port }
     }
 
+    /// This connection as a canonical (endpoint-order-independent)
+    /// trace identifier, so events recorded by the client, the primary,
+    /// and the backup's shadow all attribute to the same connection.
+    pub fn trace_conn(&self) -> obs::TraceConn {
+        obs::TraceConn::new((self.local_ip, self.local_port), (self.remote_ip, self.remote_port))
+    }
+
     /// The same connection seen from the other end.
     #[must_use]
     pub fn flipped(&self) -> Quad {

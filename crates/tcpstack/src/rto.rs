@@ -84,11 +84,13 @@ impl RtoEstimator {
         self.base_rto.saturating_mul(1u64 << self.backoff_shift.min(32)).max(self.min).min(self.max)
     }
 
-    /// Doubles the timeout (a retransmission fired).
-    pub fn backoff(&mut self) {
+    /// Doubles the timeout (a retransmission fired); returns the new
+    /// consecutive-backoff count (what trace events report).
+    pub fn backoff(&mut self) -> u32 {
         if self.backoff_shift < 32 {
             self.backoff_shift += 1;
         }
+        self.backoff_shift
     }
 
     /// Clears the backoff after an ACK of new data.

@@ -24,7 +24,7 @@ use crate::tcb::{StagedSeg, Tcb, TcpState};
 use crate::udp_socket::{UdpRecv, UdpSocket};
 use bytes::Bytes;
 use netsim::{SimDuration, SimTime, SplitMix64};
-use obs::{Counter, Mark, SharedRecorder};
+use obs::{Counter, Mark, SharedRecorder, TraceEvent};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -255,16 +255,16 @@ impl NetStack {
     }
 
     /// Begins an orderly close.
-    pub fn close(&mut self, sock: SockId) {
+    pub fn close(&mut self, now: SimTime, sock: SockId) {
         if let Some(tcb) = self.tcb_mut(sock) {
-            tcb.close();
+            tcb.close(now);
         }
     }
 
     /// Aborts with a RST.
-    pub fn abort(&mut self, sock: SockId) {
+    pub fn abort(&mut self, now: SimTime, sock: SockId) {
         if let Some(tcb) = self.tcb_mut(sock) {
-            tcb.abort();
+            tcb.abort(now);
         }
     }
 
@@ -354,16 +354,19 @@ impl NetStack {
     // ------------------------------------------------ ST-TCP suppression
 
     /// Suppresses all egress sourced from `ip` (backup shadow mode).
-    pub fn suppress(&mut self, ip: Ipv4Addr) {
-        self.suppressed.insert(ip);
+    pub fn suppress(&mut self, now: SimTime, ip: Ipv4Addr) {
+        if self.suppressed.insert(ip) {
+            self.recorder.trace(now.as_nanos(), &TraceEvent::Suppression { ip, on: true });
+        }
     }
 
     /// Lifts suppression of `ip` — the takeover switch. "As soon as the
     /// flag is set, the kernel starts sending the packets to the client
     /// instead of dropping them" (§5).
-    pub fn unsuppress(&mut self, ip: Ipv4Addr) {
+    pub fn unsuppress(&mut self, now: SimTime, ip: Ipv4Addr) {
         if self.suppressed.remove(&ip) {
             self.takeover_watch = true;
+            self.recorder.trace(now.as_nanos(), &TraceEvent::Suppression { ip, on: false });
         }
     }
 
@@ -566,8 +569,22 @@ impl NetStack {
             });
             if carries_data {
                 self.recorder.mark_first(Mark::FirstByteAfterTakeover, now.as_nanos());
+                self.recorder
+                    .trace(now.as_nanos(), &TraceEvent::FirstByte { conn: quad.trace_conn() });
                 self.takeover_watch = false;
             }
+        }
+        // Wire summary: one event per segment reaching the wire (never
+        // for suppressed egress above).
+        for s in staged {
+            let (seq, len, flags) = match s {
+                StagedSeg::Ctl(seg) => (seg.seq, seg.payload.len() as u32, seg.flags),
+                StagedSeg::Data { seq, len, flags, .. } => (seq.raw(), u32::from(*len), *flags),
+            };
+            self.recorder.trace(
+                now.as_nanos(),
+                &TraceEvent::WireData { conn: quad.trace_conn(), seq, len, flags: flags.bits() },
+            );
         }
         let next_hop = if self.cfg.on_subnet(quad.remote_ip) {
             quad.remote_ip
@@ -874,11 +891,11 @@ mod tests {
     #[test]
     fn orderly_close_reaches_time_wait_and_closed() {
         let (mut c, mut s, cs, ss, mut now) = established_pair();
-        c.close(cs);
+        c.close(now, cs);
         pump(&mut c, &mut s, &mut now, SimDuration::from_micros(100));
         assert_eq!(s.state(ss), Some(TcpState::CloseWait));
         assert_eq!(c.state(cs), Some(TcpState::FinWait2));
-        s.close(ss);
+        s.close(now, ss);
         pump(&mut c, &mut s, &mut now, SimDuration::from_micros(100));
         assert_eq!(s.state(ss), Some(TcpState::Closed));
         assert_eq!(c.state(cs), Some(TcpState::TimeWait));
@@ -919,7 +936,7 @@ mod tests {
     #[test]
     fn suppression_drops_egress_and_counts() {
         let (mut c, mut s, cs, _ss, mut now) = established_pair();
-        s.suppress(SERVER_IP);
+        s.suppress(now, SERVER_IP);
         c.write(cs, b"hello?").unwrap();
         // Client sends; server receives but its (delayed) ACKs are
         // suppressed. Step past the 40 ms delayed-ACK timer each round.
@@ -934,7 +951,7 @@ mod tests {
         }
         assert!(s.stats.segs_suppressed > 0);
         // Unsuppress: the client's retransmission now gets acked.
-        s.unsuppress(SERVER_IP);
+        s.unsuppress(now, SERVER_IP);
         now += SimDuration::from_millis(300);
         pump(&mut c, &mut s, &mut now, SimDuration::from_micros(100));
         assert_eq!(c.tcb(cs).unwrap().snd_una(), c.tcb(cs).unwrap().snd_nxt());
@@ -943,7 +960,7 @@ mod tests {
     #[test]
     fn suppressed_ip_does_not_answer_arp() {
         let mut s = server();
-        s.suppress(SERVER_IP);
+        s.suppress(SimTime::ZERO, SERVER_IP);
         let req = ArpPacket::request(MacAddr::local(1), CLIENT_IP, SERVER_IP);
         let frame =
             EthernetFrame::new(MacAddr::BROADCAST, MacAddr::local(1), EtherType::Arp, req.encode());

@@ -25,7 +25,8 @@ use crate::send_buf::SendBuffer;
 use crate::seq::SeqNum;
 use bytes::Bytes;
 use netsim::SimTime;
-use obs::{Counter, Gauge, SharedRecorder};
+use obs::{Counter, Gauge, SharedRecorder, TraceEvent};
+use std::borrow::Cow;
 use wire::{TcpFlags, TcpOption, TcpSegment};
 
 /// RFC 793 connection states (LISTEN lives in the stack's listener
@@ -58,6 +59,22 @@ impl TcpState {
     /// True once the handshake has completed (data may have flowed).
     pub fn is_synchronized(self) -> bool {
         !matches!(self, TcpState::SynSent | TcpState::SynRcvd)
+    }
+
+    /// The state's canonical name, as it appears in trace exports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            TcpState::SynSent => "SynSent",
+            TcpState::SynRcvd => "SynRcvd",
+            TcpState::Established => "Established",
+            TcpState::FinWait1 => "FinWait1",
+            TcpState::FinWait2 => "FinWait2",
+            TcpState::CloseWait => "CloseWait",
+            TcpState::Closing => "Closing",
+            TcpState::LastAck => "LastAck",
+            TcpState::TimeWait => "TimeWait",
+            TcpState::Closed => "Closed",
+        }
     }
 }
 
@@ -250,6 +267,24 @@ impl Tcb {
         self.recorder = recorder;
     }
 
+    /// Moves the state machine, tracing every real transition (the
+    /// single funnel for all post-construction state changes).
+    fn set_state(&mut self, now: SimTime, to: TcpState) {
+        if self.state == to {
+            return;
+        }
+        let from = self.state;
+        self.state = to;
+        self.recorder.trace(
+            now.as_nanos(),
+            &TraceEvent::TcpState {
+                conn: self.quad.trace_conn(),
+                from: Cow::Borrowed(from.name()),
+                to: Cow::Borrowed(to.name()),
+            },
+        );
+    }
+
     // ------------------------------------------------------- accessors
 
     /// The connection's four-tuple.
@@ -378,9 +413,9 @@ impl Tcb {
     }
 
     /// Begins an orderly close: a FIN is sent once buffered data drains.
-    pub fn close(&mut self) {
+    pub fn close(&mut self, now: SimTime) {
         match self.state {
-            TcpState::SynSent => self.state = TcpState::Closed,
+            TcpState::SynSent => self.set_state(now, TcpState::Closed),
             TcpState::Established | TcpState::SynRcvd | TcpState::CloseWait => {
                 self.fin_queued = true;
             }
@@ -389,13 +424,13 @@ impl Tcb {
     }
 
     /// Aborts: stages a RST and drops to `Closed`.
-    pub fn abort(&mut self) {
+    pub fn abort(&mut self, now: SimTime) {
         if self.state.is_synchronized() && self.state != TcpState::Closed {
             let mut seg = self.make_seg(TcpFlags::RST | TcpFlags::ACK, self.snd_nxt, Bytes::new());
             seg.ack = self.ack_seq().raw();
             self.stage(seg);
         }
-        self.state = TcpState::Closed;
+        self.set_state(now, TcpState::Closed);
     }
 
     // ------------------------------------------------- segment intake
@@ -415,7 +450,7 @@ impl Tcb {
         let flags = seg.flags;
         if flags.contains(TcpFlags::RST) {
             if flags.contains(TcpFlags::ACK) && SeqNum(seg.ack) == self.iss.add(1) {
-                self.state = TcpState::Closed;
+                self.set_state(now, TcpState::Closed);
             }
             return;
         }
@@ -431,7 +466,7 @@ impl Tcb {
             self.snd_una = self.iss.add(1);
             self.negotiate_wscale(seg);
             self.snd_wnd = self.peer_window(seg);
-            self.state = TcpState::Established;
+            self.set_state(now, TcpState::Established);
             self.rtx_deadline = None;
             self.take_rtt_sample(now, self.snd_una);
             self.ack_now();
@@ -441,7 +476,7 @@ impl Tcb {
     fn on_segment_syn_rcvd(&mut self, now: SimTime, seg: &TcpSegment) {
         let flags = seg.flags;
         if flags.contains(TcpFlags::RST) {
-            self.state = TcpState::Closed;
+            self.set_state(now, TcpState::Closed);
             return;
         }
         if flags.contains(TcpFlags::SYN) && !flags.contains(TcpFlags::ACK) {
@@ -493,7 +528,7 @@ impl Tcb {
             self.take_rtt_sample(now, ack);
         }
         self.snd_wnd = self.peer_window(seg);
-        self.state = TcpState::Established;
+        self.set_state(now, TcpState::Established);
         self.rtx_deadline = None;
         // The handshake ACK may carry data or a FIN: fall through.
         self.on_segment_synchronized(now, seg);
@@ -501,7 +536,7 @@ impl Tcb {
 
     fn on_segment_synchronized(&mut self, now: SimTime, seg: &TcpSegment) {
         if seg.flags.contains(TcpFlags::RST) {
-            self.state = TcpState::Closed;
+            self.set_state(now, TcpState::Closed);
             return;
         }
         let seq = SeqNum(seg.seq);
@@ -615,7 +650,7 @@ impl Tcb {
         }
         if self.fin_sent && self.snd_una == self.snd_max {
             // Our FIN is acknowledged.
-            self.state = match self.state {
+            let next = match self.state {
                 TcpState::FinWait1 => TcpState::FinWait2,
                 TcpState::Closing => {
                     self.time_wait_deadline = Some(now + self.cfg.time_wait);
@@ -624,6 +659,7 @@ impl Tcb {
                 TcpState::LastAck => TcpState::Closed,
                 s => s,
             };
+            self.set_state(now, next);
         }
     }
 
@@ -666,7 +702,7 @@ impl Tcb {
         if self.rcv_buf.rcv_nxt() == fin_seq {
             self.fin_consumed = true;
             self.ack_now();
-            self.state = match self.state {
+            let next = match self.state {
                 TcpState::Established => TcpState::CloseWait,
                 TcpState::FinWait1 => TcpState::Closing,
                 TcpState::FinWait2 => {
@@ -675,6 +711,7 @@ impl Tcb {
                 }
                 s => s,
             };
+            self.set_state(now, next);
         }
     }
 
@@ -725,7 +762,7 @@ impl Tcb {
     /// handshake ACK onto its first request (as real stacks do) plus a
     /// single tap omission would otherwise shift the shadow's sequence
     /// space by the request size. Only meaningful in `SynRcvd`.
-    pub fn shadow_resync_iss(&mut self, primary_iss: SeqNum) {
+    pub fn shadow_resync_iss(&mut self, now: SimTime, primary_iss: SeqNum) {
         if !self.cfg.shadow || self.state != TcpState::SynRcvd || self.isn_fixed {
             return;
         }
@@ -740,6 +777,10 @@ impl Tcb {
         self.snd_max = self.snd_nxt;
         self.shadow_peer_ack = primary_iss;
         self.isn_fixed = true;
+        self.recorder.trace(
+            now.as_nanos(),
+            &TraceEvent::ShadowResync { conn: self.quad.trace_conn(), iss: primary_iss.raw() },
+        );
     }
 
     /// Injects bytes recovered via the side channel directly into the
@@ -859,7 +900,7 @@ impl Tcb {
         if let Some(t) = self.time_wait_deadline {
             if t <= now {
                 self.time_wait_deadline = None;
-                self.state = TcpState::Closed;
+                self.set_state(now, TcpState::Closed);
                 return;
             }
         }
@@ -888,14 +929,15 @@ impl Tcb {
             TcpState::SynSent => {
                 self.syn_attempts += 1;
                 if self.syn_attempts > SYN_MAX_ATTEMPTS {
-                    self.state = TcpState::Closed;
+                    self.set_state(now, TcpState::Closed);
                     return;
                 }
-                self.rto.backoff();
+                let backoff = self.rto.backoff();
                 self.stage_syn(now, false);
                 self.rtx_deadline = Some(now + self.rto.rto());
                 self.stats.rto_retransmits += 1;
                 self.recorder.count(Counter::TcpRtoFired, 1);
+                self.trace_rto(now, backoff);
             }
             TcpState::SynRcvd => {
                 self.syn_attempts += 1;
@@ -904,14 +946,15 @@ impl Tcb {
                     // flood, or a shadow whose client ACK is lost with
                     // no primary SYN/ACK to resync from): give up so the
                     // TCB can be reaped.
-                    self.state = TcpState::Closed;
+                    self.set_state(now, TcpState::Closed);
                     return;
                 }
-                self.rto.backoff();
+                let backoff = self.rto.backoff();
                 self.stage_syn(now, true);
                 self.rtx_deadline = Some(now + self.rto.rto());
                 self.stats.rto_retransmits += 1;
                 self.recorder.count(Counter::TcpRtoFired, 1);
+                self.trace_rto(now, backoff);
             }
             TcpState::Closed | TcpState::TimeWait => {}
             _ => {
@@ -919,10 +962,11 @@ impl Tcb {
                     return;
                 }
                 self.cong.on_timeout(self.flight());
-                self.rto.backoff();
+                let backoff = self.rto.backoff();
                 self.rtt_probe = None; // Karn: no samples from retransmits
                 self.stats.rto_retransmits += 1;
                 self.recorder.count(Counter::TcpRtoFired, 1);
+                self.trace_rto(now, backoff);
                 // Classic go-back-N: roll snd_nxt back so emit_data
                 // resends the whole outstanding window under slow-start
                 // pacing (one segment now, doubling per RTT).
@@ -930,6 +974,17 @@ impl Tcb {
                 self.rtx_deadline = Some(now + self.rto.rto());
             }
         }
+    }
+
+    fn trace_rto(&self, now: SimTime, backoff: u32) {
+        self.recorder.trace(
+            now.as_nanos(),
+            &TraceEvent::RtoFired {
+                conn: self.quad.trace_conn(),
+                backoff,
+                rto_ns: self.rto.rto().as_nanos(),
+            },
+        );
     }
 
     /// Retransmits one segment starting at `snd_una`.
@@ -1054,11 +1109,12 @@ impl Tcb {
                 self.rtx_deadline = Some(now + self.rto.rto());
             }
             if first {
-                self.state = match self.state {
+                let next = match self.state {
                     TcpState::Established => TcpState::FinWait1,
                     TcpState::CloseWait => TcpState::LastAck,
                     s => s,
                 };
+                self.set_state(now, next);
             }
             self.ack_pending = false;
         }

@@ -57,7 +57,7 @@ fn release_frees_slots_for_reuse() {
     s.handle_frame(now, syn_from(Ipv4Addr::new(10, 0, 0, 50), 30_000, 7_000));
     let sock = s.socks().next().unwrap();
     // Abort it (forces Closed), then release.
-    s.abort(sock);
+    s.abort(now, sock);
     assert_eq!(s.state(sock), Some(TcpState::Closed));
     s.release(sock);
     assert_eq!(s.state(sock), None, "released handle is dead");
@@ -75,7 +75,7 @@ fn released_connection_is_gone_from_demux_and_listener() {
     let now = SimTime::ZERO;
     s.handle_frame(now, syn_from(Ipv4Addr::new(10, 0, 0, 50), 30_000, 7_000));
     let sock = s.socks().next().unwrap();
-    s.abort(sock);
+    s.abort(now, sock);
     s.release(sock);
     // The listener queue must not hand out the dead handle.
     assert!(s.accept(80).is_none());
@@ -97,7 +97,7 @@ fn many_sequential_connections_do_not_accumulate() {
         let ip = Ipv4Addr::new(10, 0, (i / 250) as u8, 50);
         s.handle_frame(now, syn_from(ip, port, i * 13 + 1));
         let sock = s.socks().next().expect("conn exists");
-        s.abort(sock);
+        s.abort(now, sock);
         s.release(sock);
     }
     assert_eq!(s.socks().count(), 0);

@@ -202,7 +202,7 @@ fn takeover_after_primary_crash_is_transparent() {
 
     // Crash the primary; the backup takes over the VIP.
     net.dead[1] = true;
-    net.stacks[2].unsuppress(VIP);
+    net.stacks[2].unsuppress(net.now, VIP);
 
     // The client sends the next request; only the backup answers now.
     net.stacks[0].write(cs, b"req2").unwrap();
@@ -229,7 +229,7 @@ fn takeover_mid_response_retransmits_inflight_bytes() {
     // copy reaches the client: write while the primary is dead.
     net.dead[1] = true;
     net.stacks[2].write(bs, b"late-response").unwrap();
-    net.stacks[2].unsuppress(VIP);
+    net.stacks[2].unsuppress(net.now, VIP);
     // The backup's (formerly suppressed) transmission machinery must
     // deliver it: let its RTO fire.
     for _ in 0..20 {

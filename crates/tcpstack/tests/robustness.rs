@@ -144,9 +144,9 @@ fn sequence_wraparound_mid_transfer() {
     assert_eq!(c_got, blob, "server→client stream must survive the wrap");
     assert_eq!(s_got, blob, "client→server stream must survive the wrap");
     // And the connection still closes cleanly after wrapping.
-    client.close(cs);
+    client.close(now, cs);
     pump(&mut client, &mut server, &mut now);
-    server.close(ss);
+    server.close(now, ss);
     pump(&mut client, &mut server, &mut now);
     assert_eq!(server.state(ss), Some(TcpState::Closed));
 }

@@ -81,7 +81,7 @@ fn rto_rolls_back_and_resends_whole_window_under_slow_start() {
 fn fin_retransmits_after_rollback() {
     let (mut tcb, now, _cseq, _iss) = established_server(TcpConfig::default());
     tcb.write(b"bye");
-    tcb.close();
+    tcb.close(now);
     let out = tcb.poll(now);
     // 3 bytes + FIN (possibly combined or separate).
     let had_fin = out.iter().any(|s| s.flags.contains(TcpFlags::FIN));
@@ -136,7 +136,7 @@ fn shadow_resync_from_primary_synack_wins_over_client_ack() {
     let mut tcb = Tcb::accept(now, quad(), SeqNum(555), &syn, cfg);
     let _ = tcb.poll(now); // its own (suppressed) SYN/ACK
                            // The tapped primary SYN/ACK announces the true ISN.
-    tcb.shadow_resync_iss(SeqNum(42_000));
+    tcb.shadow_resync_iss(now, SeqNum(42_000));
     assert_eq!(tcb.iss(), SeqNum(42_000));
     assert_eq!(tcb.stats.isn_resyncs, 1);
     // A *late* client ACK (handshake ACK lost; this one acks 150 bytes
@@ -173,17 +173,17 @@ fn shadow_fallback_resync_without_synack() {
 fn shadow_resync_is_inert_for_non_shadow_or_established() {
     // Non-shadow TCB: no-op.
     let (mut tcb, _now, _c, iss) = established_server(TcpConfig::default());
-    tcb.shadow_resync_iss(SeqNum(1));
+    tcb.shadow_resync_iss(_now, SeqNum(1));
     assert_eq!(tcb.iss(), SeqNum(iss));
     // Shadow TCB after establishment: no-op.
     let cfg = TcpConfig { shadow: true, ..TcpConfig::default() };
     let now = SimTime::ZERO;
     let mut shadow = Tcb::accept(now, quad(), SeqNum(555), &client_syn(7000), cfg);
     let _ = shadow.poll(now);
-    shadow.shadow_resync_iss(SeqNum(1000));
+    shadow.shadow_resync_iss(now, SeqNum(1000));
     shadow.on_segment(now, &seg(7001, 1001, TcpFlags::ACK, b""));
     assert_eq!(shadow.state(), TcpState::Established);
-    shadow.shadow_resync_iss(SeqNum(9999));
+    shadow.shadow_resync_iss(now, SeqNum(9999));
     assert_eq!(shadow.iss(), SeqNum(1000), "resync after establishment must be refused");
 }
 

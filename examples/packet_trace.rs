@@ -11,8 +11,13 @@
 //!   the backup answering the client's retransmission as if nothing
 //!   happened.
 //!
+//! The raw frames are followed by the flight recorder's *event*
+//! timeline of the same run — the protocol-level story (state
+//! transitions, suspicion, promotion) that the frames only imply.
+//!
 //! Run with: `cargo run --release --example packet_trace`
 
+use st_tcp::obs::render_timeline;
 use st_tcp::sttcp::prelude::*;
 use st_tcp::wire::summarize;
 use std::cell::RefCell;
@@ -22,7 +27,9 @@ fn main() {
     let crash_at = SimTime::ZERO + SimDuration::from_millis(250);
     let spec = ScenarioSpec::new(Workload::Echo { requests: 40 })
         .st_tcp(SttcpConfig::new(addrs::VIP, 80))
-        .faults(FaultSpec::crash_primary_at(crash_at));
+        .faults(FaultSpec::crash_primary_at(crash_at))
+        .recording()
+        .tracing();
     let mut scenario = build(&spec);
 
     // Collect (time, origin, summary) for two windows of interest.
@@ -59,4 +66,8 @@ fn main() {
         takeover.as_secs_f64(),
         metrics.finished.unwrap().as_secs_f64()
     );
+
+    println!("\n=== the same run as protocol events (flight recorder) ===");
+    let export = scenario.trace_export().expect("tracing was enabled");
+    print!("{}", render_timeline(&export));
 }

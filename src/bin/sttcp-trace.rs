@@ -1,0 +1,122 @@
+//! `sttcp-trace` — capture and render flight-recorder traces.
+//!
+//! ```text
+//! Usage:
+//!   sttcp-trace capture [--out FILE] [--seed N] [--crash-at SECS]
+//!   sttcp-trace timeline FILE
+//!   sttcp-trace seq FILE [CONN]
+//!   sttcp-trace chrome FILE
+//! ```
+//!
+//! * `capture`  runs a canned failover (Echo x100, primary crash) with
+//!   the flight recorder on and writes the `sttcp-trace-v1` JSON export
+//!   to stdout or `--out FILE`.
+//! * `timeline` renders an export as a human-readable event timeline
+//!   with the takeover phase breakdown.
+//! * `seq`      renders a per-connection text sequence diagram; CONN is
+//!   a connection id as printed by `timeline` (e.g.
+//!   `10.0.0.1:40000<->10.0.0.100:80`), defaulting to the first seen.
+//! * `chrome`   converts an export to Chrome trace_event JSON — open in
+//!   `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//!
+//! Pipelines compose: `sttcp-trace capture | sttcp-trace timeline
+//! /dev/stdin`.
+
+use st_tcp::obs::{render_chrome, render_sequence, render_timeline, TraceConn, TraceExport};
+use st_tcp::sttcp::prelude::*;
+use std::process::exit;
+
+const USAGE: &str = "Usage: sttcp-trace capture [--out FILE] [--seed N] [--crash-at SECS]
+       sttcp-trace timeline FILE
+       sttcp-trace seq FILE [CONN]
+       sttcp-trace chrome FILE";
+
+fn usage() -> ! {
+    eprintln!("{USAGE}");
+    exit(2)
+}
+
+fn load(path: &str) -> TraceExport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    });
+    TraceExport::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("{path} is not an sttcp-trace-v1 export: {e}");
+        exit(1)
+    })
+}
+
+fn capture(mut rest: impl Iterator<Item = String>) {
+    let mut out = None;
+    let mut seed = 0xE4A1u64;
+    let mut crash_s = 0.25f64;
+    while let Some(flag) = rest.next() {
+        let mut val = |name: &str| {
+            rest.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--out" => out = Some(val("--out")),
+            "--seed" => seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--crash-at" => crash_s = val("--crash-at").parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    let crash_at = SimTime::ZERO + SimDuration::from_secs_f64(crash_s);
+    let mut spec = ScenarioSpec::new(Workload::Echo { requests: 100 })
+        .st_tcp(SttcpConfig::new(addrs::VIP, 80))
+        .recording()
+        .tracing()
+        .faults(FaultSpec::crash_primary_at(crash_at));
+    spec.seed = seed;
+    let mut sc = build(&spec);
+    let outcome = sc.run(RunLimits::default());
+    if !outcome.completed() {
+        eprintln!("warning: workload did not complete ({:?})", outcome.reason);
+    }
+    let export = sc.trace_export().expect("tracing was enabled");
+    let json = export.to_json();
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(1)
+            });
+            eprintln!(
+                "wrote {} events ({} dropped) to {path}",
+                export.events.len(),
+                export.dropped
+            );
+        }
+        None => println!("{json}"),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("capture") => capture(args),
+        Some("timeline") => {
+            let path = args.next().unwrap_or_else(|| usage());
+            print!("{}", render_timeline(&load(&path)));
+        }
+        Some("seq") => {
+            let path = args.next().unwrap_or_else(|| usage());
+            let conn = args.next().map(|c| {
+                TraceConn::parse(&c).unwrap_or_else(|| {
+                    eprintln!("bad connection id {c:?} (expected a:p<->b:q)");
+                    exit(1)
+                })
+            });
+            print!("{}", render_sequence(&load(&path), conn));
+        }
+        Some("chrome") => {
+            let path = args.next().unwrap_or_else(|| usage());
+            println!("{}", render_chrome(&load(&path)));
+        }
+        _ => usage(),
+    }
+}
