@@ -1,34 +1,47 @@
 //! simperf — simulator throughput benchmark.
 //!
 //! Measures how fast the simulator itself runs (wall time and simulator
-//! events per wall-clock second) on the Echo and Bulk-100MB scenarios,
-//! and appends the numbers to `BENCH_simperf.json` at the repo root so
-//! the performance trajectory is tracked across changes.
+//! events per wall-clock second) on the Echo and Bulk-100MB scenarios
+//! plus the `conn_scale_{100,1k,10k}` fleet scenarios, and appends the
+//! numbers to `BENCH_simperf.json` at the repo root so the performance
+//! trajectory is tracked across changes.
+//!
+//! The `conn_scale_*` cases drive the seeded mixed-workload fleet
+//! generator (`sttcp::fleet`) at 100 / 1 000 / 10 000 clients and
+//! assert the O(1)-demux contract: events/sec at 10 k connections must
+//! stay within 2× of events/sec at 100 (per-event cost must not grow
+//! with connection count).
 //!
 //! The first run seeds the `baseline` section; later runs preserve it
 //! and rewrite only `current`, so the file always shows current speed
 //! against the recorded pre-optimization baseline.
 //!
-//! `STTCP_BENCH_QUICK=1` shrinks the bulk transfer to 1 MB and skips the
-//! file write — a smoke run for CI, not a measurement.
+//! `STTCP_BENCH_QUICK=1` shrinks the bulk transfer to 1 MB, runs only
+//! the 100-client fleet, and skips the file write — a smoke run for CI,
+//! not a measurement.
 //!
 //! `STTCP_BENCH_CHECK=<factor>` turns the run into a perf guard: the
-//! measured `bulk_100mb` wall time must stay within `factor ×` the
-//! reference recorded in `BENCH_simperf.json` (the timed scenarios use
-//! the default no-op recorder, so this also asserts the observability
-//! layer stays off the hot path). Guard mode never rewrites the file.
+//! measured `bulk_100mb` and `conn_scale_100` wall times (best of
+//! three, plus a small absolute slack for the millisecond-scale fleet
+//! case) must stay within `factor ×` the references recorded in
+//! `BENCH_simperf.json`
+//! (the timed scenarios use the default no-op recorder, so this also
+//! asserts the observability layer stays off the hot path). Guard mode
+//! runs only the guarded cases and never rewrites the file.
 //!
 //! `STTCP_BENCH_TRACE_CHECK=<factor>` guards the recorder itself: the
-//! ST-TCP bulk scenario is run twice in-process — no-op recorder vs
-//! metrics + flight recorder — and the enabled run must stay within
-//! `factor ×` the no-op wall time (best of three each). Composes with
-//! `STTCP_BENCH_QUICK=1`; never touches the report file.
+//! ST-TCP bulk scenario and the 100-client fleet are each run twice
+//! in-process — no-op recorder vs metrics + flight recorder — and the
+//! enabled run must stay within `factor ×` the no-op wall time (best of
+//! three each). Composes with `STTCP_BENCH_QUICK=1`; never touches the
+//! report file.
 
 use apps::Workload;
 use netsim::{SimDuration, SimTime};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
+use sttcp::fleet::{self, FleetSpec};
 use sttcp::scenario::{build, FaultSpec, RunLimits, ScenarioSpec};
 use sttcp_bench::{quick_mode, st_cfg, Table};
 
@@ -46,6 +59,17 @@ fn run_case(name: &'static str, spec: &ScenarioSpec) -> Case {
     let wall_s = start.elapsed().as_secs_f64();
     assert!(metrics.verified_clean(), "{name}: byte-stream verification failed");
     let events = scenario.sim.trace().events_processed;
+    Case { name, wall_s, events, events_per_s: events as f64 / wall_s }
+}
+
+fn run_fleet_case(name: &'static str, clients: usize) -> Case {
+    let mut f = fleet::build(&FleetSpec::new(clients));
+    let start = Instant::now();
+    let done = f.run_until_done(SimDuration::from_secs(600));
+    let wall_s = start.elapsed().as_secs_f64();
+    assert!(done, "{name}: fleet did not complete");
+    assert!(f.verified_clean(), "{name}: byte-stream verification failed");
+    let events = f.sim.trace().events_processed;
     Case { name, wall_s, events, events_per_s: events as f64 / wall_s }
 }
 
@@ -99,23 +123,101 @@ fn trace_check_factor() -> Option<f64> {
     std::env::var("STTCP_BENCH_TRACE_CHECK").ok()?.parse().ok()
 }
 
-/// Recorder-overhead guard: the same bulk scenario with the recorder
-/// off vs fully on (metrics sink + flight ring), best of three runs
-/// each to damp scheduler noise. Exits non-zero past `factor`.
-fn run_trace_check(factor: f64, bulk: Workload) {
-    let base = || ScenarioSpec::new(bulk).st_tcp(st_cfg(SimDuration::from_millis(50)));
-    let best = |name: &'static str, spec: &dyn Fn() -> ScenarioSpec| {
-        (0..3).map(|_| run_case(name, &spec()).wall_s).fold(f64::INFINITY, f64::min)
+/// Absolute slack added on top of the guard factor. The
+/// `conn_scale_100` reference is milliseconds of wall time, where
+/// process cold-start and scheduler noise dwarf any multiplicative
+/// factor; the slack keeps the guard meaningful for long cases and
+/// non-flaky for short ones.
+const CHECK_SLACK_S: f64 = 0.1;
+
+/// Perf-guard mode: run only the guarded cases (`bulk_100mb` and
+/// `conn_scale_100`) and compare each against the `current` reference
+/// committed in `BENCH_simperf.json` — best of three runs per case to
+/// damp scheduler noise, like the trace check. In quick mode only the
+/// fleet case is comparable (the 1 MB bulk has no committed reference).
+fn run_perf_check(factor: f64, quick: bool, path: &std::path::Path) {
+    let reference = previous_section(path, "current");
+    let best = |run: &dyn Fn() -> Case| {
+        (0..3).map(|_| run()).min_by(|a, b| a.wall_s.total_cmp(&b.wall_s)).unwrap()
     };
-    let nop = best("bulk_st_tcp (no-op recorder)", &base);
-    let on = best("bulk_st_tcp (metrics + flight)", &|| base().recording().tracing());
-    let ratio = on / nop;
-    if ratio <= factor {
-        println!(
-            "trace perf check ok: {on:.3}s recorded / {nop:.3}s no-op = {ratio:.3}x <= {factor}x"
+    let mut cases = Vec::new();
+    if quick {
+        eprintln!(
+            "perf check (quick): bulk skipped — quick mode measures 1 MB, reference is 100 MB"
         );
     } else {
-        eprintln!("trace perf check FAILED: {on:.3}s recorded / {nop:.3}s no-op = {ratio:.3}x > {factor}x");
+        cases.push(best(&|| run_case("bulk_100mb", &ScenarioSpec::new(Workload::bulk_mb(100)))));
+    }
+    cases.push(best(&|| run_fleet_case("conn_scale_100", 100)));
+    let mut failed = false;
+    for c in &cases {
+        match reference.as_deref().and_then(|s| wall_of(s, c.name)) {
+            Some(r) if c.wall_s <= r * factor + CHECK_SLACK_S => {
+                println!(
+                    "perf check ok: {} {:.3}s <= {r:.3}s x {factor} + {CHECK_SLACK_S}s",
+                    c.name, c.wall_s
+                );
+            }
+            Some(r) => {
+                eprintln!(
+                    "perf check FAILED: {} {:.3}s > {r:.3}s x {factor} + {CHECK_SLACK_S}s",
+                    c.name, c.wall_s
+                );
+                failed = true;
+            }
+            None => eprintln!("perf check skipped: no {} reference in {}", c.name, path.display()),
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// Recorder-overhead guard: the same scenario with the recorder off vs
+/// fully on (metrics sink + flight ring), best of three runs each to
+/// damp scheduler noise — on the bulk transfer and on the 100-client
+/// fleet. Exits non-zero past `factor`.
+fn run_trace_check(factor: f64, bulk: Workload) {
+    let mut failed = false;
+    let mut judge = |what: &str, nop: f64, on: f64| {
+        let ratio = on / nop;
+        if ratio <= factor {
+            println!(
+                "trace perf check ok ({what}): {on:.3}s recorded / {nop:.3}s no-op = {ratio:.3}x <= {factor}x"
+            );
+        } else {
+            eprintln!(
+                "trace perf check FAILED ({what}): {on:.3}s recorded / {nop:.3}s no-op = {ratio:.3}x > {factor}x"
+            );
+            failed = true;
+        }
+    };
+    {
+        let base = || ScenarioSpec::new(bulk).st_tcp(st_cfg(SimDuration::from_millis(50)));
+        let best = |name: &'static str, spec: &dyn Fn() -> ScenarioSpec| {
+            (0..3).map(|_| run_case(name, &spec()).wall_s).fold(f64::INFINITY, f64::min)
+        };
+        let nop = best("bulk_st_tcp (no-op recorder)", &base);
+        let on = best("bulk_st_tcp (metrics + flight)", &|| base().recording().tracing());
+        judge("bulk_st_tcp", nop, on);
+    }
+    {
+        let best = |spec: &dyn Fn() -> FleetSpec| {
+            (0..3)
+                .map(|_| {
+                    let mut f = fleet::build(&spec());
+                    let start = Instant::now();
+                    let done = f.run_until_done(SimDuration::from_secs(600));
+                    assert!(done && f.verified_clean(), "conn_scale_100 trace check run failed");
+                    start.elapsed().as_secs_f64()
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let nop = best(&|| FleetSpec::new(100));
+        let on = best(&|| FleetSpec::new(100).recording().tracing());
+        judge("conn_scale_100", nop, on);
+    }
+    if failed {
         std::process::exit(1);
     }
 }
@@ -130,7 +232,13 @@ fn main() {
         return;
     }
 
-    let cases = vec![
+    let path = repo_root().join("BENCH_simperf.json");
+    if let Some(factor) = check_factor() {
+        run_perf_check(factor, quick, &path);
+        return; // guard mode never rewrites the report
+    }
+
+    let mut cases = vec![
         run_case("echo", &ScenarioSpec::new(Workload::echo())),
         run_case(
             "echo_st_tcp",
@@ -141,7 +249,23 @@ fn main() {
             "bulk_100mb_st_tcp",
             &ScenarioSpec::new(bulk).st_tcp(st_cfg(SimDuration::from_millis(50))),
         ),
+        run_fleet_case("conn_scale_100", 100),
     ];
+    if !quick {
+        cases.push(run_fleet_case("conn_scale_1k", 1_000));
+        cases.push(run_fleet_case("conn_scale_10k", 10_000));
+        // The O(1)-demux contract: per-event cost must not grow with
+        // connection count (acceptance: ≥ 0.5× the 100-client rate).
+        let rate = |name: &str| {
+            cases.iter().find(|c| c.name == name).map(|c| c.events_per_s).unwrap_or(0.0)
+        };
+        let (r100, r10k) = (rate("conn_scale_100"), rate("conn_scale_10k"));
+        assert!(
+            r10k >= 0.5 * r100,
+            "conn_scale_10k throughput collapsed: {r10k:.0} ev/s vs {r100:.0} ev/s at 100 clients"
+        );
+        println!("conn_scale check ok: {r10k:.0} ev/s @10k >= 0.5 x {r100:.0} ev/s @100");
+    }
 
     let mut table = Table::new(
         if quick {
@@ -165,28 +289,6 @@ fn main() {
         ]);
     }
     table.emit("simperf");
-
-    let path = repo_root().join("BENCH_simperf.json");
-    if let Some(factor) = check_factor() {
-        if quick {
-            eprintln!("perf check skipped: quick mode measures 1 MB, reference is 100 MB");
-            return;
-        }
-        let reference =
-            previous_section(&path, "current").as_deref().and_then(|s| wall_of(s, "bulk_100mb"));
-        let measured = cases.iter().find(|c| c.name == "bulk_100mb").map(|c| c.wall_s);
-        match (reference, measured) {
-            (Some(r), Some(m)) if m <= r * factor => {
-                println!("perf check ok: bulk_100mb {m:.3}s <= {r:.3}s x {factor}");
-            }
-            (Some(r), Some(m)) => {
-                eprintln!("perf check FAILED: bulk_100mb {m:.3}s > {r:.3}s x {factor}");
-                std::process::exit(1);
-            }
-            _ => eprintln!("perf check skipped: no bulk_100mb reference in {}", path.display()),
-        }
-        return; // guard mode never rewrites the report
-    }
 
     if quick {
         println!("(quick mode: BENCH_simperf.json not updated)");

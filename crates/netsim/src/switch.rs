@@ -30,6 +30,9 @@ pub struct Switch {
     pub unicast_forwards: u64,
     /// Copies produced by mirroring.
     pub mirrored: u64,
+    /// Reused per-frame delivery list — on a fleet-scale LAN the switch
+    /// forwards every frame, so this path must not allocate.
+    delivered: Vec<PortId>,
 }
 
 impl Switch {
@@ -54,21 +57,24 @@ impl Switch {
         &self.table
     }
 
-    fn out_ports(&mut self, ingress: PortId, dst: MacAddr) -> Vec<PortId> {
+    /// Fills `out` with the delivery ports for a frame entering at
+    /// `ingress` addressed to `dst`.
+    fn out_ports(&mut self, ingress: PortId, dst: MacAddr, out: &mut Vec<PortId>) {
         if dst.is_multicast() {
             // Broadcast and multicast: flood. Group MACs are never learned.
             self.floods += 1;
-            return (0..self.ports).map(PortId).filter(|&p| p != ingress).collect();
+            out.extend((0..self.ports).map(PortId).filter(|&p| p != ingress));
+            return;
         }
         match self.table.get(&dst) {
             Some(&p) if p != ingress => {
                 self.unicast_forwards += 1;
-                vec![p]
+                out.push(p);
             }
-            Some(_) => Vec::new(), // destination is on the ingress segment
+            Some(_) => {} // destination is on the ingress segment
             None => {
                 self.floods += 1;
-                (0..self.ports).map(PortId).filter(|&p| p != ingress).collect()
+                out.extend((0..self.ports).map(PortId).filter(|&p| p != ingress));
             }
         }
     }
@@ -84,16 +90,16 @@ impl Node for Switch {
         if !eth.src.is_multicast() {
             self.table.insert(eth.src, port);
         }
-        let outs = self.out_ports(port, eth.dst);
-        let mut delivered: Vec<PortId> = Vec::with_capacity(outs.len() + 1);
-        for p in outs {
+        let mut delivered = std::mem::take(&mut self.delivered);
+        delivered.clear();
+        self.out_ports(port, eth.dst, &mut delivered);
+        for &p in &delivered {
             ctx.send_frame(p, frame.clone());
-            delivered.push(p);
         }
         // Mirroring: copy frames touching a monitored port to its monitor
         // port, unless the frame already reaches that port normally.
-        let mirrors = self.mirrors.clone();
-        for (monitored, to) in mirrors {
+        for mi in 0..self.mirrors.len() {
+            let (monitored, to) = self.mirrors[mi];
             let touches = port == monitored || delivered.contains(&monitored);
             if touches && to != port && !delivered.contains(&to) {
                 ctx.send_frame(to, frame.clone());
@@ -101,6 +107,8 @@ impl Node for Switch {
                 self.mirrored += 1;
             }
         }
+        delivered.clear();
+        self.delivered = delivered;
     }
 }
 

@@ -22,7 +22,7 @@ use crate::messages::{ConnKey, SideMsg};
 use netsim::logger::ReplayQuery;
 use netsim::{SimDuration, SimTime};
 use obs::{Counter, Mark, SharedRecorder, TraceEvent};
-use tcpstack::{NetStack, SeqNum};
+use tcpstack::{NetStack, SeqNum, TimerWheel};
 
 /// Backup-side counters and timeline.
 #[derive(Debug, Clone, Copy, Default)]
@@ -49,6 +49,10 @@ struct ConnTrack {
     last_acked_next: SeqNum,
     highest_primary_ack: Option<SeqNum>,
     outstanding_req: Option<(SeqNum, SimTime)>,
+    /// Whether the key already sits on the `pending` ack list.
+    pending_ack: bool,
+    /// Whether the key already sits on the `deferred` ack list.
+    deferred: bool,
 }
 
 /// See the module docs.
@@ -63,6 +67,23 @@ pub struct BackupEngine {
     replay_ready_at: Option<SimTime>,
     takeover_at: Option<SimTime>,
     hb_seq: u64,
+    /// Connections with possibly-unacked receive progress: the ack scan
+    /// visits only these, so a pump costs O(active), not O(connections).
+    /// Deduplicated via `ConnTrack::pending_ack`.
+    pending: Vec<ConnKey>,
+    /// Reused swap buffer for the pending scan (no per-pump allocation).
+    pending_scratch: Vec<ConnKey>,
+    /// Connections with unacked progress still below the X threshold,
+    /// parked until the periodic forced tick. Keeping these off the
+    /// `pending` list is what makes a pump O(new activity): otherwise
+    /// every frame event would rescan every in-flight connection.
+    /// Fresh activity re-queues a parked key via [`Self::note_activity`].
+    deferred: Vec<ConnKey>,
+    /// Wake index for missing-request retries — replaces the per-tick
+    /// scan over every connection's `outstanding_req`.
+    retry_wheel: TimerWheel<ConnKey>,
+    /// Reused pop buffer for `retry_wheel`.
+    retry_expired: Vec<ConnKey>,
     outbox: Vec<SideMsg>,
     fence_request: Option<u32>,
     logger_queries: Vec<ReplayQuery>,
@@ -87,6 +108,11 @@ impl BackupEngine {
             replay_ready_at: None,
             takeover_at: None,
             hb_seq: 0,
+            pending: Vec::new(),
+            pending_scratch: Vec::new(),
+            deferred: Vec::new(),
+            retry_wheel: TimerWheel::new(),
+            retry_expired: Vec::new(),
             outbox: Vec::new(),
             fence_request: None,
             logger_queries: Vec::new(),
@@ -124,7 +150,21 @@ impl BackupEngine {
             last_acked_next: initial_next,
             highest_primary_ack: None,
             outstanding_req: None,
+            pending_ack: false,
+            deferred: false,
         });
+    }
+
+    /// Notes that `key`'s shadow made receive progress (the node adapter
+    /// feeds this from the stack's activity list). Queues the connection
+    /// for the next ack scan; idempotent until the scan runs.
+    pub fn note_activity(&mut self, key: ConnKey) {
+        if let Some(track) = self.conns.get_mut(&key) {
+            if !track.pending_ack {
+                track.pending_ack = true;
+                self.pending.push(key);
+            }
+        }
     }
 
     /// Handles one side-channel message from the primary.
@@ -146,6 +186,8 @@ impl BackupEngine {
                 if let Some(track) = self.conns.get_mut(&conn) {
                     track.outstanding_req = None;
                 }
+                // Injected bytes are receive progress: queue the ack check.
+                self.note_activity(conn);
             }
             SideMsg::MissingNack { conn, .. } => {
                 if let Some(track) = self.conns.get_mut(&conn) {
@@ -268,6 +310,10 @@ impl BackupEngine {
         let from = tcb.rcv_nxt();
         let len = (gap as usize).min(self.cfg.missing_req_chunk) as u32;
         track.outstanding_req = Some((from, now));
+        // Arm the retry check just past the staleness window; the pop
+        // re-verifies against `outstanding_req` (lazy cancellation).
+        let window = self.cfg.effective_sync_time().saturating_mul(2);
+        self.retry_wheel.schedule((now + window).as_nanos() + 1, key);
         self.stats.missing_reqs += 1;
         self.recorder.count(Counter::MissingReqsSent, 1);
         self.outbox.push(SideMsg::MissingReq { conn: key, from: from.raw(), len });
@@ -276,22 +322,35 @@ impl BackupEngine {
     /// The backup's acknowledgment strategy (§4.3). Called after every
     /// batch of tapped input with `force = false` (X-threshold rule) and
     /// from the SyncTime tick with `force = true`.
+    ///
+    /// Visits only connections queued by [`BackupEngine::note_activity`]
+    /// — an idle shadow costs nothing. A connection with progress below
+    /// the threshold stays queued so the SyncTime tick can force-ack it;
+    /// the swap buffer is reused, so steady state allocates nothing.
     pub fn maybe_send_acks(&mut self, stack: &mut NetStack, force: bool) {
-        let keys: Vec<ConnKey> = self.conns.keys().copied().collect();
-        for key in keys {
-            let Some(sock) = stack.sock_by_quad(key.server_quad()) else {
-                continue;
+        debug_assert!(self.pending_scratch.is_empty());
+        std::mem::swap(&mut self.pending, &mut self.pending_scratch);
+        for i in 0..self.pending_scratch.len() {
+            let key = self.pending_scratch[i];
+            let Some(track) = self.conns.get_mut(&key) else {
+                continue; // untracked: flag died with the entry
             };
-            let Some(tcb) = stack.tcb(sock) else {
-                continue;
+            track.pending_ack = false;
+            let Some(next) = stack
+                .sock_by_quad(key.server_quad())
+                .and_then(|sock| stack.tcb(sock))
+                .map(|tcb| tcb.rcv_nxt())
+            else {
+                continue; // shadow gone; drop from the set
             };
-            let next = tcb.rcv_nxt();
-            let track = self.conns.get_mut(&key).expect("key from map");
             let progress = next.distance(track.last_acked_next);
+            if progress <= 0 {
+                continue; // fully acked; re-queued on activity
+            }
             // Careful with the comparison: `usize::MAX as i64` is -1, so
             // cast the (known-positive) progress up instead.
-            let threshold_hit = progress > 0 && progress as u128 >= self.x_threshold as u128;
-            if threshold_hit || (force && progress > 0) {
+            let threshold_hit = progress as u128 >= self.x_threshold as u128;
+            if threshold_hit || force {
                 self.outbox.push(SideMsg::BackupAck { conn: key, acked_next: next.raw() });
                 track.last_acked_next = next;
                 self.stats.acks_sent += 1;
@@ -299,7 +358,43 @@ impl BackupEngine {
                 if threshold_hit && !force {
                     self.stats.acks_threshold_triggered += 1;
                 }
+            } else if !track.deferred {
+                // Below threshold, not forced: park it for the periodic
+                // tick. Re-queueing onto `pending` here would make every
+                // pump rescan every in-flight connection — O(fleet) per
+                // frame event. Progress can only grow via new activity,
+                // which re-queues the key, so nothing is lost by parking.
+                track.deferred = true;
+                self.deferred.push(key);
             }
+        }
+        self.pending_scratch.clear();
+        if force {
+            // The periodic tick flushes every parked sub-threshold ack.
+            std::mem::swap(&mut self.deferred, &mut self.pending_scratch);
+            for i in 0..self.pending_scratch.len() {
+                let key = self.pending_scratch[i];
+                let Some(track) = self.conns.get_mut(&key) else {
+                    continue;
+                };
+                track.deferred = false;
+                let Some(next) = stack
+                    .sock_by_quad(key.server_quad())
+                    .and_then(|sock| stack.tcb(sock))
+                    .map(|tcb| tcb.rcv_nxt())
+                else {
+                    continue;
+                };
+                let progress = next.distance(track.last_acked_next);
+                if progress <= 0 {
+                    continue; // already acked via the pending scan
+                }
+                self.outbox.push(SideMsg::BackupAck { conn: key, acked_next: next.raw() });
+                track.last_acked_next = next;
+                self.stats.acks_sent += 1;
+                self.recorder.count(Counter::BackupAcksSent, 1);
+            }
+            self.pending_scratch.clear();
         }
     }
 
@@ -309,26 +404,29 @@ impl BackupEngine {
         self.maybe_send_acks(stack, true);
         self.hb_seq += 1;
         self.outbox.push(SideMsg::Heartbeat { seq: self.hb_seq });
-        // Retry stale missing-segment requests.
-        let stale: Vec<ConnKey> = self
-            .conns
-            .iter()
-            .filter_map(|(k, t)| {
-                t.outstanding_req
-                    .filter(|&(_, at)| {
-                        now.checked_duration_since(at)
-                            .map(|d| d > self.cfg.effective_sync_time().saturating_mul(2))
-                            .unwrap_or(false)
-                    })
-                    .map(|_| *k)
-            })
-            .collect();
-        for key in stale {
-            if let Some(track) = self.conns.get_mut(&key) {
-                track.outstanding_req = None;
+        // Retry stale missing-segment requests: the wheel pops exactly
+        // the candidates whose staleness window has passed — no scan.
+        // Each pop re-verifies against the live request (an answered or
+        // re-issued request leaves a stale entry that pops harmlessly).
+        let window = self.cfg.effective_sync_time().saturating_mul(2);
+        let mut popped = std::mem::take(&mut self.retry_expired);
+        popped.clear();
+        self.retry_wheel.advance(now.as_nanos(), &mut popped);
+        for &key in &popped {
+            let stale = self
+                .conns
+                .get(&key)
+                .and_then(|t| t.outstanding_req)
+                .map(|(_, at)| now.checked_duration_since(at).map(|d| d > window).unwrap_or(false))
+                .unwrap_or(false);
+            if stale {
+                if let Some(track) = self.conns.get_mut(&key) {
+                    track.outstanding_req = None;
+                }
+                self.maybe_request_missing(now, key, stack);
             }
-            self.maybe_request_missing(now, key, stack);
         }
+        self.retry_expired = popped;
         self.check_detection(now, stack);
         // After a takeover, re-ask the logger while gaps remain: the
         // replayed frames themselves ride the lossy tap path.
@@ -444,6 +542,13 @@ impl BackupEngine {
     /// Drains queued side-channel messages.
     pub fn take_outbox(&mut self) -> Vec<SideMsg> {
         std::mem::take(&mut self.outbox)
+    }
+
+    /// Moves queued side-channel messages into `out`, reusing its
+    /// storage (the allocation-free flavour of
+    /// [`BackupEngine::take_outbox`] for per-tick callers).
+    pub fn drain_outbox_into(&mut self, out: &mut Vec<SideMsg>) {
+        out.append(&mut self.outbox);
     }
 
     /// Takes a pending fencing request (power-switch outlet), if any.

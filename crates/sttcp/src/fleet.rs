@@ -1,0 +1,446 @@
+//! Fleet-scale workload generator: hundreds to thousands of clients on
+//! one ST-TCP server pair.
+//!
+//! The paper's evaluation drives a single client; the protocol,
+//! however, is per-connection, and the interesting regime for a
+//! backup that shadows *every* connection of a busy primary is
+//! thousands of live TCBs (cf. the NF-backup and service-migration
+//! scale framings in PAPERS.md). This module builds that regime as a
+//! deterministic scenario, netbench-style: a seeded mix of short echo,
+//! interactive, bulk-download, and upload clients against a
+//! primary/backup pair behind a port-mirroring switch.
+//!
+//! # Workload classes and ports
+//!
+//! The server cannot tell workload classes apart by content — every
+//! downstream workload opens with the same 150-byte request — so each
+//! class gets its own service port ([`ECHO_PORT`] … [`UPLOAD_PORT`])
+//! and both servers register the same four services. Class membership,
+//! per-client request counts, and connect stagger all derive from
+//! [`FleetSpec::seed`] via SplitMix64, so the primary, the backup, and
+//! any re-run of the same spec agree on every byte — across a failover
+//! too, because the service table (not per-run state) determines the
+//! app a migrated connection lands on.
+//!
+//! # Determinism
+//!
+//! Everything is derived from the spec: client addresses, MACs, ISN
+//! seeds, workloads, connect times. Two [`build`]s of the same spec
+//! replay bit-identically (see `tests/determinism.rs`).
+
+use crate::config::SttcpConfig;
+use crate::node::{ClientNode, ServerNode, LAN};
+use crate::scenario::addrs;
+use apps::{
+    BulkServer, EchoServer, InteractiveServer, UploadServer, Workload, WorkloadClient, REQUEST_SIZE,
+};
+use netsim::node::{NodeId, PortId};
+use netsim::{LinkSpec, SimDuration, SimTime, Simulator, SplitMix64, Switch};
+use obs::{Actor, FlightRecorder, ObsSink, SharedRecorder};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use tcpstack::{StackConfig, TcpConfig};
+use wire::MacAddr;
+
+/// Echo service port (150 B ↔ 150 B exchanges).
+pub const ECHO_PORT: u16 = 80;
+/// Interactive service port (150 B → [`INTERACTIVE_REPLY`] B).
+pub const INTERACTIVE_PORT: u16 = 81;
+/// Bulk-download service port (one request → [`BULK_FILE`] B).
+pub const BULK_PORT: u16 = 82;
+/// Upload service port ([`UPLOAD_FILE`] B up → 150 B confirmation).
+pub const UPLOAD_PORT: u16 = 83;
+
+/// Reply size of the fleet's interactive class. Class-wide (not
+/// per-client): the server app on [`INTERACTIVE_PORT`] must agree with
+/// every client that connects there.
+pub const INTERACTIVE_REPLY: usize = 2048;
+/// Download size of the fleet's bulk class.
+pub const BULK_FILE: u64 = 16 * 1024;
+/// Upload size of the fleet's upload class.
+pub const UPLOAD_FILE: u64 = 8 * 1024;
+
+/// Everything needed to build one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Number of workload clients.
+    pub clients: usize,
+    /// Master seed: workload mix, request counts, stagger jitter, ISNs.
+    pub seed: u64,
+    /// Per-hop link characteristics.
+    pub link: LinkSpec,
+    /// ST-TCP protocol configuration (heartbeats, thresholds).
+    pub st_tcp: SttcpConfig,
+    /// TCP tuning template (role flags applied automatically).
+    pub tcp: TcpConfig,
+    /// Window over which client connects are staggered (first connect
+    /// at 1 ms, last at 1 ms + spread).
+    pub connect_spread: SimDuration,
+    /// Crash the primary at this instant, if set.
+    pub crash_primary_at: Option<SimTime>,
+    /// Record protocol counters into a shared [`ObsSink`].
+    pub record_obs: bool,
+    /// Flight-recorder ring capacity, when tracing.
+    pub trace_capacity: Option<usize>,
+}
+
+impl FleetSpec {
+    /// A fleet of `clients` with the standard seed and calibrated LAN
+    /// links.
+    pub fn new(clients: usize) -> Self {
+        FleetSpec {
+            clients,
+            seed: 0xF1EE7,
+            link: LinkSpec::lan(),
+            st_tcp: SttcpConfig::new(addrs::VIP, ECHO_PORT),
+            tcp: TcpConfig::default(),
+            connect_spread: SimDuration::from_millis(200),
+            crash_primary_at: None,
+            record_obs: false,
+            trace_capacity: None,
+        }
+    }
+
+    /// Sets the master seed (builder style).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Schedules a primary crash (builder style).
+    #[must_use]
+    pub fn crash_primary_at(mut self, at: SimTime) -> Self {
+        self.crash_primary_at = Some(at);
+        self
+    }
+
+    /// Staggers connects over `spread` (builder style).
+    #[must_use]
+    pub fn connect_spread(mut self, spread: SimDuration) -> Self {
+        self.connect_spread = spread;
+        self
+    }
+
+    /// Records protocol counters into a shared [`ObsSink`] (builder
+    /// style).
+    #[must_use]
+    pub fn recording(mut self) -> Self {
+        self.record_obs = true;
+        self
+    }
+
+    /// Records structured trace events into a flight-recorder ring of
+    /// the default capacity (builder style).
+    #[must_use]
+    pub fn tracing(self) -> Self {
+        self.tracing_with_capacity(obs::DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Records structured trace events into a flight-recorder ring of
+    /// `capacity` (builder style).
+    #[must_use]
+    pub fn tracing_with_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// The deterministic plan for client `index` under this spec.
+    pub fn client_plan(&self, index: usize) -> ClientPlan {
+        let mut rng = SplitMix64::new(
+            self.seed
+                ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x00C0_FFEE),
+        );
+        let (workload, port) = match rng.next_below(100) {
+            0..=44 => (Workload::Echo { requests: 2 + rng.next_below(9) as usize }, ECHO_PORT),
+            45..=69 => (
+                Workload::Interactive {
+                    requests: 1 + rng.next_below(4) as usize,
+                    reply_size: INTERACTIVE_REPLY,
+                },
+                INTERACTIVE_PORT,
+            ),
+            70..=84 => (Workload::Bulk { file_size: BULK_FILE }, BULK_PORT),
+            _ => (Workload::Upload { file_size: UPLOAD_FILE }, UPLOAD_PORT),
+        };
+        let spread_ns = self.connect_spread.as_nanos();
+        let slot =
+            if self.clients > 1 { spread_ns * index as u64 / (self.clients as u64 - 1) } else { 0 };
+        let jitter = rng.next_below(997_000); // < 1 ms, breaks phase locks
+        ClientPlan {
+            workload,
+            port,
+            connect_at: SimDuration::from_millis(1)
+                + SimDuration::from_nanos(slot)
+                + SimDuration::from_nanos(jitter),
+            ip: client_ip(index),
+            isn_seed: rng.next_u64(),
+        }
+    }
+}
+
+/// One client's deterministic assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientPlan {
+    /// The workload the client drives.
+    pub workload: Workload,
+    /// The service port it connects to (encodes the workload class).
+    pub port: u16,
+    /// When it connects, relative to simulation start.
+    pub connect_at: SimDuration,
+    /// Its address.
+    pub ip: Ipv4Addr,
+    /// Its ISN seed.
+    pub isn_seed: u64,
+}
+
+/// The address of fleet client `index`: `10.1.x.y`, disjoint from the
+/// servers' `10.0.0.0/24` corner of the `10/8` LAN.
+pub fn client_ip(index: usize) -> Ipv4Addr {
+    assert!(index < 250 * 256, "fleet address plan holds 64 000 clients");
+    Ipv4Addr::new(10, 1, (index / 250) as u8, 1 + (index % 250) as u8)
+}
+
+/// The four-service factory table both servers register. Keeping it in
+/// one place is what makes a migrated connection land on the same app
+/// type on the backup.
+fn add_fleet_services(node: &mut ServerNode) {
+    // The constructor installed ECHO_PORT; append the rest.
+    node.add_service(
+        INTERACTIVE_PORT,
+        Box::new(|| Box::new(InteractiveServer::with_sizes(REQUEST_SIZE, INTERACTIVE_REPLY))),
+    );
+    node.add_service(BULK_PORT, Box::new(|| Box::new(BulkServer::new(BULK_FILE))));
+    node.add_service(UPLOAD_PORT, Box::new(|| Box::new(UploadServer::new(UPLOAD_FILE))));
+}
+
+/// A built fleet: the simulator plus every node of interest.
+pub struct Fleet {
+    /// The simulator, ready to run.
+    pub sim: Simulator,
+    /// Workload clients, in index order.
+    pub clients: Vec<NodeId>,
+    /// The ST-TCP primary.
+    pub primary: NodeId,
+    /// The ST-TCP backup.
+    pub backup: NodeId,
+    /// The mirroring switch.
+    pub fabric: NodeId,
+    /// Shared counter sink, when `record_obs` was set.
+    pub obs: Option<Arc<ObsSink>>,
+    /// Flight-recorder ring, when tracing was on.
+    pub flight: Option<Arc<FlightRecorder>>,
+}
+
+/// Builds the simulator for `spec`: primary on switch port 0 (mirrored
+/// to the backup on port 1), clients on ports 2…; static ARP
+/// everywhere it prevents an O(clients) broadcast storm.
+pub fn build(spec: &FleetSpec) -> Fleet {
+    let n = spec.clients;
+    let mut sim = Simulator::with_seed(spec.seed);
+    let obs = spec.record_obs.then(|| Arc::new(ObsSink::new()));
+    let flight = spec.trace_capacity.map(|cap| Arc::new(FlightRecorder::new(cap)));
+    let recorder_for = |actor: Actor| -> Option<SharedRecorder> {
+        let metrics: SharedRecorder = match &obs {
+            Some(sink) => sink.clone(),
+            None => obs::nop(),
+        };
+        match &flight {
+            Some(ring) => Some(obs::for_actor(actor, metrics, ring.clone())),
+            None => obs.as_ref().map(|sink| sink.clone() as SharedRecorder),
+        }
+    };
+    if let Some(rec) = recorder_for(Actor::Net) {
+        sim.set_recorder(rec);
+    }
+
+    let primary_mac = MacAddr::local(2);
+    let backup_mac = MacAddr::local(3);
+
+    // --- servers ----------------------------------------------------
+    let mut p_tcp = spec.tcp.clone();
+    p_tcp.retention_buf = p_tcp.recv_buf; // "double the space" (§4.2)
+    let mut p_cfg = StackConfig::host(primary_mac, addrs::PRIMARY);
+    p_cfg.extra_ips = vec![addrs::VIP];
+    p_cfg.learn_from_ip = true;
+    p_cfg.netmask_bits = 8;
+    p_cfg.isn_seed = spec.seed ^ 0x2222;
+    p_cfg.static_arp.push((addrs::BACKUP, backup_mac));
+    p_cfg.tcp = p_tcp;
+    let mut p_node = ServerNode::primary(
+        p_cfg,
+        spec.st_tcp.clone(),
+        addrs::BACKUP,
+        Box::new(|| Box::new(EchoServer::new())),
+    );
+    add_fleet_services(&mut p_node);
+    if let Some(rec) = recorder_for(Actor::Primary) {
+        p_node.set_recorder(rec);
+    }
+    let primary = sim.add_node("primary", p_node);
+
+    let mut b_tcp = spec.tcp.clone();
+    b_tcp.shadow = true;
+    let mut b_cfg = StackConfig::host(backup_mac, addrs::BACKUP);
+    b_cfg.extra_ips = vec![addrs::VIP];
+    b_cfg.learn_from_ip = true;
+    b_cfg.netmask_bits = 8;
+    b_cfg.promiscuous = true; // taps the mirror port
+    b_cfg.suppressed_ips = vec![addrs::VIP];
+    b_cfg.isn_seed = spec.seed ^ 0x3333;
+    b_cfg.static_arp.push((addrs::PRIMARY, primary_mac));
+    b_cfg.tcp = b_tcp;
+    let mut b_node = ServerNode::backup(
+        b_cfg,
+        spec.st_tcp.clone(),
+        addrs::PRIMARY,
+        Box::new(|| Box::new(EchoServer::new())),
+    );
+    add_fleet_services(&mut b_node);
+    if let Some(rec) = recorder_for(Actor::Backup) {
+        b_node.set_recorder(rec);
+    }
+    let backup = sim.add_node("backup", b_node);
+
+    // --- fabric -----------------------------------------------------
+    let mut sw = Switch::new(2 + n);
+    sw.add_mirror(PortId(0), PortId(1)); // primary's port → backup tap
+    let fabric = sim.add_node("switch", sw);
+    sim.connect(primary, LAN, fabric, PortId(0), spec.link);
+    sim.connect(backup, LAN, fabric, PortId(1), spec.link);
+
+    // --- clients ----------------------------------------------------
+    let mut clients = Vec::with_capacity(n);
+    for i in 0..n {
+        let plan = spec.client_plan(i);
+        let mut c_cfg = StackConfig::host(MacAddr::local(100 + i as u32), plan.ip);
+        c_cfg.netmask_bits = 8;
+        c_cfg.isn_seed = plan.isn_seed;
+        // Static VIP→primary entry: no per-client ARP broadcast, and
+        // after a failover the mirror keeps carrying these frames to
+        // the backup (clients are deliberately unmodified, §2).
+        c_cfg.static_arp.push((addrs::VIP, primary_mac));
+        c_cfg.tcp = spec.tcp.clone();
+        let node = ClientNode::new(
+            c_cfg,
+            (addrs::VIP, plan.port),
+            plan.connect_at,
+            WorkloadClient::new(plan.workload),
+        );
+        let id = sim.add_node(format!("client{i}"), node);
+        sim.connect(id, LAN, fabric, PortId(2 + i), spec.link);
+        clients.push(id);
+    }
+
+    if let Some(at) = spec.crash_primary_at {
+        sim.schedule_crash(primary, at);
+    }
+
+    Fleet { sim, clients, primary, backup, fabric, obs, flight }
+}
+
+impl Fleet {
+    /// The workload driver of client `index`.
+    pub fn client_app(&self, index: usize) -> &WorkloadClient {
+        self.sim
+            .node_ref::<ClientNode>(self.clients[index])
+            .app::<WorkloadClient>()
+            .expect("fleet clients run WorkloadClient")
+    }
+
+    /// How many clients have finished their workload.
+    pub fn done_count(&self) -> usize {
+        (0..self.clients.len()).filter(|&i| self.client_app(i).is_done()).count()
+    }
+
+    /// True when every client has finished.
+    pub fn all_done(&self) -> bool {
+        (0..self.clients.len()).all(|i| self.client_app(i).is_done())
+    }
+
+    /// True when every client's byte stream verified clean so far.
+    pub fn verified_clean(&self) -> bool {
+        (0..self.clients.len()).all(|i| self.client_app(i).metrics.verified_clean())
+    }
+
+    /// Aggregate progress: response bytes received / expected, summed
+    /// over the fleet.
+    pub fn progress(&self) -> (u64, u64) {
+        (0..self.clients.len())
+            .map(|i| self.client_app(i).progress())
+            .fold((0, 0), |(a, b), (x, y)| (a + x, b + y))
+    }
+
+    /// Drives the fleet until every client finishes or `limit` virtual
+    /// time passes; returns whether all finished. Exits early if the
+    /// event queue drains (nothing will ever complete the stragglers).
+    pub fn run_until_done(&mut self, limit: SimDuration) -> bool {
+        let deadline = self.sim.now() + limit;
+        while self.sim.now() < deadline {
+            self.sim.run_for(SimDuration::from_millis(50));
+            if self.all_done() {
+                return true;
+            }
+            if self.sim.pending_events() == 0 {
+                return false;
+            }
+        }
+        self.all_done()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_mixed() {
+        let spec = FleetSpec::new(200);
+        let again = FleetSpec::new(200);
+        let mut ports = [0usize; 4];
+        for i in 0..200 {
+            let plan = spec.client_plan(i);
+            assert_eq!(plan, again.client_plan(i), "plan must be a pure function of the spec");
+            let slot = match plan.port {
+                ECHO_PORT => 0,
+                INTERACTIVE_PORT => 1,
+                BULK_PORT => 2,
+                UPLOAD_PORT => 3,
+                other => panic!("unexpected service port {other}"),
+            };
+            ports[slot] += 1;
+        }
+        assert!(ports.iter().all(|&c| c > 0), "all four classes present: {ports:?}");
+        assert!(ports[0] > ports[3], "echo dominates the mix: {ports:?}");
+    }
+
+    #[test]
+    fn client_addresses_are_unique_and_off_server_subnet() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            let ip = client_ip(i);
+            assert!(seen.insert(ip), "duplicate client ip {ip}");
+            assert_eq!(ip.octets()[0], 10);
+            assert_ne!((ip.octets()[0], ip.octets()[1]), (10, 0), "servers own 10.0.0.0/24");
+        }
+    }
+
+    #[test]
+    fn connect_times_are_staggered_within_spread() {
+        let spec = FleetSpec::new(50);
+        let first = spec.client_plan(0).connect_at;
+        let last = spec.client_plan(49).connect_at;
+        assert!(last > first, "stagger must spread connects");
+        let cap = SimDuration::from_millis(1) + spec.connect_spread + SimDuration::from_millis(1);
+        assert!(last <= cap, "last connect {last:?} beyond spread cap {cap:?}");
+    }
+
+    #[test]
+    fn small_fleet_completes_clean() {
+        let mut fleet = build(&FleetSpec::new(12));
+        assert!(fleet.run_until_done(SimDuration::from_secs(30)), "12-client fleet must finish");
+        assert!(fleet.verified_clean());
+        let (got, want) = fleet.progress();
+        assert_eq!(got, want);
+    }
+}

@@ -48,6 +48,7 @@
 
 pub mod backup;
 pub mod config;
+pub mod fleet;
 pub mod messages;
 pub mod node;
 pub mod prelude;

@@ -37,14 +37,18 @@ pub const MGMT: PortId = PortId(1);
 const TOK_STACK: u64 = 1;
 const TOK_TICK: u64 = 2;
 const TOK_CONNECT: u64 = 3;
-/// Application wake tokens: `TOK_APP_BASE + SockId.0`. Wakes may be
-/// spurious (timers cannot be cancelled); applications guard.
+/// Application wake tokens: `TOK_APP_BASE + SockId::raw()`. Raw socket
+/// handles carry a non-zero generation in their high 32 bits, so they
+/// never collide with the low control tokens. Wakes may be spurious
+/// (timers cannot be cancelled); applications guard.
 const TOK_APP_BASE: u64 = 1000;
 
 /// Creates fresh application instances, one per accepted connection.
 pub type AppFactory = Box<dyn FnMut() -> Box<dyn Application> + Send>;
 
 /// The ST-TCP role a [`ServerNode`] plays.
+// One `Role` per node; the variant size spread is irrelevant here.
+#[allow(clippy::large_enum_variant)]
 enum Role {
     Solo,
     Primary(PrimaryEngine),
@@ -87,8 +91,10 @@ pub struct ServerNode {
     cfg: Option<SttcpConfig>,
     peer_side_addr: Option<(Ipv4Addr, u16)>,
     side_udp: Option<UdpId>,
-    listen_port: u16,
-    factory: AppFactory,
+    /// Listening services: `(port, app factory)`. Every constructor
+    /// installs one; [`ServerNode::add_service`] appends more (a fleet
+    /// server offering several workload classes on distinct ports).
+    services: Vec<(u16, AppFactory)>,
     conns: HashMap<SockId, ConnState>,
     timer: StackTimer,
     booted: bool,
@@ -97,6 +103,10 @@ pub struct ServerNode {
     recorder: SharedRecorder,
     /// Reused frame staging buffer for [`NetStack::poll_into`].
     tx: Vec<Bytes>,
+    /// Reused buffer for the stack's per-pump activity drain.
+    active: Vec<SockId>,
+    /// Reused buffer for draining the engine's side-channel outbox.
+    side_out: Vec<SideMsg>,
     /// Times this node has booted (1 after a normal start).
     pub boot_count: u32,
     /// Accepted connections in order (diagnostics / tests).
@@ -113,13 +123,14 @@ impl ServerNode {
             cfg: None,
             peer_side_addr: None,
             side_udp: None,
-            listen_port,
-            factory,
+            services: vec![(listen_port, factory)],
             conns: HashMap::new(),
             timer: StackTimer::default(),
             booted: false,
             recorder: obs::nop(),
             tx: Vec::new(),
+            active: Vec::new(),
+            side_out: Vec::new(),
             boot_count: 0,
             accepted: Vec::new(),
         }
@@ -141,13 +152,14 @@ impl ServerNode {
             role: Role::Primary(engine),
             peer_side_addr: Some(peer),
             side_udp: None,
-            listen_port: cfg.service_port,
-            factory,
+            services: vec![(cfg.service_port, factory)],
             conns: HashMap::new(),
             timer: StackTimer::default(),
             booted: false,
             recorder: obs::nop(),
             tx: Vec::new(),
+            active: Vec::new(),
+            side_out: Vec::new(),
             boot_count: 0,
             accepted: Vec::new(),
             cfg: Some(cfg),
@@ -171,13 +183,14 @@ impl ServerNode {
             role: Role::Backup(engine),
             peer_side_addr: Some(peer),
             side_udp: None,
-            listen_port: cfg.service_port,
-            factory,
+            services: vec![(cfg.service_port, factory)],
             conns: HashMap::new(),
             timer: StackTimer::default(),
             booted: false,
             recorder: obs::nop(),
             tx: Vec::new(),
+            active: Vec::new(),
+            side_out: Vec::new(),
             boot_count: 0,
             accepted: Vec::new(),
             cfg: Some(cfg),
@@ -187,6 +200,16 @@ impl ServerNode {
     /// The node's network stack (inspection).
     pub fn stack(&self) -> &NetStack {
         &self.stack
+    }
+
+    /// Registers an additional listening service (port + per-connection
+    /// app factory). Call before the simulation starts; services
+    /// survive a crash/reboot cycle like the constructor's service
+    /// does. The ST-TCP engines are port-agnostic ([`ConnKey`] carries
+    /// the server port), so every service is shadowed and migrated the
+    /// same way.
+    pub fn add_service(&mut self, port: u16, factory: AppFactory) {
+        self.services.push((port, factory));
     }
 
     /// Installs an observability recorder on the stack and engine. The
@@ -283,19 +306,23 @@ impl ServerNode {
     fn pump(&mut self, ctx: &mut Context) {
         let now = ctx.now();
         // 1. Adopt newly established (or shadowed) connections.
-        while let Some(sock) = self.stack.accept(self.listen_port) {
-            let app = (self.factory)();
-            self.conns.insert(sock, ConnState { app, connected: false, peer_closed: false });
-            self.accepted.push(sock);
-            if let Role::Backup(engine) = &mut self.role {
-                if let Some(tcb) = self.stack.tcb(sock) {
-                    // Baseline at the start of the client's stream, NOT
-                    // the current rcv_nxt: when the client piggybacks
-                    // its handshake ACK on the first request, the shadow
-                    // establishes on a data-carrying frame and rcv_nxt
-                    // already covers bytes the primary must not discard
-                    // before we acknowledge them.
-                    engine.register_conn(ConnKey::from_server_quad(tcb.quad()), tcb.irs().add(1));
+        for si in 0..self.services.len() {
+            while let Some(sock) = self.stack.accept(self.services[si].0) {
+                let app = (self.services[si].1)();
+                self.conns.insert(sock, ConnState { app, connected: false, peer_closed: false });
+                self.accepted.push(sock);
+                if let Role::Backup(engine) = &mut self.role {
+                    if let Some(tcb) = self.stack.tcb(sock) {
+                        // Baseline at the start of the client's stream,
+                        // NOT the current rcv_nxt: when the client
+                        // piggybacks its handshake ACK on the first
+                        // request, the shadow establishes on a
+                        // data-carrying frame and rcv_nxt already covers
+                        // bytes the primary must not discard before we
+                        // acknowledge them.
+                        engine
+                            .register_conn(ConnKey::from_server_quad(tcb.quad()), tcb.irs().add(1));
+                    }
                 }
             }
         }
@@ -315,9 +342,27 @@ impl ServerNode {
                 }
             }
         }
-        // 3. Pump applications.
+        // 3. Pump applications — only over sockets the stack reports as
+        // touched since the last pump (ingress, timers, engine injection).
+        // Idle connections cost nothing here, which is what keeps a pump
+        // O(active) with thousands of open connections.
+        let mut active = std::mem::take(&mut self.active);
+        active.clear();
+        self.stack.drain_activity(&mut active);
+        // Feed receive progress to the backup's ack strategy (the engine
+        // dedups; acks themselves go out in step 4).
+        if let Role::Backup(engine) = &mut self.role {
+            for &sock in &active {
+                if let Some(tcb) = self.stack.tcb(sock) {
+                    engine.note_activity(ConnKey::from_server_quad(tcb.quad()));
+                }
+            }
+        }
         let mut buf = [0u8; 4096];
-        for (&sock, conn) in self.conns.iter_mut() {
+        for &sock in &active {
+            let Some(conn) = self.conns.get_mut(&sock) else {
+                continue; // side-channel / unadopted socket
+            };
             let Some(state) = self.stack.state(sock) else {
                 continue;
             };
@@ -326,7 +371,7 @@ impl ServerNode {
                 let mut api = StackApi::new(&mut self.stack, sock, now);
                 conn.app.on_connected(&mut api);
                 if let Some(after) = api.take_wake() {
-                    ctx.set_timer_after(after, TOK_APP_BASE + sock.0 as u64);
+                    ctx.set_timer_after(after, TOK_APP_BASE + sock.raw());
                 }
             }
             loop {
@@ -337,14 +382,14 @@ impl ServerNode {
                 let mut api = StackApi::new(&mut self.stack, sock, now);
                 conn.app.on_data(&buf[..n], &mut api);
                 if let Some(after) = api.take_wake() {
-                    ctx.set_timer_after(after, TOK_APP_BASE + sock.0 as u64);
+                    ctx.set_timer_after(after, TOK_APP_BASE + sock.raw());
                 }
             }
             if self.stack.tcb(sock).map(|t| t.writable() > 0).unwrap_or(false) {
                 let mut api = StackApi::new(&mut self.stack, sock, now);
                 conn.app.on_writable(&mut api);
                 if let Some(after) = api.take_wake() {
-                    ctx.set_timer_after(after, TOK_APP_BASE + sock.0 as u64);
+                    ctx.set_timer_after(after, TOK_APP_BASE + sock.raw());
                 }
             }
             if !conn.peer_closed && self.stack.tcb(sock).map(|t| t.peer_closed()).unwrap_or(false) {
@@ -352,25 +397,25 @@ impl ServerNode {
                 let mut api = StackApi::new(&mut self.stack, sock, now);
                 conn.app.on_peer_closed(&mut api);
                 if let Some(after) = api.take_wake() {
-                    ctx.set_timer_after(after, TOK_APP_BASE + sock.0 as u64);
+                    ctx.set_timer_after(after, TOK_APP_BASE + sock.raw());
                 }
             }
         }
         // 3b. Reap connections that have fully closed: drop the app and
         // release the TCB slot (long-running servers must not grow
-        // without bound). `accepted` keeps the historical handle.
-        let dead: Vec<SockId> = self
-            .conns
-            .iter()
-            .filter(|(&sock, _)| {
-                matches!(self.stack.state(sock), None | Some(tcpstack::TcpState::Closed))
-            })
-            .map(|(&sock, _)| sock)
-            .collect();
-        for sock in dead {
-            self.conns.remove(&sock);
-            self.stack.release(sock);
+        // without bound). Closure is always driven by a segment or timer
+        // that marks the socket active, so checking the active set is
+        // enough — no full-map sweep. `accepted` keeps the historical
+        // handle; the reused `active` buffer keeps this allocation-free.
+        for &sock in &active {
+            if matches!(self.stack.state(sock), None | Some(tcpstack::TcpState::Closed))
+                && self.conns.remove(&sock).is_some()
+            {
+                self.stack.release(sock);
+            }
         }
+        active.clear();
+        self.active = active;
         // 4. Event-driven backup acks (the X-threshold rule).
         if let Role::Backup(engine) = &mut self.role {
             engine.maybe_send_acks(&mut self.stack, false);
@@ -392,17 +437,21 @@ impl ServerNode {
         let Some(side) = self.side_udp else {
             return;
         };
-        let msgs = match &mut self.role {
-            Role::Primary(e) => e.take_outbox(),
-            Role::Backup(e) => e.take_outbox(),
-            Role::Solo => Vec::new(),
-        };
-        for msg in msgs {
+        let mut msgs = std::mem::take(&mut self.side_out);
+        msgs.clear();
+        match &mut self.role {
+            Role::Primary(e) => e.drain_outbox_into(&mut msgs),
+            Role::Backup(e) => e.drain_outbox_into(&mut msgs),
+            Role::Solo => {}
+        }
+        for msg in &msgs {
             let (kind, conn, seq, len) = msg.trace_parts();
             self.recorder
                 .trace(now.as_nanos(), &TraceEvent::SideSend { msg: kind, conn, seq, len });
             self.stack.udp_send(now, side, peer_ip, peer_port, msg.encode());
         }
+        msgs.clear();
+        self.side_out = msgs;
         if let Role::Backup(engine) = &mut self.role {
             if let Some(outlet) = engine.take_fence_request() {
                 let mac = self.stack.config().mac;
@@ -444,7 +493,12 @@ impl Node for ServerNode {
         }
         self.booted = true;
         self.boot_count += 1;
-        self.stack.listen(self.listen_port);
+        // The server pump is activity-driven; the client node stays on
+        // the always-pump path (single connection, nothing to win).
+        self.stack.set_activity_tracking(true);
+        for &(port, _) in &self.services {
+            self.stack.listen(port);
+        }
         if let Some(cfg) = &self.cfg {
             self.side_udp = Some(self.stack.udp_bind(cfg.side_channel_port));
         }
@@ -478,13 +532,13 @@ impl Node for ServerNode {
             }
             TOK_STACK => self.timer.fired(),
             t if t >= TOK_APP_BASE => {
-                let sock = SockId((t - TOK_APP_BASE) as usize);
+                let sock = SockId::from_raw(t - TOK_APP_BASE);
                 let now = ctx.now();
                 if let Some(conn) = self.conns.get_mut(&sock) {
                     let mut api = StackApi::new(&mut self.stack, sock, now);
                     conn.app.on_wake(&mut api);
                     if let Some(after) = api.take_wake() {
-                        ctx.set_timer_after(after, TOK_APP_BASE + sock.0 as u64);
+                        ctx.set_timer_after(after, TOK_APP_BASE + sock.raw());
                     }
                 }
             }

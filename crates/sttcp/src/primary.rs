@@ -201,6 +201,13 @@ impl PrimaryEngine {
     pub fn take_outbox(&mut self) -> Vec<SideMsg> {
         std::mem::take(&mut self.outbox)
     }
+
+    /// Moves queued side-channel messages into `out`, reusing its
+    /// storage (the allocation-free flavour of
+    /// [`PrimaryEngine::take_outbox`] for per-tick callers).
+    pub fn drain_outbox_into(&mut self, out: &mut Vec<SideMsg>) {
+        out.append(&mut self.outbox);
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ use apps::Workload;
 use netsim::{SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
+use sttcp::fleet::{self, FleetSpec};
 use sttcp::scenario::{addrs, build, FaultSpec, RunLimits, ScenarioSpec};
 use sttcp::SttcpConfig;
 
@@ -74,6 +75,32 @@ fn failover_frame_traces_are_bit_identical() {
     let b = digest_failover_run();
     assert!(a.1 > 1000, "a 2 MB failover run must transmit many frames, saw {}", a.1);
     assert_eq!(a, b, "two identically-seeded runs must produce bit-identical frame traces");
+}
+
+#[test]
+fn fleet_failover_frame_traces_are_bit_identical() {
+    // The multi-connection pin for the slab/demux/timer-wheel hot
+    // path: 80 mixed-workload clients, a mid-stagger primary crash,
+    // every frame digested. Hash-demux iteration never reaches the
+    // wire (slab order, poll-queue touch order, and wheel slot order
+    // are all deterministic), so two runs must agree bit-for-bit.
+    let run = || {
+        let spec = FleetSpec::new(80)
+            .connect_spread(SimDuration::from_millis(80))
+            .crash_primary_at(SimTime::ZERO + SimDuration::from_millis(140));
+        let mut f = fleet::build(&spec);
+        let digest = Rc::new(RefCell::new(TraceDigest::new()));
+        let sink = Rc::clone(&digest);
+        f.sim.set_probe(move |ev| sink.borrow_mut().observe(&ev));
+        assert!(f.run_until_done(SimDuration::from_secs(120)), "fleet must finish");
+        assert!(f.verified_clean(), "every client stream intact across failover");
+        let d = digest.borrow();
+        (d.hash, d.frames, d.bytes, f.sim.trace().events_processed)
+    };
+    let a = run();
+    let b = run();
+    assert!(a.1 > 2000, "an 80-client failover fleet transmits many frames, saw {}", a.1);
+    assert_eq!(a, b, "fleet traces must be bit-identical across runs");
 }
 
 #[test]

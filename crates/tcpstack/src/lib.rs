@@ -63,8 +63,10 @@ pub mod recv_buf;
 pub mod rto;
 pub mod send_buf;
 pub mod seq;
+pub mod slab;
 pub mod stack;
 pub mod tcb;
+pub mod twheel;
 pub mod udp_socket;
 
 pub use config::{Quad, StackConfig, TcpConfig};
@@ -72,4 +74,5 @@ pub use gateway::{Gateway, GatewayIface, Side};
 pub use seq::SeqNum;
 pub use stack::{NetStack, SockId, StackError, UdpId};
 pub use tcb::{StagedSeg, Tcb, TcpState};
+pub use twheel::TimerWheel;
 pub use udp_socket::UdpRecv;

@@ -20,7 +20,9 @@
 use crate::arp_cache::ArpCache;
 use crate::config::{Quad, StackConfig};
 use crate::seq::SeqNum;
+use crate::slab::{Conn, TcbSlab};
 use crate::tcb::{StagedSeg, Tcb, TcpState};
+use crate::twheel::TimerWheel;
 use crate::udp_socket::{UdpRecv, UdpSocket};
 use bytes::Bytes;
 use netsim::{SimDuration, SimTime, SplitMix64};
@@ -33,9 +35,7 @@ use wire::{
     TcpFlags, TcpFrameHeader, TcpSegment, UdpDatagram,
 };
 
-/// Handle to a TCP connection owned by a [`NetStack`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct SockId(pub usize);
+pub use crate::slab::SockId;
 
 /// Handle to a UDP socket owned by a [`NetStack`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,10 +101,26 @@ struct ArpPending {
 pub struct NetStack {
     cfg: StackConfig,
     arp: ArpCache,
-    tcbs: Vec<Option<Tcb>>,
-    by_quad: HashMap<Quad, usize>,
+    /// Connection storage: generation-tagged slab, O(1) insert/remove.
+    tcbs: TcbSlab,
+    /// Quad demux for established/handshaking connections.
+    by_quad: HashMap<Quad, SockId>,
+    /// Listener-port table: accept backlog per listening port.
     listeners: HashMap<u16, Vec<SockId>>,
     udps: Vec<UdpSocket>,
+    /// UDP demux: destination port → `udps` index (first bind wins).
+    udp_ports: HashMap<u16, usize>,
+    /// Connection-deadline wake index (tokens are raw [`SockId`]s).
+    wheel: TimerWheel<u64>,
+    /// Scratch for wheel pops (capacity reused across polls).
+    wheel_expired: Vec<u64>,
+    /// Sockets with potential work for the next poll pass. Deduplicated
+    /// via `Conn::queued_poll`; drained by [`NetStack::poll_into`].
+    poll_queue: Vec<SockId>,
+    /// Sockets touched since the embedder last drained activity
+    /// (see [`NetStack::drain_activity`]). Only fed when enabled.
+    activity: Vec<SockId>,
+    activity_tracking: bool,
     out: VecDeque<Bytes>,
     builder: FrameBuilder,
     pending_arp: HashMap<Ipv4Addr, ArpPending>,
@@ -124,7 +140,7 @@ impl fmt::Debug for NetStack {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("NetStack")
             .field("ip", &self.cfg.ip)
-            .field("tcbs", &self.tcbs.iter().filter(|t| t.is_some()).count())
+            .field("tcbs", &self.tcbs.len())
             .field("listeners", &self.listeners.keys().collect::<Vec<_>>())
             .finish_non_exhaustive()
     }
@@ -142,10 +158,16 @@ impl NetStack {
             recorder: obs::nop(),
             takeover_watch: false,
             isn_rng,
-            tcbs: Vec::new(),
+            tcbs: TcbSlab::new(),
             by_quad: HashMap::new(),
             listeners: HashMap::new(),
             udps: Vec::new(),
+            udp_ports: HashMap::new(),
+            wheel: TimerWheel::new(),
+            wheel_expired: Vec::with_capacity(32),
+            poll_queue: Vec::with_capacity(32),
+            activity: Vec::new(),
+            activity_tracking: false,
             out: VecDeque::new(),
             builder: FrameBuilder::new(),
             pending_arp: HashMap::new(),
@@ -153,6 +175,44 @@ impl NetStack {
             next_ephemeral: EPHEMERAL_BASE,
             stats: StackStats::default(),
             cfg,
+        }
+    }
+
+    /// Queues `sock` for the next poll pass (and on the embedder's
+    /// activity list when tracking is enabled). Idempotent per pass;
+    /// a dead handle is a no-op.
+    fn mark_dirty(&mut self, sock: SockId) {
+        let track = self.activity_tracking;
+        if let Some(conn) = self.tcbs.get_mut(sock) {
+            if !conn.queued_poll {
+                conn.queued_poll = true;
+                self.poll_queue.push(sock);
+            }
+            if track && !conn.queued_activity {
+                conn.queued_activity = true;
+                self.activity.push(sock);
+            }
+        }
+    }
+
+    /// Enables per-socket activity tracking: every socket touched by
+    /// ingress, timers, or API calls is reported (once) through
+    /// [`NetStack::drain_activity`]. Off by default — single-connection
+    /// embedders don't pay for the list.
+    pub fn set_activity_tracking(&mut self, on: bool) {
+        self.activity_tracking = on;
+    }
+
+    /// Moves the accumulated activity list into `out` (appending) and
+    /// resets the per-socket flags. Handles may be stale by the time the
+    /// embedder looks — resolve through [`NetStack::tcb`] and skip
+    /// `None`s. Order is deterministic (touch order).
+    pub fn drain_activity(&mut self, out: &mut Vec<SockId>) {
+        for sock in self.activity.drain(..) {
+            if let Some(conn) = self.tcbs.get_mut(sock) {
+                conn.queued_activity = false;
+                out.push(sock);
+            }
         }
     }
 
@@ -164,8 +224,8 @@ impl NetStack {
     /// Installs an observability recorder on the stack and every live
     /// connection; future connections inherit it.
     pub fn set_recorder(&mut self, recorder: SharedRecorder) {
-        for tcb in self.tcbs.iter_mut().flatten() {
-            tcb.set_recorder(recorder.clone());
+        for (_, conn) in self.tcbs.iter_mut() {
+            conn.tcb.set_recorder(recorder.clone());
         }
         self.recorder = recorder;
     }
@@ -182,11 +242,15 @@ impl NetStack {
         let queue = self.listeners.get_mut(&port)?;
         let pos = queue.iter().position(|&sid| {
             matches!(
-                self.tcbs.get(sid.0).and_then(|t| t.as_ref()).map(|t| t.state()),
+                self.tcbs.get(sid).map(|c| c.tcb.state()),
                 Some(s) if s.is_synchronized() && s != TcpState::Closed
             )
         })?;
-        Some(queue.remove(pos))
+        let sock = queue.remove(pos);
+        if let Some(conn) = self.tcbs.get_mut(sock) {
+            conn.listen_port = None;
+        }
+        Some(sock)
     }
 
     /// Opens a connection from `local_ip` (must be one of ours) to the
@@ -227,31 +291,48 @@ impl NetStack {
     }
 
     fn insert_tcb(&mut self, quad: Quad, tcb: Tcb) -> SockId {
-        let idx = self.tcbs.iter().position(Option::is_none).unwrap_or_else(|| {
-            self.tcbs.push(None);
-            self.tcbs.len() - 1
-        });
-        self.tcbs[idx] = Some(tcb);
-        self.by_quad.insert(quad, idx);
-        SockId(idx)
+        let sock = self.tcbs.insert(Conn::new(tcb));
+        self.by_quad.insert(quad, sock);
+        self.mark_dirty(sock);
+        sock
     }
 
     /// Queues application data; returns bytes accepted.
+    ///
+    /// Marks the socket for polling only when bytes were actually
+    /// accepted: embedders drive read/write speculatively over every
+    /// active socket each pump, and a no-op call must not re-mark the
+    /// socket active or the activity list degrades to "every open
+    /// connection, every pump" — O(fleet) per event.
     ///
     /// # Errors
     ///
     /// [`StackError::BadSocket`] for a dead handle.
     pub fn write(&mut self, sock: SockId, data: &[u8]) -> Result<usize, StackError> {
-        Ok(self.tcb_mut(sock).ok_or(StackError::BadSocket)?.write(data))
+        let conn = self.tcbs.get_mut(sock).ok_or(StackError::BadSocket)?;
+        let n = conn.tcb.write(data);
+        if n > 0 {
+            self.mark_dirty(sock);
+        }
+        Ok(n)
     }
 
     /// Reads received data into `buf`; returns bytes copied.
+    ///
+    /// Like [`NetStack::write`], a read that copies nothing does not
+    /// re-mark the socket (reading bytes can open the receive window,
+    /// so a non-empty read does).
     ///
     /// # Errors
     ///
     /// [`StackError::BadSocket`] for a dead handle.
     pub fn read(&mut self, sock: SockId, buf: &mut [u8]) -> Result<usize, StackError> {
-        Ok(self.tcb_mut(sock).ok_or(StackError::BadSocket)?.read(buf))
+        let conn = self.tcbs.get_mut(sock).ok_or(StackError::BadSocket)?;
+        let n = conn.tcb.read(buf);
+        if n > 0 {
+            self.mark_dirty(sock);
+        }
+        Ok(n)
     }
 
     /// Begins an orderly close.
@@ -276,49 +357,63 @@ impl NetStack {
     /// Read access to a connection's full TCB (ST-TCP engines use this
     /// for `NextByteExpected`, retention introspection, etc.).
     pub fn tcb(&self, sock: SockId) -> Option<&Tcb> {
-        self.tcbs.get(sock.0).and_then(|t| t.as_ref())
+        self.tcbs.get(sock).map(|c| &c.tcb)
     }
 
     /// Mutable access to a connection's TCB (side-channel injection).
+    /// Marks the socket for the next poll pass — external mutation may
+    /// stage output or move deadlines.
     pub fn tcb_mut(&mut self, sock: SockId) -> Option<&mut Tcb> {
-        self.tcbs.get_mut(sock.0).and_then(|t| t.as_mut())
+        self.mark_dirty(sock);
+        self.tcbs.get_mut(sock).map(|c| &mut c.tcb)
+    }
+
+    /// Number of live connections.
+    pub fn sock_count(&self) -> usize {
+        self.tcbs.len()
     }
 
     /// Releases a closed connection's slot so long-running servers do
-    /// not accumulate dead TCBs. The handle becomes invalid and its
-    /// index may be reused by a future connection.
+    /// not accumulate dead TCBs. The handle becomes invalid (its slot's
+    /// generation moves on) and the slot is reused by future connections.
     ///
     /// # Panics
     ///
     /// Panics (debug assertion) if the connection is not `Closed` —
     /// release is a cleanup step, not a close operation.
     pub fn release(&mut self, sock: SockId) {
-        if let Some(tcb) = self.tcbs.get_mut(sock.0).and_then(Option::take) {
-            debug_assert_eq!(tcb.state(), TcpState::Closed, "release() requires a closed TCB");
-            self.by_quad.remove(&tcb.quad());
-            // Listener queues may still reference the socket.
-            for queue in self.listeners.values_mut() {
-                queue.retain(|&sid| sid != sock);
+        if let Some(conn) = self.tcbs.remove(sock) {
+            debug_assert_eq!(conn.tcb.state(), TcpState::Closed, "release() requires a closed TCB");
+            self.by_quad.remove(&conn.tcb.quad());
+            // At most one listener queue can still reference the socket;
+            // the slot remembers which.
+            if let Some(port) = conn.listen_port {
+                if let Some(queue) = self.listeners.get_mut(&port) {
+                    queue.retain(|&sid| sid != sock);
+                }
             }
         }
     }
 
     /// Finds the connection with this exact four-tuple.
     pub fn sock_by_quad(&self, quad: Quad) -> Option<SockId> {
-        self.by_quad.get(&quad).copied().map(SockId)
+        self.by_quad.get(&quad).copied()
     }
 
-    /// All live connections.
+    /// All live connections, in deterministic (slot index) order.
     pub fn socks(&self) -> impl Iterator<Item = SockId> + '_ {
-        self.tcbs.iter().enumerate().filter_map(|(i, t)| t.as_ref().map(|_| SockId(i)))
+        self.tcbs.iter().map(|(id, _)| id)
     }
 
     // ------------------------------------------------------ UDP sockets
 
-    /// Binds a UDP socket.
+    /// Binds a UDP socket. With several sockets on one port, datagrams
+    /// go to the first bind (matching the old first-match demux).
     pub fn udp_bind(&mut self, port: u16) -> UdpId {
         self.udps.push(UdpSocket::new(port, 256));
-        UdpId(self.udps.len() - 1)
+        let idx = self.udps.len() - 1;
+        self.udp_ports.entry(port).or_insert(idx);
+        UdpId(idx)
     }
 
     /// Sends a datagram from our primary IP.
@@ -445,12 +540,13 @@ impl NetStack {
             return;
         };
         let quad = Quad::new(dst, seg.dst_port, src, seg.src_port);
-        if let Some(&idx) = self.by_quad.get(&quad) {
-            if let Some(tcb) = self.tcbs[idx].as_mut() {
-                tcb.on_segment(now, &seg);
-                if tcb.state() == TcpState::Closed {
+        if let Some(&sock) = self.by_quad.get(&quad) {
+            if let Some(conn) = self.tcbs.get_mut(sock) {
+                conn.tcb.on_segment(now, &seg);
+                if conn.tcb.state() == TcpState::Closed {
                     self.by_quad.remove(&quad);
                 }
+                self.mark_dirty(sock);
                 return;
             }
         }
@@ -463,6 +559,7 @@ impl NetStack {
             let mut tcb = Tcb::accept(now, quad, iss, &seg, self.cfg.tcp.clone());
             tcb.set_recorder(self.recorder.clone());
             let sid = self.insert_tcb(quad, tcb);
+            self.tcbs.get_mut(sid).expect("just inserted").listen_port = Some(seg.dst_port);
             self.listeners.get_mut(&seg.dst_port).expect("checked").push(sid);
             return;
         }
@@ -505,8 +602,12 @@ impl NetStack {
             self.stats.parse_errors += 1;
             return;
         };
-        if let Some(sock) = self.udps.iter_mut().find(|s| s.port() == dgram.dst_port) {
-            sock.deliver(UdpRecv { src_ip: src, src_port: dgram.src_port, payload: dgram.payload });
+        if let Some(&idx) = self.udp_ports.get(&dgram.dst_port) {
+            self.udps[idx].deliver(UdpRecv {
+                src_ip: src,
+                src_port: dgram.src_port,
+                payload: dgram.payload,
+            });
         }
     }
 
@@ -525,33 +626,74 @@ impl NetStack {
     /// reuse `frames`, staged segments stay inside each TCB, and data
     /// payloads flow from the send-buffer ring straight into the frame
     /// builder — one memcpy, zero allocations per frame at steady state.
+    ///
+    /// O(active): only sockets touched since the last poll (ingress, API
+    /// calls, `tcb_mut`) or with a due timer-wheel entry are visited —
+    /// idle connections cost nothing, no matter how many exist.
     pub fn poll_into(&mut self, now: SimTime, frames: &mut Vec<Bytes>) {
         self.retry_arp(now);
         self.builder.recycle();
-        for idx in 0..self.tcbs.len() {
-            let Some(tcb) = self.tcbs[idx].as_mut() else {
-                continue;
-            };
-            tcb.poll_stage(now);
-            self.emit_staged(now, idx);
-            let tcb = self.tcbs[idx].as_mut().expect("live TCB");
-            tcb.clear_staged();
-            if tcb.state() == TcpState::Closed {
-                self.by_quad.remove(&tcb.quad());
+        // Due (or stale — lazy cancellation) wheel entries join the pass.
+        let mut expired = std::mem::take(&mut self.wheel_expired);
+        expired.clear();
+        self.wheel.advance(now.as_nanos(), &mut expired);
+        for &raw in &expired {
+            let sock = SockId::from_raw(raw);
+            if let Some(conn) = self.tcbs.get_mut(sock) {
+                conn.armed = None;
+                self.mark_dirty(sock);
             }
         }
+        self.wheel_expired = expired;
+        let mut i = 0;
+        while i < self.poll_queue.len() {
+            let sock = self.poll_queue[i];
+            i += 1;
+            let Some(conn) = self.tcbs.get_mut(sock) else {
+                continue; // released since it was queued
+            };
+            conn.queued_poll = false;
+            conn.tcb.poll_stage(now);
+            self.emit_staged(now, sock);
+            let closed_quad = {
+                let conn = self.tcbs.get_mut(sock).expect("live conn");
+                conn.tcb.clear_staged();
+                (conn.tcb.state() == TcpState::Closed).then(|| conn.tcb.quad())
+            };
+            if let Some(quad) = closed_quad {
+                self.by_quad.remove(&quad);
+            }
+            self.rearm(sock);
+        }
+        self.poll_queue.clear();
         self.stats.frames_out += self.out.len() as u64;
         frames.extend(self.out.drain(..));
     }
 
-    /// Transmits everything `tcbs[idx]` staged in this poll.
+    /// Ensures the wheel will wake the stack no later than `sock`'s
+    /// earliest TCB deadline. Called after every visit; entries are
+    /// never cancelled (stale ones pop harmlessly), so scheduling is
+    /// needed only when the deadline moved *earlier* than what's armed.
+    fn rearm(&mut self, sock: SockId) {
+        if let Some(conn) = self.tcbs.get_mut(sock) {
+            if let Some(deadline) = conn.tcb.next_deadline() {
+                let need = conn.armed.is_none_or(|armed| deadline < armed);
+                if need {
+                    conn.armed = Some(deadline);
+                    self.wheel.schedule(deadline.as_nanos(), sock.raw());
+                }
+            }
+        }
+    }
+
+    /// Transmits everything `sock` staged in this poll.
     ///
     /// With a resolved next hop this composes each segment straight into
     /// the frame builder (borrowing data payloads from the send buffer);
     /// without one it falls back to the layered encode chain and queues
     /// the packets behind an ARP request.
-    fn emit_staged(&mut self, now: SimTime, idx: usize) {
-        let tcb = self.tcbs[idx].as_ref().expect("live TCB");
+    fn emit_staged(&mut self, now: SimTime, sock: SockId) {
+        let tcb = &self.tcbs.get(sock).expect("live TCB").tcb;
         let staged = tcb.staged();
         if staged.is_empty() {
             return;
@@ -676,8 +818,14 @@ impl NetStack {
     }
 
     /// The earliest instant at which [`NetStack::poll`] has new work.
+    ///
+    /// O(1): read off the timer wheel instead of scanning TCBs. The value
+    /// is *conservative* — never later than any real deadline, possibly
+    /// early for coarse-slotted entries (the poll finds nothing due and
+    /// re-arms precisely; see the `twheel` module docs). Accurate only
+    /// after a poll, which every embedder performs before sleeping.
     pub fn next_deadline(&self) -> Option<SimTime> {
-        let tcb_min = self.tcbs.iter().flatten().filter_map(|t| t.next_deadline()).min();
+        let tcb_min = self.wheel.next_expiry().map(SimTime::from_nanos);
         let arp_min = self.pending_arp.values().map(|p| p.last_request + ARP_RETRY).min();
         [tcb_min, arp_min].into_iter().flatten().min()
     }

@@ -62,11 +62,14 @@ fn release_frees_slots_for_reuse() {
     s.release(sock);
     assert_eq!(s.state(sock), None, "released handle is dead");
     assert_eq!(s.socks().count(), 0);
-    // A new connection reuses the slot.
+    // A new connection reuses the slot — under a fresh generation, so
+    // the stale handle cannot alias it.
     s.handle_frame(now, syn_from(Ipv4Addr::new(10, 0, 0, 51), 30_001, 8_000));
     assert_eq!(s.socks().count(), 1);
     let reused = s.socks().next().unwrap();
-    assert_eq!(reused, sock, "slot index is recycled");
+    assert_ne!(reused, sock, "recycled slot must carry a new generation");
+    assert_eq!(s.state(sock), None, "stale handle still dead after reuse");
+    assert!(s.state(reused).is_some());
 }
 
 #[test]

@@ -6,6 +6,7 @@
 use st_tcp::apps::{EchoServer, Workload, WorkloadClient};
 use st_tcp::netsim::node::PortId;
 use st_tcp::netsim::{Hub, LinkSpec, SimDuration, SimTime, Simulator};
+use st_tcp::sttcp::fleet::{self, FleetSpec};
 use st_tcp::sttcp::node::{ClientNode, ServerNode, LAN};
 use st_tcp::sttcp::SttcpConfig;
 use st_tcp::tcpstack::{StackConfig, TcpConfig};
@@ -117,4 +118,36 @@ fn three_clients_all_migrate_on_crash() {
     }
     let b = rig.sim.node_ref::<ServerNode>(rig.backup);
     assert!(b.backup_engine().unwrap().has_taken_over());
+}
+
+// --- hundreds of connections, via the fleet generator ----------------
+
+#[test]
+fn three_hundred_clients_failure_free() {
+    let spec = FleetSpec::new(300).connect_spread(SimDuration::from_millis(100));
+    let mut fleet = fleet::build(&spec);
+    assert!(fleet.run_until_done(SimDuration::from_secs(60)), "all 300 clients must finish");
+    assert!(fleet.verified_clean(), "every byte stream verified");
+    // Every connection was shadowed: the backup adopted as many
+    // connections as the primary accepted.
+    let p = fleet.sim.node_ref::<ServerNode>(fleet.primary);
+    let b = fleet.sim.node_ref::<ServerNode>(fleet.backup);
+    assert_eq!(p.accepted.len(), 300, "primary accepts each client once");
+    assert_eq!(b.accepted.len(), 300, "backup must shadow every connection");
+}
+
+#[test]
+fn three_hundred_clients_migrate_on_crash() {
+    // All clients connect within 100 ms; the crash lands at 160 ms,
+    // while late connectors are still mid-workload. Every affected
+    // connection must migrate and finish byte-clean.
+    let spec = FleetSpec::new(300)
+        .connect_spread(SimDuration::from_millis(100))
+        .crash_primary_at(SimTime::ZERO + SimDuration::from_millis(160));
+    let mut fleet = fleet::build(&spec);
+    assert!(fleet.run_until_done(SimDuration::from_secs(120)), "fleet must finish despite crash");
+    assert!(fleet.verified_clean(), "a client stream was corrupted by failover");
+    let b = fleet.sim.node_ref::<ServerNode>(fleet.backup);
+    assert!(b.backup_engine().unwrap().has_taken_over());
+    assert_eq!(b.accepted.len(), 300, "backup shadowed the full fleet");
 }
