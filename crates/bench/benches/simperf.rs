@@ -38,12 +38,16 @@
 
 use apps::Workload;
 use netsim::{SimDuration, SimTime};
+use std::cell::Cell;
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::rc::Rc;
 use std::time::Instant;
 use sttcp::fleet::{self, FleetSpec};
 use sttcp::scenario::{build, FaultSpec, RunLimits, ScenarioSpec};
+use sttcp::{build_cluster, ClusterFleetSpec};
 use sttcp_bench::{quick_mode, st_cfg, Table};
+use wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, UdpDatagram};
 
 struct Case {
     name: &'static str,
@@ -71,6 +75,81 @@ fn run_fleet_case(name: &'static str, clients: usize) -> Case {
     assert!(f.verified_clean(), "{name}: byte-stream verification failed");
     let events = f.sim.trace().events_processed;
     Case { name, wall_s, events, events_per_s: events as f64 / wall_s }
+}
+
+/// One fault-free cluster run's side-channel economy.
+struct SideChannelCase {
+    backups: usize,
+    side_datagrams: u64,
+    side_bytes: u64,
+    goodput_bytes: u64,
+}
+
+impl SideChannelCase {
+    /// Side-channel bytes spent per goodput (response) byte delivered.
+    fn overhead(&self) -> f64 {
+        self.side_bytes as f64 / self.goodput_bytes as f64
+    }
+}
+
+/// Runs a 20-client fault-free cluster fleet with `backups` shadows and
+/// tallies the side-channel frames (UDP to the sync port) at their
+/// origin hop — the switch's mirror fan-out is topology, not protocol
+/// cost. Rank 1 speaks per-connection `BackupAck`s; deeper ranks flush
+/// one `AckBatch` per sync tick, which is what keeps the growth in N
+/// sub-linear.
+fn run_side_channel_case(backups: usize) -> SideChannelCase {
+    let spec = ClusterFleetSpec::new(20, backups);
+    let side_port = spec.st_tcp.side_channel_port;
+    let mut fleet = build_cluster(&spec);
+    let server_ids: Vec<usize> = fleet.servers.iter().map(|n| n.0).collect();
+    let tally = Rc::new(Cell::new((0u64, 0u64)));
+    let handle = Rc::clone(&tally);
+    fleet.sim.set_probe(move |ev| {
+        if !server_ids.contains(&ev.from.0) {
+            return;
+        }
+        let is_side = (|| {
+            let eth = EthernetFrame::parse(ev.frame.clone()).ok()?;
+            if eth.ethertype != EtherType::Ipv4 {
+                return None;
+            }
+            let ip = Ipv4Packet::parse(eth.payload).ok()?;
+            if ip.protocol != IpProtocol::Udp {
+                return None;
+            }
+            let udp = UdpDatagram::parse(ip.payload.clone(), ip.src, ip.dst).ok()?;
+            Some(udp.dst_port == side_port)
+        })()
+        .unwrap_or(false);
+        if is_side {
+            let (frames, bytes) = handle.get();
+            handle.set((frames + 1, bytes + ev.frame.len() as u64));
+        }
+    });
+    let done = fleet.run_until_done(SimDuration::from_secs(600));
+    assert!(done, "side_channel_{backups}backups: fleet did not complete");
+    assert!(fleet.verified_clean(), "side_channel_{backups}backups: corrupted stream");
+    let (goodput_bytes, expected) = fleet.progress();
+    assert_eq!(goodput_bytes, expected);
+    let (side_datagrams, side_bytes) = tally.get();
+    SideChannelCase { backups, side_datagrams, side_bytes, goodput_bytes }
+}
+
+fn json_side_channel(cases: &[SideChannelCase]) -> String {
+    let mut s = String::from("{");
+    for (i, c) in cases.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(
+            s,
+            "\"side_channel_overhead_{}backups\": {{\"overhead\": {:.4}, \"side_bytes\": {}, \"side_datagrams\": {}, \"goodput_bytes\": {}}}",
+            c.backups, c.overhead(), c.side_bytes, c.side_datagrams, c.goodput_bytes
+        );
+    }
+    s.push('}');
+    s
 }
 
 fn json_section(cases: &[Case]) -> String {
@@ -290,6 +369,36 @@ fn main() {
     }
     table.emit("simperf");
 
+    // Side-channel economy across chain lengths (virtual-time metric:
+    // deterministic, so it doubles as a regression check). The naive
+    // design — every backup speaking rank 1's per-connection dialect —
+    // would triple the cost from 1 to 3 backups; batching must keep the
+    // growth visibly below that.
+    let side_cases: Vec<SideChannelCase> = (1..=3).map(run_side_channel_case).collect();
+    let mut side_table = Table::new(
+        "side-channel overhead vs chain length (20-client fleet, fault-free)",
+        &["backups", "side datagrams", "side bytes", "goodput bytes", "bytes/goodput"],
+    );
+    for c in &side_cases {
+        side_table.row(vec![
+            c.backups.to_string(),
+            c.side_datagrams.to_string(),
+            c.side_bytes.to_string(),
+            c.goodput_bytes.to_string(),
+            format!("{:.4}", c.overhead()),
+        ]);
+    }
+    side_table.emit("simperf_side_channel");
+    let (o1, o3) = (side_cases[0].overhead(), side_cases[2].overhead());
+    assert!(
+        o3 < 2.5 * o1,
+        "side-channel cost must grow sub-linearly in backup count: \
+         {o3:.4} bytes/goodput at 3 backups vs {o1:.4} at 1 (linear would be 3x)"
+    );
+    println!(
+        "side-channel sub-linearity ok: {o3:.4} @3 backups < 2.5 x {o1:.4} @1 (linear would be 3x)"
+    );
+
     if quick {
         println!("(quick mode: BENCH_simperf.json not updated)");
         return;
@@ -311,6 +420,7 @@ fn main() {
         sc.snapshot().expect("recording scenario has a sink").to_json()
     };
 
+    let side_channel = json_side_channel(&side_cases);
     let current = json_section(&cases);
     let baseline = previous_section(&path, "baseline").unwrap_or_else(|| current.clone());
     let speedup = {
@@ -322,7 +432,7 @@ fn main() {
         }
     };
     let json = format!(
-        "{{\n  \"bench\": \"simperf\",\n  \"units\": {{\"wall_s\": \"seconds\", \"events_per_s\": \"simulator events per wall-clock second\"}},\n  \"baseline\": {baseline},\n  \"current\": {current},\n  \"obs\": {obs},\n  \"bulk_100mb_speedup_vs_baseline\": {speedup:.2}\n}}\n"
+        "{{\n  \"bench\": \"simperf\",\n  \"units\": {{\"wall_s\": \"seconds\", \"events_per_s\": \"simulator events per wall-clock second\", \"side_channel_overhead\": \"side-channel bytes per goodput byte (virtual time, deterministic)\"}},\n  \"baseline\": {baseline},\n  \"current\": {current},\n  \"side_channel\": {side_channel},\n  \"obs\": {obs},\n  \"bulk_100mb_speedup_vs_baseline\": {speedup:.2}\n}}\n"
     );
     std::fs::write(&path, json).expect("write BENCH_simperf.json");
     println!("BENCH_simperf.json updated (bulk speedup vs baseline: {speedup:.2}x)");

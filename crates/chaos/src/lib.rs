@@ -38,6 +38,7 @@
 
 pub mod artifact;
 pub mod campaign;
+pub mod cluster;
 pub mod json;
 pub mod oracle;
 pub mod plan;
@@ -46,6 +47,7 @@ pub mod shrink;
 
 pub use artifact::FailureArtifact;
 pub use campaign::{broken_config_canary, demo_campaign, run_campaign, smoke_campaign, Campaign};
+pub use cluster::{execute_cluster, ClusterRunReport, ClusterRunSpec};
 pub use oracle::{OracleKind, Violation};
 pub use plan::{FaultOp, FaultPlan, SideTarget};
 pub use run::{

@@ -4,8 +4,18 @@
 //! evaluated every scheduler chunk while the run executes; terminal
 //! oracles are evaluated once the run stops. A run *passes* iff no
 //! oracle records a [`Violation`].
+//!
+//! The per-node checks ([`check_seq_agreement`],
+//! [`check_single_server`]) are pure functions over sampled state, and
+//! deliberately take *node sets* rather than a primary/backup pair:
+//! the same code judges the classic two-node runs and the N-backup
+//! cluster campaigns. The two-node harness passes singleton sets and
+//! gets byte-identical reports to the pre-cluster implementation (see
+//! the regression tests below).
 
-use netsim::SimTime;
+use netsim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use tcpstack::{Quad, SeqNum};
 
 /// The invariant a violation belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,9 +99,83 @@ impl std::fmt::Display for Violation {
     }
 }
 
+// ---------------------------------------------------------------------
+// Generalized per-node checks.
+
+/// `a ≤ b` in 32-bit TCP sequence space (wraparound-aware).
+pub fn seq_le(a: SeqNum, b: SeqNum) -> bool {
+    (b.0.wrapping_sub(a.0) as i32) >= 0
+}
+
+/// One sampled shadow↔authority pair for [`check_seq_agreement`]: a
+/// synchronized shadow connection on some backup, matched with the
+/// same quad on the node currently authoritative for the VIP.
+#[derive(Debug, Clone, Copy)]
+pub struct ShadowSample {
+    /// The connection, as seen from the server side.
+    pub quad: Quad,
+    /// The shadow's `rcv_nxt` on the sampled backup.
+    pub shadow_rcv_nxt: SeqNum,
+    /// The authoritative server's `rcv_nxt` for the same quad.
+    pub primary_rcv_nxt: SeqNum,
+}
+
+/// §4.1 sequence agreement over an arbitrary shadow set: no shadow may
+/// run ahead of the authoritative server in the client's sequence
+/// space. Pushes one violation per offending sample; returns whether
+/// any fired (callers typically stop sampling after the first).
+pub fn check_seq_agreement(
+    now: SimTime,
+    samples: &[ShadowSample],
+    violations: &mut Vec<Violation>,
+) -> bool {
+    let mut any = false;
+    for s in samples {
+        if !seq_le(s.shadow_rcv_nxt, s.primary_rcv_nxt) {
+            violations.push(Violation {
+                oracle: OracleKind::SeqAgreement,
+                at: now,
+                detail: format!(
+                    "backup shadow rcv_nxt {} ahead of primary {} on {:?}",
+                    s.shadow_rcv_nxt, s.primary_rcv_nxt, s.quad
+                ),
+            });
+            any = true;
+        }
+    }
+    any
+}
+
+/// §4.4 single-server property over an arbitrary node set: after
+/// `takeover_at` plus an in-flight `grace`, only nodes in `allowed`
+/// (simulator node indices — the current server and any node yet to be
+/// excluded) may source VIP traffic. `vip_last_sent` maps node index →
+/// latest VIP-sourced departure, as collected by the run's frame probe.
+pub fn check_single_server(
+    takeover_at: SimTime,
+    grace: SimDuration,
+    allowed: &[usize],
+    vip_last_sent: &BTreeMap<usize, SimTime>,
+    violations: &mut Vec<Violation>,
+) {
+    for (&node, &last) in vip_last_sent {
+        if !allowed.contains(&node) && last > takeover_at + grace {
+            violations.push(Violation {
+                oracle: OracleKind::SingleServer,
+                at: last,
+                detail: format!(
+                    "node {node} still sourcing VIP traffic at {last}, {} after takeover",
+                    last.duration_since(takeover_at)
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::Ipv4Addr;
 
     #[test]
     fn tags_roundtrip() {
@@ -108,5 +192,87 @@ mod tests {
             assert_eq!(OracleKind::from_tag(k.tag()), Some(k));
         }
         assert_eq!(OracleKind::from_tag("nope"), None);
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn seq_le_handles_wraparound() {
+        assert!(seq_le(SeqNum(5), SeqNum(5)));
+        assert!(seq_le(SeqNum(5), SeqNum(6)));
+        assert!(!seq_le(SeqNum(6), SeqNum(5)));
+        assert!(seq_le(SeqNum(u32::MAX), SeqNum(3)), "wrap: MAX < 3");
+        assert!(!seq_le(SeqNum(3), SeqNum(u32::MAX)));
+    }
+
+    /// The generalized check must reproduce the pre-cluster two-node
+    /// implementation byte for byte, so existing artifacts, shrink
+    /// fingerprints, and report goldens stay comparable.
+    #[test]
+    fn two_node_seq_agreement_detail_is_byte_identical() {
+        let quad = Quad::new(Ipv4Addr::new(10, 0, 0, 100), 80, Ipv4Addr::new(10, 1, 0, 1), 40000);
+        let sample =
+            ShadowSample { quad, shadow_rcv_nxt: SeqNum(900), primary_rcv_nxt: SeqNum(500) };
+        let mut got = Vec::new();
+        assert!(check_seq_agreement(t(250), &[sample], &mut got));
+        // The legacy string, formatted exactly as crates/chaos/src/run.rs
+        // did before the oracle was generalized.
+        let legacy = format!(
+            "backup shadow rcv_nxt {} ahead of primary {} on {:?}",
+            SeqNum(900),
+            SeqNum(500),
+            quad
+        );
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].oracle, OracleKind::SeqAgreement);
+        assert_eq!(got[0].at, t(250));
+        assert_eq!(got[0].detail, legacy);
+
+        // An agreeing (or equal) shadow stays silent.
+        let ok = ShadowSample { quad, shadow_rcv_nxt: SeqNum(500), primary_rcv_nxt: SeqNum(500) };
+        let mut none = Vec::new();
+        assert!(!check_seq_agreement(t(251), &[ok], &mut none));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn two_node_single_server_detail_is_byte_identical() {
+        let takeover = t(300);
+        let grace = SimDuration::from_millis(5);
+        let mut last_sent = BTreeMap::new();
+        last_sent.insert(1usize, t(200)); // old primary, before takeover: fine
+        last_sent.insert(2usize, t(400)); // the promoted backup: allowed
+        let mut got = Vec::new();
+        check_single_server(takeover, grace, &[2], &last_sent, &mut got);
+        assert!(got.is_empty(), "quiet old primary and busy successor are both legal");
+
+        last_sent.insert(1usize, t(400)); // old primary still talking
+        check_single_server(takeover, grace, &[2], &last_sent, &mut got);
+        let legacy = format!(
+            "node {} still sourcing VIP traffic at {}, {} after takeover",
+            1,
+            t(400),
+            t(400).duration_since(takeover)
+        );
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].oracle, OracleKind::SingleServer);
+        assert_eq!(got[0].at, t(400));
+        assert_eq!(got[0].detail, legacy);
+    }
+
+    #[test]
+    fn single_server_accepts_multiple_allowed_nodes() {
+        // Cluster flavour: after a cascade, the retired-but-draining
+        // member and the current primary may both appear in `allowed`.
+        let mut last_sent = BTreeMap::new();
+        last_sent.insert(3usize, t(500));
+        last_sent.insert(4usize, t(500));
+        last_sent.insert(5usize, t(500));
+        let mut got = Vec::new();
+        check_single_server(t(100), SimDuration::from_millis(5), &[3, 4], &last_sent, &mut got);
+        assert_eq!(got.len(), 1, "only the node outside the allowed set fires");
+        assert!(got[0].detail.starts_with("node 5 "));
     }
 }

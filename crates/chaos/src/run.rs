@@ -8,7 +8,9 @@
 //! invariant oracles sampled between scheduler chunks and at the end.
 
 use crate::json::Value;
-use crate::oracle::{OracleKind, Violation};
+use crate::oracle::{
+    check_seq_agreement, check_single_server, OracleKind, ShadowSample, Violation,
+};
 use crate::plan::{FaultOp, FaultPlan, SideTarget};
 use apps::Workload;
 use bytes::Bytes;
@@ -21,7 +23,7 @@ use std::rc::Rc;
 use sttcp::node::ServerNode;
 use sttcp::scenario::{addrs, build, RunLimits, Scenario, ScenarioSpec, StopReason};
 use sttcp::SttcpConfig;
-use tcpstack::{SeqNum, TcpState};
+use tcpstack::TcpState;
 use wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, TcpFlags, TcpSegment, UdpDatagram};
 
 /// Everything one chaos run needs: base scenario knobs plus the fault
@@ -206,10 +208,10 @@ fn is_side_channel(frame: &Bytes, side_port: u16) -> bool {
 // ---------------------------------------------------------------------
 // Probe observer: trace digest, VIP senders, first FIN.
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(FNV_PRIME);
@@ -411,10 +413,6 @@ fn install_plan(sc: &mut Scenario, spec: &RunSpec, profile: &Profile) -> Install
 // ---------------------------------------------------------------------
 // Sampled oracles.
 
-fn seq_le(a: SeqNum, b: SeqNum) -> bool {
-    (b.0.wrapping_sub(a.0) as i32) >= 0
-}
-
 fn sample_oracles(
     sc: &Scenario,
     installed: &Installed,
@@ -425,11 +423,14 @@ fn sample_oracles(
     let primary = sc.sim.node_ref::<ServerNode>(sc.primary);
     // Sequence agreement: before the primary is incapacitated (and
     // before any tap partition), the shadow never leads the primary.
+    // Sampling walks the stacks; the judgment itself is the pure
+    // node-set check in [`crate::oracle`].
     if !*already && now < installed.seq_check_until {
         if let Some(backup_id) = sc.backup {
             let backup = sc.sim.node_ref::<ServerNode>(backup_id);
             let taken_over = backup.backup_engine().map(|e| e.has_taken_over()).unwrap_or(false);
             if !taken_over {
+                let mut samples = Vec::new();
                 for sock in backup.stack().socks() {
                     let Some(btcb) = backup.stack().tcb(sock) else { continue };
                     if !btcb.state().is_synchronized() {
@@ -440,19 +441,14 @@ fn sample_oracles(
                     if !ptcb.state().is_synchronized() {
                         continue;
                     }
-                    if !seq_le(btcb.rcv_nxt(), ptcb.rcv_nxt()) {
-                        violations.push(Violation {
-                            oracle: OracleKind::SeqAgreement,
-                            at: now,
-                            detail: format!(
-                                "backup shadow rcv_nxt {} ahead of primary {} on {:?}",
-                                btcb.rcv_nxt(),
-                                ptcb.rcv_nxt(),
-                                btcb.quad()
-                            ),
-                        });
-                        *already = true;
-                    }
+                    samples.push(ShadowSample {
+                        quad: btcb.quad(),
+                        shadow_rcv_nxt: btcb.rcv_nxt(),
+                        primary_rcv_nxt: ptcb.rcv_nxt(),
+                    });
+                }
+                if check_seq_agreement(now, &samples, violations) {
+                    *already = true;
                 }
             }
         }
@@ -623,22 +619,14 @@ fn execute_faulted(spec: &RunSpec, profile: &Profile, pcap: Option<SharedPcap>) 
     }
 
     // Single server: after takeover (plus a small in-flight grace), only
-    // the backup may source VIP traffic.
+    // the backup may source VIP traffic. The node-set check is shared
+    // with the cluster campaigns; here the allowed set is the singleton
+    // promoted backup.
     if let Some(tk) = takeover_at {
         let grace = SimDuration::from_millis(5);
+        let allowed = [sc.backup.map(|b| b.0).unwrap_or(usize::MAX)];
         let st = probe_state.borrow();
-        for (&node, &last) in &st.vip_last_sent {
-            if node != sc.backup.map(|b| b.0).unwrap_or(usize::MAX) && last > tk + grace {
-                violations.push(Violation {
-                    oracle: OracleKind::SingleServer,
-                    at: last,
-                    detail: format!(
-                        "node {node} still sourcing VIP traffic at {last}, {} after takeover",
-                        last.duration_since(tk)
-                    ),
-                });
-            }
-        }
+        check_single_server(tk, grace, &allowed, &st.vip_last_sent, &mut violations);
     }
 
     // Eventual close: a completed closing workload must fully tear down.
@@ -683,15 +671,6 @@ fn execute_faulted(spec: &RunSpec, profile: &Profile, pcap: Option<SharedPcap>) 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn seq_le_handles_wraparound() {
-        assert!(seq_le(SeqNum(5), SeqNum(5)));
-        assert!(seq_le(SeqNum(5), SeqNum(6)));
-        assert!(!seq_le(SeqNum(6), SeqNum(5)));
-        assert!(seq_le(SeqNum(u32::MAX), SeqNum(3)), "wrap: MAX < 3");
-        assert!(!seq_le(SeqNum(3), SeqNum(u32::MAX)));
-    }
 
     #[test]
     fn profile_pct_maps_linearly() {

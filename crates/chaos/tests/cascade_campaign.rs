@@ -1,0 +1,70 @@
+//! Cascading-failure campaign over the N-backup replication chain.
+//!
+//! Each run kills the primary mid-workload, then kills the freshly
+//! promoted rank-1 backup *mid-takeover* (inside its successor's
+//! detection stagger), leaving rank 2 of a 3-backup chain to serve.
+//! Every run must keep all eight invariant oracles green, with every
+//! one of the 40 clients' byte streams intact, and the surviving rank
+//! must converge on the epoch-by-rank topology (epoch 2) regardless of
+//! the path the cascade took.
+//!
+//! On failure, the run's replayable JSON artifact (seed + schedule +
+//! frame digest) lands in `target/chaos-artifacts/` before the panic,
+//! mirroring the single-connection campaign's artifact discipline.
+
+use chaos::cluster::{execute_cluster, ClusterRunSpec};
+
+const CLIENTS: usize = 40;
+const BACKUPS: usize = 3;
+
+fn run_cascade(seed: u64, first_crash_ms: u64, second_crash_ms: u64) {
+    let spec = ClusterRunSpec::new(CLIENTS, BACKUPS, seed)
+        .crash(0, first_crash_ms)
+        .crash(1, second_crash_ms);
+    let report = execute_cluster(&spec);
+    if !report.passed() {
+        let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("chaos-artifacts");
+        std::fs::create_dir_all(&dir).ok();
+        let path = dir.join(format!("cascade-{seed:x}-{first_crash_ms}-{second_crash_ms}.json"));
+        std::fs::write(&path, report.artifact(&spec)).ok();
+        panic!(
+            "seed {seed:#x} cascade ({first_crash_ms}ms, {second_crash_ms}ms): \
+             {} violations (artifact: {}):\n{}",
+            report.violations.len(),
+            path.display(),
+            report.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n")
+        );
+    }
+    assert_eq!(
+        report.final_epoch, 2,
+        "seed {seed:#x}: the survivor must serve under the epoch-by-rank epoch"
+    );
+}
+
+#[test]
+fn cascade_campaign_three_seeds() {
+    // First crash lands mid-connect-spread (half the fleet still
+    // handshaking); the second lands ~160 ms later — right at rank 1's
+    // 150 ms detection deadline, i.e. mid-takeover.
+    for &seed in &[0xF1EE7u64, 0xC0FFEE, 0xDEAD_BEEF] {
+        run_cascade(seed, 120, 280);
+    }
+}
+
+#[test]
+fn cascade_campaign_is_deterministic() {
+    let spec = ClusterRunSpec::new(CLIENTS, BACKUPS, 0xF1EE7).crash(0, 120).crash(1, 280);
+    let a = execute_cluster(&spec);
+    let b = execute_cluster(&spec);
+    assert_eq!(a.digest, b.digest, "same spec ⇒ bit-identical frame schedule");
+    assert_eq!(a.final_epoch, b.final_epoch);
+}
+
+#[test]
+fn fault_free_chain_promotes_nobody() {
+    let spec = ClusterRunSpec::new(12, BACKUPS, 0xC0FFEE);
+    let report = execute_cluster(&spec);
+    assert!(report.passed(), "violations: {:?}", report.violations);
+    assert_eq!(report.final_epoch, 0);
+    assert!(report.final_takeover_at.is_none());
+}

@@ -34,8 +34,8 @@ pub mod trace;
 
 pub use trace::{
     for_actor, render_chrome, render_sequence, render_timeline, Actor, FlightRecorder,
-    TimelinePhases, TraceConn, TraceEvent, TraceExport, TracedEvent, DEFAULT_TRACE_CAPACITY,
-    TRACE_FORMAT,
+    MigrationPhase, TimelinePhases, TraceConn, TraceEvent, TraceExport, TracedEvent,
+    DEFAULT_TRACE_CAPACITY, TRACE_FORMAT,
 };
 
 use std::fmt;
@@ -111,6 +111,15 @@ obs_enum! {
         IngressDelays => "ingress_delays",
         /// Frames duplicated by an injected ingress fault rule.
         IngressDuplicates => "ingress_duplicates",
+        /// Batched (multiplexed) ack messages sent by cluster backups.
+        AckBatchesSent => "ack_batches_sent",
+        /// Per-connection ack entries carried inside those batches.
+        AckBatchEntries => "ack_batch_entries",
+        /// Catch-up replay rounds a lagging backup went through before
+        /// reaching promotion eligibility.
+        CatchupReplays => "catchup_replays",
+        /// Planned migrations completed (drain → handover).
+        PlannedMigrations => "planned_migrations",
     }
 }
 
@@ -125,6 +134,12 @@ obs_enum! {
         RetentionHighWater => "retention_high_water",
         /// Peak per-link queue backlog, in nanoseconds of serialization.
         LinkQueueDepth => "link_queue_depth_ns",
+        /// This node's promotion rank in the cluster topology, plus one
+        /// (1 = primary, 2 = first backup, …; a max-gauge cannot hold 0).
+        PromotionRank => "promotion_rank",
+        /// Peak catch-up lag in bytes: how far a backup's shadow trailed
+        /// the primary's cumulative ack before reaching eligibility.
+        CatchupLagBytes => "catchup_lag_bytes",
     }
 }
 

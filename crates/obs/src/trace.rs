@@ -162,6 +162,28 @@ named_enum! {
         MissingData => "missing_data",
         /// Primary refusal of a missing-segment request.
         MissingNack => "missing_nack",
+        /// Cluster heartbeat carrying the rank-ordered topology.
+        ClusterHb => "cluster_hb",
+        /// Batched per-connection cumulative acks from one backup.
+        AckBatch => "ack_batch",
+        /// Planned-migration drain announcement.
+        Drain => "drain",
+        /// Successor's readiness acknowledgment of a drain.
+        DrainReady => "drain_ready",
+        /// VIP ownership transfer concluding a planned migration.
+        Handover => "handover",
+    }
+}
+
+named_enum! {
+    /// A phase transition of a planned migration (drain → handover).
+    MigrationPhase {
+        /// The primary announced a drain to its designated successor.
+        DrainStarted => "drain_started",
+        /// The successor reported shadow-consistency (safe to fence).
+        SuccessorReady => "successor_ready",
+        /// The primary fenced itself and the successor owns the VIP.
+        HandedOver => "handed_over",
     }
 }
 
@@ -284,6 +306,13 @@ pub enum TraceEvent {
         /// The transition.
         what: PowerKind,
     },
+    /// A planned migration advanced one phase (cluster subsystem).
+    PlannedMigration {
+        /// The phase reached.
+        phase: MigrationPhase,
+        /// Topology epoch the migration establishes.
+        epoch: u32,
+    },
     /// Wire summary: one TCP segment emitted by a stack.
     WireData {
         /// The connection.
@@ -314,6 +343,7 @@ impl TraceEvent {
             TraceEvent::BackupDead { .. } => "backup_dead",
             TraceEvent::FaultRule { .. } => "fault_rule",
             TraceEvent::NodePower { .. } => "node_power",
+            TraceEvent::PlannedMigration { .. } => "planned_migration",
             TraceEvent::WireData { .. } => "wire_data",
         }
     }
@@ -365,6 +395,9 @@ impl TraceEvent {
             }
             TraceEvent::FaultRule { kind } => format!("fault rule fired: {}", kind.name()),
             TraceEvent::NodePower { node, what } => format!("power: {} {}", what.name(), node),
+            TraceEvent::PlannedMigration { phase, epoch } => {
+                format!("MIGRATION {} (epoch {epoch})", phase.name())
+            }
             TraceEvent::WireData { conn, seq, len, flags } => {
                 format!("wire {} seq={seq} len={len}  [{conn}]", flag_str(*flags))
             }
@@ -690,6 +723,10 @@ fn write_event(out: &mut String, e: &TracedEvent) {
             kv_str(out, "node", node);
             kv_str(out, "what", what.name());
         }
+        TraceEvent::PlannedMigration { phase, epoch } => {
+            kv_str(out, "phase", phase.name());
+            kv_num(out, "epoch", u64::from(*epoch));
+        }
         TraceEvent::WireData { conn, seq, len, flags } => {
             kv_str(out, "conn", &conn.to_string());
             kv_num(out, "seq", u64::from(*seq));
@@ -975,6 +1012,14 @@ fn parse_event(v: &JVal) -> Result<TracedEvent, TraceParseError> {
                 .and_then(JVal::as_str)
                 .and_then(PowerKind::from_name)
                 .ok_or_else(|| err("what"))?,
+        },
+        "planned_migration" => TraceEvent::PlannedMigration {
+            phase: v
+                .get("phase")
+                .and_then(JVal::as_str)
+                .and_then(MigrationPhase::from_name)
+                .ok_or_else(|| err("phase"))?,
+            epoch: num("epoch")? as u32,
         },
         "wire_data" => TraceEvent::WireData {
             conn: conn("conn")?,
@@ -1323,6 +1368,16 @@ mod tests {
         );
         fr.record(Actor::Backup, 7_000, &TraceEvent::FirstByte { conn: conn() });
         fr.record(Actor::Primary, 8_000, &TraceEvent::BackupDead { silent_ns: 9 });
+        fr.record(
+            Actor::Primary,
+            8_500,
+            &TraceEvent::SideSend { msg: SideMsgKind::ClusterHb, conn: None, seq: 3, len: 3 },
+        );
+        fr.record(
+            Actor::Primary,
+            8_600,
+            &TraceEvent::PlannedMigration { phase: MigrationPhase::DrainStarted, epoch: 2 },
+        );
         fr.export()
     }
 

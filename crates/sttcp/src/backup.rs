@@ -196,6 +196,12 @@ impl BackupEngine {
             }
             // Backup-bound only; a backup never receives these.
             SideMsg::BackupAck { .. } | SideMsg::MissingReq { .. } => {}
+            // Cluster-subsystem messages; the two-node engine ignores them.
+            SideMsg::ClusterHb { .. }
+            | SideMsg::AckBatch { .. }
+            | SideMsg::Drain { .. }
+            | SideMsg::DrainReady { .. }
+            | SideMsg::Handover { .. } => {}
         }
     }
 

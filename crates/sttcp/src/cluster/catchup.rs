@@ -1,0 +1,330 @@
+//! Logger-assisted catch-up accounting for a chained backup.
+//!
+//! Tracks, per shadowed connection, how far this node's shadow trails
+//! the primary's cumulative ACK (the *lag*), drives missing-segment
+//! requests to close it, and answers the one question the promotion
+//! layer asks: **is this node shadow-consistent enough to serve?**
+//! A backup is promotion-eligible exactly when its lag is zero — a
+//! lagging or late-joining backup first replays retained segments
+//! (from the primary, or from the in-network logger once the primary
+//! is gone) until nothing is missing.
+//!
+//! Unlike the two-node [`crate::backup::BackupEngine`], retries here
+//! use per-connection timestamps scanned on the sync tick rather than
+//! a timer wheel: a chain run tops out at tens of connections per
+//! fleet, where the scan is cheaper than the wheel's bookkeeping.
+
+use crate::messages::ConnKey;
+use netsim::{SimDuration, SimTime};
+use std::collections::HashMap;
+use tcpstack::{NetStack, SeqNum};
+
+/// Per-connection sync state.
+#[derive(Debug, Clone, Copy)]
+struct ConnSync {
+    /// Receive progress acknowledged to the primary (retention release
+    /// point on the primary's side).
+    last_acked_next: SeqNum,
+    /// The ack before that — this node's *own* retention release point
+    /// (it keeps one ack window of history to serve deeper backups
+    /// after a promotion).
+    prev_acked_next: SeqNum,
+    /// Highest cumulative ACK seen from the primary (tapped segments).
+    highest_primary_ack: Option<SeqNum>,
+    /// In-flight missing-segment request: `(from, sent_at)`.
+    outstanding_req: Option<(SeqNum, SimTime)>,
+    /// Queued for the next ack scan.
+    pending_ack: bool,
+    /// Parked below the X threshold awaiting the sync tick.
+    deferred: bool,
+}
+
+/// One ack this node owes the primary: `(conn, acked_next, own
+/// retention release point)`.
+pub type AckOut = (ConnKey, SeqNum, SeqNum);
+
+/// One missing-segment request to send: `(conn, from, len)`.
+pub type MissingOut = (ConnKey, SeqNum, u32);
+
+/// One unhealed gap: `(conn, from, to)` — the logger-query window.
+pub type Gap = (ConnKey, SeqNum, SeqNum);
+
+/// See the module docs.
+#[derive(Debug, Default)]
+pub struct CatchupTracker {
+    conns: HashMap<ConnKey, ConnSync>,
+    pending: Vec<ConnKey>,
+    scratch: Vec<ConnKey>,
+    deferred: Vec<ConnKey>,
+}
+
+impl CatchupTracker {
+    /// A fresh tracker.
+    pub fn new() -> Self {
+        CatchupTracker::default()
+    }
+
+    /// Registers a newly shadowed connection at the start of the
+    /// client's stream.
+    pub fn register(&mut self, key: ConnKey, initial_next: SeqNum) {
+        self.conns.entry(key).or_insert(ConnSync {
+            last_acked_next: initial_next,
+            prev_acked_next: initial_next,
+            highest_primary_ack: None,
+            outstanding_req: None,
+            pending_ack: false,
+            deferred: false,
+        });
+    }
+
+    /// Whether `key` is tracked.
+    pub fn knows(&self, key: ConnKey) -> bool {
+        self.conns.contains_key(&key)
+    }
+
+    /// Tracked connection count.
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// True when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+
+    /// Queues `key` for the next ack scan (idempotent until it runs).
+    pub fn note_activity(&mut self, key: ConnKey) {
+        if let Some(c) = self.conns.get_mut(&key) {
+            if !c.pending_ack {
+                c.pending_ack = true;
+                self.pending.push(key);
+            }
+        }
+    }
+
+    /// Records a tapped primary cumulative ACK; returns whether the
+    /// connection is tracked (an untracked one needs a bootstrap).
+    pub fn on_primary_ack(&mut self, key: ConnKey, ack: SeqNum) -> bool {
+        match self.conns.get_mut(&key) {
+            Some(c) => {
+                c.highest_primary_ack = Some(match c.highest_primary_ack {
+                    Some(prev) => prev.max(ack),
+                    None => ack,
+                });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Clears the in-flight request for `key` (answered or refused).
+    pub fn clear_outstanding(&mut self, key: ConnKey) {
+        if let Some(c) = self.conns.get_mut(&key) {
+            c.outstanding_req = None;
+        }
+    }
+
+    /// Issues a missing-segment request for `key` if its shadow trails
+    /// the primary's ACK and no request is in flight.
+    pub fn request_missing(
+        &mut self,
+        now: SimTime,
+        key: ConnKey,
+        chunk: usize,
+        stack: &NetStack,
+        out: &mut Vec<MissingOut>,
+    ) {
+        let Some(c) = self.conns.get_mut(&key) else {
+            return;
+        };
+        let Some(primary_ack) = c.highest_primary_ack else {
+            return;
+        };
+        let Some(tcb) = stack.sock_by_quad(key.server_quad()).and_then(|s| stack.tcb(s)) else {
+            return;
+        };
+        // Compare against ack_seq (payload + consumed FIN) so a consumed
+        // FIN does not read as one missing byte forever.
+        let gap = primary_ack.distance(tcb.ack_seq());
+        if gap <= 0 {
+            c.outstanding_req = None;
+            return;
+        }
+        if c.outstanding_req.is_some() {
+            return; // one request in flight per connection
+        }
+        let from = tcb.rcv_nxt();
+        let len = (gap as usize).min(chunk) as u32;
+        c.outstanding_req = Some((from, now));
+        out.push((key, from, len));
+    }
+
+    /// Re-issues requests whose staleness window passed (sync tick).
+    pub fn retry_stale(
+        &mut self,
+        now: SimTime,
+        window: SimDuration,
+        chunk: usize,
+        stack: &NetStack,
+        out: &mut Vec<MissingOut>,
+    ) {
+        let mut stale = std::mem::take(&mut self.scratch);
+        stale.clear();
+        for (&key, c) in &self.conns {
+            if let Some((_, at)) = c.outstanding_req {
+                if now.checked_duration_since(at).map(|d| d > window).unwrap_or(false) {
+                    stale.push(key);
+                }
+            }
+        }
+        for &key in &stale {
+            self.clear_outstanding(key);
+            self.request_missing(now, key, chunk, stack, out);
+        }
+        stale.clear();
+        self.scratch = stale;
+    }
+
+    /// The ack scan (§4.3 X-threshold rule, chained flavour): emits
+    /// `(conn, acked_next, own release point)` for every queued
+    /// connection whose progress crossed `x_threshold`, or for all of
+    /// them when `force` is set (the sync tick). Sub-threshold
+    /// connections park on a deferred list the next forced scan
+    /// flushes — identical policy to the two-node engine.
+    pub fn collect_acks(
+        &mut self,
+        stack: &NetStack,
+        x_threshold: usize,
+        force: bool,
+        out: &mut Vec<AckOut>,
+    ) {
+        debug_assert!(self.scratch.is_empty());
+        std::mem::swap(&mut self.pending, &mut self.scratch);
+        for i in 0..self.scratch.len() {
+            let key = self.scratch[i];
+            let Some(c) = self.conns.get_mut(&key) else {
+                continue;
+            };
+            c.pending_ack = false;
+            let Some(next) = stack
+                .sock_by_quad(key.server_quad())
+                .and_then(|s| stack.tcb(s))
+                .map(|t| t.rcv_nxt())
+            else {
+                continue;
+            };
+            let progress = next.distance(c.last_acked_next);
+            if progress <= 0 {
+                continue;
+            }
+            if force || progress as u128 >= x_threshold as u128 {
+                out.push((key, next, c.prev_acked_next));
+                c.prev_acked_next = c.last_acked_next;
+                c.last_acked_next = next;
+            } else if !c.deferred {
+                c.deferred = true;
+                self.deferred.push(key);
+            }
+        }
+        self.scratch.clear();
+        if force {
+            std::mem::swap(&mut self.deferred, &mut self.scratch);
+            for i in 0..self.scratch.len() {
+                let key = self.scratch[i];
+                let Some(c) = self.conns.get_mut(&key) else {
+                    continue;
+                };
+                c.deferred = false;
+                let Some(next) = stack
+                    .sock_by_quad(key.server_quad())
+                    .and_then(|s| stack.tcb(s))
+                    .map(|t| t.rcv_nxt())
+                else {
+                    continue;
+                };
+                let progress = next.distance(c.last_acked_next);
+                if progress <= 0 {
+                    continue;
+                }
+                out.push((key, next, c.prev_acked_next));
+                c.prev_acked_next = c.last_acked_next;
+                c.last_acked_next = next;
+            }
+            self.scratch.clear();
+        }
+    }
+
+    /// Total bytes this node's shadows trail the primary's cumulative
+    /// ACKs — zero means shadow-consistent, hence promotion-eligible.
+    pub fn lag(&self, stack: &NetStack) -> u64 {
+        self.conns
+            .iter()
+            .filter_map(|(key, c)| {
+                let primary_ack = c.highest_primary_ack?;
+                let tcb = stack.sock_by_quad(key.server_quad()).and_then(|s| stack.tcb(s))?;
+                let gap = primary_ack.distance(tcb.ack_seq());
+                (gap > 0).then_some(gap as u64)
+            })
+            .sum()
+    }
+
+    /// The unhealed gaps, as logger-query windows.
+    pub fn gaps(&self, stack: &NetStack, out: &mut Vec<Gap>) {
+        for (&key, c) in &self.conns {
+            let Some(primary_ack) = c.highest_primary_ack else {
+                continue;
+            };
+            let Some(tcb) = stack.sock_by_quad(key.server_quad()).and_then(|s| stack.tcb(s)) else {
+                continue;
+            };
+            if primary_ack.gt(tcb.ack_seq()) {
+                out.push((key, tcb.rcv_nxt(), primary_ack));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key(p: u16) -> ConnKey {
+        ConnKey {
+            client_ip: Ipv4Addr::new(10, 1, 0, 1),
+            client_port: p,
+            server_ip: Ipv4Addr::new(10, 0, 0, 100),
+            server_port: 80,
+        }
+    }
+
+    #[test]
+    fn untracked_primary_ack_reports_bootstrap_needed() {
+        let mut t = CatchupTracker::new();
+        assert!(!t.on_primary_ack(key(1), SeqNum(100)));
+        t.register(key(1), SeqNum(1));
+        assert!(t.on_primary_ack(key(1), SeqNum(100)));
+        assert!(t.knows(key(1)));
+    }
+
+    #[test]
+    fn primary_ack_is_monotone() {
+        let mut t = CatchupTracker::new();
+        t.register(key(1), SeqNum(1));
+        t.on_primary_ack(key(1), SeqNum(500));
+        t.on_primary_ack(key(1), SeqNum(100)); // reordered tap frame
+        let c = t.conns[&key(1)];
+        assert_eq!(c.highest_primary_ack, Some(SeqNum(500)));
+    }
+
+    #[test]
+    fn ack_collection_tracks_prev_release_point() {
+        // Pure-tracker test: drive the bookkeeping without a stack by
+        // exercising the state transitions directly.
+        let mut t = CatchupTracker::new();
+        t.register(key(1), SeqNum(1));
+        let c = t.conns.get_mut(&key(1)).unwrap();
+        assert_eq!(c.last_acked_next, SeqNum(1));
+        assert_eq!(c.prev_acked_next, SeqNum(1), "both release points start at the stream base");
+    }
+}

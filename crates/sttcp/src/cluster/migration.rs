@@ -1,0 +1,209 @@
+//! Planned migration: `drain_and_handover()` between a *healthy*
+//! primary and its designated successor.
+//!
+//! Crash takeover is reactive: the successor waits out a detection
+//! window and promotes into whatever state its shadow holds. Planned
+//! migration inverts that — the primary itself fences its service at
+//! a moment of its choosing, but only after the successor has proven
+//! it is shadow-consistent, so the client-visible pause collapses to
+//! one side-channel round trip:
+//!
+//! ```text
+//!  primary                                 successor (rank r)
+//!     | -- Drain{epoch+r, r} ------------------>|   (per tick until ready)
+//!     |     ...successor closes residual lag...  |
+//!     |<------------------ DrainReady{r, epoch+r}|
+//!     | -- Handover{epoch+r} ------------------>|
+//!     |  suppress VIP, retire                   |  unsuppress VIP, epoch+r
+//! ```
+//!
+//! The epoch carried in `Drain` is computed with the same
+//! epoch-by-rank rule as a crash promotion
+//! ([`super::Topology::promoted`]), so a node that learns of the
+//! handover via heartbeat instead of `Handover` adopts the identical
+//! topology. The retiring primary keeps its retention buffers and
+//! keeps answering missing-segment requests — that is the "residual
+//! retained bytes" transfer: whatever the surviving backups still
+//! miss, they pull from it after the switch.
+
+use netsim::SimTime;
+
+/// Primary-side drain progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainPhase {
+    /// No migration scheduled or underway.
+    Idle,
+    /// Announcing `Drain` each tick, waiting for `DrainReady`.
+    Draining,
+    /// `Handover` sent; this node has retired.
+    HandedOver,
+}
+
+/// Primary-side coordinator. Owns the schedule and the phase; the
+/// engine supplies topology and transport.
+#[derive(Debug, Clone, Copy)]
+pub struct DrainCoordinator {
+    scheduled: Option<(SimTime, u8)>,
+    phase: DrainPhase,
+    /// The handover epoch (base epoch + successor rank), fixed when
+    /// the drain starts so a concurrent crash promotion cannot
+    /// retarget it mid-flight.
+    epoch: u32,
+    successor_rank: u8,
+}
+
+impl DrainCoordinator {
+    /// An idle coordinator.
+    pub fn new() -> Self {
+        DrainCoordinator { scheduled: None, phase: DrainPhase::Idle, epoch: 0, successor_rank: 0 }
+    }
+
+    /// Schedules `drain_and_handover()` to the rank-`successor_rank`
+    /// backup at `at`.
+    pub fn schedule(&mut self, at: SimTime, successor_rank: u8) {
+        assert!(successor_rank >= 1, "the successor must be a backup rank");
+        self.scheduled = Some((at, successor_rank));
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> DrainPhase {
+        self.phase
+    }
+
+    /// The epoch the successor will serve under (valid once draining).
+    pub fn handover_epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// The designated successor's rank (valid once draining).
+    pub fn successor_rank(&self) -> u8 {
+        self.successor_rank
+    }
+
+    /// Tick: returns `Some(successor_rank)` while the drain is active
+    /// (the engine re-announces `Drain` every tick — the side channel
+    /// is lossy). Starts the drain when the scheduled instant passes;
+    /// returns whether this call started it via the second flag.
+    pub fn on_tick(&mut self, now: SimTime, base_epoch: u32) -> (Option<u8>, bool) {
+        let mut started = false;
+        if let Some((at, rank)) = self.scheduled {
+            if now >= at && self.phase == DrainPhase::Idle {
+                self.phase = DrainPhase::Draining;
+                self.successor_rank = rank;
+                self.epoch = base_epoch + u32::from(rank);
+                self.scheduled = None;
+                started = true;
+            }
+        }
+        match self.phase {
+            DrainPhase::Draining => (Some(self.successor_rank), started),
+            _ => (None, started),
+        }
+    }
+
+    /// `DrainReady` arrived. Returns true when it matches the active
+    /// drain — the engine then sends `Handover` and retires.
+    pub fn on_drain_ready(&mut self, rank: u8, epoch: u32) -> bool {
+        if self.phase != DrainPhase::Draining || rank != self.successor_rank || epoch != self.epoch
+        {
+            return false;
+        }
+        self.phase = DrainPhase::HandedOver;
+        true
+    }
+}
+
+impl Default for DrainCoordinator {
+    fn default() -> Self {
+        DrainCoordinator::new()
+    }
+}
+
+/// Successor-side follower: remembers the drain it accepted and
+/// validates the handover against it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DrainFollower {
+    /// `(epoch, own rank)` of the accepted drain.
+    pending: Option<(u32, u8)>,
+}
+
+impl DrainFollower {
+    /// An idle follower.
+    pub fn new() -> Self {
+        DrainFollower::default()
+    }
+
+    /// A `Drain` arrived naming this node (rank `my_rank`). Accepts it
+    /// when the epoch matches the epoch-by-rank rule for this rank.
+    pub fn on_drain(
+        &mut self,
+        my_rank: u8,
+        base_epoch: u32,
+        epoch: u32,
+        successor_rank: u8,
+    ) -> bool {
+        if successor_rank != my_rank || epoch != base_epoch + u32::from(my_rank) {
+            return false;
+        }
+        let fresh = self.pending != Some((epoch, my_rank));
+        self.pending = Some((epoch, my_rank));
+        fresh
+    }
+
+    /// Whether a drain is pending; the engine answers `DrainReady`
+    /// each tick while eligible (lag zero).
+    pub fn pending(&self) -> Option<(u32, u8)> {
+        self.pending
+    }
+
+    /// `Handover` arrived. Returns the epoch to promote under when it
+    /// matches the pending drain; clears the pending state either way
+    /// (a mismatched handover belongs to a reign this node already
+    /// left behind).
+    pub fn on_handover(&mut self, epoch: u32) -> Option<u32> {
+        let matched = self.pending.map(|(e, _)| e == epoch).unwrap_or(false);
+        self.pending = None;
+        matched.then_some(epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn coordinator_walks_idle_draining_handed_over() {
+        let mut c = DrainCoordinator::new();
+        c.schedule(t(100), 1);
+        assert_eq!(c.on_tick(t(50), 7), (None, false), "not due yet");
+        let (announce, started) = c.on_tick(t(100), 7);
+        assert_eq!(announce, Some(1));
+        assert!(started, "exactly one tick reports the start");
+        assert_eq!(c.handover_epoch(), 8, "epoch-by-rank: 7 + rank 1");
+        let (again, started_again) = c.on_tick(t(150), 7);
+        assert_eq!(again, Some(1), "re-announces until ready");
+        assert!(!started_again);
+        assert!(!c.on_drain_ready(2, 8), "wrong rank refused");
+        assert!(!c.on_drain_ready(1, 9), "wrong epoch refused");
+        assert!(c.on_drain_ready(1, 8));
+        assert_eq!(c.phase(), DrainPhase::HandedOver);
+        assert!(!c.on_drain_ready(1, 8), "handover happens once");
+    }
+
+    #[test]
+    fn follower_validates_epoch_by_rank() {
+        let mut f = DrainFollower::new();
+        assert!(!f.on_drain(2, 7, 8, 1), "drain names rank 1, we are rank 2");
+        assert!(!f.on_drain(2, 7, 8, 2), "epoch must be base + rank");
+        assert!(f.on_drain(2, 7, 9, 2));
+        assert!(!f.on_drain(2, 7, 9, 2), "re-announcement is not fresh");
+        assert_eq!(f.on_handover(3), None, "stale handover epoch refused");
+        assert!(f.on_drain(2, 7, 9, 2), "cleared state accepts the drain anew");
+        assert_eq!(f.on_handover(9), Some(9));
+    }
+}

@@ -1,0 +1,130 @@
+//! The replication-topology descriptor: an epoch plus a rank-ordered
+//! member list.
+//!
+//! Rank 0 is the serving primary; ranks 1..N are backups in
+//! deterministic promotion order. The whole list (with the epoch) rides
+//! on every [`crate::messages::SideMsg::ClusterHb`], so every member —
+//! and every late joiner — always knows who takes over next without
+//! any election round.
+//!
+//! # The epoch-by-rank rule
+//!
+//! Promoting the rank-`r` member produces `epoch + r` and the member
+//! suffix `members[r..]`. Because the epoch advances by exactly the
+//! number of members removed, *any* cascade path that ends at the same
+//! surviving suffix computes the same epoch: if B1 promotes (epoch+1)
+//! and then dies so B2 promotes again (epoch+1+1), B2 lands on the
+//! same `(epoch+2, members[2..])` it would have computed promoting
+//! directly past both corpses. Equal epochs therefore imply identical
+//! topologies, and "higher epoch wins" is a complete, tie-break-free
+//! adoption rule.
+
+use std::net::Ipv4Addr;
+
+/// See the module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    epoch: u32,
+    members: Vec<Ipv4Addr>,
+}
+
+impl Topology {
+    /// An epoch-0 topology. Panics on an empty or duplicated member
+    /// list — both are configuration errors, not runtime states.
+    pub fn new(members: Vec<Ipv4Addr>) -> Self {
+        Topology::with_epoch(0, members)
+    }
+
+    /// A topology at an explicit epoch (adoption from a heartbeat).
+    pub fn with_epoch(epoch: u32, members: Vec<Ipv4Addr>) -> Self {
+        assert!(!members.is_empty(), "a topology needs at least a primary");
+        let mut uniq = members.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), members.len(), "duplicate member in topology");
+        Topology { epoch, members }
+    }
+
+    /// The reign counter. Strictly higher epochs supersede.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// All members, rank order (index = rank).
+    pub fn members(&self) -> &[Ipv4Addr] {
+        &self.members
+    }
+
+    /// The serving primary (rank 0).
+    pub fn primary(&self) -> Ipv4Addr {
+        self.members[0]
+    }
+
+    /// The backups, promotion order (rank 1 first).
+    pub fn backups(&self) -> &[Ipv4Addr] {
+        &self.members[1..]
+    }
+
+    /// This member's rank, if it is one.
+    pub fn rank_of(&self, ip: Ipv4Addr) -> Option<u8> {
+        self.members.iter().position(|&m| m == ip).map(|r| r as u8)
+    }
+
+    /// The topology after the rank-`r` member takes over: epoch
+    /// advances by `r` (one per member removed), survivors are the
+    /// suffix from `r`. See the module docs for why this is
+    /// cascade-path independent.
+    pub fn promoted(&self, rank: u8) -> Topology {
+        let r = usize::from(rank);
+        assert!(r < self.members.len(), "promotion rank {rank} out of range");
+        Topology { epoch: self.epoch + u32::from(rank), members: self.members[r..].to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    fn topo3() -> Topology {
+        Topology::new(vec![ip(2), ip(3), ip(4), ip(5)])
+    }
+
+    #[test]
+    fn ranks_follow_list_order() {
+        let t = topo3();
+        assert_eq!(t.primary(), ip(2));
+        assert_eq!(t.backups(), &[ip(3), ip(4), ip(5)]);
+        assert_eq!(t.rank_of(ip(2)), Some(0));
+        assert_eq!(t.rank_of(ip(4)), Some(2));
+        assert_eq!(t.rank_of(ip(99)), None);
+    }
+
+    #[test]
+    fn promotion_drops_the_prefix_and_advances_the_epoch() {
+        let t = topo3().promoted(1);
+        assert_eq!(t.epoch(), 1);
+        assert_eq!(t.members(), &[ip(3), ip(4), ip(5)]);
+        assert_eq!(t.rank_of(ip(2)), None, "the dead primary is out");
+    }
+
+    #[test]
+    fn cascade_paths_converge_on_the_same_epoch() {
+        // Path A: B1 promotes, then B2 promotes over the fresh topology.
+        let via_b1 = topo3().promoted(1).promoted(1);
+        // Path B: B2 promotes directly past both corpses.
+        let direct = topo3().promoted(2);
+        assert_eq!(via_b1, direct);
+        assert_eq!(direct.epoch(), 2);
+        assert_eq!(direct.primary(), ip(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a primary")]
+    fn empty_topology_rejected() {
+        Topology::new(vec![]);
+    }
+}

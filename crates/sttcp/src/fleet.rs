@@ -204,7 +204,7 @@ pub fn client_ip(index: usize) -> Ipv4Addr {
 /// The four-service factory table both servers register. Keeping it in
 /// one place is what makes a migrated connection land on the same app
 /// type on the backup.
-fn add_fleet_services(node: &mut ServerNode) {
+pub(crate) fn add_fleet_services(node: &mut ServerNode) {
     // The constructor installed ECHO_PORT; append the rest.
     node.add_service(
         INTERACTIVE_PORT,

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod backup;
+pub mod cluster;
 pub mod config;
 pub mod fleet;
 pub mod messages;
@@ -56,6 +57,7 @@ pub mod primary;
 pub mod scenario;
 
 pub use backup::{BackupEngine, BackupStats};
+pub use cluster::{build_cluster, ClusterEngine, ClusterFleet, ClusterFleetSpec, ClusterRole};
 pub use config::{Fencing, SttcpConfig, TakeoverPolicy};
 pub use messages::{ConnKey, SideMsg};
 pub use node::{ClientNode, GatewayNode, ServerNode};

@@ -116,6 +116,53 @@ pub enum SideMsg {
         /// The `from` of the request being refused.
         from: u32,
     },
+    /// Cluster heartbeat: liveness *plus* the authoritative replication
+    /// topology — the epoch and the rank-ordered member list ride on
+    /// every beat, so every backup always knows the promotion order
+    /// without a separate membership protocol.
+    ClusterHb {
+        /// Monotonic sender sequence.
+        seq: u64,
+        /// Topology epoch; a higher epoch supersedes a lower one.
+        epoch: u32,
+        /// The sender's rank in `members` (0 = primary).
+        sender_rank: u8,
+        /// Rank-ordered member addresses: `members[0]` is the primary,
+        /// `members[1]` the first backup in the promotion order, …
+        members: Vec<Ipv4Addr>,
+    },
+    /// Backup → primary: one *batched* cumulative-ack message carrying
+    /// every connection whose shadow progressed since the last batch.
+    /// This is what keeps the side channel sub-linear in the backup
+    /// count: deep-chain backups coalesce per-connection acks into one
+    /// datagram per sync tick instead of one per connection.
+    AckBatch {
+        /// The sender's rank in the current topology.
+        rank: u8,
+        /// `(connection, NextByteExpected)` pairs.
+        entries: Vec<(ConnKey, u32)>,
+    },
+    /// Primary → designated successor: planned migration begins — the
+    /// primary is draining and will hand the VIP over.
+    Drain {
+        /// Epoch the handover will establish (current + 1).
+        epoch: u32,
+        /// Rank of the backup designated to take over.
+        successor_rank: u8,
+    },
+    /// Successor → primary: shadow state is caught up; safe to fence.
+    DrainReady {
+        /// The responder's rank.
+        rank: u8,
+        /// Echo of the drain epoch being acknowledged.
+        epoch: u32,
+    },
+    /// Primary → successor: the primary has fenced itself (VIP egress
+    /// suppressed); the successor owns the VIP as of this message.
+    Handover {
+        /// The epoch the successor's reign begins with.
+        epoch: u32,
+    },
 }
 
 impl SideMsg {
@@ -139,6 +186,19 @@ impl SideMsg {
             SideMsg::MissingNack { conn, from } => {
                 (K::MissingNack, Some(conn.trace_conn()), u64::from(*from), 0)
             }
+            SideMsg::ClusterHb { seq, members, .. } => {
+                (K::ClusterHb, None, *seq, members.len() as u32)
+            }
+            SideMsg::AckBatch { rank, entries } => {
+                (K::AckBatch, None, u64::from(*rank), entries.len() as u32)
+            }
+            SideMsg::Drain { epoch, successor_rank } => {
+                (K::Drain, None, u64::from(*epoch), u32::from(*successor_rank))
+            }
+            SideMsg::DrainReady { rank, epoch } => {
+                (K::DrainReady, None, u64::from(*epoch), u32::from(*rank))
+            }
+            SideMsg::Handover { epoch } => (K::Handover, None, u64::from(*epoch), 0),
         }
     }
 }
@@ -148,6 +208,11 @@ const TAG_BACKUP_ACK: u8 = 2;
 const TAG_MISSING_REQ: u8 = 3;
 const TAG_MISSING_DATA: u8 = 4;
 const TAG_MISSING_NACK: u8 = 5;
+const TAG_CLUSTER_HB: u8 = 6;
+const TAG_ACK_BATCH: u8 = 7;
+const TAG_DRAIN: u8 = 8;
+const TAG_DRAIN_READY: u8 = 9;
+const TAG_HANDOVER: u8 = 10;
 
 fn put_key(buf: &mut BytesMut, key: &ConnKey) {
     buf.put_slice(&key.client_ip.octets());
@@ -198,6 +263,41 @@ impl SideMsg {
                 put_key(&mut buf, conn);
                 buf.put_u32(*from);
             }
+            SideMsg::ClusterHb { seq, epoch, sender_rank, members } => {
+                buf.put_u8(TAG_CLUSTER_HB);
+                buf.put_u64(*seq);
+                buf.put_u32(*epoch);
+                buf.put_u8(*sender_rank);
+                debug_assert!(members.len() <= u8::MAX as usize);
+                buf.put_u8(members.len() as u8);
+                for ip in members {
+                    buf.put_slice(&ip.octets());
+                }
+            }
+            SideMsg::AckBatch { rank, entries } => {
+                buf.put_u8(TAG_ACK_BATCH);
+                buf.put_u8(*rank);
+                debug_assert!(entries.len() <= u16::MAX as usize);
+                buf.put_u16(entries.len() as u16);
+                for (conn, acked_next) in entries {
+                    put_key(&mut buf, conn);
+                    buf.put_u32(*acked_next);
+                }
+            }
+            SideMsg::Drain { epoch, successor_rank } => {
+                buf.put_u8(TAG_DRAIN);
+                buf.put_u32(*epoch);
+                buf.put_u8(*successor_rank);
+            }
+            SideMsg::DrainReady { rank, epoch } => {
+                buf.put_u8(TAG_DRAIN_READY);
+                buf.put_u8(*rank);
+                buf.put_u32(*epoch);
+            }
+            SideMsg::Handover { epoch } => {
+                buf.put_u8(TAG_HANDOVER);
+                buf.put_u32(*epoch);
+            }
         }
         buf.freeze()
     }
@@ -246,6 +346,65 @@ impl SideMsg {
                 }
                 Some(SideMsg::MissingNack { conn, from: raw.get_u32() })
             }
+            TAG_CLUSTER_HB => {
+                if raw.len() < 14 {
+                    return None;
+                }
+                let seq = raw.get_u64();
+                let epoch = raw.get_u32();
+                let sender_rank = raw.get_u8();
+                let count = raw.get_u8() as usize;
+                if raw.len() < count * 4 {
+                    return None;
+                }
+                let mut members = Vec::with_capacity(count);
+                for _ in 0..count {
+                    members.push(Ipv4Addr::new(
+                        raw.get_u8(),
+                        raw.get_u8(),
+                        raw.get_u8(),
+                        raw.get_u8(),
+                    ));
+                }
+                Some(SideMsg::ClusterHb { seq, epoch, sender_rank, members })
+            }
+            TAG_ACK_BATCH => {
+                if raw.len() < 3 {
+                    return None;
+                }
+                let rank = raw.get_u8();
+                let count = raw.get_u16() as usize;
+                if raw.len() < count * 16 {
+                    return None;
+                }
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let conn = get_key(&mut raw)?;
+                    if raw.len() < 4 {
+                        return None;
+                    }
+                    entries.push((conn, raw.get_u32()));
+                }
+                Some(SideMsg::AckBatch { rank, entries })
+            }
+            TAG_DRAIN => {
+                if raw.len() < 5 {
+                    return None;
+                }
+                Some(SideMsg::Drain { epoch: raw.get_u32(), successor_rank: raw.get_u8() })
+            }
+            TAG_DRAIN_READY => {
+                if raw.len() < 5 {
+                    return None;
+                }
+                Some(SideMsg::DrainReady { rank: raw.get_u8(), epoch: raw.get_u32() })
+            }
+            TAG_HANDOVER => {
+                if raw.len() < 4 {
+                    return None;
+                }
+                Some(SideMsg::Handover { epoch: raw.get_u32() })
+            }
             _ => None,
         }
     }
@@ -272,10 +431,70 @@ mod tests {
             SideMsg::MissingReq { conn: key(), from: 100, len: 4096 },
             SideMsg::MissingData { conn: key(), seq: 100, data: Bytes::from_static(b"payload") },
             SideMsg::MissingNack { conn: key(), from: 100 },
+            SideMsg::ClusterHb {
+                seq: 7,
+                epoch: 3,
+                sender_rank: 0,
+                members: vec![
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    Ipv4Addr::new(10, 0, 0, 3),
+                    Ipv4Addr::new(10, 0, 0, 4),
+                ],
+            },
+            SideMsg::AckBatch { rank: 2, entries: vec![(key(), 0xDEAD_BEEF), (key(), 77)] },
+            SideMsg::Drain { epoch: 9, successor_rank: 1 },
+            SideMsg::DrainReady { rank: 1, epoch: 9 },
+            SideMsg::Handover { epoch: 9 },
         ];
         for msg in msgs {
             assert_eq!(SideMsg::decode(msg.encode()), Some(msg));
         }
+    }
+
+    #[test]
+    fn cluster_hb_with_no_members_roundtrips() {
+        let msg = SideMsg::ClusterHb { seq: 1, epoch: 0, sender_rank: 0, members: vec![] };
+        assert_eq!(SideMsg::decode(msg.encode()), Some(msg));
+    }
+
+    #[test]
+    fn empty_ack_batch_roundtrips() {
+        let msg = SideMsg::AckBatch { rank: 3, entries: vec![] };
+        assert_eq!(SideMsg::decode(msg.encode()), Some(msg));
+    }
+
+    #[test]
+    fn truncated_cluster_messages_rejected() {
+        // ClusterHb claiming 3 members but carrying only 1.
+        let full = SideMsg::ClusterHb {
+            seq: 1,
+            epoch: 0,
+            sender_rank: 0,
+            members: vec![Ipv4Addr::new(10, 0, 0, 2)],
+        }
+        .encode();
+        let mut forged = full.to_vec();
+        forged[14] = 3; // member count byte (tag + seq + epoch + rank before it)
+        assert_eq!(SideMsg::decode(Bytes::from(forged)), None);
+        // AckBatch claiming an entry with no bytes behind it.
+        assert_eq!(SideMsg::decode(Bytes::from_static(&[TAG_ACK_BATCH, 0, 0, 1])), None);
+        // Truncated drain/handover family.
+        assert_eq!(SideMsg::decode(Bytes::from_static(&[TAG_DRAIN, 0, 0])), None);
+        assert_eq!(SideMsg::decode(Bytes::from_static(&[TAG_DRAIN_READY, 1])), None);
+        assert_eq!(SideMsg::decode(Bytes::from_static(&[TAG_HANDOVER, 9])), None);
+    }
+
+    #[test]
+    fn ack_batch_is_sublinear_in_connections() {
+        // One batch of k entries must undercut k standalone acks: the
+        // whole point of piggybacking is amortizing the tag byte and
+        // datagram overheads.
+        let k = 16;
+        let batch =
+            SideMsg::AckBatch { rank: 1, entries: (0..k).map(|i| (key(), i as u32)).collect() };
+        let standalone: usize =
+            (0..k).map(|i| SideMsg::BackupAck { conn: key(), acked_next: i }.encode().len()).sum();
+        assert!(batch.encode().len() < standalone);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! the management segment holding the power switch.
 
 use crate::backup::BackupEngine;
+use crate::cluster::{ClusterEngine, ClusterRole, Topology};
 use crate::config::SttcpConfig;
 use crate::messages::{ConnKey, SideMsg};
 use crate::primary::PrimaryEngine;
@@ -53,6 +54,7 @@ enum Role {
     Solo,
     Primary(PrimaryEngine),
     Backup(BackupEngine),
+    Cluster(ClusterEngine),
 }
 
 struct ConnState {
@@ -107,6 +109,12 @@ pub struct ServerNode {
     active: Vec<SockId>,
     /// Reused buffer for draining the engine's side-channel outbox.
     side_out: Vec<SideMsg>,
+    /// Reused buffer for the cluster engine's targeted outbox.
+    cluster_out: Vec<(Ipv4Addr, SideMsg)>,
+    /// The initial topology, re-applied on an amnesia reboot (cluster
+    /// role only; the rebooted node rejoins at epoch 0 and adopts the
+    /// current reign from the first heartbeat it hears).
+    cluster_topo: Option<Topology>,
     /// Times this node has booted (1 after a normal start).
     pub boot_count: u32,
     /// Accepted connections in order (diagnostics / tests).
@@ -131,6 +139,8 @@ impl ServerNode {
             tx: Vec::new(),
             active: Vec::new(),
             side_out: Vec::new(),
+            cluster_out: Vec::new(),
+            cluster_topo: None,
             boot_count: 0,
             accepted: Vec::new(),
         }
@@ -160,6 +170,8 @@ impl ServerNode {
             tx: Vec::new(),
             active: Vec::new(),
             side_out: Vec::new(),
+            cluster_out: Vec::new(),
+            cluster_topo: None,
             boot_count: 0,
             accepted: Vec::new(),
             cfg: Some(cfg),
@@ -191,6 +203,43 @@ impl ServerNode {
             tx: Vec::new(),
             active: Vec::new(),
             side_out: Vec::new(),
+            cluster_out: Vec::new(),
+            cluster_topo: None,
+            boot_count: 0,
+            accepted: Vec::new(),
+            cfg: Some(cfg),
+        }
+    }
+
+    /// A cluster-chain member (primary + N backups); the role follows
+    /// from this node's rank in `topology` (its own IP must be a
+    /// member). Side-channel datagrams are targeted per the topology,
+    /// so no peer address parameter is needed.
+    pub fn cluster(
+        stack_cfg: StackConfig,
+        cfg: SttcpConfig,
+        topology: Topology,
+        factory: AppFactory,
+    ) -> Self {
+        let x = cfg.effective_ack_threshold(stack_cfg.tcp.recv_buf);
+        let engine =
+            ClusterEngine::new(cfg.clone(), stack_cfg.ip, topology.clone(), x, SimTime::ZERO);
+        ServerNode {
+            stack: NetStack::new(stack_cfg.clone()),
+            stack_cfg,
+            role: Role::Cluster(engine),
+            peer_side_addr: None,
+            side_udp: None,
+            services: vec![(cfg.service_port, factory)],
+            conns: HashMap::new(),
+            timer: StackTimer::default(),
+            booted: false,
+            recorder: obs::nop(),
+            tx: Vec::new(),
+            active: Vec::new(),
+            side_out: Vec::new(),
+            cluster_out: Vec::new(),
+            cluster_topo: Some(topology),
             boot_count: 0,
             accepted: Vec::new(),
             cfg: Some(cfg),
@@ -226,6 +275,7 @@ impl ServerNode {
         match &mut self.role {
             Role::Primary(e) => e.set_recorder(self.recorder.clone()),
             Role::Backup(e) => e.set_recorder(self.recorder.clone()),
+            Role::Cluster(e) => e.set_recorder(self.recorder.clone()),
             Role::Solo => {}
         }
     }
@@ -246,6 +296,22 @@ impl ServerNode {
         }
     }
 
+    /// The cluster engine, if this node is a chain member.
+    pub fn cluster_engine(&self) -> Option<&ClusterEngine> {
+        match &self.role {
+            Role::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Mutable cluster engine access (scheduling a planned migration).
+    pub fn cluster_engine_mut(&mut self) -> Option<&mut ClusterEngine> {
+        match &mut self.role {
+            Role::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+
     /// Concrete application instance attached to `sock`.
     pub fn app<T: Application>(&self, sock: SockId) -> Option<&T> {
         let app: &dyn Any = self.conns.get(&sock)?.app.as_ref();
@@ -257,15 +323,22 @@ impl ServerNode {
             Role::Solo => None,
             Role::Primary(_) => self.cfg.as_ref().map(|c| c.hb_interval),
             Role::Backup(_) => self.cfg.as_ref().map(|c| c.effective_sync_time()),
+            // One tick serves every cluster role (broadcast cadence for
+            // the primary, sync/detection cadence for backups), so use
+            // the finer of the two.
+            Role::Cluster(_) => {
+                self.cfg.as_ref().map(|c| c.hb_interval.min(c.effective_sync_time()))
+            }
         }
     }
 
     /// Backup pre-inspection of raw frames: tapped primary→client
-    /// segments carry the primary's cumulative ACK.
+    /// segments carry the primary's cumulative ACK. Cluster members
+    /// share the path (the engine ignores taps unless it is a backup).
     fn inspect_tapped(&mut self, now: SimTime, frame: &Bytes) {
-        let Role::Backup(engine) = &mut self.role else {
+        if !matches!(self.role, Role::Backup(_) | Role::Cluster(_)) {
             return;
-        };
+        }
         let Some(cfg) = &self.cfg else {
             return;
         };
@@ -293,14 +366,16 @@ impl ServerNode {
             server_ip: ip.src,
             server_port: seg.src_port,
         };
-        engine.on_tapped_primary_segment(
-            now,
-            key,
-            SeqNum(seg.seq),
-            SeqNum(seg.ack),
-            seg.flags.contains(TcpFlags::SYN),
-            &mut self.stack,
-        );
+        let (seq, ack, syn) = (SeqNum(seg.seq), SeqNum(seg.ack), seg.flags.contains(TcpFlags::SYN));
+        match &mut self.role {
+            Role::Backup(engine) => {
+                engine.on_tapped_primary_segment(now, key, seq, ack, syn, &mut self.stack)
+            }
+            Role::Cluster(engine) => {
+                engine.on_tapped_primary_segment(now, key, seq, ack, syn, &mut self.stack)
+            }
+            _ => unreachable!("gated above"),
+        }
     }
 
     fn pump(&mut self, ctx: &mut Context) {
@@ -311,24 +386,38 @@ impl ServerNode {
                 let app = (self.services[si].1)();
                 self.conns.insert(sock, ConnState { app, connected: false, peer_closed: false });
                 self.accepted.push(sock);
-                if let Role::Backup(engine) = &mut self.role {
-                    if let Some(tcb) = self.stack.tcb(sock) {
-                        // Baseline at the start of the client's stream,
-                        // NOT the current rcv_nxt: when the client
-                        // piggybacks its handshake ACK on the first
-                        // request, the shadow establishes on a
-                        // data-carrying frame and rcv_nxt already covers
-                        // bytes the primary must not discard before we
-                        // acknowledge them.
-                        engine
-                            .register_conn(ConnKey::from_server_quad(tcb.quad()), tcb.irs().add(1));
+                match &mut self.role {
+                    Role::Backup(engine) => {
+                        if let Some(tcb) = self.stack.tcb(sock) {
+                            // Baseline at the start of the client's stream,
+                            // NOT the current rcv_nxt: when the client
+                            // piggybacks its handshake ACK on the first
+                            // request, the shadow establishes on a
+                            // data-carrying frame and rcv_nxt already covers
+                            // bytes the primary must not discard before we
+                            // acknowledge them.
+                            engine.register_conn(
+                                ConnKey::from_server_quad(tcb.quad()),
+                                tcb.irs().add(1),
+                            );
+                        }
                     }
+                    Role::Cluster(engine) if engine.role() == ClusterRole::Backup => {
+                        if let Some(tcb) = self.stack.tcb(sock) {
+                            engine.register_conn(
+                                ConnKey::from_server_quad(tcb.quad()),
+                                tcb.irs().add(1),
+                            );
+                        }
+                    }
+                    _ => {}
                 }
             }
         }
         // 2. Drain the side channel.
         if let Some(side) = self.side_udp {
             while let Some(dgram) = self.stack.udp_recv(side) {
+                let src_ip = dgram.src_ip;
                 let Some(msg) = SideMsg::decode(dgram.payload) else {
                     continue;
                 };
@@ -338,6 +427,7 @@ impl ServerNode {
                 match &mut self.role {
                     Role::Primary(e) => e.on_side_msg(now, msg, &mut self.stack),
                     Role::Backup(e) => e.on_side_msg(now, msg, &mut self.stack),
+                    Role::Cluster(e) => e.on_side_msg(now, src_ip, msg, &mut self.stack),
                     Role::Solo => {}
                 }
             }
@@ -351,12 +441,22 @@ impl ServerNode {
         self.stack.drain_activity(&mut active);
         // Feed receive progress to the backup's ack strategy (the engine
         // dedups; acks themselves go out in step 4).
-        if let Role::Backup(engine) = &mut self.role {
-            for &sock in &active {
-                if let Some(tcb) = self.stack.tcb(sock) {
-                    engine.note_activity(ConnKey::from_server_quad(tcb.quad()));
+        match &mut self.role {
+            Role::Backup(engine) => {
+                for &sock in &active {
+                    if let Some(tcb) = self.stack.tcb(sock) {
+                        engine.note_activity(ConnKey::from_server_quad(tcb.quad()));
+                    }
                 }
             }
+            Role::Cluster(engine) => {
+                for &sock in &active {
+                    if let Some(tcb) = self.stack.tcb(sock) {
+                        engine.note_activity(ConnKey::from_server_quad(tcb.quad()));
+                    }
+                }
+            }
+            _ => {}
         }
         let mut buf = [0u8; 4096];
         for &sock in &active {
@@ -417,8 +517,10 @@ impl ServerNode {
         active.clear();
         self.active = active;
         // 4. Event-driven backup acks (the X-threshold rule).
-        if let Role::Backup(engine) = &mut self.role {
-            engine.maybe_send_acks(&mut self.stack, false);
+        match &mut self.role {
+            Role::Backup(engine) => engine.maybe_send_acks(&mut self.stack, false),
+            Role::Cluster(engine) => engine.maybe_send_acks(&mut self.stack, false),
+            _ => {}
         }
         // 5. Flush engine messages / fencing / logger queries.
         self.flush_engine(now, ctx);
@@ -431,6 +533,40 @@ impl ServerNode {
     }
 
     fn flush_engine(&mut self, now: SimTime, ctx: &mut Context) {
+        // Cluster role first: its outbox is targeted per message, and
+        // it has no single `peer_side_addr`.
+        if let Role::Cluster(engine) = &mut self.role {
+            let Some(side) = self.side_udp else {
+                return;
+            };
+            let Some(cfg) = &self.cfg else {
+                return;
+            };
+            let port = cfg.side_channel_port;
+            let mut msgs = std::mem::take(&mut self.cluster_out);
+            msgs.clear();
+            engine.drain_outbox_into(&mut msgs);
+            for (dst, msg) in &msgs {
+                let (kind, conn, seq, len) = msg.trace_parts();
+                self.recorder
+                    .trace(now.as_nanos(), &TraceEvent::SideSend { msg: kind, conn, seq, len });
+                self.stack.udp_send(now, side, *dst, port, msg.encode());
+            }
+            msgs.clear();
+            self.cluster_out = msgs;
+            let Role::Cluster(engine) = &mut self.role else {
+                unreachable!();
+            };
+            if let Some(outlet) = engine.take_fence_request() {
+                let mac = self.stack.config().mac;
+                ctx.send_frame(MGMT, power_off_frame(mac, outlet));
+            }
+            let mac = self.stack.config().mac;
+            for query in engine.take_logger_queries() {
+                ctx.send_frame(LAN, query.to_frame(mac));
+            }
+            return;
+        }
         let Some((peer_ip, peer_port)) = self.peer_side_addr else {
             return;
         };
@@ -442,7 +578,7 @@ impl ServerNode {
         match &mut self.role {
             Role::Primary(e) => e.drain_outbox_into(&mut msgs),
             Role::Backup(e) => e.drain_outbox_into(&mut msgs),
-            Role::Solo => {}
+            Role::Solo | Role::Cluster(_) => {}
         }
         for msg in &msgs {
             let (kind, conn, seq, len) = msg.trace_parts();
@@ -487,6 +623,15 @@ impl Node for ServerNode {
                     let x = cfg.effective_ack_threshold(self.stack_cfg.tcp.recv_buf);
                     Role::Backup(BackupEngine::new(cfg.clone(), x, now))
                 }
+                (Role::Cluster(_), Some(cfg), _) => {
+                    // Rejoin under the *initial* topology: an amnesiac
+                    // node cannot know the current reign, so it comes
+                    // back at epoch 0 and adopts whatever higher epoch
+                    // the first heartbeat it hears announces.
+                    let topo = self.cluster_topo.clone().expect("cluster role keeps its topology");
+                    let x = cfg.effective_ack_threshold(self.stack_cfg.tcp.recv_buf);
+                    Role::Cluster(ClusterEngine::new(cfg.clone(), self.stack_cfg.ip, topo, x, now))
+                }
                 _ => Role::Solo,
             };
             self.apply_recorder();
@@ -524,6 +669,7 @@ impl Node for ServerNode {
                 match &mut self.role {
                     Role::Primary(e) => e.on_tick(now, &mut self.stack),
                     Role::Backup(e) => e.on_tick(now, &mut self.stack),
+                    Role::Cluster(e) => e.on_tick(now, &mut self.stack),
                     Role::Solo => {}
                 }
                 if let Some(tick) = self.tick_interval() {

@@ -112,6 +112,12 @@ impl PrimaryEngine {
             }
             // Primary-bound only; a primary never receives these.
             SideMsg::MissingData { .. } | SideMsg::MissingNack { .. } => {}
+            // Cluster-subsystem messages; the two-node engine ignores them.
+            SideMsg::ClusterHb { .. }
+            | SideMsg::AckBatch { .. }
+            | SideMsg::Drain { .. }
+            | SideMsg::DrainReady { .. }
+            | SideMsg::Handover { .. } => {}
         }
     }
 

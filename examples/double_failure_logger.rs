@@ -1,16 +1,19 @@
-//! Double-failure masking with the in-network packet logger (§3.2).
+//! Double-failure masking with the in-network packet logger (§3.2),
+//! on the cluster (N-backup) API.
 //!
-//! A tap omission makes the backup miss one client request; the
-//! side-channel recovery replies are lost too; then the primary crashes.
-//! The client will never retransmit the request (the primary ACKed it),
-//! so without help the backup can never serve it. The packet logger —
-//! an inline device that keeps recent frames in memory — replays the
-//! missing segment at takeover.
+//! A tap omission makes the rank-1 backup miss one client request; the
+//! side-channel recovery replies are lost too; then the primary
+//! crashes. The client will never retransmit the request (the primary
+//! ACKed it), so without help the backup can never serve it. The
+//! packet logger — an inline device that keeps recent frames in
+//! memory — replays the missing segment at takeover, and the cluster
+//! engine gates its promotion on that catch-up reaching lag zero.
 //!
 //! Run with: `cargo run --release --example double_failure_logger`
 
 use st_tcp::netsim::DropRule;
 use st_tcp::sttcp::prelude::*;
+use st_tcp::sttcp::{build_cluster, ClusterFleetSpec};
 use st_tcp::wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, TcpSegment, UdpDatagram};
 
 fn client_request_frame(frame: &bytes::Bytes) -> bool {
@@ -43,44 +46,44 @@ fn missing_data_reply(frame: &bytes::Bytes) -> bool {
 }
 
 fn run_once(with_logger: bool) {
-    let mut cfg = SttcpConfig::new(addrs::VIP, 80);
+    let mut spec = ClusterFleetSpec::new(1, 1)
+        .workload(Workload::Echo { requests: 100 })
+        .crash(0, SimTime::ZERO + SimDuration::from_millis(600));
+    spec.connect_spread = SimDuration::from_millis(0);
     if with_logger {
-        cfg = cfg.with_logger();
+        spec = spec.with_logger();
     }
-    let mut spec = ScenarioSpec::new(Workload::Echo { requests: 100 })
-        .st_tcp(cfg)
-        .faults(FaultSpec::crash_primary_at(SimTime::ZERO + SimDuration::from_millis(600)));
-    spec.with_logger = with_logger;
-    let mut scenario = build(&spec);
-    let backup = scenario.backup.unwrap();
+    let mut fleet = build_cluster(&spec);
+    let backup = fleet.servers[1];
     // The double failure: request #41 never reaches the backup's tap...
-    scenario.sim.add_ingress_drop(backup, DropRule::window(40, 1, client_request_frame));
+    fleet.sim.add_ingress_drop(backup, DropRule::window(40, 1, client_request_frame));
     // ...and the primary's side-channel recovery replies are lost too.
-    scenario.sim.add_ingress_drop(backup, DropRule::all(missing_data_reply));
+    fleet.sim.add_ingress_drop(backup, DropRule::all(missing_data_reply));
 
     let deadline = SimTime::ZERO + SimDuration::from_secs(30);
-    while scenario.sim.now() < deadline && !scenario.client().unwrap().is_done() {
-        scenario.sim.run_for(SimDuration::from_millis(50));
+    while fleet.sim.now() < deadline && !fleet.client_app(0).is_done() {
+        fleet.sim.run_for(SimDuration::from_millis(50));
     }
-    let m = &scenario.client().unwrap().metrics;
-    let eng = scenario.backup().unwrap();
+    let done = fleet.client_app(0).is_done();
+    let m = &fleet.client_app(0).metrics;
     println!(
         "logger={:<5}  completed={:<5}  clean={:<5}  responses={:>3}/100  logger_replay_queries={}",
         with_logger,
-        scenario.client().unwrap().is_done(),
+        done,
         m.verified_clean(),
         m.latencies.len(),
-        eng.stats.logger_queries,
+        fleet.engine(1).stats.logger_queries,
     );
     if with_logger {
-        assert!(scenario.client().unwrap().is_done(), "logger must mask the double failure");
+        assert!(done, "logger must mask the double failure");
+        assert!(fleet.engine(1).has_taken_over(), "rank 1 serves the tail of the workload");
     } else {
-        assert!(!scenario.client().unwrap().is_done(), "without the logger the service stalls");
+        assert!(!done, "without the logger the service stalls");
     }
 }
 
 fn main() {
-    println!("Omission + crash double failure (paper §3.2):\n");
+    println!("Omission + crash double failure (paper §3.2), cluster engine:\n");
     run_once(false);
     run_once(true);
     println!("\nWithout the logger the backup is stuck one request behind forever;");
