@@ -37,7 +37,7 @@
 //! report file.
 
 use apps::Workload;
-use netsim::{SimDuration, SimTime};
+use netsim::{LinkProfile, SimDuration, SimTime};
 use std::cell::Cell;
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -47,6 +47,7 @@ use sttcp::fleet::{self, FleetSpec};
 use sttcp::scenario::{build, FaultSpec, RunLimits, ScenarioSpec};
 use sttcp::{build_cluster, ClusterFleetSpec};
 use sttcp_bench::{quick_mode, st_cfg, Table};
+use tcpstack::CongestionAlgo;
 use wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, UdpDatagram};
 
 struct Case {
@@ -75,6 +76,90 @@ fn run_fleet_case(name: &'static str, clients: usize) -> Case {
     assert!(f.verified_clean(), "{name}: byte-stream verification failed");
     let events = f.sim.trace().events_processed;
     Case { name, wall_s, events, events_per_s: events as f64 / wall_s }
+}
+
+/// One WAN-profile congestion case: virtual completion time is the
+/// deterministic regression metric (controller behaviour), wall time
+/// the simulator-throughput one.
+struct WanCase {
+    name: &'static str,
+    completion_s: f64,
+    wall_s: f64,
+    events: u64,
+}
+
+/// 20 MB bulk on `wan_high_bdp` with scaled windows and SACK — the
+/// controller comparison surface (same setup as the
+/// `wan_congestion` acceptance test in `sttcp`).
+fn wan_bulk_spec(algo: CongestionAlgo) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(Workload::bulk_mb(20))
+        .link_profile(LinkProfile::WanHighBdp)
+        .congestion(algo)
+        .with_sack();
+    spec.tcp.recv_buf = 2 << 20;
+    spec.tcp.send_buf = 4 << 20;
+    spec.tcp.window_scale = Some(6);
+    spec
+}
+
+/// ST-TCP failover mid-bulk on `wan_high_bdp`: crash the primary at
+/// 700 ms with the congestion mirror on, measure end-to-end completion.
+fn wan_failover_spec() -> ScenarioSpec {
+    let mut spec = wan_bulk_spec(CongestionAlgo::Cubic)
+        .st_tcp(st_cfg(SimDuration::from_millis(50)).with_cong_sync())
+        .faults(FaultSpec::crash_primary_at(SimTime::ZERO + SimDuration::from_millis(700)));
+    spec.workload = Workload::bulk_mb(5);
+    spec
+}
+
+fn run_wan_case(name: &'static str, spec: &ScenarioSpec) -> WanCase {
+    let mut scenario = build(spec);
+    let start = Instant::now();
+    let metrics = scenario.run(RunLimits::time(SimDuration::from_secs(600))).expect_completed();
+    let wall_s = start.elapsed().as_secs_f64();
+    assert!(metrics.verified_clean(), "{name}: byte-stream verification failed");
+    WanCase {
+        name,
+        completion_s: metrics.total_time().expect("completed").as_secs_f64(),
+        wall_s,
+        events: scenario.sim.trace().events_processed,
+    }
+}
+
+fn run_wan_cases() -> Vec<WanCase> {
+    let cases = vec![
+        run_wan_case("wan_bdp_reno", &wan_bulk_spec(CongestionAlgo::Reno)),
+        run_wan_case("wan_bdp_cubic", &wan_bulk_spec(CongestionAlgo::Cubic)),
+        run_wan_case("wan_bdp_bbr", &wan_bulk_spec(CongestionAlgo::Bbr)),
+        run_wan_case("failover_wan", &wan_failover_spec()),
+    ];
+    // The redesign's reason to exist: modern controllers must beat Reno
+    // once the receive window stops binding.
+    let secs = |name: &str| cases.iter().find(|c| c.name == name).unwrap().completion_s;
+    assert!(
+        secs("wan_bdp_cubic") < secs("wan_bdp_reno") && secs("wan_bdp_bbr") < secs("wan_bdp_reno"),
+        "CUBIC ({:.2}s) and BBR ({:.2}s) must beat Reno ({:.2}s) on wan_high_bdp",
+        secs("wan_bdp_cubic"),
+        secs("wan_bdp_bbr"),
+        secs("wan_bdp_reno"),
+    );
+    cases
+}
+
+fn json_wan(cases: &[WanCase]) -> String {
+    let mut s = String::from("{");
+    for (i, c) in cases.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(
+            s,
+            "\"{}\": {{\"completion_s\": {:.3}, \"wall_s\": {:.3}, \"events\": {}}}",
+            c.name, c.completion_s, c.wall_s, c.events
+        );
+    }
+    s.push('}');
+    s
 }
 
 /// One fault-free cluster run's side-channel economy.
@@ -192,6 +277,13 @@ fn wall_of(section: &str, case: &str) -> Option<f64> {
     section[i..].split([',', '}']).next()?.trim().parse().ok()
 }
 
+/// Extracts `completion_s` for one case from a one-line `wan` section.
+fn completion_of(section: &str, case: &str) -> Option<f64> {
+    let key = format!("\"{case}\": {{\"completion_s\": ");
+    let i = section.find(&key)? + key.len();
+    section[i..].split([',', '}']).next()?.trim().parse().ok()
+}
+
 /// `STTCP_BENCH_CHECK=<factor>` — perf-guard mode.
 fn check_factor() -> Option<f64> {
     std::env::var("STTCP_BENCH_CHECK").ok()?.parse().ok()
@@ -241,6 +333,31 @@ fn run_perf_check(factor: f64, quick: bool, path: &std::path::Path) {
                 eprintln!(
                     "perf check FAILED: {} {:.3}s > {r:.3}s x {factor} + {CHECK_SLACK_S}s",
                     c.name, c.wall_s
+                );
+                failed = true;
+            }
+            None => eprintln!("perf check skipped: no {} reference in {}", c.name, path.display()),
+        }
+    }
+    // WAN congestion guards: virtual completion time is deterministic,
+    // so one run per case suffices and the factor only needs to absorb
+    // intentional controller or link-profile tuning.
+    let wan_reference = previous_section(path, "wan");
+    for c in [
+        run_wan_case("wan_bdp_cubic", &wan_bulk_spec(CongestionAlgo::Cubic)),
+        run_wan_case("failover_wan", &wan_failover_spec()),
+    ] {
+        match wan_reference.as_deref().and_then(|s| completion_of(s, c.name)) {
+            Some(r) if c.completion_s <= r * factor => {
+                println!(
+                    "perf check ok: {} completes in {:.3}s virtual <= {r:.3}s x {factor}",
+                    c.name, c.completion_s
+                );
+            }
+            Some(r) => {
+                eprintln!(
+                    "perf check FAILED: {} completes in {:.3}s virtual > {r:.3}s x {factor}",
+                    c.name, c.completion_s
                 );
                 failed = true;
             }
@@ -369,6 +486,24 @@ fn main() {
     }
     table.emit("simperf");
 
+    // WAN congestion surface: the controller comparison the paper's LAN
+    // testbed never reaches. Virtual completion time is deterministic;
+    // the Reno-vs-modern ordering is asserted inside.
+    let wan_cases = run_wan_cases();
+    let mut wan_table = Table::new(
+        "wan_high_bdp congestion (20 MB bulk; failover: 5 MB + crash at 700 ms)",
+        &["case", "completion (virtual s)", "wall (s)", "events"],
+    );
+    for c in &wan_cases {
+        wan_table.row(vec![
+            c.name.to_string(),
+            format!("{:.2}", c.completion_s),
+            format!("{:.3}", c.wall_s),
+            c.events.to_string(),
+        ]);
+    }
+    wan_table.emit("simperf_wan");
+
     // Side-channel economy across chain lengths (virtual-time metric:
     // deterministic, so it doubles as a regression check). The naive
     // design — every backup speaking rank 1's per-connection dialect —
@@ -421,6 +556,7 @@ fn main() {
     };
 
     let side_channel = json_side_channel(&side_cases);
+    let wan = json_wan(&wan_cases);
     let current = json_section(&cases);
     let baseline = previous_section(&path, "baseline").unwrap_or_else(|| current.clone());
     let speedup = {
@@ -432,7 +568,7 @@ fn main() {
         }
     };
     let json = format!(
-        "{{\n  \"bench\": \"simperf\",\n  \"units\": {{\"wall_s\": \"seconds\", \"events_per_s\": \"simulator events per wall-clock second\", \"side_channel_overhead\": \"side-channel bytes per goodput byte (virtual time, deterministic)\"}},\n  \"baseline\": {baseline},\n  \"current\": {current},\n  \"side_channel\": {side_channel},\n  \"obs\": {obs},\n  \"bulk_100mb_speedup_vs_baseline\": {speedup:.2}\n}}\n"
+        "{{\n  \"bench\": \"simperf\",\n  \"units\": {{\"wall_s\": \"seconds\", \"events_per_s\": \"simulator events per wall-clock second\", \"side_channel_overhead\": \"side-channel bytes per goodput byte (virtual time, deterministic)\", \"completion_s\": \"virtual seconds to workload completion (deterministic)\"}},\n  \"baseline\": {baseline},\n  \"current\": {current},\n  \"wan\": {wan},\n  \"side_channel\": {side_channel},\n  \"obs\": {obs},\n  \"bulk_100mb_speedup_vs_baseline\": {speedup:.2}\n}}\n"
     );
     std::fs::write(&path, json).expect("write BENCH_simperf.json");
     println!("BENCH_simperf.json updated (bulk speedup vs baseline: {speedup:.2}x)");

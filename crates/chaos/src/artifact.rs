@@ -9,7 +9,8 @@ use crate::json::{self, Value};
 use crate::oracle::OracleKind;
 use crate::plan::{workload_from_value, workload_to_value, FaultPlan};
 use crate::run::{execute, RunReport, RunSpec};
-use netsim::SimDuration;
+use netsim::{LinkProfile, SimDuration};
+use tcpstack::CongestionAlgo;
 
 /// A self-contained failure reproducer.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +59,9 @@ impl FailureArtifact {
             ("fencing", Value::Bool(self.spec.fencing)),
             ("limit_ms", json::num(self.spec.limit.as_millis())),
             ("max_events", json::num(self.spec.max_events)),
+            ("link", Value::Str(self.spec.link.name().into())),
+            ("congestion", Value::Str(self.spec.congestion.name().into())),
+            ("sack", Value::Bool(self.spec.sack)),
             ("plan", self.spec.plan.to_value()),
             ("oracle", Value::Str(self.oracle.tag().into())),
             ("details", Value::Arr(self.details.iter().map(|d| Value::Str(d.clone())).collect())),
@@ -85,6 +89,19 @@ impl FailureArtifact {
             plan: FaultPlan::from_value(v.get("plan")?)?,
             limit: SimDuration::from_millis(v.get("limit_ms")?.as_u64()?),
             max_events: v.get("max_events")?.as_u64()?,
+            // Absent in artifacts from older engines: paper-era defaults.
+            link: match v.get("link") {
+                Some(l) => LinkProfile::from_name(l.as_str()?)?,
+                None => LinkProfile::Lan,
+            },
+            congestion: match v.get("congestion") {
+                Some(c) => CongestionAlgo::from_name(c.as_str()?)?,
+                None => CongestionAlgo::Reno,
+            },
+            sack: match v.get("sack") {
+                Some(s) => s.as_bool()?,
+                None => false,
+            },
         };
         let details = v
             .get("details")?
@@ -163,6 +180,52 @@ mod tests {
         assert!(!text.contains("\"trace\""), "absent trace must stay absent");
         let back = FailureArtifact::from_json(&text).expect("parses");
         assert_eq!(back, artifact);
+    }
+
+    #[test]
+    fn artifact_roundtrips_wan_congestion_knobs() {
+        let spec = RunSpec::new(Workload::Echo { requests: 3 }, 9, FaultPlan::new([]))
+            .on_link(LinkProfile::WanBurstLoss)
+            .with_congestion(CongestionAlgo::Cubic)
+            .with_sack();
+        let artifact = FailureArtifact {
+            spec,
+            oracle: OracleKind::Completion,
+            details: Vec::new(),
+            digest: 1,
+            obs: None,
+            trace: None,
+        };
+        let back = FailureArtifact::from_json(&artifact.to_json()).expect("parses");
+        assert_eq!(back, artifact);
+        assert_eq!(back.spec.link, LinkProfile::WanBurstLoss);
+        assert_eq!(back.spec.congestion, CongestionAlgo::Cubic);
+        assert!(back.spec.sack);
+    }
+
+    #[test]
+    fn artifact_from_an_older_engine_defaults_the_new_knobs() {
+        // Build a current artifact, then strip the new fields to mimic
+        // pre-WAN engines: parsing must fall back to paper-era defaults.
+        let spec = RunSpec::new(Workload::Echo { requests: 1 }, 2, FaultPlan::new([]));
+        let artifact = FailureArtifact {
+            spec,
+            oracle: OracleKind::Completion,
+            details: Vec::new(),
+            digest: 0,
+            obs: None,
+            trace: None,
+        };
+        let text = artifact
+            .to_json()
+            .replace("\"link\":\"lan\",", "")
+            .replace("\"congestion\":\"reno\",", "")
+            .replace("\"sack\":false,", "");
+        assert!(!text.contains("\"link\""), "field must really be gone: {text}");
+        let back = FailureArtifact::from_json(&text).expect("tolerant parse");
+        assert_eq!(back.spec.link, LinkProfile::Lan);
+        assert_eq!(back.spec.congestion, CongestionAlgo::Reno);
+        assert!(!back.spec.sack);
     }
 
     #[test]

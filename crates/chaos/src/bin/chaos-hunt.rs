@@ -2,12 +2,13 @@
 //! deliberately broken configuration, and emit replayable artifacts.
 //!
 //! ```text
-//! chaos-hunt [--smoke | --demo] [--skip-canary] [--threads N] [--replay FILE]
-//!            [--artifacts DIR]
+//! chaos-hunt [--smoke | --demo | --wan] [--skip-canary] [--threads N]
+//!            [--replay FILE] [--artifacts DIR]
 //! ```
 //!
 //! * `--smoke`     bounded campaign for CI (default).
 //! * `--demo`      the full ≥200-run campaign.
+//! * `--wan`       burst-loss WAN failover matrix (seeds × controllers).
 //! * `--replay`    replay a failure artifact JSON file and verify it
 //!                 reproduces (same oracle, same frame digest).
 //! * `--artifacts` write each failure's reproducer to DIR: the JSON
@@ -19,14 +20,20 @@
 
 use chaos::{
     broken_config_canary, demo_campaign, execute_with_pcap, measure_profile, run_campaign, shrink,
-    smoke_campaign, Campaign, FailureArtifact, OracleKind, Profile,
+    smoke_campaign, wan_burst_loss_campaign, Campaign, FailureArtifact, OracleKind, Profile,
 };
 use netsim::pcap::SharedPcap;
 use std::process::ExitCode;
 use std::time::Instant;
 
+enum Matrix {
+    Smoke,
+    Demo,
+    Wan,
+}
+
 struct Args {
-    demo: bool,
+    matrix: Matrix,
     skip_canary: bool,
     threads: usize,
     replay: Option<String>,
@@ -35,7 +42,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        demo: false,
+        matrix: Matrix::Smoke,
         skip_canary: false,
         threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
         replay: None,
@@ -44,8 +51,9 @@ fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--smoke" => args.demo = false,
-            "--demo" => args.demo = true,
+            "--smoke" => args.matrix = Matrix::Smoke,
+            "--demo" => args.matrix = Matrix::Demo,
+            "--wan" => args.matrix = Matrix::Wan,
             "--skip-canary" => args.skip_canary = true,
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
@@ -59,7 +67,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: chaos-hunt [--smoke | --demo] [--skip-canary] \
+                    "usage: chaos-hunt [--smoke | --demo | --wan] [--skip-canary] \
                      [--threads N] [--replay FILE] [--artifacts DIR]"
                 );
                 std::process::exit(0);
@@ -238,7 +246,11 @@ fn main() -> ExitCode {
     if let Some(path) = &args.replay {
         return if run_replay(path) { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
-    let campaign = if args.demo { demo_campaign() } else { smoke_campaign() };
+    let campaign = match args.matrix {
+        Matrix::Smoke => smoke_campaign(),
+        Matrix::Demo => demo_campaign(),
+        Matrix::Wan => wan_burst_loss_campaign(),
+    };
     let mut ok = run_matrix(&campaign, args.threads, args.artifacts.as_deref());
     if !args.skip_canary {
         ok &= run_canary(args.artifacts.as_deref());

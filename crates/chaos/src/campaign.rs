@@ -9,9 +9,11 @@
 use crate::plan::{FaultOp, FaultPlan, SideTarget};
 use crate::run::{execute_with_profile, measure_profile, Profile, RunReport, RunSpec};
 use apps::Workload;
+use netsim::LinkProfile;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use tcpstack::CongestionAlgo;
 
 /// A named run matrix.
 #[derive(Debug, Clone)]
@@ -42,7 +44,18 @@ impl CampaignResult {
 }
 
 fn profile_key(spec: &RunSpec) -> String {
-    format!("{:?}|{}|{}", spec.workload, spec.seed, spec.fencing)
+    // Everything that changes fault-free timing must key the profile:
+    // the same workload and seed complete at very different instants on
+    // a lossy WAN than on the paper's LAN.
+    format!(
+        "{:?}|{}|{}|{}|{}|{}",
+        spec.workload,
+        spec.seed,
+        spec.fencing,
+        spec.link.name(),
+        spec.congestion.name(),
+        spec.sack
+    )
 }
 
 /// Executes every run of `campaign` across `threads` worker threads and
@@ -198,7 +211,47 @@ pub fn smoke_campaign() -> Campaign {
     plans.push(FaultPlan::new([FaultOp::TapPartition { from_pct: 30, dur_ms: 200 }]));
     plans.push(FaultPlan::new([FaultOp::PausePrimary { at_pct: 30, dur_ms: 500 }]));
     plans.extend(innocent_plans().into_iter().take(4));
-    cross("smoke", &workloads, &seeds, &plans)
+    let mut campaign = cross("smoke", &workloads, &seeds, &plans);
+    // One burst-loss WAN failover per controller: the cheap canary for
+    // the full [`wan_burst_loss_campaign`] matrix.
+    for algo in CongestionAlgo::ALL {
+        campaign.runs.push(
+            RunSpec::new(
+                Workload::Echo { requests: 40 },
+                1,
+                FaultPlan::new([FaultOp::CrashPrimary { quantile_pct: 50 }]),
+            )
+            .on_link(LinkProfile::WanBurstLoss)
+            .with_congestion(algo)
+            .with_sack(),
+        );
+    }
+    campaign
+}
+
+/// Failover far from the paper's clean LAN: crash the primary
+/// mid-workload on the Gilbert–Elliott burst-loss WAN profile, crossing
+/// seeds × congestion controllers with SACK negotiated. Every oracle
+/// must hold while recovery itself is fighting bursty loss.
+pub fn wan_burst_loss_campaign() -> Campaign {
+    let mut runs = Vec::new();
+    for seed in [1, 2, 3] {
+        for algo in CongestionAlgo::ALL {
+            for q in [30, 70] {
+                runs.push(
+                    RunSpec::new(
+                        Workload::Echo { requests: 40 },
+                        seed,
+                        FaultPlan::new([FaultOp::CrashPrimary { quantile_pct: q }]),
+                    )
+                    .on_link(LinkProfile::WanBurstLoss)
+                    .with_congestion(algo)
+                    .with_sack(),
+                );
+            }
+        }
+    }
+    Campaign { name: "wan_burst_loss".to_string(), runs }
 }
 
 /// The intentionally-broken configuration: fencing disabled, primary
@@ -248,6 +301,26 @@ mod tests {
         let c = smoke_campaign();
         assert!(!c.runs.is_empty());
         assert!(c.runs.len() <= 40, "smoke campaign too large: {}", c.runs.len());
+    }
+
+    #[test]
+    fn smoke_campaign_covers_burst_loss_wan() {
+        let c = smoke_campaign();
+        let wan: Vec<_> = c.runs.iter().filter(|r| r.link == LinkProfile::WanBurstLoss).collect();
+        assert_eq!(wan.len(), CongestionAlgo::ALL.len());
+        assert!(wan.iter().all(|r| r.sack && r.plan.incapacitates_primary()));
+    }
+
+    #[test]
+    fn wan_burst_loss_campaign_crosses_seeds_and_controllers() {
+        let c = wan_burst_loss_campaign();
+        assert_eq!(c.runs.len(), 3 * CongestionAlgo::ALL.len() * 2);
+        assert!(c.runs.iter().all(|r| r.link == LinkProfile::WanBurstLoss && r.sack));
+        for algo in CongestionAlgo::ALL {
+            let seeds: std::collections::BTreeSet<u64> =
+                c.runs.iter().filter(|r| r.congestion == algo).map(|r| r.seed).collect();
+            assert_eq!(seeds.len(), 3, "{algo:?} must run on three seeds");
+        }
     }
 
     #[test]

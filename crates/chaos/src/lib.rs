@@ -46,7 +46,10 @@ pub mod run;
 pub mod shrink;
 
 pub use artifact::FailureArtifact;
-pub use campaign::{broken_config_canary, demo_campaign, run_campaign, smoke_campaign, Campaign};
+pub use campaign::{
+    broken_config_canary, demo_campaign, run_campaign, smoke_campaign, wan_burst_loss_campaign,
+    Campaign,
+};
 pub use cluster::{execute_cluster, ClusterRunReport, ClusterRunSpec};
 pub use oracle::{OracleKind, Violation};
 pub use plan::{FaultOp, FaultPlan, SideTarget};

@@ -16,14 +16,17 @@ use apps::Workload;
 use bytes::Bytes;
 use netsim::node::NodeId;
 use netsim::pcap::SharedPcap;
-use netsim::{DelayRule, DropRule, DuplicateRule, RuleId, SimDuration, SimTime, Simulator};
+use netsim::{
+    DelayRule, DropRule, DuplicateRule, LinkProfile, LossModel, RuleId, SimDuration, SimTime,
+    Simulator,
+};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 use sttcp::node::ServerNode;
 use sttcp::scenario::{addrs, build, RunLimits, Scenario, ScenarioSpec, StopReason};
 use sttcp::SttcpConfig;
-use tcpstack::TcpState;
+use tcpstack::{CongestionAlgo, TcpState};
 use wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, TcpFlags, TcpSegment, UdpDatagram};
 
 /// Everything one chaos run needs: base scenario knobs plus the fault
@@ -43,6 +46,13 @@ pub struct RunSpec {
     pub limit: SimDuration,
     /// Event budget for the faulted pass (runaway-loop backstop).
     pub max_events: u64,
+    /// Link characteristics on every hop (LAN reproduces the paper's
+    /// testbed; the WAN profiles stress recovery under loss and delay).
+    pub link: LinkProfile,
+    /// Congestion-control algorithm on every host.
+    pub congestion: CongestionAlgo,
+    /// Negotiate RFC 2018 SACK on every host.
+    pub sack: bool,
 }
 
 impl RunSpec {
@@ -55,6 +65,9 @@ impl RunSpec {
             plan,
             limit: SimDuration::from_secs(60),
             max_events: 20_000_000,
+            link: LinkProfile::Lan,
+            congestion: CongestionAlgo::Reno,
+            sack: false,
         }
     }
 
@@ -63,6 +76,27 @@ impl RunSpec {
     #[must_use]
     pub fn without_fencing(mut self) -> Self {
         self.fencing = false;
+        self
+    }
+
+    /// Runs every hop on `profile` (builder style).
+    #[must_use]
+    pub fn on_link(mut self, profile: LinkProfile) -> Self {
+        self.link = profile;
+        self
+    }
+
+    /// Selects the congestion-control algorithm (builder style).
+    #[must_use]
+    pub fn with_congestion(mut self, algo: CongestionAlgo) -> Self {
+        self.congestion = algo;
+        self
+    }
+
+    /// Negotiates SACK on every host (builder style).
+    #[must_use]
+    pub fn with_sack(mut self) -> Self {
+        self.sack = true;
         self
     }
 }
@@ -149,7 +183,12 @@ fn scenario_spec(spec: &RunSpec) -> ScenarioSpec {
         .closing()
         .with_logger()
         .recording()
-        .tracing_with_capacity(TRACE_RING);
+        .tracing_with_capacity(TRACE_RING)
+        .link_profile(spec.link)
+        .congestion(spec.congestion);
+    if spec.sack {
+        sc = sc.with_sack();
+    }
     if spec.fencing {
         sc = sc.with_power_switch();
     }
@@ -161,6 +200,14 @@ fn sttcp_cfg(spec: &RunSpec) -> SttcpConfig {
     let mut cfg = SttcpConfig::new(addrs::VIP, 80).with_logger();
     if spec.fencing {
         cfg = cfg.with_fencing(0);
+    }
+    if spec.link.spec().loss != LossModel::None {
+        // The paper's threshold of 3 assumes a loss-free LAN side
+        // channel. On bursty profiles a Gilbert–Elliott bad period eats
+        // several consecutive heartbeats, so the deployment provisions a
+        // larger silence budget (and mirrors congestion state, which is
+        // pointless on a LAN but saves the slow WAN window rebuild).
+        cfg = cfg.with_missed_hb_threshold(10).with_cong_sync();
     }
     cfg
 }
@@ -328,7 +375,14 @@ struct Installed {
 fn install_plan(sc: &mut Scenario, spec: &RunSpec, profile: &Profile) -> Installed {
     let side_port = sttcp_cfg(spec).side_channel_port;
     let mut incapacitated_at: Option<SimTime> = None;
-    let mut seq_check_until = SimTime::MAX;
+    // §4.1 sequence agreement assumes the tap sees what the primary
+    // sees. On lossy profiles that breaks legitimately: the hub repeats
+    // a frame onto the primary's and the backup's links, and each link
+    // draws its own loss — so the shadow can briefly *lead* the primary
+    // until the client retransmits. The oracle is only meaningful on
+    // loss-free links.
+    let mut seq_check_until =
+        if spec.link.spec().loss == LossModel::None { SimTime::MAX } else { SimTime::ZERO };
     let mut rules = Vec::new();
     let note_incapacity = |at: SimTime, until: &mut SimTime, inc: &mut Option<SimTime>| {
         *inc = Some(inc.map_or(at, |prev: SimTime| prev.min(at)));

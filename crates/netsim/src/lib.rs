@@ -80,7 +80,7 @@ pub use fault::{
     DelayRule, DropRule, DuplicateRule, IngressAction, IngressRule, RuleId, RuleStats,
 };
 pub use hub::Hub;
-pub use link::{LinkId, LinkSpec, LinkStats, LossModel};
+pub use link::{LinkId, LinkProfile, LinkSpec, LinkStats, LossModel};
 pub use logger::PacketLogger;
 pub use node::{Context, Node, NodeId, PortId};
 pub use power::PowerSwitch;

@@ -21,6 +21,20 @@ pub enum LossModel {
     /// Drop each frame independently with this probability, using the
     /// simulator's deterministic RNG.
     Rate(f64),
+    /// Two-state Gilbert–Elliott burst loss: each direction is either
+    /// *good* (lossless) or *bad* (dropping with `loss`), transitioning
+    /// per frame with the given probabilities. Models the correlated
+    /// loss bursts of congested WAN paths, where consecutive frames die
+    /// together — the regime where go-back-N recovery collapses and
+    /// SACK pays off.
+    GilbertElliott {
+        /// Per-frame probability of entering the bad state.
+        p_enter: f64,
+        /// Per-frame probability of leaving the bad state.
+        p_exit: f64,
+        /// Drop probability while in the bad state.
+        loss: f64,
+    },
 }
 
 /// Configuration for one link.
@@ -41,6 +55,10 @@ pub struct LinkSpec {
     /// Extra per-frame delivery jitter, uniform in `[0, jitter]`:
     /// models cross-traffic variance and produces genuine reordering.
     pub jitter: SimDuration,
+    /// Line rate of the *reverse* direction (B→A) when it differs from
+    /// `bandwidth_bps` — an asymmetric path (e.g. DSL-style uplink).
+    /// `None` = symmetric.
+    pub reverse_bandwidth_bps: Option<u64>,
 }
 
 impl LinkSpec {
@@ -54,6 +72,7 @@ impl LinkSpec {
             loss: LossModel::None,
             max_queue: None,
             jitter: SimDuration::ZERO,
+            reverse_bandwidth_bps: None,
         }
     }
 
@@ -66,6 +85,7 @@ impl LinkSpec {
             loss: LossModel::None,
             max_queue: None,
             jitter: SimDuration::ZERO,
+            reverse_bandwidth_bps: None,
         }
     }
 
@@ -102,13 +122,36 @@ impl LinkSpec {
         self
     }
 
+    /// Sets a different line rate for the reverse (B→A) direction
+    /// (builder style): an asymmetric path.
+    pub fn with_reverse_bandwidth_bps(mut self, bps: u64) -> Self {
+        self.reverse_bandwidth_bps = Some(bps);
+        self
+    }
+
     /// Time to clock `bytes` onto the wire at this link's rate.
     ///
     /// Ethernet overheads (preamble, inter-frame gap, minimum frame size)
     /// are folded in: frames shorter than 64 bytes are padded, and 20
     /// bytes of preamble+IFG are added, as on real Ethernet.
     pub fn serialization_time(&self, bytes: usize) -> SimDuration {
-        match self.bandwidth_bps {
+        Self::clock_time(bytes, self.bandwidth_bps)
+    }
+
+    /// Direction-aware serialization time: `end` is the transmitting
+    /// endpoint (0 = A→B, 1 = B→A). Only differs from
+    /// [`LinkSpec::serialization_time`] on asymmetric links.
+    pub fn serialization_time_dir(&self, bytes: usize, end: usize) -> SimDuration {
+        let bps = if end == 1 {
+            self.reverse_bandwidth_bps.or(self.bandwidth_bps)
+        } else {
+            self.bandwidth_bps
+        };
+        Self::clock_time(bytes, bps)
+    }
+
+    fn clock_time(bytes: usize, bandwidth_bps: Option<u64>) -> SimDuration {
+        match bandwidth_bps {
             None => SimDuration::ZERO,
             Some(bps) => {
                 let on_wire = bytes.max(64) + 20;
@@ -124,6 +167,96 @@ impl LinkSpec {
 impl Default for LinkSpec {
     fn default() -> Self {
         Self::lan()
+    }
+}
+
+/// Named link presets covering the scenario space beyond the paper's
+/// 10/100 Mbit LAN. Each maps to a [`LinkSpec`] via [`LinkProfile::spec`];
+/// the name round-trips ([`LinkProfile::from_name`]) so chaos plans and
+/// bench tables can serialize the choice and stay replayable.
+///
+/// Latencies are per hop: the standard client–switch–server topology
+/// crosses two links each way, so the RTT is 4× the value here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LinkProfile {
+    /// The calibrated 100 Mbit LAN of the paper's testbed.
+    #[default]
+    Lan,
+    /// High bandwidth-delay product WAN: 80 ms RTT at 50 Mbit/s
+    /// (BDP ≈ 500 KB) with a shallow 20 ms queue (≈ a quarter of the
+    /// BDP), so a loss backs the window off *below* the BDP and the
+    /// controller's regrowth speed — not the receive window — sets
+    /// goodput.
+    WanHighBdp,
+    /// Bufferbloat: modest rate, very deep queue. RTT inflates under
+    /// load instead of dropping, the regime BBR's model handles and
+    /// loss-based controllers do not.
+    Bufferbloat,
+    /// Delivery jitter large enough to genuinely reorder frames,
+    /// triggering spurious duplicate ACKs.
+    Reordering,
+    /// Asymmetric path: fast forward direction, 5 Mbit/s reverse — ACK
+    /// clocking is throttled by the return path.
+    Asymmetric,
+    /// Correlated burst loss (Gilbert–Elliott) on a mid-rate WAN path:
+    /// bursts take out whole windows, where go-back-N recovery is at
+    /// its worst.
+    WanBurstLoss,
+}
+
+impl LinkProfile {
+    /// Every profile, in serialization order.
+    pub const ALL: [LinkProfile; 6] = [
+        LinkProfile::Lan,
+        LinkProfile::WanHighBdp,
+        LinkProfile::Bufferbloat,
+        LinkProfile::Reordering,
+        LinkProfile::Asymmetric,
+        LinkProfile::WanBurstLoss,
+    ];
+
+    /// The profile's [`LinkSpec`].
+    pub fn spec(self) -> LinkSpec {
+        match self {
+            LinkProfile::Lan => LinkSpec::lan(),
+            LinkProfile::WanHighBdp => LinkSpec::lan()
+                .with_latency(SimDuration::from_millis(20))
+                .with_bandwidth_bps(50_000_000)
+                .with_max_queue(SimDuration::from_millis(20)),
+            LinkProfile::Bufferbloat => LinkSpec::lan()
+                .with_latency(SimDuration::from_millis(5))
+                .with_bandwidth_bps(20_000_000)
+                .with_max_queue(SimDuration::from_millis(400)),
+            LinkProfile::Reordering => LinkSpec::lan()
+                .with_latency(SimDuration::from_millis(15))
+                .with_bandwidth_bps(50_000_000)
+                .with_jitter(SimDuration::from_millis(8)),
+            LinkProfile::Asymmetric => LinkSpec::lan()
+                .with_latency(SimDuration::from_millis(10))
+                .with_bandwidth_bps(80_000_000)
+                .with_reverse_bandwidth_bps(5_000_000),
+            LinkProfile::WanBurstLoss => LinkSpec::lan()
+                .with_latency(SimDuration::from_millis(25))
+                .with_bandwidth_bps(30_000_000)
+                .with_loss(LossModel::GilbertElliott { p_enter: 0.003, p_exit: 0.2, loss: 0.6 }),
+        }
+    }
+
+    /// Stable serialization name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            LinkProfile::Lan => "lan",
+            LinkProfile::WanHighBdp => "wan_high_bdp",
+            LinkProfile::Bufferbloat => "bufferbloat",
+            LinkProfile::Reordering => "reordering",
+            LinkProfile::Asymmetric => "asymmetric",
+            LinkProfile::WanBurstLoss => "wan_burst_loss",
+        }
+    }
+
+    /// Parses a [`LinkProfile::name`] back.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == name)
     }
 }
 
@@ -201,6 +334,41 @@ mod tests {
         assert_eq!(spec.latency, SimDuration::from_millis(1));
         assert_eq!(spec.bandwidth_bps, Some(10_000_000));
         assert_eq!(spec.loss, LossModel::Rate(0.25));
+    }
+
+    #[test]
+    fn asymmetric_serialization_per_direction() {
+        let spec = LinkSpec::lan().with_reverse_bandwidth_bps(10_000_000);
+        // Forward keeps the LAN rate; reverse is 10x slower.
+        assert_eq!(spec.serialization_time_dir(1500, 0), spec.serialization_time(1500));
+        assert_eq!(
+            spec.serialization_time_dir(1500, 1).as_nanos(),
+            spec.serialization_time(1500).as_nanos() * 10
+        );
+        // Symmetric links ignore the direction.
+        let sym = LinkSpec::lan();
+        assert_eq!(sym.serialization_time_dir(1500, 1), sym.serialization_time(1500));
+    }
+
+    #[test]
+    fn profile_names_roundtrip() {
+        for p in LinkProfile::ALL {
+            assert_eq!(LinkProfile::from_name(p.name()), Some(p));
+        }
+        assert_eq!(LinkProfile::from_name("dialup"), None);
+        assert_eq!(LinkProfile::default(), LinkProfile::Lan);
+        assert_eq!(LinkProfile::Lan.spec(), LinkSpec::lan());
+    }
+
+    #[test]
+    fn profiles_are_distinct() {
+        let specs: Vec<LinkSpec> = LinkProfile::ALL.iter().map(|p| p.spec()).collect();
+        for i in 0..specs.len() {
+            for j in i + 1..specs.len() {
+                assert_ne!(specs[i], specs[j], "{i} vs {j}");
+            }
+        }
+        assert!(matches!(LinkProfile::WanBurstLoss.spec().loss, LossModel::GilbertElliott { .. }));
     }
 
     #[test]

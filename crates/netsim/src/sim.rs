@@ -34,6 +34,9 @@ struct LinkState {
     ends: [(NodeId, PortId); 2],
     stats: LinkStats,
     busy_until: [SimTime; 2],
+    /// Per-direction Gilbert–Elliott burst state (true = bad state);
+    /// only consulted by `LossModel::GilbertElliott`.
+    ge_bad: [bool; 2],
 }
 
 /// A deterministic discrete-event network simulator.
@@ -153,6 +156,7 @@ impl Simulator {
             ends: [(a, pa), (b, pb)],
             stats: LinkStats::default(),
             busy_until: [SimTime::ZERO; 2],
+            ge_bad: [false; 2],
         });
         id
     }
@@ -525,6 +529,13 @@ impl Simulator {
         let lost = match link.spec.loss {
             LossModel::None => false,
             LossModel::Rate(p) => self.rng.chance(p),
+            LossModel::GilbertElliott { p_enter, p_exit, loss } => {
+                // Advance this direction's two-state Markov chain, then
+                // draw the (state-conditional) loss.
+                let bad = &mut link.ge_bad[end];
+                *bad = if *bad { !self.rng.chance(p_exit) } else { self.rng.chance(p_enter) };
+                *bad && self.rng.chance(loss)
+            }
         };
         if lost {
             dir.dropped += 1;
@@ -546,7 +557,7 @@ impl Simulator {
             }
         }
         let start = self.now.max(link.busy_until[end]);
-        let departure = start + link.spec.serialization_time(frame.len());
+        let departure = start + link.spec.serialization_time_dir(frame.len(), end);
         link.busy_until[end] = departure;
         self.recorder.gauge_max(
             Gauge::LinkQueueDepth,
@@ -751,6 +762,58 @@ mod tests {
         assert_eq!((rx1, drop1), (rx2, drop2));
         assert_eq!(rx1 as u64 + drop1, 1000);
         assert!((200..400).contains(&drop1), "30% loss dropped {drop1}/1000");
+    }
+
+    #[test]
+    fn gilbert_elliott_loss_is_bursty_and_deterministic() {
+        let run = |seed| {
+            let mut sim = Simulator::with_seed(seed);
+            let a = sim.add_node("a", Blaster::new(5000, 64));
+            let b = sim.add_node("b", Sink { received: vec![] });
+            let l = sim.connect(
+                a,
+                PortId(0),
+                b,
+                PortId(0),
+                LinkSpec::ideal().with_loss(LossModel::GilbertElliott {
+                    p_enter: 0.02,
+                    p_exit: 0.25,
+                    loss: 1.0,
+                }),
+            );
+            sim.run_until_idle(100_000);
+            (sim.node_ref::<Sink>(b).received.len(), sim.link_stats(l).a_to_b.dropped)
+        };
+        let (rx1, drop1) = run(42);
+        let (rx2, drop2) = run(42);
+        assert_eq!((rx1, drop1), (rx2, drop2), "same seed must replay identically");
+        assert_eq!(rx1 as u64 + drop1, 5000);
+        // Stationary bad-state fraction = p_enter/(p_enter+p_exit) ≈ 7.4%,
+        // all of it lost (loss = 1.0). Allow a wide deterministic band.
+        assert!((150..800).contains(&drop1), "GE dropped {drop1}/5000");
+    }
+
+    #[test]
+    fn gilbert_elliott_state_is_per_direction() {
+        // A one-way blast must leave the reverse direction's chain alone:
+        // drops only ever appear in a_to_b.
+        let mut sim = Simulator::with_seed(9);
+        let a = sim.add_node("a", Blaster::new(1000, 64));
+        let b = sim.add_node("b", Sink { received: vec![] });
+        let l = sim.connect(
+            a,
+            PortId(0),
+            b,
+            PortId(0),
+            LinkSpec::ideal().with_loss(LossModel::GilbertElliott {
+                p_enter: 0.05,
+                p_exit: 0.3,
+                loss: 1.0,
+            }),
+        );
+        sim.run_until_idle(100_000);
+        assert!(sim.link_stats(l).a_to_b.dropped > 0);
+        assert_eq!(sim.link_stats(l).b_to_a.dropped, 0);
     }
 
     #[test]

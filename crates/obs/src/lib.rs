@@ -120,6 +120,13 @@ obs_enum! {
         CatchupReplays => "catchup_replays",
         /// Planned migrations completed (drain → handover).
         PlannedMigrations => "planned_migrations",
+        /// SACK blocks attached to outgoing ACKs (RFC 2018 receiver side).
+        SackBlocksSent => "sack_blocks_sent",
+        /// Retransmissions that skipped SACKed ranges instead of
+        /// resending the whole window (scoreboard-driven recovery).
+        SelectiveRetransmits => "selective_retransmits",
+        /// Congestion-state mirror messages sent over the side channel.
+        CongSyncsSent => "cong_syncs_sent",
     }
 }
 
@@ -140,6 +147,8 @@ obs_enum! {
         /// Peak catch-up lag in bytes: how far a backup's shadow trailed
         /// the primary's cumulative ack before reaching eligibility.
         CatchupLagBytes => "catchup_lag_bytes",
+        /// Peak congestion window in bytes, across all connections.
+        CwndBytes => "cwnd_bytes",
     }
 }
 

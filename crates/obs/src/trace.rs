@@ -172,6 +172,8 @@ named_enum! {
         DrainReady => "drain_ready",
         /// VIP ownership transfer concluding a planned migration.
         Handover => "handover",
+        /// Primary→backup congestion-state mirror (cwnd/ssthresh).
+        CongSync => "cong_sync",
     }
 }
 
@@ -313,6 +315,20 @@ pub enum TraceEvent {
         /// Topology epoch the migration establishes.
         epoch: u32,
     },
+    /// A congestion controller changed phase (e.g. slow start →
+    /// avoidance, startup → probe-bw).
+    CongPhase {
+        /// The connection.
+        conn: TraceConn,
+        /// The controller algorithm ("reno", "cubic", "bbr").
+        algo: Cow<'static, str>,
+        /// Phase before the transition.
+        from: Cow<'static, str>,
+        /// Phase after the transition.
+        to: Cow<'static, str>,
+        /// Congestion window (bytes) after the transition.
+        cwnd: u32,
+    },
     /// Wire summary: one TCP segment emitted by a stack.
     WireData {
         /// The connection.
@@ -344,6 +360,7 @@ impl TraceEvent {
             TraceEvent::FaultRule { .. } => "fault_rule",
             TraceEvent::NodePower { .. } => "node_power",
             TraceEvent::PlannedMigration { .. } => "planned_migration",
+            TraceEvent::CongPhase { .. } => "cong_phase",
             TraceEvent::WireData { .. } => "wire_data",
         }
     }
@@ -355,6 +372,7 @@ impl TraceEvent {
             | TraceEvent::ShadowResync { conn, .. }
             | TraceEvent::RtoFired { conn, .. }
             | TraceEvent::FirstByte { conn }
+            | TraceEvent::CongPhase { conn, .. }
             | TraceEvent::WireData { conn, .. } => Some(*conn),
             TraceEvent::SideSend { conn, .. } | TraceEvent::SideRecv { conn, .. } => *conn,
             _ => None,
@@ -397,6 +415,9 @@ impl TraceEvent {
             TraceEvent::NodePower { node, what } => format!("power: {} {}", what.name(), node),
             TraceEvent::PlannedMigration { phase, epoch } => {
                 format!("MIGRATION {} (epoch {epoch})", phase.name())
+            }
+            TraceEvent::CongPhase { conn, algo, from, to, cwnd } => {
+                format!("cc {algo} {from} -> {to} cwnd={cwnd}  [{conn}]")
             }
             TraceEvent::WireData { conn, seq, len, flags } => {
                 format!("wire {} seq={seq} len={len}  [{conn}]", flag_str(*flags))
@@ -727,6 +748,13 @@ fn write_event(out: &mut String, e: &TracedEvent) {
             kv_str(out, "phase", phase.name());
             kv_num(out, "epoch", u64::from(*epoch));
         }
+        TraceEvent::CongPhase { conn, algo, from, to, cwnd } => {
+            kv_str(out, "conn", &conn.to_string());
+            kv_str(out, "algo", algo);
+            kv_str(out, "from", from);
+            kv_str(out, "to", to);
+            kv_num(out, "cwnd", u64::from(*cwnd));
+        }
         TraceEvent::WireData { conn, seq, len, flags } => {
             kv_str(out, "conn", &conn.to_string());
             kv_num(out, "seq", u64::from(*seq));
@@ -1020,6 +1048,13 @@ fn parse_event(v: &JVal) -> Result<TracedEvent, TraceParseError> {
                 .and_then(MigrationPhase::from_name)
                 .ok_or_else(|| err("phase"))?,
             epoch: num("epoch")? as u32,
+        },
+        "cong_phase" => TraceEvent::CongPhase {
+            conn: conn("conn")?,
+            algo: Cow::Owned(string("algo")?),
+            from: Cow::Owned(string("from")?),
+            to: Cow::Owned(string("to")?),
+            cwnd: num("cwnd")? as u32,
         },
         "wire_data" => TraceEvent::WireData {
             conn: conn("conn")?,
@@ -1377,6 +1412,17 @@ mod tests {
             Actor::Primary,
             8_600,
             &TraceEvent::PlannedMigration { phase: MigrationPhase::DrainStarted, epoch: 2 },
+        );
+        fr.record(
+            Actor::Primary,
+            8_700,
+            &TraceEvent::CongPhase {
+                conn: conn(),
+                algo: "bbr".into(),
+                from: "startup".into(),
+                to: "probe_bw".into(),
+                cwnd: 29_200,
+            },
         );
         fr.export()
     }

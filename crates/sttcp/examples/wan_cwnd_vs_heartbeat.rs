@@ -1,0 +1,84 @@
+//! cwnd vs heartbeat: which dominates recovery on a WAN failover?
+//!
+//! On the paper's LAN the answer is always the detection window
+//! (`hb_interval × missed_hb_threshold`): the congestion window rebuilds
+//! in a few sub-millisecond RTTs, so nobody mirrors it. On
+//! `wan_high_bdp` (80 ms RTT, ≈500 KB BDP) a promoted backup that
+//! cold-starts from the initial window spends *seconds* growing back to
+//! the operating point — at short heartbeat intervals the window
+//! rebuild, not detection, is the real takeover cost, which is what
+//! [`SttcpConfig::cong_sync`] exists to remove.
+//!
+//! This example sweeps heartbeat interval × congestion-mirror on/off on
+//! a 5 MB bulk transfer crashed at 2.5 s and prints the detection
+//! window next to the client-observed completion time. Deterministic:
+//! same numbers every run.
+
+use apps::Workload;
+use netsim::{LinkProfile, SimDuration, SimTime};
+use sttcp::scenario::{addrs, build, FaultSpec, RunLimits, ScenarioSpec};
+use sttcp::SttcpConfig;
+use tcpstack::CongestionAlgo;
+
+struct Outcome {
+    detection_ms: f64,
+    first_byte_ms: f64,
+    completion_s: f64,
+}
+
+fn run(hb: SimDuration, cong_sync: bool) -> Outcome {
+    let mut cfg = SttcpConfig::new(addrs::VIP, 80).with_hb_interval(hb);
+    if cong_sync {
+        cfg = cfg.with_cong_sync();
+    }
+    let mut spec = ScenarioSpec::new(Workload::bulk_mb(5))
+        .link_profile(LinkProfile::WanHighBdp)
+        .congestion(CongestionAlgo::Cubic)
+        .with_sack()
+        .st_tcp(cfg)
+        .faults(FaultSpec::crash_primary_at(SimTime::ZERO + SimDuration::from_millis(2500)))
+        .recording();
+    spec.tcp.recv_buf = 2 << 20;
+    spec.tcp.send_buf = 4 << 20;
+    spec.tcp.window_scale = Some(6);
+    let mut s = build(&spec);
+    let m = s.run(RunLimits::time(SimDuration::from_secs(300))).expect_completed();
+    assert!(m.verified_clean());
+    let bd = s.takeover_breakdown().expect("crashed run takes over");
+    Outcome {
+        detection_ms: bd.detection_ns() as f64 / 1e6,
+        first_byte_ms: bd.first_byte_latency_ns().unwrap_or(0) as f64 / 1e6,
+        completion_s: m.total_time().unwrap().as_secs_f64(),
+    }
+}
+
+fn main() {
+    println!(
+        "wan_high_bdp, 5 MB bulk, CUBIC+SACK, primary crashed at 2.5 s \
+         (detection threshold 3 missed heartbeats)\n"
+    );
+    println!(
+        "{:>8}  {:>13}  {:>11}  {:>16}  {:>16}",
+        "hb (ms)", "detect (ms)", "sync", "first byte (ms)", "completion (s)"
+    );
+    for hb_ms in [50u64, 200, 1000] {
+        for cong_sync in [false, true] {
+            let o = run(SimDuration::from_millis(hb_ms), cong_sync);
+            println!(
+                "{:>8}  {:>13.1}  {:>11}  {:>16.1}  {:>16.2}",
+                hb_ms,
+                o.detection_ms,
+                if cong_sync { "cwnd mirror" } else { "cold start" },
+                o.first_byte_ms,
+                o.completion_s,
+            );
+        }
+    }
+    println!(
+        "\nReading: below the crossover the completion gap between the two rows\n\
+         at the same heartbeat interval is the window-rebuild tax — detection\n\
+         is cheap, the mirrored cwnd pays for itself. Once the heartbeat\n\
+         interval dominates (the paper's regime, scaled up), the rows converge:\n\
+         no congestion state is worth mirroring if detection costs seconds."
+    );
+}

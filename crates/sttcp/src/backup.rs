@@ -194,6 +194,16 @@ impl BackupEngine {
                     track.outstanding_req = None;
                 }
             }
+            SideMsg::CongSync { conn, cwnd, ssthresh } => {
+                // Adopt the primary's operating point so a takeover does
+                // not cold-start from the initial window. Advisory: the
+                // shadow works fine without ever seeing one.
+                if let Some(sock) = stack.sock_by_quad(conn.server_quad()) {
+                    if let Some(tcb) = stack.tcb_mut(sock) {
+                        tcb.import_congestion(tcpstack::CongSnapshot { cwnd, ssthresh });
+                    }
+                }
+            }
             // Backup-bound only; a backup never receives these.
             SideMsg::BackupAck { .. } | SideMsg::MissingReq { .. } => {}
             // Cluster-subsystem messages; the two-node engine ignores them.

@@ -31,11 +31,11 @@ use crate::scenario::addrs;
 use apps::{EchoServer, Workload, WorkloadClient};
 use netsim::logger::PacketLogger;
 use netsim::node::{NodeId, PortId};
-use netsim::{LinkSpec, SimDuration, SimTime, Simulator, Switch};
+use netsim::{LinkProfile, LinkSpec, SimDuration, SimTime, Simulator, Switch};
 use obs::{Actor, FlightRecorder, ObsSink, SharedRecorder};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
-use tcpstack::{StackConfig, TcpConfig};
+use tcpstack::{CongestionAlgo, StackConfig, TcpConfig};
 use wire::MacAddr;
 
 /// The address of cluster server `rank`: `10.0.0.2 + rank` (the
@@ -156,6 +156,28 @@ impl ClusterFleetSpec {
     #[must_use]
     pub fn tracing(mut self) -> Self {
         self.trace_capacity = Some(obs::DEFAULT_TRACE_CAPACITY);
+        self
+    }
+
+    /// Applies a canned [`LinkProfile`] to every hop (builder style).
+    #[must_use]
+    pub fn link_profile(mut self, profile: LinkProfile) -> Self {
+        self.link = profile.spec();
+        self
+    }
+
+    /// Selects the congestion-control algorithm on every host (builder
+    /// style).
+    #[must_use]
+    pub fn congestion(mut self, algo: CongestionAlgo) -> Self {
+        self.tcp.congestion = algo;
+        self
+    }
+
+    /// Negotiates RFC 2018 SACK on every host (builder style).
+    #[must_use]
+    pub fn with_sack(mut self) -> Self {
+        self.tcp.sack = true;
         self
     }
 

@@ -60,7 +60,7 @@ use obs::{Counter, Gauge, Mark, MigrationPhase, SharedRecorder, TraceEvent};
 use promotion::PromotionTimer;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
-use tcpstack::{NetStack, SeqNum};
+use tcpstack::{NetStack, SeqNum, TcpState};
 
 /// Side-channel datagrams are kept under this payload size (same cap
 /// as the two-node engines).
@@ -141,6 +141,9 @@ pub struct ClusterEngine {
     /// Per-connection, per-backup acknowledged points (primary side);
     /// retention releases at the minimum over live backups.
     peer_acks: HashMap<ConnKey, HashMap<Ipv4Addr, SeqNum>>,
+    /// Last congestion snapshot mirrored per connection (primary side,
+    /// [`SttcpConfig::cong_sync`]); suppresses no-change rebroadcasts.
+    cong_sent: HashMap<ConnKey, (u32, u32)>,
     retention_on: bool,
     takeover_at: Option<SimTime>,
     outbox: Vec<(Ipv4Addr, SideMsg)>,
@@ -194,6 +197,7 @@ impl ClusterEngine {
             hb_seq: 0,
             peers,
             peer_acks: HashMap::new(),
+            cong_sent: HashMap::new(),
             retention_on: true,
             takeover_at: None,
             outbox: Vec::new(),
@@ -324,6 +328,15 @@ impl ClusterEngine {
             SideMsg::MissingData { conn, seq, data } => {
                 if self.role == ClusterRole::Backup {
                     self.apply_missing_data(now, conn, SeqNum(seq), &data, stack);
+                }
+            }
+            SideMsg::CongSync { conn, cwnd, ssthresh } => {
+                if self.role == ClusterRole::Backup {
+                    if let Some(sock) = stack.sock_by_quad(conn.server_quad()) {
+                        if let Some(tcb) = stack.tcb_mut(sock) {
+                            tcb.import_congestion(tcpstack::CongSnapshot { cwnd, ssthresh });
+                        }
+                    }
                 }
             }
             SideMsg::MissingNack { conn, .. } => {
@@ -707,6 +720,9 @@ impl ClusterEngine {
 
     fn primary_tick(&mut self, now: SimTime, stack: &mut NetStack) {
         self.broadcast_topology();
+        if self.cfg.cong_sync {
+            self.mirror_congestion(stack);
+        }
         // Planned migration: announce the drain while it is active.
         let (announce, started) = self.drain.on_tick(now, self.topo.epoch());
         if started {
@@ -768,6 +784,36 @@ impl ClusterEngine {
         // keep asking the logger while they last.
         if self.takeover_at.is_some() && self.cfg.use_logger && self.logger_query_due(now) {
             self.queue_logger_queries(now, stack);
+        }
+    }
+
+    /// Mirrors each established connection's congestion snapshot to
+    /// every live backup when it changed since the last tick
+    /// ([`SttcpConfig::cong_sync`]).
+    fn mirror_congestion(&mut self, stack: &mut NetStack) {
+        let dests: Vec<Ipv4Addr> =
+            self.peers.iter().filter(|(_, p)| p.alive).map(|(&ip, _)| ip).collect();
+        if dests.is_empty() {
+            return;
+        }
+        let socks: Vec<_> = stack.socks().collect();
+        for sock in socks {
+            let Some(tcb) = stack.tcb(sock) else { continue };
+            if tcb.state() != TcpState::Established {
+                continue;
+            }
+            let conn = ConnKey::from_server_quad(tcb.quad());
+            let snap = tcb.export_congestion();
+            let pair = (snap.cwnd, snap.ssthresh);
+            if self.cong_sent.insert(conn, pair) != Some(pair) {
+                for &dest in &dests {
+                    self.recorder.count(Counter::CongSyncsSent, 1);
+                    self.outbox.push((
+                        dest,
+                        SideMsg::CongSync { conn, cwnd: snap.cwnd, ssthresh: snap.ssthresh },
+                    ));
+                }
+            }
         }
     }
 

@@ -82,6 +82,13 @@ pub struct SttcpConfig {
     pub use_logger: bool,
     /// Active (ST-TCP) vs cold-replay (FT-TCP-style) takeover.
     pub takeover_policy: TakeoverPolicy,
+    /// Mirror each connection's congestion snapshot (cwnd/ssthresh) to
+    /// the backup on every sync tick, so a promoted shadow resumes near
+    /// the primary's operating point instead of cold-starting from the
+    /// initial window. Off by default: on a LAN the window rebuilds in a
+    /// few RTTs, and the extra datagrams would perturb the pinned
+    /// paper-era wire traces. Worth switching on for WAN profiles.
+    pub cong_sync: bool,
 }
 
 impl SttcpConfig {
@@ -100,6 +107,7 @@ impl SttcpConfig {
             missing_req_chunk: 16 * 1024,
             use_logger: false,
             takeover_policy: TakeoverPolicy::Active,
+            cong_sync: false,
         }
     }
 
@@ -121,6 +129,16 @@ impl SttcpConfig {
         self
     }
 
+    /// Sets the missed-heartbeat detection threshold (builder style).
+    /// The paper's 3 assumes a loss-free LAN side channel; lossy WAN
+    /// deployments must provision a larger budget or bursts of lost
+    /// heartbeats read as a dead primary.
+    #[must_use]
+    pub fn with_missed_hb_threshold(mut self, missed: u32) -> Self {
+        self.missed_hb_threshold = missed;
+        self
+    }
+
     /// Enables power-switch fencing (builder style).
     #[must_use]
     pub fn with_fencing(mut self, outlet: u32) -> Self {
@@ -132,6 +150,13 @@ impl SttcpConfig {
     #[must_use]
     pub fn with_logger(mut self) -> Self {
         self.use_logger = true;
+        self
+    }
+
+    /// Enables the congestion-state mirror (builder style).
+    #[must_use]
+    pub fn with_cong_sync(mut self) -> Self {
+        self.cong_sync = true;
         self
     }
 }

@@ -35,11 +35,11 @@ use apps::{
     BulkServer, EchoServer, InteractiveServer, UploadServer, Workload, WorkloadClient, REQUEST_SIZE,
 };
 use netsim::node::{NodeId, PortId};
-use netsim::{LinkSpec, SimDuration, SimTime, Simulator, SplitMix64, Switch};
+use netsim::{LinkProfile, LinkSpec, SimDuration, SimTime, Simulator, SplitMix64, Switch};
 use obs::{Actor, FlightRecorder, ObsSink, SharedRecorder};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
-use tcpstack::{StackConfig, TcpConfig};
+use tcpstack::{CongestionAlgo, StackConfig, TcpConfig};
 use wire::MacAddr;
 
 /// Echo service port (150 B ↔ 150 B exchanges).
@@ -142,6 +142,28 @@ impl FleetSpec {
     #[must_use]
     pub fn tracing_with_capacity(mut self, capacity: usize) -> Self {
         self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Applies a canned [`LinkProfile`] to every hop (builder style).
+    #[must_use]
+    pub fn link_profile(mut self, profile: LinkProfile) -> Self {
+        self.link = profile.spec();
+        self
+    }
+
+    /// Selects the congestion-control algorithm on every host (builder
+    /// style).
+    #[must_use]
+    pub fn congestion(mut self, algo: CongestionAlgo) -> Self {
+        self.tcp.congestion = algo;
+        self
+    }
+
+    /// Negotiates RFC 2018 SACK on every host (builder style).
+    #[must_use]
+    pub fn with_sack(mut self) -> Self {
+        self.tcp.sack = true;
         self
     }
 

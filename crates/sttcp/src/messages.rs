@@ -163,6 +163,18 @@ pub enum SideMsg {
         /// The epoch the successor's reign begins with.
         epoch: u32,
     },
+    /// Primary → backups: congestion-controller state mirror, so a
+    /// promoted shadow resumes near the primary's operating point
+    /// instead of cold-starting from the initial window. Advisory: a
+    /// backup that never sees one simply starts conservatively.
+    CongSync {
+        /// Connection the snapshot applies to.
+        conn: ConnKey,
+        /// The primary's congestion window, bytes.
+        cwnd: u32,
+        /// The primary's slow-start threshold, bytes.
+        ssthresh: u32,
+    },
 }
 
 impl SideMsg {
@@ -199,6 +211,9 @@ impl SideMsg {
                 (K::DrainReady, None, u64::from(*epoch), u32::from(*rank))
             }
             SideMsg::Handover { epoch } => (K::Handover, None, u64::from(*epoch), 0),
+            SideMsg::CongSync { conn, cwnd, ssthresh } => {
+                (K::CongSync, Some(conn.trace_conn()), u64::from(*cwnd), *ssthresh)
+            }
         }
     }
 }
@@ -213,6 +228,7 @@ const TAG_ACK_BATCH: u8 = 7;
 const TAG_DRAIN: u8 = 8;
 const TAG_DRAIN_READY: u8 = 9;
 const TAG_HANDOVER: u8 = 10;
+const TAG_CONG_SYNC: u8 = 11;
 
 fn put_key(buf: &mut BytesMut, key: &ConnKey) {
     buf.put_slice(&key.client_ip.octets());
@@ -297,6 +313,12 @@ impl SideMsg {
             SideMsg::Handover { epoch } => {
                 buf.put_u8(TAG_HANDOVER);
                 buf.put_u32(*epoch);
+            }
+            SideMsg::CongSync { conn, cwnd, ssthresh } => {
+                buf.put_u8(TAG_CONG_SYNC);
+                put_key(&mut buf, conn);
+                buf.put_u32(*cwnd);
+                buf.put_u32(*ssthresh);
             }
         }
         buf.freeze()
@@ -405,6 +427,13 @@ impl SideMsg {
                 }
                 Some(SideMsg::Handover { epoch: raw.get_u32() })
             }
+            TAG_CONG_SYNC => {
+                let conn = get_key(&mut raw)?;
+                if raw.len() < 8 {
+                    return None;
+                }
+                Some(SideMsg::CongSync { conn, cwnd: raw.get_u32(), ssthresh: raw.get_u32() })
+            }
             _ => None,
         }
     }
@@ -445,6 +474,7 @@ mod tests {
             SideMsg::Drain { epoch: 9, successor_rank: 1 },
             SideMsg::DrainReady { rank: 1, epoch: 9 },
             SideMsg::Handover { epoch: 9 },
+            SideMsg::CongSync { conn: key(), cwnd: 29_200, ssthresh: 14_600 },
         ];
         for msg in msgs {
             assert_eq!(SideMsg::decode(msg.encode()), Some(msg));
@@ -482,6 +512,10 @@ mod tests {
         assert_eq!(SideMsg::decode(Bytes::from_static(&[TAG_DRAIN, 0, 0])), None);
         assert_eq!(SideMsg::decode(Bytes::from_static(&[TAG_DRAIN_READY, 1])), None);
         assert_eq!(SideMsg::decode(Bytes::from_static(&[TAG_HANDOVER, 9])), None);
+        // CongSync with the key but not both u32s behind it.
+        let mut short = SideMsg::CongSync { conn: key(), cwnd: 1, ssthresh: 2 }.encode().to_vec();
+        short.truncate(short.len() - 5);
+        assert_eq!(SideMsg::decode(Bytes::from(short)), None);
     }
 
     #[test]

@@ -15,7 +15,8 @@ use crate::messages::{ConnKey, SideMsg};
 use bytes::Bytes;
 use netsim::SimTime;
 use obs::{Counter, SharedRecorder, TraceEvent};
-use tcpstack::{NetStack, SeqNum};
+use std::collections::HashMap;
+use tcpstack::{NetStack, SeqNum, TcpState};
 
 /// Primary-side counters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -44,6 +45,9 @@ pub struct PrimaryEngine {
     backup_dead_at: Option<SimTime>,
     hb_seq: u64,
     outbox: Vec<SideMsg>,
+    /// Last congestion snapshot mirrored per connection, so a sync tick
+    /// only spends side-channel bytes on windows that actually moved.
+    cong_sent: HashMap<ConnKey, (u32, u32)>,
     recorder: SharedRecorder,
     /// Counters.
     pub stats: PrimaryStats,
@@ -63,6 +67,7 @@ impl PrimaryEngine {
             backup_dead_at: None,
             hb_seq: 0,
             outbox: Vec::new(),
+            cong_sent: HashMap::new(),
             recorder: obs::nop(),
             stats: PrimaryStats::default(),
         }
@@ -111,7 +116,9 @@ impl PrimaryEngine {
                 self.serve_missing(conn, SeqNum(from), len as usize, stack);
             }
             // Primary-bound only; a primary never receives these.
-            SideMsg::MissingData { .. } | SideMsg::MissingNack { .. } => {}
+            SideMsg::MissingData { .. }
+            | SideMsg::MissingNack { .. }
+            | SideMsg::CongSync { .. } => {}
             // Cluster-subsystem messages; the two-node engine ignores them.
             SideMsg::ClusterHb { .. }
             | SideMsg::AckBatch { .. }
@@ -178,6 +185,9 @@ impl PrimaryEngine {
         self.recorder.count(Counter::HeartbeatsSent, 1);
         self.outbox.push(SideMsg::Heartbeat { seq: self.hb_seq });
         if self.backup_alive {
+            if self.cfg.cong_sync {
+                self.mirror_congestion(stack);
+            }
             let deadline =
                 self.cfg.hb_interval.saturating_mul(u64::from(self.cfg.missed_hb_threshold));
             let silence = self.last_backup_heard.and_then(|t| now.checked_duration_since(t));
@@ -199,6 +209,32 @@ impl PrimaryEngine {
                         tcb.disable_retention();
                     }
                 }
+            }
+        }
+    }
+
+    /// Mirrors each established connection's congestion snapshot to the
+    /// backup when it changed since the last tick, so a promoted shadow
+    /// resumes near the primary's operating point.
+    fn mirror_congestion(&mut self, stack: &mut NetStack) {
+        let socks: Vec<_> = stack.socks().collect();
+        for sock in socks {
+            let Some(tcb) = stack.tcb(sock) else {
+                continue;
+            };
+            if tcb.state() != TcpState::Established {
+                continue;
+            }
+            let conn = ConnKey::from_server_quad(tcb.quad());
+            let snap = tcb.export_congestion();
+            let pair = (snap.cwnd, snap.ssthresh);
+            if self.cong_sent.insert(conn, pair) != Some(pair) {
+                self.recorder.count(Counter::CongSyncsSent, 1);
+                self.outbox.push(SideMsg::CongSync {
+                    conn,
+                    cwnd: snap.cwnd,
+                    ssthresh: snap.ssthresh,
+                });
             }
         }
     }

@@ -18,14 +18,15 @@ use apps::{
 };
 use netsim::node::{NodeId, PortId};
 use netsim::{
-    Hub, LinkSpec, PacketLogger, PowerSwitch, SharedHub, SimDuration, SimTime, Simulator, Switch,
+    Hub, LinkProfile, LinkSpec, PacketLogger, PowerSwitch, SharedHub, SimDuration, SimTime,
+    Simulator, Switch,
 };
 use obs::{
     Actor, FlightRecorder, ObsSink, SharedRecorder, Snapshot, TakeoverBreakdown, TraceExport,
     DEFAULT_TRACE_CAPACITY,
 };
 use std::sync::Arc;
-use tcpstack::{Gateway, GatewayIface, StackConfig, TcpConfig};
+use tcpstack::{CongestionAlgo, Gateway, GatewayIface, StackConfig, TcpConfig};
 use wire::MacAddr;
 
 /// Standard experiment addresses.
@@ -279,6 +280,28 @@ impl ScenarioSpec {
         self.close_when_done = true;
         self
     }
+
+    /// Applies a canned [`LinkProfile`] to every hop (builder style).
+    #[must_use]
+    pub fn link_profile(mut self, profile: LinkProfile) -> Self {
+        self.link = profile.spec();
+        self
+    }
+
+    /// Selects the congestion-control algorithm on every host (builder
+    /// style).
+    #[must_use]
+    pub fn congestion(mut self, algo: CongestionAlgo) -> Self {
+        self.tcp.congestion = algo;
+        self
+    }
+
+    /// Negotiates RFC 2018 SACK on every host (builder style).
+    #[must_use]
+    pub fn with_sack(mut self) -> Self {
+        self.tcp.sack = true;
+        self
+    }
 }
 
 /// A built scenario: the simulator plus the ids of every node of
@@ -458,6 +481,7 @@ pub fn build(spec: &ScenarioSpec) -> Scenario {
             let cable = LinkSpec {
                 latency: spec.link.latency,
                 bandwidth_bps: None,
+                reverse_bandwidth_bps: None,
                 loss: spec.link.loss,
                 max_queue: None,
                 jitter: spec.link.jitter,

@@ -1,0 +1,100 @@
+//! Differential pins for the congestion-controller redesign.
+//!
+//! The `CongestionController` trait refactor must be behavior-preserving
+//! by default: Reno behind the trait, with SACK emission off, has to put
+//! the same bytes on the wire at the same instants as the pre-refactor
+//! hardwired `Congestion` struct. These tests pin that with golden
+//! frame-trace digests captured at the commit *before* the refactor:
+//! the 100 MB bulk transfer (the simperf `bulk_100mb` scenario) and the
+//! 80-client failover fleet (the determinism-test scenario). Any change
+//! to default wire behavior — an extra option byte, a different cwnd
+//! growth step, a shifted retransmit — moves these hashes.
+
+use apps::Workload;
+use netsim::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+use sttcp::fleet::{self, FleetSpec};
+use sttcp::scenario::{build, RunLimits, ScenarioSpec};
+
+/// FNV-1a over every probe observation, identical to the fold in
+/// `tests/determinism.rs`: departure time, link, endpoints, frame bytes.
+#[derive(Default)]
+struct TraceDigest {
+    hash: u64,
+    frames: u64,
+}
+
+impl TraceDigest {
+    fn new() -> Self {
+        TraceDigest { hash: 0xcbf2_9ce4_8422_2325, frames: 0 }
+    }
+
+    fn mix(&mut self, v: u64) {
+        self.hash ^= v;
+        self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn observe(&mut self, ev: &netsim::ProbeEvent<'_>) {
+        self.mix(ev.time.as_nanos());
+        self.mix(ev.link.0 as u64);
+        self.mix(ev.from.0 as u64);
+        self.mix(ev.to.0 as u64);
+        self.mix(ev.frame.len() as u64);
+        for &b in ev.frame.iter() {
+            self.mix(u64::from(b));
+        }
+        self.frames += 1;
+    }
+}
+
+/// Golden digest of the `bulk_100mb` scenario (standard TCP, default
+/// config), captured pre-refactor.
+const BULK_100MB_DIGEST: (u64, u64) = (0xf6cc_9c4e_6e20_1a1d, 215_472);
+
+/// Golden digest of the 80-client failover fleet (the
+/// `fleet_failover_frame_traces_are_bit_identical` scenario), captured
+/// pre-refactor.
+const FLEET_80_FAILOVER_DIGEST: (u64, u64) = (0x24bf_5764_6391_d5fd, 4_228);
+
+#[test]
+fn reno_via_trait_matches_prerefactor_bulk_100mb() {
+    let spec = ScenarioSpec::new(Workload::bulk_mb(100));
+    let mut s = build(&spec);
+    let digest = Rc::new(RefCell::new(TraceDigest::new()));
+    let sink = Rc::clone(&digest);
+    s.sim.set_probe(move |ev| sink.borrow_mut().observe(&ev));
+    let m = s.run(RunLimits::time(SimDuration::from_secs(600))).expect_completed();
+    assert!(m.verified_clean());
+    let d = digest.borrow();
+    assert_eq!(
+        (d.hash, d.frames),
+        BULK_100MB_DIGEST,
+        "default-config bulk_100mb wire trace diverged from the pre-refactor seed \
+         (got ({:#018x}, {}))",
+        d.hash,
+        d.frames
+    );
+}
+
+#[test]
+fn reno_via_trait_matches_prerefactor_fleet_failover() {
+    let spec = FleetSpec::new(80)
+        .connect_spread(SimDuration::from_millis(80))
+        .crash_primary_at(SimTime::ZERO + SimDuration::from_millis(140));
+    let mut f = fleet::build(&spec);
+    let digest = Rc::new(RefCell::new(TraceDigest::new()));
+    let sink = Rc::clone(&digest);
+    f.sim.set_probe(move |ev| sink.borrow_mut().observe(&ev));
+    assert!(f.run_until_done(SimDuration::from_secs(120)), "fleet must finish");
+    assert!(f.verified_clean());
+    let d = digest.borrow();
+    assert_eq!(
+        (d.hash, d.frames),
+        FLEET_80_FAILOVER_DIGEST,
+        "default-config 80-client failover wire trace diverged from the pre-refactor seed \
+         (got ({:#018x}, {}))",
+        d.hash,
+        d.frames
+    );
+}

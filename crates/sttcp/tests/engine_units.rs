@@ -215,3 +215,55 @@ fn takeover_is_idempotent_under_continued_silence() {
     assert_eq!(engine.takeover_at(), first_takeover);
     assert!(!stack.is_suppressed(VIP));
 }
+
+#[test]
+fn primary_mirrors_congestion_snapshots_only_on_change() {
+    let (mut stack, _) = primary_with_data(b"hello");
+    let mut engine = PrimaryEngine::new(cfg().with_cong_sync(), SimTime::ZERO);
+    let t1 = SimTime::ZERO + SimDuration::from_millis(50);
+    engine.on_tick(t1, &mut stack);
+    let sent = engine.take_outbox();
+    let syncs: Vec<_> = sent.iter().filter(|m| matches!(m, SideMsg::CongSync { .. })).collect();
+    assert_eq!(syncs.len(), 1, "one established connection, one snapshot: {sent:?}");
+    let SideMsg::CongSync { conn, cwnd, ssthresh } = syncs[0] else { unreachable!() };
+    assert_eq!(*conn, key());
+    let sock = stack.sock_by_quad(key().server_quad()).unwrap();
+    let snap = stack.tcb(sock).unwrap().export_congestion();
+    assert_eq!((*cwnd, *ssthresh), (snap.cwnd, snap.ssthresh));
+    // Nothing changed the window since: the next tick stays quiet.
+    let t2 = t1 + SimDuration::from_millis(50);
+    engine.on_tick(t2, &mut stack);
+    let again = engine.take_outbox();
+    assert!(
+        !again.iter().any(|m| matches!(m, SideMsg::CongSync { .. })),
+        "unchanged snapshot must not be rebroadcast: {again:?}"
+    );
+}
+
+#[test]
+fn primary_with_cong_sync_off_never_mirrors() {
+    let (mut stack, _) = primary_with_data(b"hello");
+    let mut engine = PrimaryEngine::new(cfg(), SimTime::ZERO);
+    engine.on_tick(SimTime::ZERO + SimDuration::from_millis(50), &mut stack);
+    let sent = engine.take_outbox();
+    assert!(!sent.iter().any(|m| matches!(m, SideMsg::CongSync { .. })));
+}
+
+#[test]
+fn backup_applies_mirrored_congestion_snapshot() {
+    use tcpstack::CongestionController;
+    // The shadow stack holds the same established quad as the primary.
+    let (mut stack, _) = primary_with_data(b"hello");
+    let mut engine = BackupEngine::new(cfg(), 12 * 1024, SimTime::ZERO);
+    let sock = stack.sock_by_quad(key().server_quad()).unwrap();
+    let before = stack.tcb(sock).unwrap().congestion().cwnd();
+    assert_ne!(before, 99_280, "pick a snapshot distinguishable from the default");
+    engine.on_side_msg(
+        SimTime::ZERO + SimDuration::from_millis(10),
+        SideMsg::CongSync { conn: key(), cwnd: 99_280, ssthresh: 7_300 },
+        &mut stack,
+    );
+    let cong = stack.tcb(sock).unwrap().congestion();
+    assert_eq!(cong.cwnd(), 99_280);
+    assert_eq!(cong.ssthresh(), 7_300);
+}

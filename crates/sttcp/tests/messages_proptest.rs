@@ -32,6 +32,8 @@ fn arb_msg() -> impl Strategy<Value = SideMsg> {
             |(conn, seq, data)| SideMsg::MissingData { conn, seq, data: Bytes::from(data) }
         ),
         (arb_key(), any::<u32>()).prop_map(|(conn, from)| SideMsg::MissingNack { conn, from }),
+        (arb_key(), any::<u32>(), any::<u32>())
+            .prop_map(|(conn, cwnd, ssthresh)| SideMsg::CongSync { conn, cwnd, ssthresh }),
     ]
 }
 

@@ -1,5 +1,6 @@
 //! Configuration types for connections and stacks.
 
+use crate::congestion::CongestionAlgo;
 use netsim::SimDuration;
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -92,6 +93,14 @@ pub struct TcpConfig {
     /// offer it. Required for receive buffers beyond 65 535 bytes
     /// (modern-LAN experiments).
     pub window_scale: Option<u8>,
+    /// Congestion-control algorithm for connections using this config.
+    /// The default (Reno) reproduces the paper-era stack bit-for-bit.
+    pub congestion: CongestionAlgo,
+    /// RFC 2018 selective acknowledgment: generate SACK blocks on
+    /// out-of-order receive and drive recovery from the sender
+    /// scoreboard. Off by default (the paper-era stack is go-back-N;
+    /// the determinism digests pin that wire behaviour).
+    pub sack: bool,
 }
 
 impl Default for TcpConfig {
@@ -108,6 +117,8 @@ impl Default for TcpConfig {
             idle_restart: true,
             shadow: false,
             window_scale: None,
+            congestion: CongestionAlgo::Reno,
+            sack: false,
         }
     }
 }

@@ -9,9 +9,11 @@
 //!   need), ARP with static-first resolution, IPv4 without fragmentation.
 //! * Full TCP: three-way handshake, reassembly with out-of-order
 //!   buffering, flow control, delayed ACKs, RFC 6298 retransmission with
-//!   the Linux 200 ms/2 min bounds and ×2 backoff, Reno congestion
-//!   control with fast retransmit and restart-after-idle, zero-window
-//!   probing, orderly close through TIME_WAIT, RST handling.
+//!   the Linux 200 ms/2 min bounds and ×2 backoff, pluggable congestion
+//!   control ([`congestion`]: Reno, CUBIC, BBR behind one trait; Reno
+//!   with fast retransmit and restart-after-idle is the default),
+//!   optional RFC 2018 SACK ([`sack`]), zero-window probing, orderly
+//!   close through TIME_WAIT, RST handling.
 //! * UDP sockets (the primary↔backup side channel).
 //! * A two-interface IP [`gateway`] (the tapping architecture's
 //!   gateway with static `SVI→SME` ARP entries).
@@ -61,6 +63,7 @@ pub mod congestion;
 pub mod gateway;
 pub mod recv_buf;
 pub mod rto;
+pub mod sack;
 pub mod send_buf;
 pub mod seq;
 pub mod slab;
@@ -70,7 +73,9 @@ pub mod twheel;
 pub mod udp_socket;
 
 pub use config::{Quad, StackConfig, TcpConfig};
+pub use congestion::{CongSnapshot, CongestionAlgo, CongestionController, CongestionCtrl};
 pub use gateway::{Gateway, GatewayIface, Side};
+pub use sack::SackScoreboard;
 pub use seq::SeqNum;
 pub use stack::{NetStack, SockId, StackError, UdpId};
 pub use tcb::{StagedSeg, Tcb, TcpState};

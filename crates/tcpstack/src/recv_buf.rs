@@ -110,6 +110,22 @@ impl RecvBuffer {
         self.capacity.saturating_sub(unread + spill + self.ooo_bytes)
     }
 
+    /// The out-of-order islands above `rcv_nxt`, merged into maximal
+    /// contiguous `[lo, hi)` ranges — the receiver's SACK blocks
+    /// (RFC 2018). Empty when reassembly has no gaps.
+    pub fn sack_ranges(&self) -> Vec<(SeqNum, SeqNum)> {
+        let mut out: Vec<(SeqNum, SeqNum)> = Vec::new();
+        for (&start, seg) in &self.ooo {
+            let lo = SeqNum::new(start);
+            let hi = lo.add(seg.len() as u32);
+            match out.last_mut() {
+                Some((_, end)) if lo.le(*end) => *end = (*end).max(hi),
+                _ => out.push((lo, hi)),
+            }
+        }
+        out
+    }
+
     /// Inserts `data` at `seq`. Returns `true` if the segment carried at
     /// least one byte that was new and in-window (callers send an
     /// immediate ACK for anything else).
@@ -326,6 +342,23 @@ mod tests {
         let mut out = [0u8; 4];
         b.read(&mut out);
         assert_eq!(b.window(), 4);
+    }
+
+    #[test]
+    fn sack_ranges_report_merged_islands() {
+        let mut b = RecvBuffer::new(SeqNum(1000), 64, 0);
+        assert!(b.sack_ranges().is_empty());
+        b.insert(SeqNum(1004), b"bb");
+        b.insert(SeqNum(1010), b"cc");
+        b.insert(SeqNum(1006), b"xx"); // touches the first island
+        assert_eq!(
+            b.sack_ranges(),
+            vec![(SeqNum(1004), SeqNum(1008)), (SeqNum(1010), SeqNum(1012))]
+        );
+        b.insert(SeqNum(1000), b"aaaa"); // fills the head gap
+        assert_eq!(b.sack_ranges(), vec![(SeqNum(1010), SeqNum(1012))]);
+        b.insert(SeqNum(1008), b"yy");
+        assert!(b.sack_ranges().is_empty(), "fully reassembled");
     }
 
     #[test]

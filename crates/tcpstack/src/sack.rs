@@ -1,0 +1,181 @@
+//! Sender-side SACK scoreboard (RFC 2018).
+//!
+//! The receiver's SACK options report isolated islands of received data
+//! above the cumulative ACK. The sender records them here — a sorted set
+//! of disjoint `[lo, hi)` ranges — and recovery consults the scoreboard
+//! to retransmit *holes only*, instead of the go-back-N resend of the
+//! whole outstanding window. RFC 2018's reneging rule applies: SACKed
+//! ranges are advisory, so the scoreboard never releases send-buffer
+//! bytes — only the cumulative ACK does that.
+
+use crate::seq::SeqNum;
+
+/// Sorted, disjoint set of peer-reported received ranges above the
+/// cumulative ACK.
+#[derive(Debug, Clone, Default)]
+pub struct SackScoreboard {
+    /// Disjoint, ascending (in sequence space relative to the trimmed
+    /// window) `[lo, hi)` ranges.
+    ranges: Vec<(SeqNum, SeqNum)>,
+}
+
+impl SackScoreboard {
+    /// An empty scoreboard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one SACK block `[lo, hi)`, merging overlaps/adjacency.
+    /// Empty or inverted blocks are ignored (a malformed or stale option
+    /// must not corrupt recovery).
+    pub fn insert(&mut self, lo: SeqNum, hi: SeqNum) {
+        if !lo.lt(hi) {
+            return;
+        }
+        let mut lo = lo;
+        let mut hi = hi;
+        let mut i = 0;
+        while i < self.ranges.len() {
+            let (rlo, rhi) = self.ranges[i];
+            if hi.lt(rlo) {
+                break; // strictly before this range: insert here
+            }
+            if rhi.lt(lo) {
+                i += 1; // strictly after this range: keep scanning
+                continue;
+            }
+            // Overlapping or adjacent: absorb and keep scanning (the
+            // merged range may now touch the next one).
+            lo = lo.min(rlo);
+            hi = hi.max(rhi);
+            self.ranges.remove(i);
+        }
+        self.ranges.insert(i, (lo, hi));
+    }
+
+    /// The cumulative ACK advanced to `una`: drop everything below it.
+    pub fn ack_to(&mut self, una: SeqNum) {
+        self.ranges.retain_mut(|(lo, hi)| {
+            if hi.le(una) {
+                return false;
+            }
+            if lo.lt(una) {
+                *lo = una;
+            }
+            true
+        });
+    }
+
+    /// True if `seq` falls inside a SACKed range.
+    pub fn is_sacked(&self, seq: SeqNum) -> bool {
+        self.ranges.iter().any(|&(lo, hi)| seq.ge(lo) && seq.lt(hi))
+    }
+
+    /// If `seq` sits inside a SACKed range, the range's end (the next
+    /// byte worth retransmitting); otherwise `seq` unchanged.
+    pub fn skip_sacked(&self, seq: SeqNum) -> SeqNum {
+        for &(lo, hi) in &self.ranges {
+            if seq.ge(lo) && seq.lt(hi) {
+                return hi;
+            }
+        }
+        seq
+    }
+
+    /// Start of the first SACKed range strictly after `seq`, if any —
+    /// the upper bound for a hole retransmission beginning at `seq`.
+    pub fn next_sacked_after(&self, seq: SeqNum) -> Option<SeqNum> {
+        self.ranges.iter().map(|&(lo, _)| lo).find(|lo| lo.gt(seq))
+    }
+
+    /// The recorded ranges (ascending, disjoint) — for tests and the
+    /// shadow mirror.
+    pub fn ranges(&self) -> &[(SeqNum, SeqNum)] {
+        &self.ranges
+    }
+
+    /// True when nothing is SACKed.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Forgets everything (connection reset or controller import).
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: u32) -> SeqNum {
+        SeqNum::new(v)
+    }
+
+    fn board(blocks: &[(u32, u32)]) -> SackScoreboard {
+        let mut b = SackScoreboard::new();
+        for &(lo, hi) in blocks {
+            b.insert(s(lo), s(hi));
+        }
+        b
+    }
+
+    #[test]
+    fn inserts_sorted_and_merges_overlaps() {
+        let b = board(&[(300, 400), (100, 200), (150, 350)]);
+        assert_eq!(b.ranges(), &[(s(100), s(400))]);
+        let b = board(&[(100, 200), (300, 400)]);
+        assert_eq!(b.ranges(), &[(s(100), s(200)), (s(300), s(400))]);
+    }
+
+    #[test]
+    fn merges_adjacent_ranges() {
+        let b = board(&[(100, 200), (200, 300)]);
+        assert_eq!(b.ranges(), &[(s(100), s(300))]);
+    }
+
+    #[test]
+    fn ignores_degenerate_blocks() {
+        let b = board(&[(100, 100), (200, 150)]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn ack_trims_below_una() {
+        let mut b = board(&[(100, 200), (300, 400)]);
+        b.ack_to(s(150));
+        assert_eq!(b.ranges(), &[(s(150), s(200)), (s(300), s(400))]);
+        b.ack_to(s(250));
+        assert_eq!(b.ranges(), &[(s(300), s(400))]);
+        b.ack_to(s(500));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn hole_navigation() {
+        let b = board(&[(100, 200), (300, 400)]);
+        assert!(!b.is_sacked(s(99)));
+        assert!(b.is_sacked(s(100)));
+        assert!(b.is_sacked(s(199)));
+        assert!(!b.is_sacked(s(200)));
+        assert_eq!(b.skip_sacked(s(150)), s(200));
+        assert_eq!(b.skip_sacked(s(250)), s(250));
+        assert_eq!(b.next_sacked_after(s(0)), Some(s(100)));
+        assert_eq!(b.next_sacked_after(s(100)), Some(s(300)));
+        assert_eq!(b.next_sacked_after(s(300)), None);
+    }
+
+    #[test]
+    fn wraparound_sequence_space() {
+        let lo = s(u32::MAX - 100);
+        let hi = s(50); // wraps
+        let mut b = SackScoreboard::new();
+        b.insert(lo, hi);
+        assert!(b.is_sacked(s(u32::MAX - 1)));
+        assert!(b.is_sacked(s(10)));
+        assert!(!b.is_sacked(s(50)));
+        b.ack_to(s(20));
+        assert_eq!(b.ranges(), &[(s(20), s(50))]);
+    }
+}

@@ -1,9 +1,10 @@
 //! The TCP control block: one connection's full state machine.
 //!
-//! Implements RFC 793 connection states with Reno congestion control,
-//! RFC 6298 retransmission timing (Linux bounds), delayed ACKs, zero
-//! window probing, and restart-after-idle — plus the two ST-TCP
-//! extensions the paper adds on the server side:
+//! Implements RFC 793 connection states with pluggable congestion
+//! control ([`crate::congestion`]; Reno by default), optional RFC 2018
+//! SACK recovery, RFC 6298 retransmission timing (Linux bounds), delayed
+//! ACKs, zero window probing, and restart-after-idle — plus the two
+//! ST-TCP extensions the paper adds on the server side:
 //!
 //! * **shadow semantics** (backup): the ISN is resynchronized from the
 //!   client's third-handshake ACK (§4.1), and ACKs ahead of `snd_nxt`
@@ -18,13 +19,14 @@
 //! it in.
 
 use crate::config::{Quad, TcpConfig};
-use crate::congestion::Congestion;
+use crate::congestion::{idle_restart_due, CongSnapshot, CongestionController, CongestionCtrl};
 use crate::recv_buf::RecvBuffer;
 use crate::rto::RtoEstimator;
+use crate::sack::SackScoreboard;
 use crate::send_buf::SendBuffer;
 use crate::seq::SeqNum;
 use bytes::Bytes;
-use netsim::SimTime;
+use netsim::{SimDuration, SimTime};
 use obs::{Counter, Gauge, SharedRecorder, TraceEvent};
 use std::borrow::Cow;
 use wire::{TcpFlags, TcpOption, TcpSegment};
@@ -139,7 +141,18 @@ pub struct Tcb {
 
     // Timing.
     rto: RtoEstimator,
-    cong: Congestion,
+    cong: CongestionCtrl,
+    /// Last congestion-controller phase traced (transition detector).
+    cc_phase: &'static str,
+    /// Pacing gate for rate-based controllers: no data transmission
+    /// before this instant. `None` whenever the controller reports no
+    /// pacing rate (Reno/CUBIC), keeping the default path untouched.
+    pacing_gate: Option<SimTime>,
+    /// SACK in effect: our config enables it AND the peer's SYN offered
+    /// `SackPermitted`.
+    sack_ok: bool,
+    /// Sender scoreboard of peer-reported SACK ranges.
+    sack_board: SackScoreboard,
     rtx_deadline: Option<SimTime>,
     delack_deadline: Option<SimTime>,
     probe_deadline: Option<SimTime>,
@@ -220,7 +233,8 @@ impl Tcb {
 
     fn new(now: SimTime, quad: Quad, iss: SeqNum, cfg: TcpConfig, state: TcpState) -> Self {
         let rto = RtoEstimator::with_bounds(cfg.rto_min, cfg.rto_max);
-        let cong = Congestion::new(u32::from(cfg.mss));
+        let cong = CongestionCtrl::new(cfg.congestion, u32::from(cfg.mss));
+        let cc_phase = cong.phase();
         Tcb {
             snd_buf: SendBuffer::new(iss.add(1), cfg.send_buf),
             snd_una: iss,
@@ -241,6 +255,10 @@ impl Tcb {
             peer_offered_wscale: None,
             rto,
             cong,
+            cc_phase,
+            pacing_gate: None,
+            sack_ok: false,
+            sack_board: SackScoreboard::new(),
             rtx_deadline: None,
             delack_deadline: None,
             probe_deadline: None,
@@ -370,9 +388,33 @@ impl Tcb {
         self.fin_consumed && self.rcv_buf.readable() == 0
     }
 
-    /// Congestion state (read-only, for tests/benches).
-    pub fn congestion(&self) -> &Congestion {
+    /// Congestion state (read-only, for tests/benches). Import
+    /// [`CongestionController`] for the accessor methods.
+    pub fn congestion(&self) -> &CongestionCtrl {
         &self.cong
+    }
+
+    /// Exports the controller state worth mirroring to the backup over
+    /// the side channel (primary side of the shadow path).
+    pub fn export_congestion(&self) -> CongSnapshot {
+        self.cong.export()
+    }
+
+    /// Adopts mirrored controller state from the primary, so a promoted
+    /// shadow resumes near the primary's operating point instead of from
+    /// the initial window (backup side of the shadow path).
+    pub fn import_congestion(&mut self, snap: CongSnapshot) {
+        self.cong.import(snap);
+    }
+
+    /// True when SACK was negotiated on this connection.
+    pub fn sack_negotiated(&self) -> bool {
+        self.sack_ok
+    }
+
+    /// The sender's SACK scoreboard (read-only, for tests).
+    pub fn sack_scoreboard(&self) -> &SackScoreboard {
+        &self.sack_board
     }
 
     /// RTO estimator (read-only, for tests/benches).
@@ -590,6 +632,22 @@ impl Tcb {
     }
 
     fn process_ack(&mut self, now: SimTime, seg: &TcpSegment) {
+        // RFC 2018: record the receiver's SACK islands before acting on
+        // the cumulative ACK, so a dup-ack-triggered retransmission
+        // already steers around them. Blocks beyond `snd_max` (which we
+        // never sent) are discarded as malformed.
+        if self.sack_ok {
+            for opt in &seg.options {
+                if matches!(opt, wire::TcpOption::Sack { .. }) {
+                    for &(lo, hi) in opt.sack_blocks() {
+                        let (lo, hi) = (SeqNum::new(lo), SeqNum::new(hi));
+                        if hi.le(self.snd_max) {
+                            self.sack_board.insert(lo, hi);
+                        }
+                    }
+                }
+            }
+        }
         let mut ack = SeqNum(seg.ack);
         if ack.gt(self.snd_max) {
             if self.cfg.shadow {
@@ -609,15 +667,18 @@ impl Tcb {
         }
         if ack.gt(self.snd_una) {
             let flight = self.flight();
+            let acked = ack.distance(self.snd_una).max(0) as u32;
             self.snd_buf.ack_to(ack);
             self.snd_una = ack;
             // An ack may cover bytes we rolled `snd_nxt` back over
             // (go-back-N): never leave snd_nxt behind snd_una.
             self.snd_nxt = self.snd_nxt.max(self.snd_una);
-            self.cong.on_new_ack(flight);
+            self.sack_board.ack_to(ack);
+            self.cong.on_new_ack(now, flight, acked, self.rto.srtt());
             self.rto.reset_backoff();
             self.take_rtt_sample(now, ack);
             self.after_una_advance(now);
+            self.trace_cc(now);
         } else if ack == self.snd_una
             && seg.payload.is_empty()
             && !seg.flags.contains(TcpFlags::SYN)
@@ -629,6 +690,7 @@ impl Tcb {
             self.stats.fast_retransmits += 1;
             self.recorder.count(Counter::TcpFastRetransmits, 1);
             self.retransmit_front(now);
+            self.trace_cc(now);
         }
         // Window update (links are FIFO in the simulator, so the newest
         // segment carries the newest window).
@@ -717,7 +779,8 @@ impl Tcb {
 
     /// Records the peer's SYN options and, once both sides' offers are
     /// known, activates window scaling (RFC 1323: in effect only if both
-    /// SYNs carried the option).
+    /// SYNs carried the option) and SACK (RFC 2018: in effect only when
+    /// our config enables it and the peer's SYN offered `SackPermitted`).
     fn negotiate_wscale(&mut self, syn: &TcpSegment) {
         self.peer_offered_wscale = syn.options.iter().find_map(|o| match o {
             wire::TcpOption::WindowScale(v) => Some((*v).min(14)),
@@ -726,6 +789,10 @@ impl Tcb {
         if let (Some(peer), Some(ours)) = (self.peer_offered_wscale, self.cfg.window_scale) {
             self.snd_wscale = peer;
             self.rcv_wscale = ours.min(14);
+        }
+        if self.cfg.sack && syn.options.iter().any(|o| matches!(o, wire::TcpOption::SackPermitted))
+        {
+            self.sack_ok = true;
         }
     }
 
@@ -837,7 +904,16 @@ impl Tcb {
         self.emit_data(now);
         self.shadow_auto_trim(now);
         if self.ack_pending && self.remote_synced && self.state != TcpState::Closed {
-            let seg = self.make_seg(TcpFlags::ACK, self.snd_nxt, Bytes::new());
+            let mut seg = self.make_seg(TcpFlags::ACK, self.snd_nxt, Bytes::new());
+            if self.sack_ok {
+                let islands = self.rcv_buf.sack_ranges();
+                if !islands.is_empty() {
+                    let raw: Vec<(u32, u32)> =
+                        islands.iter().take(4).map(|&(lo, hi)| (lo.raw(), hi.raw())).collect();
+                    self.recorder.count(Counter::SackBlocksSent, raw.len() as u64);
+                    seg.options.push(TcpOption::sack(&raw));
+                }
+            }
             self.stage(seg);
         }
         self.ack_pending = false;
@@ -890,10 +966,16 @@ impl Tcb {
 
     /// The earliest instant at which [`Tcb::poll`] would do new work.
     pub fn next_deadline(&self) -> Option<SimTime> {
-        [self.rtx_deadline, self.delack_deadline, self.probe_deadline, self.time_wait_deadline]
-            .into_iter()
-            .flatten()
-            .min()
+        [
+            self.rtx_deadline,
+            self.delack_deadline,
+            self.probe_deadline,
+            self.time_wait_deadline,
+            self.pacing_gate,
+        ]
+        .into_iter()
+        .flatten()
+        .min()
     }
 
     fn check_timers(&mut self, now: SimTime) {
@@ -967,6 +1049,7 @@ impl Tcb {
                 self.stats.rto_retransmits += 1;
                 self.recorder.count(Counter::TcpRtoFired, 1);
                 self.trace_rto(now, backoff);
+                self.trace_cc(now);
                 // Classic go-back-N: roll snd_nxt back so emit_data
                 // resends the whole outstanding window under slow-start
                 // pacing (one segment now, doubling per RTT).
@@ -987,12 +1070,44 @@ impl Tcb {
         );
     }
 
+    /// Publishes the controller's window and, on a phase transition, a
+    /// `cong_phase` trace event.
+    fn trace_cc(&mut self, now: SimTime) {
+        self.recorder.gauge_max(Gauge::CwndBytes, u64::from(self.cong.cwnd()));
+        let phase = self.cong.phase();
+        if phase != self.cc_phase {
+            self.recorder.trace(
+                now.as_nanos(),
+                &TraceEvent::CongPhase {
+                    conn: self.quad.trace_conn(),
+                    algo: self.cong.algo().name().into(),
+                    from: self.cc_phase.into(),
+                    to: phase.into(),
+                    cwnd: self.cong.cwnd(),
+                },
+            );
+            self.cc_phase = phase;
+        }
+    }
+
     /// Retransmits one segment starting at `snd_una`.
     fn retransmit_front(&mut self, now: SimTime) {
         self.rtt_probe = None; // Karn
         let data_end = self.snd_buf.end();
         if self.snd_una.lt(data_end) {
-            let len = (data_end.distance(self.snd_una) as usize).min(usize::from(self.cfg.mss));
+            let mut len = (data_end.distance(self.snd_una) as usize).min(usize::from(self.cfg.mss));
+            // SACK recovery: the receiver already holds the ranges on the
+            // scoreboard, so cap the resend at the first SACKed byte —
+            // only the hole goes back out.
+            if self.sack_ok && !self.sack_board.is_empty() {
+                if let Some(next) = self.sack_board.next_sacked_after(self.snd_una) {
+                    len = len.min(next.distance(self.snd_una).max(0) as usize);
+                }
+                if len == 0 {
+                    return;
+                }
+                self.recorder.count(Counter::SelectiveRetransmits, 1);
+            }
             let mut flags = TcpFlags::ACK;
             if self.snd_una.add(len as u32) == data_end {
                 flags |= TcpFlags::PSH;
@@ -1045,19 +1160,47 @@ impl Tcb {
             && self.flight() == 0
             && self.snd_nxt == self.snd_max // not mid-recovery after a go-back-N rollback
             && self.snd_nxt.lt(self.snd_buf.end())
-            && Congestion::idle_restart_due(now.duration_since(self.last_send), self.rto.rto())
+            && idle_restart_due(now.duration_since(self.last_send), self.rto.rto())
         {
             self.cong.on_idle_restart();
+        }
+        // A pacing gate in the past has served its purpose. (Gates only
+        // ever exist for rate-based controllers; Reno/CUBIC never set
+        // one, so this whole mechanism is inert by default.)
+        if let Some(gate) = self.pacing_gate {
+            if gate <= now {
+                self.pacing_gate = None;
+            }
         }
         loop {
             let data_end = self.snd_buf.end();
             if !self.snd_nxt.lt(data_end) {
                 break;
             }
+            if self.pacing_gate.is_some() {
+                break; // paced: next segment waits for the gate
+            }
+            // SACK: while retransmitting (snd_nxt behind snd_max), hop
+            // over ranges the receiver already reported holding.
+            if self.sack_ok && self.snd_nxt.lt(self.snd_max) {
+                let skipped = self.sack_board.skip_sacked(self.snd_nxt);
+                if skipped.gt(self.snd_nxt) {
+                    self.snd_nxt = skipped.min(data_end);
+                    continue;
+                }
+            }
             let unsent = data_end.distance(self.snd_nxt) as usize;
             let wnd = self.snd_wnd.min(self.cong.cwnd());
             let usable = wnd.saturating_sub(self.flight()) as usize;
-            let n = unsent.min(usable).min(usize::from(self.cfg.mss)).min(self.peer_mss as usize);
+            let mut n =
+                unsent.min(usable).min(usize::from(self.cfg.mss)).min(self.peer_mss as usize);
+            // SACK: cap a hole retransmission at the next SACKed range so
+            // the resend never re-covers delivered bytes.
+            if self.sack_ok && self.snd_nxt.lt(self.snd_max) {
+                if let Some(next) = self.sack_board.next_sacked_after(self.snd_nxt) {
+                    n = n.min(next.distance(self.snd_nxt).max(0) as usize);
+                }
+            }
             if n == 0 {
                 if self.snd_wnd == 0 && self.probe_deadline.is_none() {
                     self.probe_deadline = Some(now + self.rto.rto());
@@ -1076,6 +1219,13 @@ impl Tcb {
             if is_new {
                 let new_bytes = end_seq.distance(self.snd_max.max(self.snd_nxt)) as u64;
                 self.stats.bytes_out += new_bytes;
+            } else if self.sack_ok && !self.sack_board.is_empty() {
+                self.recorder.count(Counter::SelectiveRetransmits, 1);
+            }
+            self.cong.on_sent(now, n as u32);
+            if let Some(rate) = self.cong.pacing_rate() {
+                let ns = (n as u64).saturating_mul(1_000_000_000) / rate.max(1);
+                self.pacing_gate = Some(now + SimDuration::from_nanos(ns));
             }
             self.snd_nxt = end_seq;
             self.snd_max = self.snd_max.max(end_seq);

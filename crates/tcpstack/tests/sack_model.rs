@@ -1,0 +1,216 @@
+//! SACK scoreboard model checking (ISSUE 9, satellite 4).
+//!
+//! The scoreboard's interval bookkeeping is driven against a dumb linear
+//! reference model — one boolean per byte offset in a window — under
+//! arbitrary interleavings of SACK-block arrivals and cumulative-ACK
+//! advances, at arbitrary ISNs (including ones that wrap the sequence
+//! circle mid-window). Two properties are checked after every step:
+//!
+//! 1. **Exact equivalence**: the scoreboard's ranges are precisely the
+//!    maximal runs of SACKed bytes in the reference model, and the
+//!    hole-navigation API (`is_sacked` / `skip_sacked` /
+//!    `next_sacked_after`) agrees with the model byte-for-byte.
+//! 2. **Never retransmit SACKed bytes**: the recovery walk the sender
+//!    performs (skip past SACKed islands, send up to the next island)
+//!    covers every hole and touches no byte the model says the peer
+//!    already holds.
+
+use proptest::prelude::*;
+use tcpstack::{SackScoreboard, SeqNum};
+
+/// Window the model tracks, in bytes. Small enough to check
+/// byte-for-byte, large enough for many disjoint islands.
+const WINDOW: u32 = 512;
+
+/// One step of scoreboard traffic, in window-relative offsets.
+#[derive(Debug, Clone)]
+enum Step {
+    /// A SACK option block `[lo, hi)` arrives (possibly degenerate or
+    /// inverted — the receiver is untrusted).
+    Block { lo: u32, hi: u32 },
+    /// The cumulative ACK advances by `delta` bytes.
+    Ack { delta: u32 },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    // Weight block arrivals 4:1 over ACK advances (the shim's
+    // `prop_oneof!` is uniform, so the bias is written out by arm).
+    prop_oneof![
+        (0..WINDOW, 0..=WINDOW).prop_map(|(lo, hi)| Step::Block { lo, hi }),
+        (0..WINDOW, 0..=WINDOW).prop_map(|(lo, hi)| Step::Block { lo, hi }),
+        (0..WINDOW, 0..=WINDOW).prop_map(|(lo, hi)| Step::Block { lo, hi }),
+        (0..WINDOW, 0..=WINDOW).prop_map(|(lo, hi)| Step::Block { lo, hi }),
+        (0..64u32).prop_map(|delta| Step::Ack { delta }),
+    ]
+}
+
+/// Linear reference: `sacked[i]` ⇔ byte `base + i` is SACKed.
+struct Model {
+    sacked: Vec<bool>,
+    una_off: u32,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model { sacked: vec![false; WINDOW as usize], una_off: 0 }
+    }
+
+    fn insert(&mut self, lo: u32, hi: u32) {
+        for i in lo..hi.min(WINDOW) {
+            self.sacked[i as usize] = true;
+        }
+    }
+
+    fn ack_to(&mut self, una_off: u32) {
+        self.una_off = una_off;
+        for i in 0..una_off.min(WINDOW) {
+            self.sacked[i as usize] = false;
+        }
+    }
+
+    /// Maximal runs of SACKed bytes, as `[lo, hi)` offsets.
+    fn runs(&self) -> Vec<(u32, u32)> {
+        let mut runs = Vec::new();
+        let mut start = None;
+        for (i, &s) in self.sacked.iter().enumerate() {
+            match (s, start) {
+                (true, None) => start = Some(i as u32),
+                (false, Some(lo)) => {
+                    runs.push((lo, i as u32));
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(lo) = start {
+            runs.push((lo, WINDOW));
+        }
+        runs
+    }
+}
+
+/// The scoreboard's ranges converted to window-relative offsets.
+fn board_runs(board: &SackScoreboard, base: SeqNum) -> Vec<(u32, u32)> {
+    board
+        .ranges()
+        .iter()
+        .map(|&(lo, hi)| {
+            let lo_off = lo.distance(base);
+            let hi_off = hi.distance(base);
+            assert!(
+                (0..=i64::from(WINDOW)).contains(&lo_off)
+                    && lo_off < hi_off
+                    && hi_off <= i64::from(WINDOW),
+                "scoreboard range [{lo}, {hi}) escapes the window at base {base}"
+            );
+            (lo_off as u32, hi_off as u32)
+        })
+        .collect()
+}
+
+proptest! {
+    /// Property 1: scoreboard ≡ linear model after every step.
+    #[test]
+    fn scoreboard_matches_linear_model(
+        base in any::<u32>(),
+        steps in proptest::collection::vec(step_strategy(), 1..40),
+    ) {
+        let base = SeqNum::new(base);
+        let mut board = SackScoreboard::new();
+        let mut model = Model::new();
+        for step in steps {
+            match step {
+                Step::Block { lo, hi } => {
+                    board.insert(base.add(lo), base.add(hi));
+                    model.insert(lo, hi);
+                }
+                Step::Ack { delta } => {
+                    // The cumulative ACK only moves forward.
+                    let una = (model.una_off + delta).min(WINDOW);
+                    board.ack_to(base.add(una));
+                    model.ack_to(una);
+                }
+            }
+            prop_assert_eq!(
+                board_runs(&board, base), model.runs(),
+                "ranges diverge from the reference model"
+            );
+            prop_assert_eq!(board.is_empty(), model.runs().is_empty());
+            for off in 0..WINDOW {
+                let seq = base.add(off);
+                prop_assert_eq!(board.is_sacked(seq), model.sacked[off as usize]);
+                // skip_sacked lands on the first un-SACKed byte at or
+                // after `seq` (within one island — exactly what the
+                // model's next hole from `off` is).
+                let expect_skip = (off..WINDOW)
+                    .find(|&i| !model.sacked[i as usize])
+                    .unwrap_or(WINDOW);
+                let skipped = board.skip_sacked(seq);
+                if model.sacked[off as usize] {
+                    // Inside an island: must jump to its end (a hole).
+                    prop_assert_eq!(skipped.distance(base), i64::from(expect_skip));
+                } else {
+                    prop_assert_eq!(skipped, seq, "must not move a byte already in a hole");
+                }
+                let expect_next = model
+                    .runs()
+                    .iter()
+                    .map(|&(lo, _)| lo)
+                    .find(|&lo| lo > off);
+                prop_assert_eq!(
+                    board.next_sacked_after(seq).map(|s| s.distance(base)),
+                    expect_next.map(i64::from)
+                );
+            }
+        }
+    }
+
+    /// Property 2: the hole-walk a recovering sender performs never
+    /// retransmits a SACKed byte and never skips a hole.
+    #[test]
+    fn recovery_walk_retransmits_holes_only(
+        base in any::<u32>(),
+        blocks in proptest::collection::vec((0..WINDOW, 0..=WINDOW), 0..20),
+        una_off in 0..WINDOW,
+    ) {
+        let base = SeqNum::new(base);
+        let mut board = SackScoreboard::new();
+        let mut model = Model::new();
+        for (lo, hi) in blocks {
+            board.insert(base.add(lo), base.add(hi));
+            model.insert(lo, hi);
+        }
+        board.ack_to(base.add(una_off));
+        model.ack_to(una_off);
+
+        // The sender's selective-retransmit walk from snd_una to the
+        // right edge: skip SACKed islands, send each hole as one span.
+        let end = base.add(WINDOW);
+        let mut covered = vec![false; WINDOW as usize];
+        let mut seq = base.add(una_off);
+        while seq.lt(end) {
+            seq = board.skip_sacked(seq);
+            if !seq.lt(end) {
+                break;
+            }
+            let hole_end = board.next_sacked_after(seq).map_or(end, |s| s.min(end));
+            let lo = seq.distance(base) as u32;
+            let hi = hole_end.distance(base) as u32;
+            for off in lo..hi {
+                prop_assert!(
+                    !model.sacked[off as usize],
+                    "retransmitted byte {off} past una {una_off} is already SACKed"
+                );
+                covered[off as usize] = true;
+            }
+            seq = hole_end;
+        }
+        // Completeness: every hole at/above una was covered exactly once.
+        for off in una_off..WINDOW {
+            prop_assert_eq!(
+                covered[off as usize], !model.sacked[off as usize],
+                "hole coverage wrong at offset {}", off
+            );
+        }
+    }
+}

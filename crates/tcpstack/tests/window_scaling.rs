@@ -4,7 +4,7 @@
 
 use netsim::{SimDuration, SimTime};
 use std::net::Ipv4Addr;
-use tcpstack::{NetStack, StackConfig, TcpState};
+use tcpstack::{CongestionController, NetStack, StackConfig, TcpState};
 use wire::MacAddr;
 
 const A_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);

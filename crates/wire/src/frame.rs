@@ -331,6 +331,14 @@ mod tests {
         fin.payload = Bytes::from_static(b"tail");
         cases.push(fin);
         cases.push(TcpSegment::bare(80, 40000, 0, 0, TcpFlags::RST | TcpFlags::ACK, 0));
+        // A SACK-bearing duplicate ACK (RFC 2018), 1..=4 blocks.
+        for n in 1..=4usize {
+            let ranges: Vec<(u32, u32)> =
+                (0..n).map(|k| (5000 + 200 * k as u32, 5100 + 200 * k as u32)).collect();
+            let mut dup = TcpSegment::bare(40000, 80, 900, 5000, TcpFlags::ACK, 2048);
+            dup.options = vec![TcpOption::sack(&ranges)];
+            cases.push(dup);
+        }
 
         for (i, seg) in cases.iter().enumerate() {
             let ident = 0x1000 + i as u16;

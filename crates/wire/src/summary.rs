@@ -95,6 +95,13 @@ fn summarize_tcp(ip: &Ipv4Packet, seg: &TcpSegment) -> String {
                 TcpOption::SackPermitted => {
                     let _ = write!(s, "sack-ok");
                 }
+                TcpOption::Sack { .. } => {
+                    let _ = write!(s, "sack");
+                    for (j, (lo, hi)) in opt.sack_blocks().iter().enumerate() {
+                        let sep = if j == 0 { ' ' } else { ',' };
+                        let _ = write!(s, "{sep}{lo}-{hi}");
+                    }
+                }
             }
         }
         let _ = write!(s, ">");

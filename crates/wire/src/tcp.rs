@@ -106,9 +106,36 @@ pub enum TcpOption {
         /// Echo of the most recent timestamp received from the peer.
         tsecr: u32,
     },
-    /// SACK-permitted (kind 4), valid only on SYN segments. The stack
-    /// advertises it for realism but does not generate SACK blocks.
+    /// SACK-permitted (kind 4), valid only on SYN segments.
     SackPermitted,
+    /// Selective acknowledgment blocks (kind 5, RFC 2018). Fixed-size
+    /// storage (the option is `Copy`); only the first `count` blocks are
+    /// meaningful, each a half-open `[start, end)` sequence range.
+    Sack {
+        /// Up to four `[start, end)` ranges; slots past `count` are zero.
+        blocks: [(u32, u32); 4],
+        /// Number of valid blocks (1..=4).
+        count: u8,
+    },
+}
+
+impl TcpOption {
+    /// Builds a SACK option from up to four blocks (extras are dropped,
+    /// matching the 40-byte option-area budget of RFC 2018).
+    pub fn sack(ranges: &[(u32, u32)]) -> TcpOption {
+        let mut blocks = [(0u32, 0u32); 4];
+        let count = ranges.len().min(4);
+        blocks[..count].copy_from_slice(&ranges[..count]);
+        TcpOption::Sack { blocks, count: count as u8 }
+    }
+
+    /// The valid blocks of a SACK option (empty for other kinds).
+    pub fn sack_blocks(&self) -> &[(u32, u32)] {
+        match self {
+            TcpOption::Sack { blocks, count } => &blocks[..usize::from(*count).min(4)],
+            _ => &[],
+        }
+    }
 }
 
 /// Length of a TCP header without options.
@@ -126,6 +153,7 @@ pub fn options_wire_len(options: &[TcpOption]) -> usize {
             TcpOption::WindowScale(_) => 3,
             TcpOption::Timestamps { .. } => 10,
             TcpOption::SackPermitted => 2,
+            TcpOption::Sack { count, .. } => 2 + 8 * usize::from(*count).min(4),
         })
         .sum();
     (raw + 3) & !3 // pad with NOPs to a 32-bit boundary
@@ -163,6 +191,16 @@ pub fn write_options(buf: &mut BytesMut, options: &[TcpOption]) {
                 buf.put_u8(4);
                 buf.put_u8(2);
                 written += 2;
+            }
+            TcpOption::Sack { blocks, count } => {
+                let n = usize::from(count).min(4);
+                buf.put_u8(5);
+                buf.put_u8((2 + 8 * n) as u8);
+                for &(start, end) in &blocks[..n] {
+                    buf.put_u32(start);
+                    buf.put_u32(end);
+                }
+                written += 2 + 8 * n;
             }
         }
     }
@@ -306,6 +344,28 @@ impl TcpSegment {
                             .push(TcpOption::Mss(u16::from_be_bytes([raw[i + 2], raw[i + 3]]))),
                         (3, 3) => options.push(TcpOption::WindowScale(raw[i + 2])),
                         (4, 2) => options.push(TcpOption::SackPermitted),
+                        (5, l) if l >= 10 && (l - 2) % 8 == 0 && l <= 34 => {
+                            let n = (l - 2) / 8;
+                            let mut blocks = [(0u32, 0u32); 4];
+                            for (b, slot) in blocks.iter_mut().enumerate().take(n) {
+                                let o = i + 2 + 8 * b;
+                                *slot = (
+                                    u32::from_be_bytes([
+                                        raw[o],
+                                        raw[o + 1],
+                                        raw[o + 2],
+                                        raw[o + 3],
+                                    ]),
+                                    u32::from_be_bytes([
+                                        raw[o + 4],
+                                        raw[o + 5],
+                                        raw[o + 6],
+                                        raw[o + 7],
+                                    ]),
+                                );
+                            }
+                            options.push(TcpOption::Sack { blocks, count: n as u8 });
+                        }
                         (8, 10) => options.push(TcpOption::Timestamps {
                             tsval: u32::from_be_bytes([
                                 raw[i + 2],
@@ -396,6 +456,40 @@ mod tests {
     fn roundtrip_timestamps() {
         let mut s = TcpSegment::bare(1, 2, 3, 4, TcpFlags::ACK, 100);
         s.options = vec![TcpOption::Timestamps { tsval: 0xDEADBEEF, tsecr: 0x01020304 }];
+        let parsed = TcpSegment::parse(s.encode(A, B), A, B).unwrap();
+        assert_eq!(parsed.options, s.options);
+    }
+
+    #[test]
+    fn roundtrip_sack_blocks() {
+        for n in 1..=4usize {
+            let ranges: Vec<(u32, u32)> =
+                (0..n).map(|b| (1000 + 100 * b as u32, 1050 + 100 * b as u32)).collect();
+            let mut s = TcpSegment::bare(80, 40000, 7, 9, TcpFlags::ACK, 4096);
+            s.options = vec![TcpOption::sack(&ranges)];
+            let parsed = TcpSegment::parse(s.encode(A, B), A, B).unwrap();
+            assert_eq!(parsed.options, s.options, "{n} blocks must survive the wire");
+            assert_eq!(parsed.options[0].sack_blocks(), &ranges[..]);
+        }
+    }
+
+    #[test]
+    fn sack_constructor_truncates_to_four() {
+        let many: Vec<(u32, u32)> = (0..6).map(|b| (b * 10, b * 10 + 5)).collect();
+        let opt = TcpOption::sack(&many);
+        assert_eq!(opt.sack_blocks().len(), 4);
+        assert_eq!(options_wire_len(&[opt]), 36); // 2 + 32, padded to 36
+    }
+
+    #[test]
+    fn sack_rides_with_timestamps() {
+        // A realistic ACK: timestamps + 2 SACK blocks fits the 40-byte area.
+        let mut s = TcpSegment::bare(80, 40000, 7, 9, TcpFlags::ACK, 4096);
+        s.options = vec![
+            TcpOption::Timestamps { tsval: 1, tsecr: 2 },
+            TcpOption::sack(&[(100, 200), (300, 400)]),
+        ];
+        assert!(options_wire_len(&s.options) <= 40);
         let parsed = TcpSegment::parse(s.encode(A, B), A, B).unwrap();
         assert_eq!(parsed.options, s.options);
     }
